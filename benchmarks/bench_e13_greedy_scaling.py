@@ -1,0 +1,112 @@
+"""E13 — Extension: greedy counterfactuals for large contexts.
+
+The paper's exhaustive size-major search is exact but combinatorial;
+the greedy grow-and-shrink extension (``repro.core.greedy``) spends at
+most ~2k LLM calls.  Shapes: (a) on the demo-sized use cases greedy
+matches the exhaustive optimum exactly; (b) on wide timeline contexts
+its cost grows linearly while the exhaustive bottom-up budget grows
+combinatorially; (c) greedy results are always *minimal* (no member is
+redundant), trading only global minimum-cardinality.
+"""
+
+import pytest
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.core import (
+    ContextEvaluator,
+    SearchDirection,
+    greedy_combination_counterfactual,
+    search_combination_counterfactual,
+)
+from repro.datasets import load_use_case, make_timeline_world
+
+
+def _engine(corpus, knowledge, k):
+    return Rage.from_corpus(
+        corpus,
+        SimulatedLLM(knowledge=knowledge),
+        config=RageConfig(k=k, max_evaluations=100_000),
+    )
+
+
+@pytest.mark.parametrize("name", ["big_three", "us_open"])
+def test_e13_greedy_matches_exhaustive_on_demos(name):
+    case = load_use_case(name)
+    rage = _engine(case.corpus, case.knowledge, case.k)
+    context = rage.retrieve(case.query)
+    evaluator = ContextEvaluator(rage.llm, context)
+    scores = rage.relevance_scores(context)
+    greedy = greedy_combination_counterfactual(evaluator, scores)
+    exact = search_combination_counterfactual(evaluator, scores)
+    assert greedy.found and exact.found
+    assert greedy.counterfactual.size == exact.counterfactual.size
+    assert greedy.counterfactual.new_answer == exact.counterfactual.new_answer
+
+
+@pytest.mark.parametrize("num_years", [10, 14, 18])
+def test_e13_cost_scaling(num_years):
+    """Bottom-up citation over growing timelines: greedy stays linear."""
+    world = make_timeline_world(num_years, seed=2)
+    rage = _engine(world.corpus, world.knowledge, num_years)
+    context = rage.retrieve(world.query)
+    scores = rage.relevance_scores(context)
+
+    greedy_eval = ContextEvaluator(rage.llm, context)
+    greedy = greedy_combination_counterfactual(
+        greedy_eval, scores, direction=SearchDirection.BOTTOM_UP
+    )
+    exact_eval = ContextEvaluator(rage.llm, context)
+    exact = search_combination_counterfactual(
+        exact_eval, scores, direction=SearchDirection.BOTTOM_UP,
+        max_evaluations=100_000,
+    )
+    assert greedy.found and exact.found
+    print(
+        f"\nE13 k={num_years}: greedy {greedy.num_evaluations} calls "
+        f"(size {greedy.counterfactual.size}) vs exhaustive "
+        f"{exact.num_evaluations} calls (size {exact.counterfactual.size})"
+    )
+    assert greedy.num_evaluations <= 2 * num_years
+    assert greedy.counterfactual.size == exact.counterfactual.size
+    # the exhaustive search pays combinatorially on these widths
+    assert exact.num_evaluations > greedy.num_evaluations
+
+
+def test_e13_greedy_cost(benchmark):
+    world = make_timeline_world(16, seed=4)
+    rage = _engine(world.corpus, world.knowledge, 16)
+    context = rage.retrieve(world.query)
+    scores = rage.relevance_scores(context)
+
+    def run():
+        evaluator = ContextEvaluator(rage.llm, context)
+        return greedy_combination_counterfactual(
+            evaluator, scores, direction=SearchDirection.BOTTOM_UP
+        )
+
+    result = benchmark(run)
+    assert result.found
+
+
+def test_e13_greedy_minimality():
+    """Dropping any member of the greedy set breaks the flip."""
+    world = make_timeline_world(12, seed=7)
+    rage = _engine(world.corpus, world.knowledge, 12)
+    context = rage.retrieve(world.query)
+    evaluator = ContextEvaluator(rage.llm, context)
+    scores = rage.relevance_scores(context)
+    result = greedy_combination_counterfactual(
+        evaluator, scores, direction=SearchDirection.BOTTOM_UP
+    )
+    assert result.found
+    cf = result.counterfactual
+    from repro.core import CombinationPerturbation
+    from repro.textproc import normalize_answer
+
+    for doc_id in cf.changed_sources:
+        subset = tuple(d for d in cf.changed_sources if d != doc_id)
+        kept = tuple(d for d in context.doc_ids() if d in set(subset))
+        answer = evaluator.evaluate(
+            CombinationPerturbation(kept=kept).apply(context)
+        )
+        assert answer.normalized_answer != normalize_answer(cf.new_answer)

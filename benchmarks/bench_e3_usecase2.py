@@ -1,0 +1,72 @@
+"""E3 — Use Case 2: inconsistent sources (US Open champions).
+
+Regenerates Section III-C: the full-context answer is the up-to-date
+"Coco Gauff"; permutation analysis shows the stale 2022 answer
+"Iga Swiatek" taking over when the current document is moved toward the
+middle of the context.
+"""
+
+from collections import Counter
+
+from repro.core import ContextEvaluator
+
+
+def test_e3_full_context_answer(benchmark, us_open_setup):
+    case, rage = us_open_setup
+    result = benchmark(lambda: rage.ask(case.query))
+    assert result.answer == "Coco Gauff"
+    assert result.context.doc_ids()[-1] == "usopen-2023"
+
+
+def test_e3_permutation_counterfactual(benchmark, us_open_setup):
+    case, rage = us_open_setup
+    result = benchmark(lambda: rage.permutation_counterfactual(case.query))
+    assert result.found
+    cf = result.counterfactual
+    assert cf.new_answer == "Iga Swiatek"
+    position = cf.perturbation.order.index("usopen-2023")
+    assert 0 < position < 4  # moved inward
+    print(
+        f"\nE3 most-similar flip (tau={cf.tau:.3f}): 2023 doc moved to "
+        f"position {position + 1} -> {cf.new_answer!r}"
+    )
+
+
+def test_e3_permutation_insights(benchmark, us_open_setup):
+    case, rage = us_open_setup
+    insights = benchmark(
+        lambda: rage.permutation_insights(case.query, sample_size=60)
+    )
+    answers = {s.answer for s in insights.pie()}
+    assert "Coco Gauff" in answers
+    assert "Iga Swiatek" in answers
+    print("\nE3 permutation answer distribution (s=60):")
+    for item in insights.pie():
+        print(f"  {item.answer:<18} {item.count:>3}  {item.fraction * 100:5.1f}%")
+
+
+def test_e3_position_sweep_of_current_document(us_open_setup):
+    """Per-position outcome for the 2023 document: correct at the ends,
+    stale answers take over in the middle (the 'lost in the middle'
+    failure the paper demonstrates)."""
+    case, rage = us_open_setup
+    context = rage.retrieve(case.query)
+    evaluator = ContextEvaluator(rage.llm, context)
+    others = [d for d in context.doc_ids() if d != "usopen-2023"]
+    rows = []
+    for position in range(5):
+        answers = Counter()
+        import itertools
+
+        for rest in itertools.permutations(others):
+            order = rest[:position] + ("usopen-2023",) + rest[position:]
+            answers[evaluator.evaluate(order).answer] += 1
+        gauff_rate = answers["Coco Gauff"] / sum(answers.values())
+        rows.append((position, gauff_rate, answers.most_common(1)[0][0]))
+    print("\nE3 correct-answer rate by 2023-document position:")
+    for position, rate, top in rows:
+        print(f"  position {position + 1}: correct {rate * 100:5.1f}%  (mode: {top})")
+    # U-shape: perfect at both ends, degraded strictly inside.
+    assert rows[0][1] == 1.0 and rows[4][1] == 1.0
+    assert rows[2][1] == 0.0
+    assert rows[1][1] < 1.0 and rows[3][1] < 1.0

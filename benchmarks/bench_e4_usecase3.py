@@ -1,0 +1,59 @@
+"""E4 — Use Case 3: timelines (ATP Player of the Year).
+
+Regenerates Section III-D: the full-context answer 5; the bottom-up
+counterfactual citing exactly the five Djokovic documents; and sampled
+permutation insights showing a consistent answer with no rules.
+"""
+
+from repro.core import SearchDirection
+
+
+def test_e4_full_context_answer(benchmark, potya_setup):
+    case, rage = potya_setup
+    result = benchmark(lambda: rage.ask(case.query))
+    assert result.answer == "5"
+    assert result.context.k == 10
+
+
+def test_e4_bottom_up_citation(benchmark, potya_setup):
+    case, rage = potya_setup
+    result = benchmark(
+        lambda: rage.combination_counterfactual(
+            case.query, direction=SearchDirection.BOTTOM_UP
+        )
+    )
+    assert result.found
+    cited = sorted(result.counterfactual.changed_sources)
+    assert cited == [
+        "potya-2011", "potya-2012", "potya-2014", "potya-2015", "potya-2018"
+    ]
+    print(
+        f"\nE4 bottom-up citation ({result.num_evaluations} LLM calls): "
+        + ", ".join(cited)
+    )
+
+
+def test_e4_top_down_minimal_removal(benchmark, potya_setup):
+    case, rage = potya_setup
+    result = benchmark(lambda: rage.combination_counterfactual(case.query))
+    assert result.found
+    assert result.counterfactual.size == 1  # removing any one Djokovic year
+    removed = result.counterfactual.changed_sources[0]
+    assert removed in {
+        "potya-2011", "potya-2012", "potya-2014", "potya-2015", "potya-2018"
+    }
+    assert result.counterfactual.new_answer == "4"
+
+
+def test_e4_permutation_insights_stable(benchmark, potya_setup):
+    case, rage = potya_setup
+    insights = benchmark(
+        lambda: rage.permutation_insights(case.query, sample_size=40)
+    )
+    assert insights.is_stable
+    assert insights.pie()[0].answer == "5"
+    assert insights.rules == []
+    print(
+        "\nE4 permutation insights: stable answer '5' across "
+        f"{insights.total} sampled orders; no positional rules"
+    )

@@ -1,0 +1,74 @@
+"""E5 — Permutation sampling: O(ks) Fisher–Yates vs the O(k!) naive.
+
+    "A naive solution might generate all k! permutations of the k
+    sources, then uniformly sample s permutations, resulting in O(k!)
+    time complexity. ... we invoke the Fisher-Yates algorithm s times
+    ... resulting in an efficient O(ks) solution."
+
+The shape to reproduce: Fisher–Yates is essentially flat in k while the
+naive baseline grows factorially; the gap at k=9 is already orders of
+magnitude.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.combinatorics import naive_sample_permutations, sample_permutations
+
+S = 32
+
+
+@pytest.mark.parametrize("k", [6, 8, 10, 12])
+def test_e5_fisher_yates_sampling(benchmark, k):
+    items = list(range(k))
+
+    def run():
+        return sample_permutations(items, S, random.Random(0))
+
+    perms = benchmark(run)
+    assert len(perms) == S
+    assert all(sorted(p) == items for p in perms)
+
+
+@pytest.mark.parametrize("k", [6, 7, 8])
+def test_e5_naive_sampling(benchmark, k):
+    """The factorial baseline (k capped at 8 to keep the run sane)."""
+    items = list(range(k))
+
+    def run():
+        return naive_sample_permutations(items, S, random.Random(0))
+
+    perms = benchmark(run)
+    assert len(perms) == S
+
+
+def test_e5_crossover_table():
+    """One-shot scaling table + the headline speedup assertion."""
+    print("\nE5 sampling time (s=32), seconds:")
+    print(f"  {'k':>3} {'fisher-yates':>14} {'naive k!':>14} {'speedup':>10}")
+    speedup_at_9 = None
+    for k in range(4, 10):
+        items = list(range(k))
+        start = time.perf_counter()
+        for _ in range(5):
+            sample_permutations(items, S, random.Random(1))
+        fy = (time.perf_counter() - start) / 5
+        start = time.perf_counter()
+        naive_sample_permutations(items, S, random.Random(1))
+        naive = time.perf_counter() - start
+        print(f"  {k:>3} {fy:>14.6f} {naive:>14.6f} {naive / fy:>9.1f}x")
+        if k == 9:
+            speedup_at_9 = naive / fy
+    assert speedup_at_9 is not None and speedup_at_9 > 50
+
+
+def test_e5_both_methods_sample_uniform_space():
+    """Both samplers draw valid, distinct permutations of the same space."""
+    items = list(range(7))
+    fy = sample_permutations(items, S, random.Random(2))
+    naive = naive_sample_permutations(items, S, random.Random(2))
+    for batch in (fy, naive):
+        assert len(set(batch)) == S
+        assert all(sorted(p) == items for p in batch)

@@ -1,0 +1,85 @@
+"""E9 — "Lost in the middle": the position bias behind RAGE's
+permutation explanations and optimal-permutation feature.
+
+The paper builds on Liu et al. (2023): LLMs attend more to the beginning
+and end of the context than to the middle.  Our simulated LLM implements
+that bias through its V-shaped positional prior; this experiment sweeps
+a decisive source across every context position and reproduces the
+U-shaped accuracy curve — plus its disappearance under a uniform prior.
+"""
+
+import pytest
+
+from repro.attention import PositionPrior
+from repro.llm import PromptBuilder, SimulatedLLM, SimulatedLLMConfig
+
+K = 7
+BUILDER = PromptBuilder()
+
+QUESTION = "Who is the best juggler in the circus?"
+#: One strong source (explicit superlative) and K-1 weak distractors.
+KEY_DOC = "Kit Marlowe is widely considered the best juggler in the circus."
+DISTRACTORS = [
+    f"{name} leads the juggler rankings with {200 - 7 * i} circus points."
+    for i, name in enumerate(
+        ["Ann Ball", "Bo Pins", "Cy Rings", "Di Clubs", "Em Torch", "Fay Knives"]
+    )
+]
+
+
+def _answers_by_position(llm):
+    outcomes = []
+    for position in range(K):
+        docs = DISTRACTORS[:position] + [KEY_DOC] + DISTRACTORS[position:]
+        answer = llm.generate(BUILDER.build(QUESTION, docs)).answer
+        outcomes.append(answer == "Kit Marlowe")
+    return outcomes
+
+
+def test_e9_u_shaped_accuracy():
+    llm = SimulatedLLM(config=SimulatedLLMConfig(prior_depth=0.8))
+    outcomes = _answers_by_position(llm)
+    print("\nE9 key-source wins by position (V-shaped prior):")
+    print("  " + " ".join("W" if won else "." for won in outcomes))
+    assert outcomes[0] is True
+    assert outcomes[-1] is True
+    assert outcomes[K // 2] is False  # lost in the middle
+    # symmetry of the V prior
+    assert outcomes == outcomes[::-1]
+
+
+def test_e9_uniform_prior_flattens_the_curve():
+    llm = SimulatedLLM(
+        config=SimulatedLLMConfig(prior=PositionPrior.UNIFORM)
+    )
+    outcomes = _answers_by_position(llm)
+    assert all(outcomes)  # 1.5x strength wins everywhere without bias
+
+
+@pytest.mark.parametrize("depth", [0.3, 0.6, 0.9])
+def test_e9_depth_controls_the_dip(depth):
+    """Deeper V priors lose the key source over more middle positions."""
+    llm = SimulatedLLM(config=SimulatedLLMConfig(prior_depth=depth))
+    outcomes = _answers_by_position(llm)
+    losses = outcomes.count(False)
+    print(f"\nE9 depth={depth}: middle losses = {losses}/{K}")
+    if depth >= 0.6:
+        assert losses > 0
+    assert outcomes[0] and outcomes[-1]
+
+
+def test_e9_sweep_cost(benchmark):
+    llm = SimulatedLLM(config=SimulatedLLMConfig(prior_depth=0.8))
+    outcomes = benchmark(lambda: _answers_by_position(llm))
+    assert len(outcomes) == K
+
+
+def test_e9_monotone_from_edge_to_middle():
+    """Win margin decays monotonically toward the middle."""
+    from repro.attention import position_weights
+
+    weights = position_weights(PositionPrior.V_SHAPED, K, depth=0.8)
+    margins = [weights[p] * 1.5 - max(weights[q] for q in range(K) if q != p)
+               for p in range(K)]
+    first_half = margins[: K // 2 + 1]
+    assert all(a >= b for a, b in zip(first_half, first_half[1:]))

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see the
+experiment index in DESIGN.md) and records the *shape* EXPERIMENTS.md
+documents: who wins, by what factor, where crossovers fall.  Shapes are
+asserted; wall-clock numbers come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.datasets import load_use_case
+
+
+def engine_for(name: str, **config_kwargs) -> tuple:
+    """(use_case, fresh engine) for a named demo dataset."""
+    case = load_use_case(name)
+    defaults = dict(k=case.k, max_evaluations=4000)
+    defaults.update(config_kwargs)
+    rage = Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(**defaults),
+    )
+    return case, rage
+
+
+@pytest.fixture()
+def big_three_setup():
+    return engine_for("big_three")
+
+
+@pytest.fixture()
+def us_open_setup():
+    return engine_for("us_open")
+
+
+@pytest.fixture()
+def potya_setup():
+    return engine_for("player_of_the_year")

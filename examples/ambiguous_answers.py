@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Use Case 1 — Ambiguous Answers (paper Section III-B, Figure 2).
+
+Walks the exact narrative from the paper: the LLM picks Roger Federer
+for "the best of the Big Three", combination insights expose the
+match-wins document as the cause, and a permutation counterfactual shows
+the answer flips when that document leaves the first context position.
+
+    python examples/ambiguous_answers.py
+"""
+
+from repro import Rage, RageConfig, SearchDirection, SimulatedLLM
+from repro.core import ContextEvaluator
+from repro.datasets import load_use_case
+from repro.viz import render_combination_insights, render_pie
+
+
+def main() -> None:
+    case = load_use_case("big_three")
+    rage = Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(k=case.k),
+    )
+
+    print("— The user asks —")
+    asked = rage.ask(case.query)
+    print(f"  {case.query}")
+    print(f"  LLM: {asked.answer!r}")
+    context = asked.context
+
+    print("\n— The user expected Djokovic (the parametric belief) —")
+    evaluator = ContextEvaluator(rage.llm, context)
+    print(f"  empty-context answer: {evaluator.empty().answer!r}")
+
+    print("\n— Combination insights (Figure 2) —")
+    insights = rage.combination_insights(case.query, context=context)
+    print(render_pie(insights.pie()))
+    for rule in insights.rules:
+        print(f"  rule: {rule.describe()}")
+
+    print("\n— Why Federer? The minimal top-down counterfactual —")
+    top_down = rage.combination_counterfactual(case.query, context=context)
+    cf = top_down.counterfactual
+    print(
+        f"  removing {', '.join(cf.changed_sources)} flips "
+        f"{cf.baseline_answer!r} -> {cf.new_answer!r} "
+        f"({top_down.num_evaluations} LLM call(s))"
+    )
+
+    print("\n— And as a citation: the bottom-up counterfactual —")
+    bottom_up = rage.combination_counterfactual(
+        case.query, context=context, direction=SearchDirection.BOTTOM_UP
+    )
+    cf = bottom_up.counterfactual
+    print(
+        f"  retaining only {', '.join(cf.changed_sources)} already yields "
+        f"{cf.new_answer!r}"
+    )
+
+    print("\n— Does position matter? The permutation counterfactual —")
+    permutation = rage.permutation_counterfactual(case.query, context=context)
+    cf = permutation.counterfactual
+    new_position = cf.perturbation.order.index("bigthree-1-match-wins") + 1
+    print(f"  most similar flipping order (tau={cf.tau:.3f}):")
+    print(f"    {' > '.join(cf.perturbation.order)}")
+    print(
+        f"  moving the match-wins document to position {new_position} "
+        f"changes the answer to {cf.new_answer!r}"
+    )
+
+    print("\n— Full insight table —")
+    print(render_combination_insights(insights, max_rows=15))
+
+
+if __name__ == "__main__":
+    main()

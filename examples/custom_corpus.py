@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bring your own data: build a corpus, a knowledge base, and explain.
+
+Shows the full public API without any built-in dataset: documents are
+constructed in code, parametric knowledge is registered explicitly, and
+every explanation primitive runs against the custom scenario.  Also
+writes a standalone HTML report.
+
+    python examples/custom_corpus.py [report.html]
+"""
+
+import sys
+
+from repro import (
+    Corpus,
+    Document,
+    KnowledgeBase,
+    Rage,
+    RageConfig,
+    SimulatedLLM,
+)
+from repro.llm import QuestionIntent
+from repro.viz import render_combination_insights, write_report_html
+
+
+def build_corpus() -> Corpus:
+    """A small conflicting-evidence scenario about a coffee contest."""
+    return Corpus(
+        [
+            Document(
+                doc_id="espresso-cup-2022",
+                title="Espresso Cup 2022",
+                text=(
+                    "The 2022 espresso brewing cup was won by Mara Velasquez, "
+                    "who defeated Old Crow Roasters in the final round."
+                ),
+            ),
+            Document(
+                doc_id="espresso-cup-2023",
+                title="Espresso Cup 2023",
+                text=(
+                    "The 2023 espresso brewing cup was won by Jonas Bergman, "
+                    "who defeated Mara Velasquez in the final round."
+                ),
+            ),
+            Document(
+                doc_id="barista-rankings",
+                title="Barista rankings",
+                text=(
+                    "Mara Velasquez ranks first with 412 espresso brewing "
+                    "points in the international barista standings."
+                ),
+            ),
+            Document(
+                doc_id="latte-art",
+                title="Latte art",
+                text=(
+                    "Pia Okafor is widely considered the best latte artist in "
+                    "the espresso scene."
+                ),
+            ),
+        ]
+    )
+
+
+def build_knowledge() -> KnowledgeBase:
+    """What the simulated LLM 'remembers from training' (stale: 2022)."""
+    kb = KnowledgeBase()
+    kb.add_fact(
+        intent=QuestionIntent.MOST_RECENT,
+        topic="most recent winner espresso brewing cup",
+        answer="Mara Velasquez",
+        confidence=0.8,
+    )
+    return kb
+
+
+def main() -> None:
+    rage = Rage.from_corpus(
+        build_corpus(),
+        SimulatedLLM(knowledge=build_knowledge()),
+        config=RageConfig(k=3),
+    )
+    query = "Who is the most recent winner of the espresso brewing cup?"
+
+    asked = rage.ask(query)
+    print(f"Question:  {query}")
+    print(f"Retrieved: {' > '.join(asked.context.doc_ids())}")
+    print(f"Answer:    {asked.answer!r}")
+
+    print("\nCombination insights:")
+    print(render_combination_insights(rage.combination_insights(query)))
+
+    print("\nTop-down counterfactual:")
+    result = rage.combination_counterfactual(query)
+    if result.found:
+        cf = result.counterfactual
+        print(
+            f"  removing {', '.join(cf.changed_sources)} flips "
+            f"{cf.baseline_answer!r} -> {cf.new_answer!r}"
+        )
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "custom_corpus_report.html"
+    write_report_html(rage.explain(query), target)
+    print(f"\nHTML report written to {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(no `wheel` package available for PEP 517 builds)."""
+from setuptools import setup
+
+setup()

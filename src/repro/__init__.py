@@ -1,0 +1,54 @@
+"""repro — a full reproduction of RAGE: Retrieval-Augmented LLM
+Explanations (Rorseth et al., ICDE 2024).
+
+Quick start::
+
+    from repro import Rage, RageConfig, SimulatedLLM
+    from repro.datasets import load_use_case
+
+    uc = load_use_case("big_three")
+    rage = Rage.from_corpus(uc.corpus, SimulatedLLM(knowledge=uc.knowledge),
+                            config=RageConfig(k=uc.k))
+    print(rage.ask(uc.query).answer)                  # "Roger Federer"
+    print(rage.combination_counterfactual(uc.query))  # minimal flip
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core.context import (
+    CombinationPerturbation,
+    Context,
+    ContextSource,
+    PermutationPerturbation,
+)
+from .core.counterfactual import SearchDirection
+from .core.engine import AskResult, Rage, RageConfig, RageReport
+from .core.scoring import RelevanceMethod
+from .errors import RageError
+from .llm.knowledge import KBFact, KnowledgeBase
+from .llm.simulated import SimulatedLLM, SimulatedLLMConfig
+from .retrieval.document import Corpus, Document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinationPerturbation",
+    "Context",
+    "ContextSource",
+    "PermutationPerturbation",
+    "SearchDirection",
+    "AskResult",
+    "Rage",
+    "RageConfig",
+    "RageReport",
+    "RelevanceMethod",
+    "RageError",
+    "KBFact",
+    "KnowledgeBase",
+    "SimulatedLLM",
+    "SimulatedLLMConfig",
+    "Corpus",
+    "Document",
+    "__version__",
+]

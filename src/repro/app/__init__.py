@@ -1,0 +1,5 @@
+"""Application layer: the ``rage`` CLI and the interactive session."""
+
+from .session import RageSession
+
+__all__ = ["RageSession"]

@@ -1,0 +1,249 @@
+"""``rage`` — the command-line face of the reproduction.
+
+Subcommands mirror the demo tool's panels:
+
+    rage ask        --use-case big_three
+    rage insights   --use-case big_three --mode combinations
+    rage insights   --use-case us_open --mode permutations --sample 40
+    rage counterfactual --use-case big_three --direction top_down
+    rage counterfactual --use-case us_open --kind permutation
+    rage optimal    --use-case big_three -s 5
+    rage report     --use-case player_of_the_year --html report.html
+    rage list
+
+Each command prints the same artifacts the paper's UI displays (pie
+chart, rules, tables, counterfactual sentences) as plain text; ``rage
+report --html`` additionally writes the standalone HTML page.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.counterfactual import SearchDirection
+from ..core.engine import RageConfig
+from ..datasets.base import available_use_cases
+from ..errors import RageError
+from ..viz.ascii import (
+    render_combination_counterfactual,
+    render_combination_insights,
+    render_optimal_permutations,
+    render_permutation_counterfactual,
+    render_permutation_insights,
+)
+from ..viz.html import write_report_html
+from .session import RageSession
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rage",
+        description="Counterfactual explanations for retrieval-augmented LLMs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--use-case",
+            default="big_three",
+            choices=available_use_cases(),
+            help="built-in demo dataset",
+        )
+        p.add_argument("--query", default=None, help="override the canonical question")
+        p.add_argument("--k", type=int, default=None, help="retrieval depth override")
+
+    p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
+    add_common(p_ask)
+
+    p_ins = sub.add_parser("insights", help="combination or permutation insights")
+    add_common(p_ins)
+    p_ins.add_argument(
+        "--mode",
+        choices=("combinations", "permutations"),
+        default="combinations",
+    )
+    p_ins.add_argument("--sample", type=int, default=None, help="random sample size s")
+
+    p_cf = sub.add_parser("counterfactual", help="search for a counterfactual")
+    add_common(p_cf)
+    p_cf.add_argument(
+        "--kind", choices=("combination", "permutation"), default="combination"
+    )
+    p_cf.add_argument(
+        "--direction",
+        choices=tuple(d.value for d in SearchDirection),
+        default=SearchDirection.TOP_DOWN.value,
+    )
+    p_cf.add_argument("--target", default=None, help="flip to this specific answer")
+
+    p_opt = sub.add_parser("optimal", help="top-s optimal permutations")
+    add_common(p_opt)
+    p_opt.add_argument("-s", type=int, default=5, help="number of placements")
+
+    p_sal = sub.add_parser(
+        "salience", help="per-source influence and order stability"
+    )
+    add_common(p_sal)
+    p_sal.add_argument("--answer", default=None, help="answer to contrast against")
+    p_sal.add_argument("--sample", type=int, default=None, help="combination sample size")
+
+    p_agr = sub.add_parser(
+        "agreement", help="highlight source agreement and disagreement"
+    )
+    add_common(p_agr)
+
+    p_rep = sub.add_parser("report", help="full explanation report")
+    add_common(p_rep)
+    p_rep.add_argument("--sample", type=int, default=None, help="insight sample size")
+    p_rep.add_argument("--html", default=None, help="also write an HTML report here")
+    p_rep.add_argument(
+        "--markdown", default=None, help="also write a Markdown report here"
+    )
+
+    sub.add_parser("list", help="list the built-in use cases")
+    sub.add_parser(
+        "verify", help="re-check every paper narrative claim (PASS/FAIL table)"
+    )
+    return parser
+
+
+def _session(args: argparse.Namespace) -> RageSession:
+    config: Optional[RageConfig] = None
+    if args.k is not None:
+        config = RageConfig(k=args.k)
+    session = RageSession.for_use_case(args.use_case, config=config)
+    if args.query:
+        session.pose(args.query)
+    return session
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except RageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        for name in available_use_cases():
+            print(name)
+        return 0
+
+    if args.command == "verify":
+        from .verify import render_checks, verify_all
+
+        checks = verify_all()
+        print(render_checks(checks))
+        return 0 if all(check.passed for check in checks) else 1
+
+    session = _session(args)
+    assert session.context is not None
+
+    if args.command == "ask":
+        print(f"Question: {session.query}")
+        print(f"Context:  {' > '.join(session.context.doc_ids())}")
+        print(f"Answer:   {session.answer}")
+        return 0
+
+    if args.command == "insights":
+        if args.mode == "combinations":
+            print(render_combination_insights(session.combination_insights(args.sample)))
+        else:
+            print(render_permutation_insights(session.permutation_insights(args.sample)))
+        return 0
+
+    if args.command == "counterfactual":
+        if args.kind == "combination":
+            result = session.combination_counterfactual(
+                direction=args.direction, target_answer=args.target
+            )
+            print(render_combination_counterfactual(result))
+        else:
+            result = session.permutation_counterfactual(target_answer=args.target)
+            print(render_permutation_counterfactual(result))
+        return 0
+
+    if args.command == "optimal":
+        print(render_optimal_permutations(session.optimal_permutations(s=args.s)))
+        return 0
+
+    if args.command == "agreement":
+        from ..core.agreement import analyze_agreement, render_agreement
+
+        report = analyze_agreement(session.context)
+        print(f"Context: {' > '.join(session.context.doc_ids())}")
+        print()
+        print(render_agreement(report))
+        return 0
+
+    if args.command == "salience":
+        scores = session.rage.source_salience(
+            session.query,
+            context=session.context,
+            answer=args.answer,
+            sample_size=args.sample,
+        )
+        print(f"Source salience for answer {scores[0].answer!r}:")
+        from ..viz.ascii import render_table
+
+        rows = [
+            (
+                s.doc_id,
+                f"{s.present_rate:.2f}",
+                f"{s.absent_rate:.2f}",
+                f"{s.contrast:+.2f}",
+            )
+            for s in scores
+        ]
+        print(render_table(("source", "P(ans|present)", "P(ans|absent)", "contrast"), rows))
+        sample = 50 if session.context.k > 5 else None
+        stability = session.rage.order_stability(
+            session.query, context=session.context, sample_size=sample
+        )
+        flip = "none found" if stability.flip_tau is None else f"tau={stability.flip_tau:.3f}"
+        print(
+            f"\nOrder stability: {stability.stable_fraction * 100:.1f}% of "
+            f"{stability.num_permutations} orders keep the answer "
+            f"(most similar flip: {flip})"
+        )
+        return 0
+
+    if args.command == "report":
+        report = session.report(sample_size=args.sample)
+        print(f"Question: {report.query}")
+        print(f"Answer:   {report.answer}")
+        print()
+        print(render_combination_insights(report.combination_insights))
+        print()
+        if report.permutation_insights is not None:
+            print(render_permutation_insights(report.permutation_insights))
+            print()
+        print(render_combination_counterfactual(report.top_down))
+        print(render_combination_counterfactual(report.bottom_up))
+        if report.permutation_counterfactual is not None:
+            print(render_permutation_counterfactual(report.permutation_counterfactual))
+        if report.optimal:
+            print()
+            print("Optimal permutations:")
+            print(render_optimal_permutations(report.optimal))
+        if args.html:
+            write_report_html(report, args.html)
+            print(f"\nHTML report written to {args.html}")
+        if args.markdown:
+            from ..viz.markdown import write_report_markdown
+
+            write_report_markdown(report, args.markdown)
+            print(f"\nMarkdown report written to {args.markdown}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Interactive session object — the web-app flow without the web app.
+
+The Dash UI keeps per-user state: the current question, its retrieved
+context, and the explanations generated so far.  :class:`RageSession`
+models that flow for scripts and the CLI: load a use case (or a custom
+corpus), pose a question once, then request explanations against the
+cached context without re-retrieving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.context import Context
+from ..core.counterfactual import CombinationSearchResult, SearchDirection
+from ..core.engine import Rage, RageConfig, RageReport
+from ..core.insights import CombinationInsights, PermutationInsights
+from ..core.optimal import OptimalPermutation
+from ..core.permutation_cf import PermutationSearchResult
+from ..datasets.base import UseCase, load_use_case
+from ..errors import ConfigError
+from ..llm.base import LanguageModel
+from ..llm.simulated import SimulatedLLM
+
+
+class RageSession:
+    """Stateful wrapper over :class:`repro.core.engine.Rage`."""
+
+    def __init__(self, rage: Rage) -> None:
+        self.rage = rage
+        self.query: Optional[str] = None
+        self.context: Optional[Context] = None
+        self.answer: Optional[str] = None
+
+    @classmethod
+    def for_use_case(
+        cls,
+        name_or_case: str | UseCase,
+        config: Optional[RageConfig] = None,
+        llm: Optional[LanguageModel] = None,
+    ) -> "RageSession":
+        """Start a session on one of the built-in demo datasets."""
+        case = (
+            load_use_case(name_or_case)
+            if isinstance(name_or_case, str)
+            else name_or_case
+        )
+        llm = llm or SimulatedLLM(knowledge=case.knowledge)
+        config = config or RageConfig(k=case.k)
+        session = cls(Rage.from_corpus(case.corpus, llm, config=config))
+        session.pose(case.query)
+        return session
+
+    # -- the interaction flow ---------------------------------------------
+
+    def pose(self, query: str) -> str:
+        """Pose a question: retrieve the context and answer it."""
+        self.query = query
+        self.context = self.rage.retrieve(query)
+        result = self.rage.ask(query, context=self.context)
+        self.answer = result.answer
+        return result.answer
+
+    def _require_question(self) -> str:
+        if self.query is None or self.context is None:
+            raise ConfigError("pose a question first (RageSession.pose)")
+        return self.query
+
+    def combination_insights(
+        self, sample_size: Optional[int] = None
+    ) -> CombinationInsights:
+        """Combination insights for the posed question."""
+        query = self._require_question()
+        return self.rage.combination_insights(
+            query, context=self.context, sample_size=sample_size
+        )
+
+    def permutation_insights(
+        self, sample_size: Optional[int] = None
+    ) -> PermutationInsights:
+        """Permutation insights for the posed question."""
+        query = self._require_question()
+        return self.rage.permutation_insights(
+            query, context=self.context, sample_size=sample_size
+        )
+
+    def combination_counterfactual(
+        self,
+        direction: SearchDirection | str = SearchDirection.TOP_DOWN,
+        target_answer: Optional[str] = None,
+    ) -> CombinationSearchResult:
+        """Combination counterfactual for the posed question."""
+        query = self._require_question()
+        return self.rage.combination_counterfactual(
+            query, context=self.context, direction=direction, target_answer=target_answer
+        )
+
+    def permutation_counterfactual(
+        self, target_answer: Optional[str] = None
+    ) -> PermutationSearchResult:
+        """Permutation counterfactual for the posed question."""
+        query = self._require_question()
+        return self.rage.permutation_counterfactual(
+            query, context=self.context, target_answer=target_answer
+        )
+
+    def optimal_permutations(self, s: int = 5) -> List[OptimalPermutation]:
+        """Optimal placements for the posed question."""
+        query = self._require_question()
+        return self.rage.optimal_permutations(query, context=self.context, s=s)
+
+    def report(self, sample_size: Optional[int] = None) -> RageReport:
+        """Full explanation bundle for the posed question."""
+        query = self._require_question()
+        return self.rage.explain(query, context=self.context, sample_size=sample_size)

@@ -1,0 +1,208 @@
+"""One-shot verification of every paper narrative claim.
+
+``rage verify`` replays the three demonstration use cases and checks
+each sentence-level claim from Section III of the paper against the
+reproduction, printing a PASS/FAIL table.  This is the fastest way to
+confirm an installation reproduces the paper (the full evidence lives
+in tests/ and benchmarks/).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..core.counterfactual import SearchDirection
+from ..core.engine import Rage, RageConfig
+from ..core.evaluate import ContextEvaluator
+from ..datasets.base import load_use_case
+from ..llm.simulated import SimulatedLLM
+
+
+@dataclass
+class Check:
+    """One verified claim."""
+
+    use_case: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def _engine(case) -> Rage:
+    return Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(k=case.k, max_evaluations=4000),
+    )
+
+
+def _check(checks: List[Check], use_case: str, claim: str, fn: Callable[[], tuple]):
+    try:
+        passed, detail = fn()
+    except Exception as error:  # noqa: BLE001 - verification must not abort
+        passed, detail = False, f"error: {error}"
+    checks.append(Check(use_case=use_case, claim=claim, passed=passed, detail=detail))
+
+
+def verify_use_case_1() -> List[Check]:
+    """Section III-B claims."""
+    checks: List[Check] = []
+    case = load_use_case("big_three")
+    rage = _engine(case)
+    context = rage.retrieve(case.query)
+
+    _check(
+        checks, "UC1", "full-context answer is 'Roger Federer'",
+        lambda: (
+            rage.ask(case.query, context=context).answer == "Roger Federer",
+            rage.ask(case.query, context=context).answer,
+        ),
+    )
+    _check(
+        checks, "UC1", "match-wins document ranks first in Dq",
+        lambda: (
+            context.doc_ids()[0] == "bigthree-1-match-wins",
+            " > ".join(context.doc_ids()),
+        ),
+    )
+
+    def federer_rule():
+        insights = rage.combination_insights(case.query, context=context)
+        rule = insights.rule_for("Roger Federer")
+        ok = rule is not None and rule.required_sources == ("bigthree-1-match-wins",)
+        return ok, rule.describe() if rule else "no rule"
+
+    _check(checks, "UC1", "rule: match-wins doc in every Federer combination", federer_rule)
+
+    def top_down():
+        result = rage.combination_counterfactual(case.query, context=context)
+        ok = (
+            result.found
+            and result.counterfactual.changed_sources == ("bigthree-1-match-wins",)
+            and result.counterfactual.new_answer == "Novak Djokovic"
+        )
+        return ok, f"{result.num_evaluations} LLM calls"
+
+    _check(checks, "UC1", "removing the first document flips to Djokovic", top_down)
+
+    def permutation():
+        result = rage.permutation_counterfactual(case.query, context=context)
+        ok = (
+            result.found
+            and result.counterfactual.perturbation.order.index("bigthree-1-match-wins") == 1
+            and result.counterfactual.new_answer == "Novak Djokovic"
+        )
+        tau = result.counterfactual.tau if result.found else float("nan")
+        return ok, f"tau={tau:.3f}"
+
+    _check(checks, "UC1", "moving it to position 2 flips to Djokovic", permutation)
+    return checks
+
+
+def verify_use_case_2() -> List[Check]:
+    """Section III-C claims."""
+    checks: List[Check] = []
+    case = load_use_case("us_open")
+    rage = _engine(case)
+    context = rage.retrieve(case.query)
+
+    _check(
+        checks, "UC2", "full-context answer is 'Coco Gauff'",
+        lambda: (
+            rage.ask(case.query, context=context).answer == "Coco Gauff",
+            rage.ask(case.query, context=context).answer,
+        ),
+    )
+    _check(
+        checks, "UC2", "the 2023 document is last in the context",
+        lambda: (context.doc_ids()[-1] == "usopen-2023", " > ".join(context.doc_ids())),
+    )
+
+    def provenance():
+        result = rage.combination_counterfactual(case.query, context=context)
+        ok = result.found and "usopen-2023" in result.counterfactual.changed_sources
+        return ok, f"removed: {result.counterfactual.changed_sources}" if result.found else "not found"
+
+    _check(checks, "UC2", "the last document is the answer's provenance", provenance)
+
+    def swiatek_flip():
+        result = rage.permutation_counterfactual(case.query, context=context)
+        ok = result.found and result.counterfactual.new_answer == "Iga Swiatek"
+        if ok:
+            position = result.counterfactual.perturbation.order.index("usopen-2023")
+            ok = 0 < position < context.k - 1
+            return ok, f"2023 doc at position {position + 1}"
+        return ok, "not found"
+
+    _check(checks, "UC2", "moving the last doc inward yields 'Iga Swiatek'", swiatek_flip)
+    return checks
+
+
+def verify_use_case_3() -> List[Check]:
+    """Section III-D claims."""
+    checks: List[Check] = []
+    case = load_use_case("player_of_the_year")
+    rage = _engine(case)
+    context = rage.retrieve(case.query)
+
+    _check(
+        checks, "UC3", "full-context answer is 5",
+        lambda: (
+            rage.ask(case.query, context=context).answer == "5",
+            rage.ask(case.query, context=context).answer,
+        ),
+    )
+
+    def citations():
+        result = rage.combination_counterfactual(
+            case.query, context=context, direction=SearchDirection.BOTTOM_UP
+        )
+        expected = [
+            "potya-2011", "potya-2012", "potya-2014", "potya-2015", "potya-2018"
+        ]
+        ok = result.found and sorted(result.counterfactual.changed_sources) == expected
+        return ok, f"{result.num_evaluations} LLM calls"
+
+    _check(checks, "UC3", "bottom-up counterfactual cites the 5 Djokovic documents", citations)
+
+    def stability():
+        insights = rage.permutation_insights(case.query, context=context, sample_size=30)
+        ok = insights.is_stable and insights.pie()[0].answer == "5" and not insights.rules
+        return ok, f"{insights.total} orders sampled"
+
+    _check(checks, "UC3", "permutation insights: stable answer, no rules", stability)
+
+    def parametric():
+        evaluator = ContextEvaluator(rage.llm, context)
+        answer = evaluator.empty().answer
+        return answer == "4", f"empty-context answer {answer!r}"
+
+    _check(checks, "UC3", "parametric memory alone is wrong (returns 4)", parametric)
+    return checks
+
+
+def verify_all() -> List[Check]:
+    """Run every use-case verification."""
+    checks: List[Check] = []
+    checks.extend(verify_use_case_1())
+    checks.extend(verify_use_case_2())
+    checks.extend(verify_use_case_3())
+    return checks
+
+
+def render_checks(checks: List[Check]) -> str:
+    """PASS/FAIL table for the CLI."""
+    lines = []
+    width = max(len(check.claim) for check in checks)
+    current = None
+    for check in checks:
+        if check.use_case != current:
+            current = check.use_case
+            lines.append(f"{current}:")
+        status = "PASS" if check.passed else "FAIL"
+        detail = f"  [{check.detail}]" if check.detail else ""
+        lines.append(f"  [{status}] {check.claim.ljust(width)}{detail}")
+    passed = sum(1 for check in checks if check.passed)
+    lines.append(f"\n{passed}/{len(checks)} paper claims reproduced")
+    return "\n".join(lines)

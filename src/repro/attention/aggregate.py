@@ -1,0 +1,58 @@
+"""Aggregation of attention traces into source relevance estimates.
+
+Implements the paper's first relevance method ``S``:
+
+    "we aggregate the LLM's attention values, summing them over all
+    internal layers, attention heads, and tokens corresponding to a
+    combination's constituent sources."
+
+and the combination-level estimate used to order equal-size subsets:
+
+    "the sum of the relative relevance scores of all sources within the
+    combination".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .model import AttentionTrace
+
+
+def aggregate_by_source(trace: AttentionTrace, doc_ids: Sequence[str]) -> Dict[str, float]:
+    """Sum attention over layers, heads and tokens, keyed by document id.
+
+    ``doc_ids`` must align with the source order the trace was built
+    from.  Sources whose tokens produced no attention get 0.0.
+    """
+    totals = trace.source_totals
+    scores = {doc_id: 0.0 for doc_id in doc_ids}
+    for index, doc_id in enumerate(doc_ids):
+        if index < len(totals):
+            scores[doc_id] = totals[index]
+    return scores
+
+
+def combination_score(source_scores: Dict[str, float], combination: Iterable[str]) -> float:
+    """Estimated relevance of a combination: sum of member source scores.
+
+    Per the paper, combinations are only compared at equal size, so no
+    size normalization is applied.
+    """
+    return sum(source_scores.get(doc_id, 0.0) for doc_id in combination)
+
+
+def normalize_scores(scores: Dict[str, float]) -> Dict[str, float]:
+    """Scale scores to sum to 1 (all-zero input is returned unchanged)."""
+    mass = sum(scores.values())
+    if mass <= 0:
+        return dict(scores)
+    return {doc_id: value / mass for doc_id, value in scores.items()}
+
+
+def rank_sources(scores: Dict[str, float]) -> List[str]:
+    """Document ids sorted by descending score, ties broken by id."""
+    return [
+        doc_id
+        for doc_id, _ in sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    ]

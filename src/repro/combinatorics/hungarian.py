@@ -1,0 +1,163 @@
+"""Hungarian algorithm (Jonker–Volgenant shortest-augmenting-path form).
+
+Solves the linear assignment problem min sum c[i][sigma(i)] over
+permutations sigma in O(n^3).  Besides the optimal assignment it returns
+the dual potentials (u, v), which the k-best machinery in
+:mod:`repro.combinatorics.kbest` uses: reduced costs
+``c[i][j] - u[i] - v[j]`` are non-negative everywhere and zero on
+assigned edges, which makes second-best search a non-negative
+minimum-cycle problem.
+
+Infeasible (forbidden) edges are encoded as ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import AssignmentError
+
+#: Sentinel cost for forbidden edges.
+FORBIDDEN = math.inf
+
+
+@dataclass(frozen=True)
+class AssignmentSolution:
+    """Optimal assignment plus duals.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[row] = column`` for every row.
+    cost:
+        Total cost of the assignment.
+    row_potentials, col_potentials:
+        Dual values (u, v) with ``u[i] + v[j] <= c[i][j]`` for all
+        feasible edges and equality on assigned edges.
+    """
+
+    assignment: tuple
+    cost: float
+    row_potentials: tuple
+    col_potentials: tuple
+
+    def reduced_cost(self, matrix: Sequence[Sequence[float]], row: int, col: int) -> float:
+        """Non-negative reduced cost of edge (row, col) under the duals."""
+        return matrix[row][col] - self.row_potentials[row] - self.col_potentials[col]
+
+
+def validate_square(matrix: Sequence[Sequence[float]]) -> int:
+    """Return n for an n x n matrix, raising on malformed input."""
+    n = len(matrix)
+    if n == 0:
+        raise AssignmentError("cost matrix must be non-empty")
+    for row in matrix:
+        if len(row) != n:
+            raise AssignmentError("cost matrix must be square")
+    return n
+
+
+def solve_assignment(matrix: Sequence[Sequence[float]]) -> AssignmentSolution:
+    """Minimum-cost perfect assignment via shortest augmenting paths.
+
+    Raises
+    ------
+    AssignmentError
+        When no perfect assignment of finite cost exists.
+    """
+    n = validate_square(matrix)
+    # 1-indexed internal arrays, following the classic JV formulation.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_of_col = [0] * (n + 1)  # row currently assigned to each column
+
+    for row in range(1, n + 1):
+        # Dijkstra-like search for the shortest augmenting path from `row`.
+        match_of_col[0] = row
+        min_col = 0
+        dist = [math.inf] * (n + 1)
+        visited = [False] * (n + 1)
+        origin = [0] * (n + 1)
+        while True:
+            visited[min_col] = True
+            current_row = match_of_col[min_col]
+            delta = math.inf
+            next_col = 0
+            for col in range(1, n + 1):
+                if visited[col]:
+                    continue
+                reduced = matrix[current_row - 1][col - 1] - u[current_row] - v[col]
+                if reduced < dist[col]:
+                    dist[col] = reduced
+                    origin[col] = min_col
+                if dist[col] < delta:
+                    delta = dist[col]
+                    next_col = col
+            if not math.isfinite(delta):
+                raise AssignmentError("no feasible perfect assignment exists")
+            for col in range(n + 1):
+                if visited[col]:
+                    u[match_of_col[col]] += delta
+                    v[col] -= delta
+                else:
+                    dist[col] -= delta
+            min_col = next_col
+            if match_of_col[min_col] == 0:
+                break
+        # Augment along the found path.
+        while min_col != 0:
+            previous = origin[min_col]
+            match_of_col[min_col] = match_of_col[previous]
+            min_col = previous
+
+    assignment = [0] * n
+    for col in range(1, n + 1):
+        if match_of_col[col] == 0:
+            raise AssignmentError("no feasible perfect assignment exists")
+        assignment[match_of_col[col] - 1] = col - 1
+    total = 0.0
+    for row, col in enumerate(assignment):
+        cost = matrix[row][col]
+        if not math.isfinite(cost):
+            raise AssignmentError("optimal assignment uses a forbidden edge")
+        total += cost
+    return AssignmentSolution(
+        assignment=tuple(assignment),
+        cost=total,
+        row_potentials=tuple(u[1:]),
+        col_potentials=tuple(v[1:]),
+    )
+
+
+def assignment_cost(matrix: Sequence[Sequence[float]], assignment: Sequence[int]) -> float:
+    """Total cost of an explicit assignment (inf if it uses a forbidden edge)."""
+    return sum(matrix[row][col] for row, col in enumerate(assignment))
+
+
+def brute_force_assignments(
+    matrix: Sequence[Sequence[float]],
+    limit: int | None = None,
+) -> List[AssignmentSolution]:
+    """Enumerate all n! assignments sorted by cost (tests/benchmarks only).
+
+    Returns at most ``limit`` solutions.  Duals are zeroed — brute-force
+    results are used for value and assignment comparison only.
+    """
+    import itertools
+
+    n = validate_square(matrix)
+    scored = []
+    for perm in itertools.permutations(range(n)):
+        cost = assignment_cost(matrix, perm)
+        if math.isfinite(cost):
+            scored.append((cost, perm))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    if limit is not None:
+        scored = scored[:limit]
+    zeros = tuple([0.0] * n)
+    return [
+        AssignmentSolution(assignment=perm, cost=cost, row_potentials=zeros, col_potentials=zeros)
+        for cost, perm in scored
+    ]

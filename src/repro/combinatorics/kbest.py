@@ -1,0 +1,413 @@
+"""k-best assignments: ranked solutions of the assignment problem.
+
+RAGE's "optimal permutations" feature asks for the top-s placements of k
+sources into k context positions, maximizing the sum of
+relevance x expected positional attention.  The paper formulates this as
+the s-best assignment problem and adopts the Chegireddy–Hamacher
+algorithm (Discrete Applied Mathematics, 1987), which finds the s best
+perfect matchings in O(s k^3).
+
+This module implements:
+
+* :func:`second_best_assignment` — the O(k^3) core: the second-best
+  matching differs from the best by one alternating cycle, and with the
+  Hungarian duals all reduced costs are non-negative, so the cheapest
+  such cycle is found with a Floyd–Warshall pass over a k-node digraph.
+* :func:`kbest_assignments_ch` — Chegireddy–Hamacher binary
+  partitioning: each active subspace keeps its best and second-best
+  solutions; emitting the globally-next solution splits one subspace on
+  an edge in (best \\ second).
+* :func:`kbest_assignments_murty` — Murty's classic partitioning, kept
+  as an independently-implemented cross-check (tests require both agree
+  with brute force).
+
+All solvers minimize; callers maximizing (relevance x attention) negate
+the matrix.  Forbidden edges are ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import AssignmentError
+from .hungarian import AssignmentSolution, solve_assignment, validate_square
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RankedAssignment:
+    """One solution in a k-best ranking."""
+
+    rank: int
+    assignment: Tuple[int, ...]
+    cost: float
+
+
+# ---------------------------------------------------------------------------
+# Constrained solving
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReducedInstance:
+    """A subproblem with forced edges removed and forbidden edges inf."""
+
+    matrix: List[List[float]]
+    row_map: List[int]  # reduced row index -> original row
+    col_map: List[int]  # reduced col index -> original col
+
+
+def _reduce(
+    matrix: Sequence[Sequence[float]],
+    forced: FrozenSet[Edge],
+    forbidden: FrozenSet[Edge],
+) -> _ReducedInstance:
+    n = len(matrix)
+    forced_rows = {r for r, _ in forced}
+    forced_cols = {c for _, c in forced}
+    if len(forced_rows) != len(forced) or len(forced_cols) != len(forced):
+        raise AssignmentError("forced edges must not share rows or columns")
+    row_map = [r for r in range(n) if r not in forced_rows]
+    col_map = [c for c in range(n) if c not in forced_cols]
+    reduced = [
+        [
+            math.inf if (r, c) in forbidden else matrix[r][c]
+            for c in col_map
+        ]
+        for r in row_map
+    ]
+    return _ReducedInstance(matrix=reduced, row_map=row_map, col_map=col_map)
+
+
+def _expand(
+    instance: _ReducedInstance,
+    reduced_assignment: Sequence[int],
+    forced: FrozenSet[Edge],
+    n: int,
+) -> Tuple[int, ...]:
+    full = [-1] * n
+    for r, c in forced:
+        full[r] = c
+    for reduced_row, reduced_col in enumerate(reduced_assignment):
+        full[instance.row_map[reduced_row]] = instance.col_map[reduced_col]
+    return tuple(full)
+
+
+def _solve_constrained(
+    matrix: Sequence[Sequence[float]],
+    forced: FrozenSet[Edge],
+    forbidden: FrozenSet[Edge],
+) -> Optional[Tuple[Tuple[int, ...], float, _ReducedInstance, Optional[AssignmentSolution]]]:
+    """Best assignment honoring the constraints, or None when infeasible.
+
+    Returns the full assignment, its cost on the *original* matrix, the
+    reduced instance and the reduced solution (None when everything is
+    forced).
+    """
+    n = len(matrix)
+    for r, c in forced:
+        if not math.isfinite(matrix[r][c]):
+            return None
+    forced_cost = sum(matrix[r][c] for r, c in forced)
+    instance = _reduce(matrix, forced, forbidden)
+    if not instance.row_map:
+        return tuple(c for _, c in sorted(forced)), forced_cost, instance, None
+    try:
+        solution = solve_assignment(instance.matrix)
+    except AssignmentError:
+        return None
+    full = _expand(instance, solution.assignment, forced, n)
+    return full, forced_cost + solution.cost, instance, solution
+
+
+# ---------------------------------------------------------------------------
+# Second-best via minimum alternating cycle
+# ---------------------------------------------------------------------------
+
+
+def _min_alternating_cycle(
+    instance: _ReducedInstance,
+    solution: AssignmentSolution,
+) -> Optional[Tuple[float, List[int]]]:
+    """Cheapest alternating cycle in the reduced instance.
+
+    Nodes are reduced rows; arc a -> b costs the reduced cost of row
+    ``a`` taking row ``b``'s assigned column.  Any alternating cycle's
+    extra cost over the optimum equals the sum of its arc weights (the
+    dual terms telescope and assigned edges have zero reduced cost), so
+    the cheapest directed cycle yields the second-best matching.
+
+    Returns ``(extra_cost, cycle_rows)`` or ``None`` when no finite
+    cycle exists (the subspace contains a single solution).
+    """
+    m = len(instance.row_map)
+    if m < 2:
+        return None
+    assign = solution.assignment
+    arc = [[math.inf] * m for _ in range(m)]
+    for a in range(m):
+        for b in range(m):
+            if a == b:
+                continue
+            cost = instance.matrix[a][assign[b]]
+            if math.isfinite(cost):
+                reduced = cost - solution.row_potentials[a] - solution.col_potentials[assign[b]]
+                # Guard tiny negative values from float round-off.
+                arc[a][b] = max(reduced, 0.0)
+    dist = [row[:] for row in arc]
+    via: List[List[int]] = [[-1] * m for _ in range(m)]
+    for mid in range(m):
+        for a in range(m):
+            if not math.isfinite(dist[a][mid]):
+                continue
+            through = dist[a][mid]
+            row_mid = dist[mid]
+            row_a = dist[a]
+            via_a = via[a]
+            for b in range(m):
+                candidate = through + row_mid[b]
+                if candidate < row_a[b]:
+                    row_a[b] = candidate
+                    via_a[b] = mid
+    best_value = math.inf
+    best_pair: Optional[Tuple[int, int]] = None
+    for a in range(m):
+        for b in range(m):
+            if a == b:
+                continue
+            if not (math.isfinite(dist[a][b]) and math.isfinite(arc[b][a])):
+                continue
+            value = dist[a][b] + arc[b][a]
+            if value < best_value:
+                best_value = value
+                best_pair = (a, b)
+    if best_pair is None:
+        return None
+    path = _reconstruct_path(via, best_pair[0], best_pair[1])
+    return best_value, path
+
+
+def _reconstruct_path(via: List[List[int]], a: int, b: int) -> List[int]:
+    """Expand the Floyd–Warshall `via` table into the node list a..b."""
+    mid = via[a][b]
+    if mid == -1:
+        return [a, b]
+    left = _reconstruct_path(via, a, mid)
+    right = _reconstruct_path(via, mid, b)
+    return left[:-1] + right
+
+
+def _apply_cycle(
+    instance: _ReducedInstance,
+    solution: AssignmentSolution,
+    cycle_rows: List[int],
+) -> List[int]:
+    """Rotate assignments along the cycle (row x takes successor's column)."""
+    new_assignment = list(solution.assignment)
+    ring = cycle_rows + [cycle_rows[0]]
+    for a, b in zip(ring, ring[1:]):
+        new_assignment[a] = solution.assignment[b]
+    return new_assignment
+
+
+def _second_from_solved(
+    matrix: Sequence[Sequence[float]],
+    forced: FrozenSet[Edge],
+    instance: _ReducedInstance,
+    reduced_solution: Optional[AssignmentSolution],
+) -> Optional[Tuple[Tuple[int, ...], float]]:
+    """Second-best solution given an already-solved subspace optimum."""
+    if reduced_solution is None:
+        return None
+    cycle = _min_alternating_cycle(instance, reduced_solution)
+    if cycle is None:
+        return None
+    extra, cycle_rows = cycle
+    if not math.isfinite(extra):
+        return None
+    new_reduced = _apply_cycle(instance, reduced_solution, cycle_rows)
+    full = _expand(instance, new_reduced, forced, len(matrix))
+    cost = sum(matrix[r][c] for r, c in enumerate(full))
+    return full, cost
+
+
+def second_best_assignment(
+    matrix: Sequence[Sequence[float]],
+    forced: FrozenSet[Edge] = frozenset(),
+    forbidden: FrozenSet[Edge] = frozenset(),
+) -> Optional[Tuple[Tuple[int, ...], float]]:
+    """Second-cheapest assignment within a constrained subspace.
+
+    Returns ``(assignment, cost)`` or ``None`` when the subspace holds
+    fewer than two solutions.
+    """
+    solved = _solve_constrained(matrix, forced, forbidden)
+    if solved is None:
+        return None
+    _, _, instance, reduced_solution = solved
+    return _second_from_solved(matrix, forced, instance, reduced_solution)
+
+
+# ---------------------------------------------------------------------------
+# Chegireddy–Hamacher k-best
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Subspace:
+    """An active node in the CH partition tree."""
+
+    forced: FrozenSet[Edge]
+    forbidden: FrozenSet[Edge]
+    best: Tuple[int, ...]
+    best_cost: float
+    second: Optional[Tuple[int, ...]]
+    second_cost: float
+
+
+def _make_subspace(
+    matrix: Sequence[Sequence[float]],
+    forced: FrozenSet[Edge],
+    forbidden: FrozenSet[Edge],
+    known_best: Optional[Tuple[Tuple[int, ...], float]] = None,
+) -> Optional[_Subspace]:
+    solved = _solve_constrained(matrix, forced, forbidden)
+    if solved is None:
+        return None
+    fresh_best, fresh_cost, instance, reduced_solution = solved
+    if known_best is None:
+        best, best_cost = fresh_best, fresh_cost
+    else:
+        best, best_cost = known_best
+        if fresh_best != best:
+            # Cost tie: the solver's optimum is a *different* solution of
+            # equal cost, which is then exactly the subspace's runner-up
+            # relative to the inherited best.
+            return _Subspace(forced, forbidden, best, best_cost, fresh_best, fresh_cost)
+    second = _second_from_solved(matrix, forced, instance, reduced_solution)
+    if second is None:
+        return _Subspace(forced, forbidden, best, best_cost, None, math.inf)
+    return _Subspace(forced, forbidden, best, best_cost, second[0], second[1])
+
+
+def kbest_assignments_ch(
+    matrix: Sequence[Sequence[float]],
+    s: int,
+) -> List[RankedAssignment]:
+    """The s cheapest assignments via Chegireddy–Hamacher partitioning.
+
+    Each emission costs two constrained second-best computations
+    (O(k^3) apiece), for O(s k^3) overall.  Returns fewer than ``s``
+    results when the instance has fewer feasible assignments.
+    """
+    if s <= 0:
+        raise AssignmentError(f"s must be positive, got {s}")
+    validate_square(matrix)
+    root = _make_subspace(matrix, frozenset(), frozenset())
+    if root is None:
+        raise AssignmentError("no feasible assignment exists")
+    results = [RankedAssignment(rank=1, assignment=root.best, cost=root.best_cost)]
+    active = [root]
+    while len(results) < s:
+        candidate_index = min(
+            range(len(active)),
+            key=lambda i: (active[i].second_cost, active[i].second or ()),
+            default=-1,
+        )
+        if candidate_index < 0 or not math.isfinite(active[candidate_index].second_cost):
+            break  # solution space exhausted
+        node = active.pop(candidate_index)
+        assert node.second is not None
+        results.append(
+            RankedAssignment(rank=len(results) + 1, assignment=node.second, cost=node.second_cost)
+        )
+        # Split on an edge of best not in second (exists since they differ).
+        split_edge = next(
+            (r, c)
+            for r, c in enumerate(node.best)
+            if node.second[r] != c
+        )
+        with_edge = _make_subspace(
+            matrix,
+            node.forced | {split_edge},
+            node.forbidden,
+            known_best=(node.best, node.best_cost),
+        )
+        without_edge = _make_subspace(
+            matrix,
+            node.forced,
+            node.forbidden | {split_edge},
+            known_best=(node.second, node.second_cost),
+        )
+        if with_edge is not None:
+            active.append(with_edge)
+        if without_edge is not None:
+            active.append(without_edge)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Murty's algorithm (cross-check implementation)
+# ---------------------------------------------------------------------------
+
+
+def kbest_assignments_murty(
+    matrix: Sequence[Sequence[float]],
+    s: int,
+) -> List[RankedAssignment]:
+    """The s cheapest assignments via Murty's partitioning.
+
+    Independent of the CH implementation (priority queue of subproblems,
+    one Hungarian solve per child); used to cross-validate results.
+    """
+    if s <= 0:
+        raise AssignmentError(f"s must be positive, got {s}")
+    n = validate_square(matrix)
+    solved = _solve_constrained(matrix, frozenset(), frozenset())
+    if solved is None:
+        raise AssignmentError("no feasible assignment exists")
+    best, best_cost = solved[0], solved[1]
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Tuple[int, ...], FrozenSet[Edge], FrozenSet[Edge]]] = [
+        (best_cost, next(counter), best, frozenset(), frozenset())
+    ]
+    results: List[RankedAssignment] = []
+    emitted: set = set()
+    while heap and len(results) < s:
+        cost, _, assignment, forced, forbidden = heapq.heappop(heap)
+        if assignment in emitted:
+            continue
+        emitted.add(assignment)
+        results.append(RankedAssignment(rank=len(results) + 1, assignment=assignment, cost=cost))
+        forced_rows = {r for r, _ in forced}
+        accumulated: Dict[int, int] = {}
+        for row in range(n):
+            if row in forced_rows:
+                continue
+            child_forced = forced | {(r, c) for r, c in accumulated.items()}
+            child_forbidden = forbidden | {(row, assignment[row])}
+            child = _solve_constrained(matrix, frozenset(child_forced), frozenset(child_forbidden))
+            if child is not None:
+                child_assignment, child_cost = child[0], child[1]
+                heapq.heappush(
+                    heap,
+                    (child_cost, next(counter), child_assignment, frozenset(child_forced), frozenset(child_forbidden)),
+                )
+            accumulated[row] = assignment[row]
+    return results
+
+
+def brute_force_kbest(matrix: Sequence[Sequence[float]], s: int) -> List[RankedAssignment]:
+    """All assignments sorted by cost, truncated to s (tests only)."""
+    from .hungarian import brute_force_assignments
+
+    solutions = brute_force_assignments(matrix, limit=s)
+    return [
+        RankedAssignment(rank=i + 1, assignment=sol.assignment, cost=sol.cost)
+        for i, sol in enumerate(solutions)
+    ]

@@ -1,0 +1,111 @@
+"""Permutation generation and sampling.
+
+Implements the paper's two generation strategies:
+
+* exhaustive — "generates all length-k permutations for the k sources"
+  (O(k!), only viable for small k), and
+* sampled — s independent Fisher–Yates shuffles, each O(k), for an
+  overall O(ks) instead of the naive generate-all-then-sample O(k!).
+
+The naive baseline is kept (``naive_sample_permutations``) because
+benchmark E5 reproduces the paper's complexity comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+from ..errors import ConfigError
+
+T = TypeVar("T")
+
+
+def fisher_yates_shuffle(items: Sequence[T], rng: random.Random) -> List[T]:
+    """Return an unbiased uniform random permutation of ``items``.
+
+    Classic Fisher–Yates / Knuth shuffle: one pass, one ``randint`` per
+    element, O(k) time and space.  The input is not modified.
+    """
+    result = list(items)
+    for i in range(len(result) - 1, 0, -1):
+        j = rng.randint(0, i)
+        result[i], result[j] = result[j], result[i]
+    return result
+
+
+def sample_permutations(
+    items: Sequence[T],
+    sample_size: int,
+    rng: random.Random,
+    distinct: bool = True,
+) -> List[Tuple[T, ...]]:
+    """Draw ``sample_size`` random permutations in O(k * sample_size).
+
+    With ``distinct=True`` duplicate draws are rejected; if the request
+    exceeds k! all permutations are returned instead (still bounded).
+    """
+    if sample_size <= 0:
+        raise ConfigError(f"sample_size must be positive, got {sample_size}")
+    k = len(items)
+    population = math.factorial(k)
+    if distinct and sample_size >= population:
+        return list(itertools.permutations(items))
+    picks: List[Tuple[T, ...]] = []
+    seen: set = set()
+    while len(picks) < sample_size:
+        perm = tuple(fisher_yates_shuffle(items, rng))
+        if distinct:
+            if perm in seen:
+                continue
+            seen.add(perm)
+        picks.append(perm)
+    return picks
+
+
+def naive_sample_permutations(
+    items: Sequence[T],
+    sample_size: int,
+    rng: random.Random,
+) -> List[Tuple[T, ...]]:
+    """The O(k!) baseline: materialize every permutation, then sample.
+
+    Kept only for the complexity benchmark (E5); do not use in library
+    code paths.
+    """
+    if sample_size <= 0:
+        raise ConfigError(f"sample_size must be positive, got {sample_size}")
+    universe = list(itertools.permutations(items))
+    if sample_size >= len(universe):
+        return universe
+    return rng.sample(universe, sample_size)
+
+
+def all_permutations(items: Sequence[T]) -> Iterator[Tuple[T, ...]]:
+    """Every permutation in lexicographic index order (O(k!))."""
+    return itertools.permutations(items)
+
+
+def permutation_count(k: int) -> int:
+    """k! — the size of the permutation search space."""
+    return math.factorial(k)
+
+
+def apply_permutation(items: Sequence[T], order: Sequence[int]) -> List[T]:
+    """Reorder ``items`` so position ``p`` holds ``items[order[p]]``.
+
+    ``order`` must be a permutation of ``range(len(items))``.
+    """
+    if sorted(order) != list(range(len(items))):
+        raise ConfigError("order is not a permutation of the item indices")
+    return [items[i] for i in order]
+
+
+def inversion_vector(perm: Sequence[int]) -> List[int]:
+    """Per-element inversion counts (diagnostic used in tests)."""
+    return [
+        sum(1 for j in range(i) if perm[j] > perm[i])
+        for i in range(len(perm))
+    ]

@@ -1,0 +1,118 @@
+"""RAGE core: contexts, perturbations, counterfactual searches,
+insights, optimal permutations, and the engine facade.
+"""
+
+from .agreement import (
+    AgreementReport,
+    ClaimMatch,
+    PairVerdict,
+    SourcePairReport,
+    analyze_agreement,
+    render_agreement,
+)
+from .context import (
+    CombinationPerturbation,
+    Context,
+    ContextSource,
+    PermutationPerturbation,
+)
+from .counterfactual import (
+    CombinationCounterfactual,
+    CombinationSearchResult,
+    SearchDirection,
+    search_combination_counterfactual,
+)
+from .engine import AskResult, Rage, RageConfig, RageReport
+from .greedy import greedy_combination_counterfactual
+from .evaluate import ContextEvaluator, Evaluation
+from .insights import (
+    AnswerSlice,
+    CombinationInsights,
+    CombinationRule,
+    PermutationInsights,
+    PermutationRule,
+    analyze_combinations,
+    analyze_permutations,
+)
+from .optimal import (
+    OptimalPermutation,
+    benefit_matrix,
+    naive_optimal_permutations,
+    optimal_permutations,
+)
+from .permutation_cf import (
+    MAX_EXHAUSTIVE_K,
+    PermutationCounterfactual,
+    PermutationSearchResult,
+    ranked_permutations,
+    search_permutation_counterfactual,
+)
+from .sampling import select_combinations, select_permutations
+from .stability import (
+    OrderStability,
+    SalienceScore,
+    answer_entropy,
+    order_stability,
+    positional_sensitivity,
+    source_salience,
+)
+from .scoring import (
+    AttentionRelevance,
+    RelevanceMethod,
+    RelevanceScorer,
+    RetrievalRelevance,
+    make_scorer,
+)
+
+__all__ = [
+    "AgreementReport",
+    "ClaimMatch",
+    "PairVerdict",
+    "SourcePairReport",
+    "analyze_agreement",
+    "render_agreement",
+    "CombinationPerturbation",
+    "Context",
+    "ContextSource",
+    "PermutationPerturbation",
+    "CombinationCounterfactual",
+    "CombinationSearchResult",
+    "SearchDirection",
+    "search_combination_counterfactual",
+    "AskResult",
+    "Rage",
+    "RageConfig",
+    "RageReport",
+    "greedy_combination_counterfactual",
+    "ContextEvaluator",
+    "Evaluation",
+    "AnswerSlice",
+    "CombinationInsights",
+    "CombinationRule",
+    "PermutationInsights",
+    "PermutationRule",
+    "analyze_combinations",
+    "analyze_permutations",
+    "OptimalPermutation",
+    "benefit_matrix",
+    "naive_optimal_permutations",
+    "optimal_permutations",
+    "MAX_EXHAUSTIVE_K",
+    "PermutationCounterfactual",
+    "PermutationSearchResult",
+    "ranked_permutations",
+    "search_permutation_counterfactual",
+    "select_combinations",
+    "select_permutations",
+    "OrderStability",
+    "SalienceScore",
+    "answer_entropy",
+    "order_stability",
+    "positional_sensitivity",
+    "source_salience",
+    "AttentionRelevance",
+    "RelevanceMethod",
+    "RelevanceScorer",
+    "RetrievalRelevance",
+    "make_scorer",
+]

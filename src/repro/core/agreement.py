@@ -1,0 +1,232 @@
+"""Source agreement and disagreement analysis.
+
+Section III-A of the paper: "Knowledge sources may differ in terms of
+their consistency.  Our tool can identify consistent and inconsistent
+sources. ... RAGE will highlight source agreement and disagreement."
+
+The analysis compares the claims extracted from each pair of context
+sources:
+
+* **agreement** — both sources assert the same fact (same entity for
+  the same dated event, or the same entity for the same superlative
+  topic);
+* **conflict** — the sources assert *different* entities for the same
+  slot (the same dated event year, or the same superlative topic);
+* otherwise the pair is **independent** (no overlapping slots).
+
+Slots are matched on claim years plus topical term overlap, the same
+machinery the simulated LLM uses, so the report reflects exactly the
+evidence structure the model adjudicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..llm.extraction import Claim, ClaimExtractor, ClaimKind
+from ..textproc import Tokenizer
+from .context import Context
+
+
+class PairVerdict(str, Enum):
+    """Relationship between two sources' claims."""
+
+    AGREE = "agree"
+    CONFLICT = "conflict"
+    INDEPENDENT = "independent"
+
+
+@dataclass(frozen=True)
+class ClaimMatch:
+    """One compared claim pair backing a verdict."""
+
+    left: Claim
+    right: Claim
+    verdict: PairVerdict
+
+    def describe(self) -> str:
+        """Human-readable sentence for reports."""
+        slot = f"({self.left.year})" if self.left.year is not None else "(superlative)"
+        if self.verdict is PairVerdict.AGREE:
+            return f"both assert {self.left.entity!r} {slot}"
+        return f"{self.left.entity!r} vs {self.right.entity!r} {slot}"
+
+
+@dataclass(frozen=True)
+class SourcePairReport:
+    """Verdict for one source pair with its supporting claim matches."""
+
+    left_doc_id: str
+    right_doc_id: str
+    verdict: PairVerdict
+    matches: Tuple[ClaimMatch, ...] = ()
+
+
+@dataclass
+class AgreementReport:
+    """The full pairwise analysis of a context."""
+
+    pairs: List[SourcePairReport] = field(default_factory=list)
+
+    def conflicts(self) -> List[SourcePairReport]:
+        """Pairs with at least one conflicting claim."""
+        return [pair for pair in self.pairs if pair.verdict is PairVerdict.CONFLICT]
+
+    def agreements(self) -> List[SourcePairReport]:
+        """Pairs that agree (and never conflict)."""
+        return [pair for pair in self.pairs if pair.verdict is PairVerdict.AGREE]
+
+    def inconsistent_sources(self) -> List[str]:
+        """Doc ids involved in any conflict, sorted."""
+        involved = set()
+        for pair in self.conflicts():
+            involved.add(pair.left_doc_id)
+            involved.add(pair.right_doc_id)
+        return sorted(involved)
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when no pair of sources conflicts."""
+        return not self.conflicts()
+
+
+# Stemmed terms shared by nearly every claim sentence regardless of
+# topic (claim verbs, intent triggers); never counted as slot overlap.
+_GENERIC_TERMS = frozenset(
+    {
+        "won", "win", "winner", "captur", "claim", "went", "champion",
+        "best", "greatest", "top", "finest", "consid", "wide", "often",
+        "gener", "regard", "rank", "first", "lead",
+    }
+)
+
+
+def _slot_overlap(left: Claim, right: Claim, shared_terms_required: int = 1) -> bool:
+    """Do two claims address the same slot (event/topic)?
+
+    Requires shared *content* terms: entity names, claim verbs, intent
+    triggers and bare numbers (years, stat values) do not count.
+    """
+    shared = left.terms & right.terms
+    entity_terms = set()
+    for claim in (left, right):
+        entity_terms.update(claim.entity_key.split())
+    content = {
+        term
+        for term in shared - entity_terms - _GENERIC_TERMS
+        if not term.isdigit()
+    }
+    return len(content) >= shared_terms_required
+
+
+def _compare(left: Claim, right: Claim) -> Optional[PairVerdict]:
+    """Verdict for one claim pair, or None when slots do not align."""
+    if left.kind is ClaimKind.AWARD and right.kind is ClaimKind.AWARD:
+        if left.year is None or right.year is None or left.year != right.year:
+            return None
+        if not _slot_overlap(left, right):
+            return None
+        return (
+            PairVerdict.AGREE
+            if left.entity_key == right.entity_key
+            else PairVerdict.CONFLICT
+        )
+    superlative_kinds = (ClaimKind.SUPERLATIVE, ClaimKind.RANK_FIRST)
+    if left.kind in superlative_kinds and right.kind in superlative_kinds:
+        if not _slot_overlap(left, right):
+            return None
+        return (
+            PairVerdict.AGREE
+            if left.entity_key == right.entity_key
+            else PairVerdict.CONFLICT
+        )
+    return None
+
+
+def analyze_agreement(
+    context: Context,
+    extractor: Optional[ClaimExtractor] = None,
+) -> AgreementReport:
+    """Pairwise consistency analysis of a context's sources.
+
+    A pair conflicts when *any* aligned claim pair conflicts (one
+    contradiction outweighs any number of agreements); it agrees when it
+    has agreements and no conflicts; otherwise it is independent.
+    """
+    extractor = extractor or ClaimExtractor(Tokenizer())
+    claims: Dict[str, List[Claim]] = {
+        source.doc_id: extractor.extract(source.document.text)
+        for source in context.sources
+    }
+    report = AgreementReport()
+    doc_ids = list(context.doc_ids())
+    for i, left_id in enumerate(doc_ids):
+        for right_id in doc_ids[i + 1 :]:
+            matches: List[ClaimMatch] = []
+            for left in claims[left_id]:
+                for right in claims[right_id]:
+                    verdict = _compare(left, right)
+                    if verdict is not None:
+                        matches.append(
+                            ClaimMatch(left=left, right=right, verdict=verdict)
+                        )
+            if any(m.verdict is PairVerdict.CONFLICT for m in matches):
+                verdict = PairVerdict.CONFLICT
+            elif matches:
+                verdict = PairVerdict.AGREE
+            else:
+                verdict = PairVerdict.INDEPENDENT
+            report.pairs.append(
+                SourcePairReport(
+                    left_doc_id=left_id,
+                    right_doc_id=right_id,
+                    verdict=verdict,
+                    matches=tuple(matches),
+                )
+            )
+    return report
+
+
+def render_agreement(report: AgreementReport) -> str:
+    """Plain-text rendering for the CLI."""
+    lines: List[str] = []
+    conflicts = report.conflicts()
+    agreements = report.agreements()
+    if report.is_consistent:
+        lines.append("All sources are mutually consistent.")
+    else:
+        lines.append(
+            f"Inconsistent sources detected: {', '.join(report.inconsistent_sources())}"
+        )
+    if conflicts:
+        lines.append("")
+        lines.append("Disagreements:")
+        lines.extend(_pair_lines(conflicts, PairVerdict.CONFLICT, "vs"))
+    if agreements:
+        lines.append("")
+        lines.append("Agreements:")
+        lines.extend(_pair_lines(agreements, PairVerdict.AGREE, "&"))
+    return "\n".join(lines)
+
+
+def _pair_lines(
+    pairs: List[SourcePairReport], verdict: PairVerdict, joiner: str
+) -> List[str]:
+    """Deduplicated per-pair claim lines (a source asserting the same
+    fact through two claim kinds yields one line)."""
+    lines: List[str] = []
+    for pair in pairs:
+        seen: set = set()
+        for match in pair.matches:
+            if match.verdict is not verdict:
+                continue
+            description = match.describe()
+            if description in seen:
+                continue
+            seen.add(description)
+            lines.append(
+                f"  {pair.left_doc_id} {joiner} {pair.right_doc_id}: {description}"
+            )
+    return lines

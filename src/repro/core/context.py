@@ -1,0 +1,200 @@
+"""Contexts and perturbations — the objects RAGE searches over.
+
+A :class:`Context` is the ranked sequence of sources ``Dq`` handed to
+the LLM for one question.  The two perturbation kinds mirror the paper:
+
+* :class:`CombinationPerturbation` — keep a subset of the sources (in
+  their original relative order); "combinations elucidate how the
+  presence of sources affects the LLM's predicted answer".
+* :class:`PermutationPerturbation` — keep all sources but reorder them;
+  "permutations elucidate the effect of their order".
+
+Both are immutable value objects that validate themselves against the
+context they apply to, and both resolve to the ordered document-id
+sequence that the prompt builder renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PerturbationError
+from ..retrieval.document import Document
+from ..retrieval.searcher import RetrievalResult
+
+
+@dataclass(frozen=True)
+class ContextSource:
+    """One source in the context: document plus its retrieval score."""
+
+    document: Document
+    retrieval_score: float = 0.0
+
+    @property
+    def doc_id(self) -> str:
+        """The underlying document id."""
+        return self.document.doc_id
+
+
+@dataclass(frozen=True)
+class Context:
+    """The ranked context ``Dq`` for a query.
+
+    Sources are ordered by retrieval rank; all perturbations reference
+    sources by document id.
+    """
+
+    query: str
+    sources: Tuple[ContextSource, ...]
+    _positions: Dict[str, int] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        positions: Dict[str, int] = {}
+        for position, source in enumerate(self.sources):
+            if source.doc_id in positions:
+                raise PerturbationError(f"duplicate source {source.doc_id!r} in context")
+            positions[source.doc_id] = position
+        object.__setattr__(self, "_positions", positions)
+
+    @classmethod
+    def from_retrieval(cls, result: RetrievalResult) -> "Context":
+        """Build a context from a retrieval result."""
+        return cls(
+            query=result.query,
+            sources=tuple(
+                ContextSource(document=s.document, retrieval_score=s.score)
+                for s in result.sources
+            ),
+        )
+
+    @classmethod
+    def from_documents(
+        cls,
+        query: str,
+        documents: Sequence[Document],
+        scores: Optional[Sequence[float]] = None,
+    ) -> "Context":
+        """Build a context from an explicit document list."""
+        if scores is None:
+            scores = [0.0] * len(documents)
+        if len(scores) != len(documents):
+            raise PerturbationError("scores must align with documents")
+        return cls(
+            query=query,
+            sources=tuple(
+                ContextSource(document=doc, retrieval_score=score)
+                for doc, score in zip(documents, scores)
+            ),
+        )
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of sources."""
+        return len(self.sources)
+
+    def doc_ids(self) -> Tuple[str, ...]:
+        """Document ids in context order."""
+        return tuple(source.doc_id for source in self.sources)
+
+    def texts(self) -> List[str]:
+        """Source texts in context order."""
+        return [source.document.text for source in self.sources]
+
+    def retrieval_scores(self) -> Dict[str, float]:
+        """doc_id -> retrieval score."""
+        return {source.doc_id: source.retrieval_score for source in self.sources}
+
+    def position_of(self, doc_id: str) -> int:
+        """Context position (0-based) of a source."""
+        try:
+            return self._positions[doc_id]
+        except KeyError:
+            raise PerturbationError(f"source {doc_id!r} not in context") from None
+
+    def document(self, doc_id: str) -> Document:
+        """The document carried by a source."""
+        return self.sources[self.position_of(doc_id)].document
+
+    def texts_for(self, ordered_doc_ids: Sequence[str]) -> List[str]:
+        """Source texts for an explicit id ordering."""
+        return [self.document(doc_id).text for doc_id in ordered_doc_ids]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._positions
+
+
+@dataclass(frozen=True)
+class CombinationPerturbation:
+    """Keep only ``kept`` sources, in their original relative order."""
+
+    kept: Tuple[str, ...]
+
+    def validate(self, context: Context) -> None:
+        """Check membership, uniqueness, and original-order invariant."""
+        if len(set(self.kept)) != len(self.kept):
+            raise PerturbationError("combination repeats a source")
+        positions = [context.position_of(doc_id) for doc_id in self.kept]
+        if positions != sorted(positions):
+            raise PerturbationError(
+                "combination must preserve the context's relative order"
+            )
+
+    def apply(self, context: Context) -> Tuple[str, ...]:
+        """Ordered doc ids after the perturbation."""
+        self.validate(context)
+        return self.kept
+
+    def removed(self, context: Context) -> Tuple[str, ...]:
+        """The complementary removed set (context order)."""
+        kept = set(self.kept)
+        return tuple(doc_id for doc_id in context.doc_ids() if doc_id not in kept)
+
+    @property
+    def size(self) -> int:
+        """Number of sources kept."""
+        return len(self.kept)
+
+    @classmethod
+    def from_removal(
+        cls, context: Context, removed: Sequence[str]
+    ) -> "CombinationPerturbation":
+        """Build the perturbation that removes exactly ``removed``."""
+        removed_set = set(removed)
+        for doc_id in removed_set:
+            context.position_of(doc_id)  # membership check
+        kept = tuple(d for d in context.doc_ids() if d not in removed_set)
+        return cls(kept=kept)
+
+
+@dataclass(frozen=True)
+class PermutationPerturbation:
+    """Reorder all context sources to ``order``."""
+
+    order: Tuple[str, ...]
+
+    def validate(self, context: Context) -> None:
+        """The order must be a permutation of the full context."""
+        if sorted(self.order) != sorted(context.doc_ids()):
+            raise PerturbationError(
+                "permutation must contain exactly the context's sources"
+            )
+
+    def apply(self, context: Context) -> Tuple[str, ...]:
+        """Ordered doc ids after the perturbation."""
+        self.validate(context)
+        return self.order
+
+    def is_identity(self, context: Context) -> bool:
+        """True when the order equals the context order."""
+        return self.order == context.doc_ids()
+
+    def moved_sources(self, context: Context) -> List[str]:
+        """Sources whose position changed (context order)."""
+        return [
+            doc_id
+            for position, doc_id in enumerate(self.order)
+            if context.position_of(doc_id) != position
+        ]

@@ -1,0 +1,172 @@
+"""Combination counterfactual search — RAGE's primary explanation.
+
+    "A top-down counterfactual must remove a combination of sources
+    (subset of Dq) to flip the full-context answer to a target answer.
+    ... a bottom-up counterfactual must retain sources to flip the
+    empty-context answer to the target answer."
+
+The search "tests combinations in increasing order of subset size", and
+within a size "in order of their estimated relevance ... the sum of the
+relative relevance scores of all sources within the combination".  It
+stops at the first flip or when the evaluation budget is exhausted, so
+found counterfactuals are *minimal* in subset size by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..combinatorics.combinations import ordered_combinations
+from ..errors import SearchBudgetError
+from ..textproc import normalize_answer
+from .context import CombinationPerturbation, Context
+from .evaluate import ContextEvaluator
+
+
+class SearchDirection(str, Enum):
+    """Which baseline the counterfactual flips."""
+
+    TOP_DOWN = "top_down"
+    BOTTOM_UP = "bottom_up"
+
+
+@dataclass(frozen=True)
+class CombinationCounterfactual:
+    """A found combination counterfactual.
+
+    For TOP_DOWN, ``changed_sources`` is the *removed* set (the citation
+    reads "removing these sources changes the answer"); for BOTTOM_UP it
+    is the *retained* set ("these sources suffice to reach the target").
+    """
+
+    direction: SearchDirection
+    perturbation: CombinationPerturbation
+    changed_sources: Tuple[str, ...]
+    baseline_answer: str
+    new_answer: str
+    estimated_relevance: float
+
+    @property
+    def size(self) -> int:
+        """Number of sources removed (top-down) / retained (bottom-up)."""
+        return len(self.changed_sources)
+
+
+@dataclass
+class CombinationSearchResult:
+    """Outcome of one counterfactual search."""
+
+    direction: SearchDirection
+    baseline_answer: str
+    target_answer: Optional[str]
+    counterfactual: Optional[CombinationCounterfactual]
+    num_evaluations: int
+    budget_exhausted: bool
+    trail: List[Tuple[Tuple[str, ...], str]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """True when a counterfactual was found within budget."""
+        return self.counterfactual is not None
+
+
+def search_combination_counterfactual(
+    evaluator: ContextEvaluator,
+    relevance_scores: Dict[str, float],
+    direction: SearchDirection | str = SearchDirection.TOP_DOWN,
+    target_answer: Optional[str] = None,
+    max_evaluations: int = 1000,
+    keep_trail: bool = False,
+) -> CombinationSearchResult:
+    """Find a minimal combination counterfactual.
+
+    Parameters
+    ----------
+    evaluator:
+        The context/LLM evaluation gateway.
+    relevance_scores:
+        ``S(q, d, Dq)`` per source (attention- or retrieval-based); used
+        to order equal-size candidate combinations.
+    direction:
+        TOP_DOWN flips the full-context answer by removing sources;
+        BOTTOM_UP flips the empty-context answer by retaining sources.
+    target_answer:
+        Specific answer to flip *to*.  ``None`` accepts any change for
+        TOP_DOWN and defaults to the full-context answer for BOTTOM_UP
+        (the paper's "citation" reading).
+    max_evaluations:
+        LLM-call budget for this search.
+    keep_trail:
+        Record every (candidate, answer) pair — used by the pruning
+        benchmarks; off by default to save memory.
+    """
+    if max_evaluations <= 0:
+        raise SearchBudgetError(f"max_evaluations must be positive, got {max_evaluations}")
+    direction = SearchDirection(direction)
+    context = evaluator.context
+    doc_ids = list(context.doc_ids())
+
+    if direction is SearchDirection.TOP_DOWN:
+        baseline = evaluator.original()
+    else:
+        baseline = evaluator.empty()
+        if target_answer is None:
+            target_answer = evaluator.original().answer
+    target_norm = normalize_answer(target_answer) if target_answer is not None else None
+
+    result = CombinationSearchResult(
+        direction=direction,
+        baseline_answer=baseline.answer,
+        target_answer=target_answer,
+        counterfactual=None,
+        num_evaluations=0,
+        budget_exhausted=False,
+    )
+
+    # Candidate subsets: removed sets (top-down) or retained sets
+    # (bottom-up), size-major, relevance-ordered within a size.  More
+    # relevant sources are more likely to be answer-critical, so both
+    # directions try high-relevance subsets first.
+    candidates = ordered_combinations(
+        doc_ids,
+        scores=relevance_scores,
+        min_size=1,
+        max_size=len(doc_ids),
+        descending=True,
+    )
+
+    evaluations = 0
+    for subset in candidates:
+        if evaluations >= max_evaluations:
+            result.budget_exhausted = True
+            break
+        if direction is SearchDirection.TOP_DOWN:
+            perturbation = CombinationPerturbation.from_removal(context, subset)
+            changed = subset
+        else:
+            perturbation = CombinationPerturbation(kept=subset)
+            changed = subset
+        evaluation = evaluator.evaluate(perturbation.apply(context))
+        evaluations += 1
+        if keep_trail:
+            result.trail.append((subset, evaluation.answer))
+        if _flips(evaluation.normalized_answer, baseline, target_norm):
+            result.counterfactual = CombinationCounterfactual(
+                direction=direction,
+                perturbation=perturbation,
+                changed_sources=changed,
+                baseline_answer=baseline.answer,
+                new_answer=evaluation.answer,
+                estimated_relevance=sum(relevance_scores.get(d, 0.0) for d in subset),
+            )
+            break
+    result.num_evaluations = evaluations
+    return result
+
+
+def _flips(candidate_norm: str, baseline, target_norm: Optional[str]) -> bool:
+    if target_norm is not None:
+        return candidate_norm == target_norm and candidate_norm != baseline.normalized_answer
+    return candidate_norm != baseline.normalized_answer

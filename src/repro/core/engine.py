@@ -1,0 +1,349 @@
+"""The RAGE engine — the library's front door.
+
+Wires together retrieval (index + BM25), the LLM (wrapped in a cache),
+relevance scoring, and every explanation primitive behind one object,
+mirroring the architecture of Figure 1: users pose a question, the
+retrieval model builds the context, the LLM answers, and the
+perturbation/counterfactual searches explain.
+
+Typical use::
+
+    from repro import Rage, RageConfig, SimulatedLLM
+    from repro.datasets import load_use_case
+
+    uc = load_use_case("big_three")
+    rage = Rage.from_corpus(uc.corpus, SimulatedLLM(knowledge=uc.knowledge),
+                            config=RageConfig(k=4))
+    answered = rage.ask(uc.query)
+    insights = rage.combination_insights(uc.query)
+    flip = rage.combination_counterfactual(uc.query)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..attention.positional import PositionPrior
+from ..errors import ConfigError
+from ..llm.base import GenerationResult, LanguageModel
+from ..llm.cache import CachingLLM
+from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
+from ..retrieval.bm25 import Scorer
+from ..retrieval.document import Corpus, Document
+from ..retrieval.index import InvertedIndex
+from ..retrieval.searcher import Searcher
+from .context import Context
+from .counterfactual import (
+    CombinationSearchResult,
+    SearchDirection,
+    search_combination_counterfactual,
+)
+from .evaluate import ContextEvaluator
+from .insights import (
+    CombinationInsights,
+    PermutationInsights,
+    analyze_combinations,
+    analyze_permutations,
+)
+from .optimal import OptimalPermutation, optimal_permutations
+from .permutation_cf import PermutationSearchResult, search_permutation_counterfactual
+from .sampling import select_combinations, select_permutations
+from .scoring import RelevanceMethod, make_scorer
+
+
+@dataclass(frozen=True)
+class RageConfig:
+    """Engine configuration.
+
+    Attributes
+    ----------
+    k:
+        Retrieval depth (size of the context ``Dq``).
+    relevance_method:
+        Which ``S(q, d, Dq)`` orders combinations and weights optimal
+        permutations: RETRIEVAL (BM25 scores) or ATTENTION (aggregated
+        LLM attention).
+    max_evaluations:
+        LLM-call budget per counterfactual search.
+    sample_size:
+        Default perturbation sample size for the insight analyses;
+        ``None`` analyzes all combinations / permutations.
+    seed:
+        Seed for perturbation sampling.
+    expected_prior, expected_depth:
+        The user-calibrated expected position-attention distribution
+        used by optimal permutations.
+    cache:
+        Wrap the LLM in a prompt cache (recommended).
+    """
+
+    k: int = 10
+    relevance_method: RelevanceMethod = RelevanceMethod.RETRIEVAL
+    max_evaluations: int = 2000
+    sample_size: Optional[int] = None
+    seed: int = 0
+    expected_prior: PositionPrior = PositionPrior.V_SHAPED
+    expected_depth: float = 0.8
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ConfigError(f"k must be positive, got {self.k}")
+        if self.max_evaluations <= 0:
+            raise ConfigError("max_evaluations must be positive")
+
+
+@dataclass
+class AskResult:
+    """Answer to a plain (un-explained) question."""
+
+    query: str
+    answer: str
+    context: Context
+    generation: GenerationResult
+
+
+@dataclass
+class RageReport:
+    """One-call bundle of every explanation for a question."""
+
+    query: str
+    answer: str
+    context: Context
+    combination_insights: CombinationInsights
+    permutation_insights: Optional[PermutationInsights]
+    top_down: CombinationSearchResult
+    bottom_up: CombinationSearchResult
+    permutation_counterfactual: Optional[PermutationSearchResult]
+    optimal: List[OptimalPermutation] = field(default_factory=list)
+
+
+class Rage:
+    """Retrieval-Augmented Generation Explainer."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        llm: LanguageModel,
+        config: Optional[RageConfig] = None,
+        retrieval_scorer: Optional[Scorer] = None,
+        prompt_builder: Optional[PromptBuilder] = None,
+    ) -> None:
+        self.config = config or RageConfig()
+        self.index = index
+        self.searcher = Searcher(index, scorer=retrieval_scorer)
+        self.llm: LanguageModel = CachingLLM(llm) if self.config.cache else llm
+        self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: Corpus | Sequence[Document],
+        llm: LanguageModel,
+        config: Optional[RageConfig] = None,
+        retrieval_scorer: Optional[Scorer] = None,
+    ) -> "Rage":
+        """Index a corpus and build the engine in one step."""
+        index = InvertedIndex.build(corpus)
+        return cls(index, llm, config=config, retrieval_scorer=retrieval_scorer)
+
+    # -- retrieval and answering ------------------------------------------
+
+    def retrieve(self, query: str, k: Optional[int] = None) -> Context:
+        """Build the context ``Dq`` for a query."""
+        result = self.searcher.search(query, k=k or self.config.k)
+        return Context.from_retrieval(result)
+
+    def ask(self, query: str, context: Optional[Context] = None) -> AskResult:
+        """Retrieve (unless given a context) and answer."""
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        generation = evaluator.generation(context.doc_ids())
+        return AskResult(
+            query=query,
+            answer=generation.answer,
+            context=context,
+            generation=generation,
+        )
+
+    # -- explanations -------------------------------------------------------
+
+    def relevance_scores(self, context: Context) -> Dict[str, float]:
+        """``S(q, d, Dq)`` under the configured method."""
+        scorer = make_scorer(
+            self.config.relevance_method, llm=self.llm, prompt_builder=self.prompt_builder
+        )
+        return scorer.scores(context)
+
+    def combination_insights(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        sample_size: Optional[int] = None,
+        include_empty: bool = False,
+    ) -> CombinationInsights:
+        """Answer distribution, table and rules over combinations."""
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        perturbations = select_combinations(
+            context,
+            sample_size=sample_size if sample_size is not None else self.config.sample_size,
+            seed=self.config.seed,
+            include_empty=include_empty,
+        )
+        return analyze_combinations(evaluator, perturbations)
+
+    def permutation_insights(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        sample_size: Optional[int] = None,
+    ) -> PermutationInsights:
+        """Answer distribution, table and rules over permutations."""
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        perturbations = select_permutations(
+            context,
+            sample_size=sample_size if sample_size is not None else self.config.sample_size,
+            seed=self.config.seed,
+        )
+        return analyze_permutations(evaluator, perturbations)
+
+    def combination_counterfactual(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        direction: SearchDirection | str = SearchDirection.TOP_DOWN,
+        target_answer: Optional[str] = None,
+        max_evaluations: Optional[int] = None,
+    ) -> CombinationSearchResult:
+        """Minimal source removal (top-down) or retention (bottom-up)
+        that flips the answer."""
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        return search_combination_counterfactual(
+            evaluator,
+            relevance_scores=self.relevance_scores(context),
+            direction=direction,
+            target_answer=target_answer,
+            max_evaluations=max_evaluations or self.config.max_evaluations,
+        )
+
+    def permutation_counterfactual(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        target_answer: Optional[str] = None,
+        max_evaluations: Optional[int] = None,
+    ) -> PermutationSearchResult:
+        """Most-similar reordering (max Kendall tau) that flips the answer."""
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        return search_permutation_counterfactual(
+            evaluator,
+            target_answer=target_answer,
+            max_evaluations=max_evaluations or self.config.max_evaluations,
+        )
+
+    def optimal_permutations(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        s: int = 5,
+        method: str = "ch",
+    ) -> List[OptimalPermutation]:
+        """Top-s placements of sources into high-attention positions."""
+        context = context or self.retrieve(query)
+        return optimal_permutations(
+            context,
+            relevance_scores=self.relevance_scores(context),
+            s=s,
+            prior=self.config.expected_prior,
+            depth=self.config.expected_depth,
+            method=method,
+        )
+
+    def source_salience(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        answer: Optional[str] = None,
+        sample_size: Optional[int] = None,
+    ):
+        """Per-source influence contrasts for an answer (defaults to the
+        most frequent answer across the analyzed combinations)."""
+        from .stability import source_salience
+
+        context = context or self.retrieve(query)
+        insights = self.combination_insights(
+            query, context=context, sample_size=sample_size
+        )
+        return source_salience(insights, answer=answer)
+
+    def order_stability(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        sample_size: Optional[int] = 50,
+    ):
+        """Order-stability summary over sampled permutations."""
+        from .sampling import select_permutations
+        from .stability import order_stability
+
+        context = context or self.retrieve(query)
+        evaluator = self._evaluator(context)
+        perturbations = select_permutations(
+            context, sample_size=sample_size, seed=self.config.seed
+        )
+        return order_stability(evaluator, perturbations)
+
+    def explain(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        sample_size: Optional[int] = None,
+        optimal_s: int = 3,
+        wide_permutation_budget: int = 200,
+    ) -> RageReport:
+        """Everything at once (powers the CLI report command).
+
+        Contexts wider than the exhaustive permutation cap run the lazy
+        decreasing-tau counterfactual search under
+        ``wide_permutation_budget`` LLM calls instead of skipping.
+        """
+        context = context or self.retrieve(query)
+        answered = self.ask(query, context=context)
+        combination = self.combination_insights(query, context=context, sample_size=sample_size)
+        permutation: Optional[PermutationInsights] = None
+        sample = sample_size if sample_size is not None else self.config.sample_size
+        if context.k <= 8 or sample is not None:
+            permutation = self.permutation_insights(query, context=context, sample_size=sample)
+        if context.k <= 8:
+            permutation_cf = self.permutation_counterfactual(query, context=context)
+        else:
+            permutation_cf = self.permutation_counterfactual(
+                query,
+                context=context,
+                max_evaluations=min(wide_permutation_budget, self.config.max_evaluations),
+            )
+        return RageReport(
+            query=query,
+            answer=answered.answer,
+            context=context,
+            combination_insights=combination,
+            permutation_insights=permutation,
+            top_down=self.combination_counterfactual(
+                query, context=context, direction=SearchDirection.TOP_DOWN
+            ),
+            bottom_up=self.combination_counterfactual(
+                query, context=context, direction=SearchDirection.BOTTOM_UP
+            ),
+            permutation_counterfactual=permutation_cf,
+            optimal=self.optimal_permutations(query, context=context, s=optimal_s),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _evaluator(self, context: Context) -> ContextEvaluator:
+        return ContextEvaluator(self.llm, context, self.prompt_builder)

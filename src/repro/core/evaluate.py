@@ -1,0 +1,83 @@
+"""Perturbation evaluation: one place where prompts meet the LLM.
+
+Every explanation algorithm reduces to "render this ordered subset of
+sources into a prompt, ask the LLM, normalize the answer".  The
+:class:`ContextEvaluator` centralizes that step, counts LLM calls (the
+unit the pruning benchmarks measure), and memoizes by ordered id tuple
+so re-visited perturbations are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..llm.base import GenerationResult, LanguageModel
+from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
+from ..textproc import normalize_answer
+from .context import Context
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated perturbation."""
+
+    ordered_doc_ids: Tuple[str, ...]
+    answer: str
+    normalized_answer: str
+
+
+class ContextEvaluator:
+    """Evaluate orderings of (subsets of) a context against an LLM."""
+
+    def __init__(
+        self,
+        llm: LanguageModel,
+        context: Context,
+        prompt_builder: Optional[PromptBuilder] = None,
+    ) -> None:
+        self.llm = llm
+        self.context = context
+        self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
+        self._memo: Dict[Tuple[str, ...], Evaluation] = {}
+        self._llm_calls = 0
+
+    @property
+    def llm_calls(self) -> int:
+        """Number of distinct LLM invocations made so far."""
+        return self._llm_calls
+
+    def evaluate(self, ordered_doc_ids: Sequence[str]) -> Evaluation:
+        """Answer for the given ordered source ids (memoized)."""
+        key = tuple(ordered_doc_ids)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._generate(key)
+        evaluation = Evaluation(
+            ordered_doc_ids=key,
+            answer=result.answer,
+            normalized_answer=normalize_answer(result.answer),
+        )
+        self._memo[key] = evaluation
+        return evaluation
+
+    def generation(self, ordered_doc_ids: Sequence[str]) -> GenerationResult:
+        """Full generation result (fresh call; used for attention traces)."""
+        return self._generate(tuple(ordered_doc_ids))
+
+    def _generate(self, ordered_doc_ids: Tuple[str, ...]) -> GenerationResult:
+        texts = self.context.texts_for(ordered_doc_ids)
+        prompt = self.prompt_builder.build(self.context.query, texts)
+        self._llm_calls += 1
+        return self.llm.generate(prompt)
+
+    # -- canonical evaluations -------------------------------------------
+
+    def original(self) -> Evaluation:
+        """The unperturbed full-context evaluation."""
+        return self.evaluate(self.context.doc_ids())
+
+    def empty(self) -> Evaluation:
+        """The empty-context (parametric knowledge only) evaluation."""
+        return self.evaluate(())

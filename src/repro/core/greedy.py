@@ -1,0 +1,134 @@
+"""Greedy combination counterfactuals for large contexts.
+
+The paper's size-major search is exhaustive within each size: finding a
+size-m counterfactual over k sources may evaluate up to
+``sum(C(k, i) for i <= m)`` prompts.  For contexts beyond a dozen
+sources that is impractical, so this extension adds the standard greedy
+two-phase scheme from the counterfactual-explanation literature:
+
+1. **Grow** — add sources to the removal (top-down) or retention
+   (bottom-up) set in decreasing estimated-relevance order until the
+   answer flips (at most k evaluations).
+2. **Shrink** — try dropping each member of the flipping set, keeping
+   the drop whenever the answer still flips (at most |set| more
+   evaluations), yielding a *minimal* (though not necessarily
+   minimum-cardinality) counterfactual.
+
+O(k) LLM calls total, versus the exhaustive search's combinatorial
+budget.  Benchmark E13 measures the optimality gap this buys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SearchBudgetError
+from ..textproc import normalize_answer
+from .context import CombinationPerturbation
+from .counterfactual import (
+    CombinationCounterfactual,
+    CombinationSearchResult,
+    SearchDirection,
+)
+from .evaluate import ContextEvaluator
+
+
+def greedy_combination_counterfactual(
+    evaluator: ContextEvaluator,
+    relevance_scores: Dict[str, float],
+    direction: SearchDirection | str = SearchDirection.TOP_DOWN,
+    target_answer: Optional[str] = None,
+    max_evaluations: int = 1000,
+) -> CombinationSearchResult:
+    """Greedy grow-then-shrink combination counterfactual search.
+
+    Same result contract as
+    :func:`repro.core.counterfactual.search_combination_counterfactual`;
+    the found set is minimal (no proper subset of it flips) but may be
+    larger than the global minimum the exhaustive search returns.
+    """
+    if max_evaluations <= 0:
+        raise SearchBudgetError(f"max_evaluations must be positive, got {max_evaluations}")
+    direction = SearchDirection(direction)
+    context = evaluator.context
+
+    if direction is SearchDirection.TOP_DOWN:
+        baseline = evaluator.original()
+    else:
+        baseline = evaluator.empty()
+        if target_answer is None:
+            target_answer = evaluator.original().answer
+    target_norm = normalize_answer(target_answer) if target_answer is not None else None
+
+    result = CombinationSearchResult(
+        direction=direction,
+        baseline_answer=baseline.answer,
+        target_answer=target_answer,
+        counterfactual=None,
+        num_evaluations=0,
+        budget_exhausted=False,
+    )
+    budget = [max_evaluations]
+
+    def flips(changed: List[str]) -> Optional[str]:
+        """Answer when ``changed`` is removed/retained, if it flips."""
+        if budget[0] <= 0:
+            result.budget_exhausted = True
+            return None
+        budget[0] -= 1
+        result.num_evaluations += 1
+        if direction is SearchDirection.TOP_DOWN:
+            perturbation = CombinationPerturbation.from_removal(context, changed)
+        else:
+            kept = tuple(d for d in context.doc_ids() if d in set(changed))
+            perturbation = CombinationPerturbation(kept=kept)
+        evaluation = evaluator.evaluate(perturbation.apply(context))
+        hit = (
+            evaluation.normalized_answer == target_norm
+            if target_norm is not None
+            else evaluation.normalized_answer != baseline.normalized_answer
+        )
+        if hit and evaluation.normalized_answer != baseline.normalized_answer:
+            return evaluation.answer
+        return None
+
+    # Phase 1: grow in decreasing relevance order.
+    ordered = sorted(
+        context.doc_ids(), key=lambda d: (-relevance_scores.get(d, 0.0), d)
+    )
+    changed: List[str] = []
+    flipped_answer: Optional[str] = None
+    for doc_id in ordered:
+        changed.append(doc_id)
+        flipped_answer = flips(changed)
+        if flipped_answer is not None or result.budget_exhausted:
+            break
+    if flipped_answer is None:
+        return result
+
+    # Phase 2: shrink — drop members whose removal keeps the flip.
+    for doc_id in list(changed):
+        if len(changed) == 1:
+            break
+        candidate = [d for d in changed if d != doc_id]
+        answer = flips(candidate)
+        if answer is not None:
+            changed = candidate
+            flipped_answer = answer
+        if result.budget_exhausted:
+            break
+
+    changed_ordered = tuple(d for d in context.doc_ids() if d in set(changed))
+    if direction is SearchDirection.TOP_DOWN:
+        perturbation = CombinationPerturbation.from_removal(context, changed_ordered)
+    else:
+        perturbation = CombinationPerturbation(kept=changed_ordered)
+    result.counterfactual = CombinationCounterfactual(
+        direction=direction,
+        perturbation=perturbation,
+        changed_sources=changed_ordered,
+        baseline_answer=baseline.answer,
+        new_answer=flipped_answer,
+        estimated_relevance=sum(relevance_scores.get(d, 0.0) for d in changed_ordered),
+    )
+    return result

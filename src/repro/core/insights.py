@@ -1,0 +1,249 @@
+"""Combination and permutation insights: distribution, table, rules.
+
+The analyses behind RAGE's pie chart and answer table:
+
+    "After analyzing the answers, RAGE renders a table that groups
+    combinations by answer, along with a pie chart illustrating the
+    proportion of each answer across all combinations.  A rule is
+    determined for each answer, when applicable, identifying sources
+    that appeared in all combinations leading to this answer."
+
+and for permutations:
+
+    "For each answer, we determine a rule that identifies any context
+    positions for which all permutations leading to this answer shared
+    the same source."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .context import CombinationPerturbation, Context, PermutationPerturbation
+from .evaluate import ContextEvaluator
+
+
+@dataclass(frozen=True)
+class AnswerSlice:
+    """One pie-chart slice: an answer and its share of perturbations."""
+
+    answer: str
+    count: int
+    fraction: float
+
+
+@dataclass(frozen=True)
+class CombinationRule:
+    """Presence/absence pattern shared by an answer's combinations.
+
+    ``required_sources`` is the paper's rule: sources "that appeared in
+    all combinations leading to this answer".  ``excluded_sources`` is a
+    reproduction extension: sources absent from *every* such combination
+    (while present in at least one combination that produced a different
+    answer) — the complementary signal, e.g. "the LLM only answers
+    Djokovic when the match-wins document is missing".
+    """
+
+    answer: str
+    required_sources: Tuple[str, ...]
+    excluded_sources: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable rule sentence."""
+        parts = []
+        if self.required_sources:
+            parts.append(
+                f"every combination answering {self.answer!r} included: "
+                + ", ".join(self.required_sources)
+            )
+        if self.excluded_sources:
+            parts.append(
+                f"every combination answering {self.answer!r} excluded: "
+                + ", ".join(self.excluded_sources)
+            )
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class PermutationRule:
+    """Context positions pinned to one source across an answer's perms."""
+
+    answer: str
+    fixed_positions: Tuple[Tuple[int, str], ...]  # (position, doc_id)
+
+    def describe(self) -> str:
+        """Human-readable rule sentence."""
+        parts = ", ".join(
+            f"position {position + 1} = {doc_id}"
+            for position, doc_id in self.fixed_positions
+        )
+        return f"every permutation answering {self.answer!r} had: {parts}"
+
+
+@dataclass
+class CombinationInsights:
+    """The full combination analysis for one context."""
+
+    query: str
+    groups: Dict[str, List[CombinationPerturbation]]
+    display_answers: Dict[str, str]
+    rules: List[CombinationRule]
+    num_evaluations: int
+
+    @property
+    def total(self) -> int:
+        """Number of perturbations analyzed."""
+        return sum(len(combos) for combos in self.groups.values())
+
+    def pie(self) -> List[AnswerSlice]:
+        """Answer distribution, largest slice first."""
+        total = self.total or 1
+        slices = [
+            AnswerSlice(
+                answer=self.display_answers[key],
+                count=len(combos),
+                fraction=len(combos) / total,
+            )
+            for key, combos in self.groups.items()
+        ]
+        slices.sort(key=lambda s: (-s.count, s.answer))
+        return slices
+
+    def answer_table(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """(answer, kept sources) rows, grouped by answer."""
+        rows: List[Tuple[str, Tuple[str, ...]]] = []
+        for key, combos in sorted(
+            self.groups.items(), key=lambda item: (-len(item[1]), item[0])
+        ):
+            for combo in combos:
+                rows.append((self.display_answers[key], combo.kept))
+        return rows
+
+    def rule_for(self, answer: str) -> Optional[CombinationRule]:
+        """The rule covering ``answer`` (normalized match), if any."""
+        from ..textproc import normalize_answer
+
+        wanted = normalize_answer(answer)
+        for rule in self.rules:
+            if normalize_answer(rule.answer) == wanted:
+                return rule
+        return None
+
+
+@dataclass
+class PermutationInsights:
+    """The full permutation analysis for one context."""
+
+    query: str
+    groups: Dict[str, List[PermutationPerturbation]]
+    display_answers: Dict[str, str]
+    rules: List[PermutationRule]
+    num_evaluations: int
+
+    @property
+    def total(self) -> int:
+        """Number of perturbations analyzed."""
+        return sum(len(perms) for perms in self.groups.values())
+
+    def pie(self) -> List[AnswerSlice]:
+        """Answer distribution, largest slice first."""
+        total = self.total or 1
+        slices = [
+            AnswerSlice(
+                answer=self.display_answers[key],
+                count=len(perms),
+                fraction=len(perms) / total,
+            )
+            for key, perms in self.groups.items()
+        ]
+        slices.sort(key=lambda s: (-s.count, s.answer))
+        return slices
+
+    @property
+    def is_stable(self) -> bool:
+        """True when every analyzed permutation produced one answer."""
+        return len(self.groups) <= 1
+
+
+def analyze_combinations(
+    evaluator: ContextEvaluator,
+    perturbations: Sequence[CombinationPerturbation],
+) -> CombinationInsights:
+    """Evaluate the combinations and build distribution + rules."""
+    groups: Dict[str, List[CombinationPerturbation]] = {}
+    display: Dict[str, str] = {}
+    before = evaluator.llm_calls
+    for perturbation in perturbations:
+        evaluation = evaluator.evaluate(perturbation.apply(evaluator.context))
+        key = evaluation.normalized_answer
+        groups.setdefault(key, []).append(perturbation)
+        display.setdefault(key, evaluation.answer)
+    rules: List[CombinationRule] = []
+    context_ids = evaluator.context.doc_ids()
+    for key, combos in groups.items():
+        required = set(combos[0].kept)
+        union: set = set()
+        for combo in combos:
+            required &= set(combo.kept)
+            union |= set(combo.kept)
+        # Absence rule: never kept for this answer, but kept somewhere
+        # else in the analysis (otherwise absence carries no signal).
+        kept_elsewhere: set = set()
+        for other_key, other_combos in groups.items():
+            if other_key == key:
+                continue
+            for combo in other_combos:
+                kept_elsewhere |= set(combo.kept)
+        excluded = (set(context_ids) - union) & kept_elsewhere
+        if required or excluded:
+            rules.append(
+                CombinationRule(
+                    answer=display[key],
+                    required_sources=tuple(d for d in context_ids if d in required),
+                    excluded_sources=tuple(d for d in context_ids if d in excluded),
+                )
+            )
+    return CombinationInsights(
+        query=evaluator.context.query,
+        groups=groups,
+        display_answers=display,
+        rules=rules,
+        num_evaluations=evaluator.llm_calls - before,
+    )
+
+
+def analyze_permutations(
+    evaluator: ContextEvaluator,
+    perturbations: Sequence[PermutationPerturbation],
+) -> PermutationInsights:
+    """Evaluate the permutations and build distribution + rules."""
+    groups: Dict[str, List[PermutationPerturbation]] = {}
+    display: Dict[str, str] = {}
+    before = evaluator.llm_calls
+    for perturbation in perturbations:
+        evaluation = evaluator.evaluate(perturbation.apply(evaluator.context))
+        key = evaluation.normalized_answer
+        groups.setdefault(key, []).append(perturbation)
+        display.setdefault(key, evaluation.answer)
+    rules: List[PermutationRule] = []
+    k = evaluator.context.k
+    for key, perms in groups.items():
+        fixed: List[Tuple[int, str]] = []
+        for position in range(k):
+            sources_at = {perm.order[position] for perm in perms}
+            if len(sources_at) == 1:
+                fixed.append((position, next(iter(sources_at))))
+        # A rule that pins every position to a single permutation carries
+        # no generalization; the paper emits rules "when applicable".
+        if fixed and not (len(perms) == 1 and len(fixed) == k):
+            rules.append(
+                PermutationRule(answer=display[key], fixed_positions=tuple(fixed))
+            )
+    return PermutationInsights(
+        query=evaluator.context.query,
+        groups=groups,
+        display_answers=display,
+        rules=rules,
+        num_evaluations=evaluator.llm_calls - before,
+    )

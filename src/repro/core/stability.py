@@ -1,0 +1,244 @@
+"""Quantitative salience and stability metrics.
+
+The paper's contribution statement promises both *provenance* and
+*salience*: "Our tool deduces provenance and salience for external
+knowledge sources used during RAG", and says permutation explanations
+"quantify the stability of the LLM's answer with respect to the order
+of the context sources".  The rules and counterfactuals are the
+qualitative face of those claims; this module provides the quantitative
+one:
+
+* :func:`source_salience` — per-source influence on a given answer,
+  estimated from the evaluated combinations: the difference between the
+  answer's frequency when the source is present and when it is absent
+  (a presence/absence contrast in [-1, 1]).
+* :func:`answer_entropy` — Shannon entropy of the answer distribution
+  over perturbations (0 = one answer everywhere; higher = more
+  ambiguous, the Use Case 1 situation).
+* :func:`order_stability` — the fraction of evaluated permutations that
+  keep the original answer, plus the Kendall tau of the most similar
+  flip (1.0-stable contexts have no flip at all).
+* :func:`positional_sensitivity` — per-position answer diversity across
+  permutations: which context slots matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..combinatorics.kendall import kendall_tau
+from ..errors import ConfigError
+from ..textproc import normalize_answer
+from .context import CombinationPerturbation, PermutationPerturbation
+from .evaluate import ContextEvaluator
+from .insights import CombinationInsights, PermutationInsights
+
+
+@dataclass(frozen=True)
+class SalienceScore:
+    """Influence of one source on one answer.
+
+    Attributes
+    ----------
+    doc_id:
+        The source.
+    answer:
+        The (display-form) answer the contrast is computed for.
+    present_rate:
+        P(answer | source in combination) over the evaluated sample.
+    absent_rate:
+        P(answer | source not in combination).
+    contrast:
+        ``present_rate - absent_rate`` in [-1, 1]; large positive values
+        mean the source pulls the LLM toward the answer, negative values
+        mean it pulls away.
+    support:
+        (combinations with the source, combinations without it).
+    """
+
+    doc_id: str
+    answer: str
+    present_rate: float
+    absent_rate: float
+    support: Tuple[int, int]
+
+    @property
+    def contrast(self) -> float:
+        """The presence/absence influence contrast."""
+        return self.present_rate - self.absent_rate
+
+
+def source_salience(
+    insights: CombinationInsights,
+    answer: Optional[str] = None,
+) -> List[SalienceScore]:
+    """Per-source influence contrasts from a combination analysis.
+
+    ``answer`` defaults to the most frequent answer in the analysis.
+    Scores are sorted by descending contrast (ties by doc id).
+    """
+    if insights.total == 0:
+        raise ConfigError("insights contain no evaluated combinations")
+    pie = insights.pie()
+    target_display = answer if answer is not None else pie[0].answer
+    target = normalize_answer(target_display)
+    if target not in insights.groups:
+        raise ConfigError(f"answer {target_display!r} never occurred in the analysis")
+
+    all_doc_ids: List[str] = []
+    seen: set = set()
+    combos: List[Tuple[CombinationPerturbation, bool]] = []
+    for key, group in insights.groups.items():
+        hit = key == target
+        for perturbation in group:
+            combos.append((perturbation, hit))
+            for doc_id in perturbation.kept:
+                if doc_id not in seen:
+                    seen.add(doc_id)
+                    all_doc_ids.append(doc_id)
+
+    scores: List[SalienceScore] = []
+    for doc_id in all_doc_ids:
+        with_hits = with_total = without_hits = without_total = 0
+        for perturbation, hit in combos:
+            if doc_id in perturbation.kept:
+                with_total += 1
+                with_hits += hit
+            else:
+                without_total += 1
+                without_hits += hit
+        present_rate = with_hits / with_total if with_total else 0.0
+        absent_rate = without_hits / without_total if without_total else 0.0
+        scores.append(
+            SalienceScore(
+                doc_id=doc_id,
+                answer=target_display,
+                present_rate=present_rate,
+                absent_rate=absent_rate,
+                support=(with_total, without_total),
+            )
+        )
+    scores.sort(key=lambda s: (-s.contrast, s.doc_id))
+    return scores
+
+
+def answer_entropy(insights: CombinationInsights | PermutationInsights) -> float:
+    """Shannon entropy (bits) of the answer distribution.
+
+    0.0 means every perturbation produced the same answer; log2(n) means
+    n equally likely answers — the quantitative version of "ambiguous
+    answers" from Use Case 1.
+    """
+    total = insights.total
+    if total == 0:
+        raise ConfigError("insights contain no evaluated perturbations")
+    entropy = 0.0
+    for group in insights.groups.values():
+        p = len(group) / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+@dataclass(frozen=True)
+class OrderStability:
+    """Order-stability summary for one context.
+
+    Attributes
+    ----------
+    stable_fraction:
+        Fraction of evaluated permutations preserving the original
+        answer (1.0 = fully order-stable, the Use Case 3 situation).
+    flip_tau:
+        Kendall tau of the most similar evaluated flip, or ``None``
+        when no evaluated permutation changed the answer.  High values
+        mean even near-original orders flip (fragile); low values mean
+        only drastic reorderings flip (robust).
+    num_permutations:
+        Sample size behind the estimate.
+    """
+
+    stable_fraction: float
+    flip_tau: Optional[float]
+    num_permutations: int
+
+    @property
+    def is_stable(self) -> bool:
+        """True when no evaluated permutation changed the answer."""
+        return self.flip_tau is None
+
+
+def order_stability(
+    evaluator: ContextEvaluator,
+    perturbations: Sequence[PermutationPerturbation],
+) -> OrderStability:
+    """Evaluate permutations and summarize order stability."""
+    if not perturbations:
+        raise ConfigError("no permutations supplied")
+    context = evaluator.context
+    baseline = evaluator.original().normalized_answer
+    reference = context.doc_ids()
+    stable = 0
+    best_flip_tau: Optional[float] = None
+    for perturbation in perturbations:
+        evaluation = evaluator.evaluate(perturbation.apply(context))
+        if evaluation.normalized_answer == baseline:
+            stable += 1
+            continue
+        tau = kendall_tau(reference, perturbation.order)
+        if best_flip_tau is None or tau > best_flip_tau:
+            best_flip_tau = tau
+    return OrderStability(
+        stable_fraction=stable / len(perturbations),
+        flip_tau=best_flip_tau,
+        num_permutations=len(perturbations),
+    )
+
+
+def positional_sensitivity(insights: PermutationInsights) -> Dict[int, float]:
+    """Per-position answer diversity across the analyzed permutations.
+
+    For each context position p, groups the permutations by the source
+    occupying p and measures how much the answer distribution varies
+    across those groups (normalized mutual-information-style score in
+    [0, 1]; 0 = the occupant of p never matters).
+    """
+    perms: List[Tuple[PermutationPerturbation, str]] = []
+    for key, group in insights.groups.items():
+        for perturbation in group:
+            perms.append((perturbation, key))
+    if not perms:
+        raise ConfigError("insights contain no evaluated permutations")
+    k = len(perms[0][0].order)
+    total = len(perms)
+
+    def entropy(counts: Dict[str, int]) -> float:
+        n = sum(counts.values())
+        value = 0.0
+        for count in counts.values():
+            p = count / n
+            value -= p * math.log2(p)
+        return value
+
+    overall_counts: Dict[str, int] = {}
+    for _, answer_key in perms:
+        overall_counts[answer_key] = overall_counts.get(answer_key, 0) + 1
+    h_answer = entropy(overall_counts)
+
+    sensitivity: Dict[int, float] = {}
+    for position in range(k):
+        by_occupant: Dict[str, Dict[str, int]] = {}
+        for perturbation, answer_key in perms:
+            occupant = perturbation.order[position]
+            counts = by_occupant.setdefault(occupant, {})
+            counts[answer_key] = counts.get(answer_key, 0) + 1
+        conditional = sum(
+            (sum(counts.values()) / total) * entropy(counts)
+            for counts in by_occupant.values()
+        )
+        mutual_information = max(0.0, h_answer - conditional)
+        sensitivity[position] = (
+            mutual_information / h_answer if h_answer > 0 else 0.0
+        )
+    return sensitivity

@@ -1,0 +1,26 @@
+"""Demo datasets (the paper's three use cases) and synthetic generators."""
+
+from . import tennis, timeline, us_open  # noqa: F401  (register use cases)
+from .base import UseCase, available_use_cases, load_use_case, register_use_case
+from .synthetic import (
+    SuperlativeWorld,
+    TimelineWorld,
+    make_superlative_world,
+    make_timeline_world,
+    random_corpus,
+)
+from .timeline import DJOKOVIC_YEARS, WINNERS
+
+__all__ = [
+    "UseCase",
+    "available_use_cases",
+    "load_use_case",
+    "register_use_case",
+    "SuperlativeWorld",
+    "TimelineWorld",
+    "make_superlative_world",
+    "make_timeline_world",
+    "random_corpus",
+    "DJOKOVIC_YEARS",
+    "WINNERS",
+]

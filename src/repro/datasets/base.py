@@ -1,0 +1,101 @@
+"""Shared structure for the demo use-case datasets.
+
+Each of the paper's three demonstration use cases ships as a
+:class:`UseCase`: a corpus of knowledge sources, the canonical question,
+the knowledge-base facts the simulated LLM "was trained on", and the
+expected behaviour (context order and full-context answer) that
+EXPERIMENTS.md records against the paper's narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import DatasetError
+from ..llm.knowledge import KnowledgeBase
+from ..retrieval.document import Corpus
+
+
+@dataclass
+class UseCase:
+    """One fully-specified demonstration scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key ("big_three", "us_open", "player_of_the_year").
+    description:
+        One-line summary for reports and the CLI.
+    corpus:
+        The knowledge sources available to retrieval.
+    query:
+        The canonical question posed in the paper's narrative.
+    knowledge:
+        Parametric facts for the simulated LLM (including deliberately
+        stale/wrong ones — see each dataset's module docstring).
+    k:
+        Retrieval depth: how many sources form the context ``Dq``.
+    expected_context:
+        Document ids in the expected retrieval order, or ``None`` when
+        the paper's narrative does not depend on a specific order.
+    expected_answer:
+        The paper's full-context answer.
+    notes:
+        Free-form provenance notes.
+    """
+
+    name: str
+    description: str
+    corpus: Corpus
+    query: str
+    knowledge: KnowledgeBase
+    k: int
+    expected_context: Optional[List[str]]
+    expected_answer: str
+    notes: str = ""
+    extras: Dict[str, str] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, "UseCaseBuilder"] = {}
+
+
+class UseCaseBuilder:
+    """Callable registered under a dataset name."""
+
+    def __init__(self, name: str, builder) -> None:
+        self.name = name
+        self._builder = builder
+
+    def __call__(self) -> UseCase:
+        return self._builder()
+
+
+def register_use_case(name: str):
+    """Decorator: register a zero-argument builder under ``name``."""
+
+    def decorate(builder):
+        _REGISTRY[name] = UseCaseBuilder(name, builder)
+        return builder
+
+    return decorate
+
+
+def load_use_case(name: str) -> UseCase:
+    """Build the named use case.
+
+    Raises
+    ------
+    DatasetError
+        For unknown names (the message lists what is available).
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY))
+        raise DatasetError(f"unknown use case {name!r}; available: {available}") from None
+
+
+def available_use_cases() -> List[str]:
+    """Sorted registry keys."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,246 @@
+"""Seeded synthetic worlds for tests and benchmarks.
+
+Three generators:
+
+* :class:`SuperlativeWorld` — k sources each endorsing one of several
+  candidates for a "who is the best X" question.  Position-sensitive by
+  construction, so counterfactual searches have non-trivial structure.
+  Used by the pruning/ordering benchmarks (E7, E8) and the position-bias
+  sweep (E9, E10).
+* :class:`TimelineWorld` — year-stamped award sources for COUNT
+  questions (scaled-up Use Case 3 analogues).
+* :func:`random_corpus` — a vocabulary-controlled random corpus with
+  planted relevant documents, for retrieval quality/throughput (E11).
+
+Everything is driven by an explicit ``seed`` so every experiment is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..llm.intents import QuestionIntent
+from ..llm.knowledge import KnowledgeBase
+from ..retrieval.document import Corpus, Document
+
+_TOPICS = [
+    "chess grandmaster", "marathon runner", "jazz trumpeter",
+    "salsa dancer", "pastry chef", "go player", "sprint cyclist",
+    "archer", "debater", "violinist",
+]
+
+_FIRST_NAMES = [
+    "Alex", "Blake", "Casey", "Devon", "Emery", "Finley", "Gray",
+    "Harper", "Indigo", "Jules", "Kendall", "Logan", "Morgan", "Noel",
+    "Oakley", "Peyton", "Quinn", "Reese", "Sage", "Tatum",
+]
+
+_LAST_NAMES = [
+    "Abara", "Bellweather", "Castellan", "Draven", "Ellington",
+    "Fairbanks", "Greenwood", "Hollis", "Ingram", "Juneau", "Kessler",
+    "Lockhart", "Merriweather", "Northgate", "Ostrander", "Pemberton",
+    "Quillfeather", "Rutherford", "Silverton", "Thistlewood",
+]
+
+_METRICS = [
+    "tournament victories", "ranking points", "season titles",
+    "career wins", "perfect scores", "record finishes",
+    "championship rounds", "qualifying heats",
+]
+
+
+def _candidate_names(count: int, rng: random.Random) -> List[str]:
+    """Distinct two-token capitalized names (extractor-compatible)."""
+    if count > len(_FIRST_NAMES) * len(_LAST_NAMES):
+        raise ConfigError(f"cannot generate {count} distinct names")
+    names: List[str] = []
+    seen: set = set()
+    while len(names) < count:
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+@dataclass
+class SuperlativeWorld:
+    """A synthetic "who is the best <topic>" scenario.
+
+    Attributes
+    ----------
+    query:
+        The canonical question.
+    corpus:
+        k sources; source i endorses ``endorsements[i]``.
+    knowledge:
+        A parametric prior for one candidate.
+    endorsements:
+        Candidate endorsed by each source, aligned with corpus order.
+    candidates:
+        All candidate names.
+    """
+
+    query: str
+    corpus: Corpus
+    knowledge: KnowledgeBase
+    endorsements: List[str]
+    candidates: List[str]
+    topic: str
+
+
+def make_superlative_world(
+    num_sources: int,
+    num_candidates: int = 3,
+    seed: int = 0,
+    explicit_fraction: float = 0.25,
+) -> SuperlativeWorld:
+    """Build a :class:`SuperlativeWorld`.
+
+    ``explicit_fraction`` of sources assert an explicit superlative
+    (strong claims); the rest use rank-first metric claims, mirroring
+    the mixed evidence of Use Case 1.
+    """
+    if num_sources <= 0:
+        raise ConfigError("num_sources must be positive")
+    if num_candidates < 2:
+        raise ConfigError("need at least two candidates")
+    rng = random.Random(seed)
+    topic = rng.choice(_TOPICS)
+    candidates = _candidate_names(num_candidates, rng)
+    documents: List[Document] = []
+    endorsements: List[str] = []
+    for i in range(num_sources):
+        champion = candidates[rng.randrange(num_candidates)]
+        metric = rng.choice(_METRICS)
+        value = rng.randint(10, 500)
+        if rng.random() < explicit_fraction:
+            text = (
+                f"{champion} is widely considered the best {topic} of this "
+                f"generation. {champion} ranks first with {value} {metric}."
+            )
+        else:
+            text = (
+                f"By {metric}, {champion} leads the {topic} field with "
+                f"{value} {metric} recorded across the season."
+            )
+        documents.append(
+            Document(doc_id=f"synth-{seed}-{i:03d}", title=f"Source {i}", text=text)
+        )
+        endorsements.append(champion)
+    knowledge = KnowledgeBase()
+    knowledge.add_fact(
+        intent=QuestionIntent.SUPERLATIVE,
+        topic=f"best {topic}",
+        answer=candidates[0],
+        confidence=0.8,
+    )
+    return SuperlativeWorld(
+        query=f"Who is the best {topic} in the world?",
+        corpus=Corpus(documents),
+        knowledge=knowledge,
+        endorsements=endorsements,
+        candidates=candidates,
+        topic=topic,
+    )
+
+
+@dataclass
+class TimelineWorld:
+    """A synthetic year-per-source counting scenario."""
+
+    query: str
+    corpus: Corpus
+    knowledge: KnowledgeBase
+    subject: str
+    subject_years: Tuple[int, ...]
+    year_range: Tuple[int, int]
+
+
+def make_timeline_world(
+    num_years: int,
+    seed: int = 0,
+    start_year: int = 2000,
+    num_candidates: int = 3,
+) -> TimelineWorld:
+    """Build a :class:`TimelineWorld` covering ``num_years`` seasons."""
+    if num_years <= 0:
+        raise ConfigError("num_years must be positive")
+    rng = random.Random(seed)
+    topic = rng.choice(_TOPICS)
+    candidates = _candidate_names(num_candidates, rng)
+    subject = candidates[0]
+    documents: List[Document] = []
+    subject_years: List[int] = []
+    for offset in range(num_years):
+        year = start_year + offset
+        winner = candidates[rng.randrange(num_candidates)]
+        if winner == subject:
+            subject_years.append(year)
+        documents.append(
+            Document(
+                doc_id=f"timeline-{seed}-{year}",
+                title=f"{topic} {year}",
+                text=(
+                    f"The {year} {topic} of the year award was won by {winner} "
+                    f"after a standout season of competition."
+                ),
+            )
+        )
+    end_year = start_year + num_years - 1
+    knowledge = KnowledgeBase()
+    knowledge.add_fact(
+        intent=QuestionIntent.COUNT,
+        topic=f"{subject} {topic} year award",
+        answer=str(max(0, len(subject_years) - 1)),  # off-by-one memory
+        confidence=0.8,
+    )
+    return TimelineWorld(
+        query=(
+            f"How many times did {subject} win the {topic} of the year award "
+            f"between {start_year} and {end_year}?"
+        ),
+        corpus=Corpus(documents),
+        knowledge=knowledge,
+        subject=subject,
+        subject_years=tuple(subject_years),
+        year_range=(start_year, end_year),
+    )
+
+
+def random_corpus(
+    num_docs: int,
+    seed: int = 0,
+    vocab_size: int = 500,
+    doc_length: int = 40,
+    num_relevant: int = 0,
+    query_terms: Optional[Sequence[str]] = None,
+) -> Tuple[Corpus, List[str]]:
+    """Random-word corpus with ``num_relevant`` planted relevant docs.
+
+    Relevant documents have the query terms injected at random offsets;
+    returns the corpus and the planted doc ids (retrieval should rank
+    them on top — benchmark E11 measures precision).
+    """
+    if num_docs <= 0:
+        raise ConfigError("num_docs must be positive")
+    if num_relevant > num_docs:
+        raise ConfigError("num_relevant cannot exceed num_docs")
+    rng = random.Random(seed)
+    vocabulary = [f"word{index:04d}" for index in range(vocab_size)]
+    injected = list(query_terms or ("needle", "haystack", "signal"))
+    relevant_ids: List[str] = []
+    documents: List[Document] = []
+    for i in range(num_docs):
+        words = [rng.choice(vocabulary) for _ in range(doc_length)]
+        doc_id = f"rand-{seed}-{i:05d}"
+        if i < num_relevant:
+            for term in injected:
+                words.insert(rng.randrange(len(words) + 1), term)
+            relevant_ids.append(doc_id)
+        documents.append(Document(doc_id=doc_id, text=" ".join(words)))
+    return Corpus(documents), relevant_ids

@@ -1,0 +1,112 @@
+"""Use Case 1 — Ambiguous Answers: the Big Three of tennis.
+
+Paper narrative (Section III-B): the user asks which of Novak Djokovic,
+Roger Federer and Rafael Nadal is the best, over documents ranking the
+three by different metrics.  With the full retrieved context the LLM
+answers "Roger Federer"; combination insights reveal the match-wins
+document (which ranks Federer first "at 369") appears in every
+combination yielding that answer; and moving that document from the
+first to the second context position flips the answer to
+"Novak Djokovic".
+
+The corpus is authored so the BM25 retrieval order puts the match-wins
+document first (it is the only source using the question's word "best")
+and so the simulated LLM's positional voting reproduces each beat of
+the narrative; the integration tests assert all of them.
+"""
+
+from __future__ import annotations
+
+from ..llm.intents import QuestionIntent
+from ..llm.knowledge import KnowledgeBase
+from ..retrieval.document import Corpus, Document
+from .base import UseCase, register_use_case
+
+QUERY = (
+    "Who is the best tennis player among the Big Three of "
+    "Novak Djokovic, Roger Federer, and Rafael Nadal?"
+)
+
+_DOCUMENTS = [
+    Document(
+        doc_id="bigthree-1-match-wins",
+        title="Grand Slam match wins",
+        text=(
+            "Roger Federer is widely considered the best tennis player of the "
+            "Big Three era. Roger Federer ranks first with 369 Grand Slam match "
+            "wins, ahead of Novak Djokovic and Rafael Nadal."
+        ),
+        metadata={"metric": "grand slam match wins"},
+    ),
+    Document(
+        doc_id="bigthree-2-grand-slams",
+        title="Grand Slam titles",
+        text=(
+            "Novak Djokovic leads the Grand Slam count with 24 major singles "
+            "titles, the highest total in tennis among the Big Three. Rafael "
+            "Nadal owns 22 titles and Roger Federer owns 20 titles."
+        ),
+        metadata={"metric": "grand slam titles"},
+    ),
+    Document(
+        doc_id="bigthree-3-weeks-no1",
+        title="Weeks at number one",
+        text=(
+            "Novak Djokovic ranks first with 428 weeks as the top ranked tennis "
+            "player in the world. Roger Federer logged 310 weeks and Rafael "
+            "Nadal logged 209 weeks at the top of the ranking."
+        ),
+        metadata={"metric": "weeks at no. 1"},
+    ),
+    Document(
+        doc_id="bigthree-4-head-to-head",
+        title="Head-to-head record",
+        text=(
+            "Rafael Nadal leads the head to head tennis record with 24 match "
+            "wins over Roger Federer, holding the edge in their direct rivalry."
+        ),
+        metadata={"metric": "head-to-head"},
+    ),
+]
+
+
+def _knowledge() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    # The parametric belief: Djokovic recently surpassed the others in
+    # Grand Slam wins ("The user expects that Novak Djokovic ... might be
+    # the LLM's choice").
+    kb.add_fact(
+        intent=QuestionIntent.SUPERLATIVE,
+        topic=(
+            "best tennis player big three novak djokovic roger federer "
+            "rafael nadal"
+        ),
+        answer="Novak Djokovic",
+        confidence=1.0,
+    )
+    return kb
+
+
+@register_use_case("big_three")
+def build() -> UseCase:
+    """Build the Use Case 1 dataset."""
+    return UseCase(
+        name="big_three",
+        description="Ambiguous 'best of the Big Three' question (Use Case 1 / Fig. 2)",
+        corpus=Corpus(_DOCUMENTS),
+        query=QUERY,
+        knowledge=_knowledge(),
+        k=4,
+        expected_context=[
+            "bigthree-1-match-wins",
+            "bigthree-2-grand-slams",
+            "bigthree-3-weeks-no1",
+            "bigthree-4-head-to-head",
+        ],
+        expected_answer="Roger Federer",
+        notes=(
+            "Counterfactual targets: removing bigthree-1-match-wins flips to "
+            "Novak Djokovic; moving it to the second position flips to "
+            "Novak Djokovic (paper Section III-B)."
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Use Case 3 — Timelines: ATP Player of the Year, 2010–2019.
+
+Paper narrative (Section III-D): ten documents, one per year, recording
+the Player of the Year — Rafael Nadal (2010, 2013, 2017, 2019), Novak
+Djokovic (2011, 2012, 2014, 2015, 2018) and Andy Murray (2016).  Asked
+how many times Djokovic won between 2010 and 2019, the LLM answers 5
+with the full context; the bottom-up combination counterfactual cites
+exactly the five Djokovic documents; and permutation insights show a
+consistent answer with no positional rules ("the LLM consistently
+comprehends the entire timeline ... regardless of the specific order").
+
+The simulated LLM's COUNT rule is order-insensitive by design, so the
+stability is a property being *demonstrated*, not an accident.  The
+knowledge base deliberately misremembers the count as 4, making the
+empty-context answer wrong — which is what gives the bottom-up
+counterfactual its five-document citation set.
+"""
+
+from __future__ import annotations
+
+from ..llm.intents import QuestionIntent
+from ..llm.knowledge import KnowledgeBase
+from ..retrieval.document import Corpus, Document
+from .base import UseCase, register_use_case
+
+QUERY = (
+    "How many times did Novak Djokovic win the ATP Player of the Year "
+    "award between 2010 and 2019?"
+)
+
+WINNERS = {
+    2010: "Rafael Nadal",
+    2011: "Novak Djokovic",
+    2012: "Novak Djokovic",
+    2013: "Rafael Nadal",
+    2014: "Novak Djokovic",
+    2015: "Novak Djokovic",
+    2016: "Andy Murray",
+    2017: "Rafael Nadal",
+    2018: "Novak Djokovic",
+    2019: "Rafael Nadal",
+}
+
+#: The years the correct answer counts (used by tests and benchmarks).
+DJOKOVIC_YEARS = tuple(sorted(year for year, who in WINNERS.items() if who == "Novak Djokovic"))
+
+_TEMPLATE = (
+    "The {year} ATP Player of the Year award was won by {winner} after a "
+    "dominant season on the professional tennis tour."
+)
+
+
+def _documents():
+    return [
+        Document(
+            doc_id=f"potya-{year}",
+            title=f"Player of the Year {year}",
+            text=_TEMPLATE.format(year=year, winner=winner),
+            metadata={"year": str(year), "winner": winner},
+        )
+        for year, winner in sorted(WINNERS.items())
+    ]
+
+
+def _knowledge() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    # Imperfect parametric memory: off by one.  The bottom-up
+    # counterfactual must retain sources to flip this 4 to the correct 5.
+    kb.add_fact(
+        intent=QuestionIntent.COUNT,
+        topic="novak djokovic atp player year award",
+        answer="4",
+        confidence=0.8,
+    )
+    return kb
+
+
+@register_use_case("player_of_the_year")
+def build() -> UseCase:
+    """Build the Use Case 3 dataset."""
+    return UseCase(
+        name="player_of_the_year",
+        description="Timeline counting question (Use Case 3)",
+        corpus=Corpus(_documents()),
+        query=QUERY,
+        knowledge=_knowledge(),
+        k=10,
+        expected_context=None,  # the narrative does not fix an order
+        expected_answer="5",
+        notes=(
+            "Counterfactual targets: bottom-up citation = the five Djokovic "
+            "documents; permutation insights stable at 5 with no rules "
+            "(paper Section III-D)."
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Use Case 2 — Inconsistent Sources: US Open women's champions.
+
+Paper narrative (Section III-C): the user asks for the most recent US
+Open women's champion over five similar documents, one per year.  With
+the full context the answer is "Coco Gauff" (the 2023 champion, stated
+by the *last* context document).  Permutation insights reveal the LLM
+"incorrectly identifies the 2022 champion 'Iga Swiatek' whenever the
+last document is moved towards the middle of the sequence" — out-of-date
+sources win when the up-to-date one lands in a low-attention position.
+
+The five documents share one template (equal analyzed lengths, equal
+BM25 scores), so the deterministic doc-id tie-break yields the
+chronological context order with the 2023 document last, matching the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+from ..llm.intents import QuestionIntent
+from ..llm.knowledge import KnowledgeBase
+from ..retrieval.document import Corpus, Document
+from .base import UseCase, register_use_case
+
+QUERY = "Who is the most recent winner of the US Open women's singles championship?"
+
+_CHAMPIONS = [
+    (2019, "Bianca Andreescu", "Serena Williams"),
+    (2020, "Naomi Osaka", "Victoria Azarenka"),
+    (2021, "Emma Raducanu", "Leylah Fernandez"),
+    (2022, "Iga Swiatek", "Ons Jabeur"),
+    (2023, "Coco Gauff", "Aryna Sabalenka"),
+]
+
+_TEMPLATE = (
+    "The {year} US Open women's singles championship was won by {winner}, "
+    "who defeated {runner_up} in the final match of the tournament."
+)
+
+
+def _documents():
+    return [
+        Document(
+            doc_id=f"usopen-{year}",
+            title=f"US Open {year}",
+            text=_TEMPLATE.format(year=year, winner=winner, runner_up=runner_up),
+            metadata={"year": str(year)},
+        )
+        for year, winner, runner_up in _CHAMPIONS
+    ]
+
+
+def _knowledge() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    # Stale parametric memory: a training cutoff before the 2022 and 2023
+    # tournaments.  Only consulted when the context is empty.
+    kb.add_fact(
+        intent=QuestionIntent.MOST_RECENT,
+        topic="most recent winner us open women singles championship",
+        answer="Emma Raducanu",
+        confidence=0.9,
+    )
+    return kb
+
+
+@register_use_case("us_open")
+def build() -> UseCase:
+    """Build the Use Case 2 dataset."""
+    return UseCase(
+        name="us_open",
+        description="Inconsistent-sources US Open question (Use Case 2)",
+        corpus=Corpus(_documents()),
+        query=QUERY,
+        knowledge=_knowledge(),
+        k=5,
+        expected_context=[f"usopen-{year}" for year, _, _ in _CHAMPIONS],
+        expected_answer="Coco Gauff",
+        notes=(
+            "Counterfactual target: permutations placing usopen-2023 in the "
+            "middle of the context flip the answer to Iga Swiatek "
+            "(paper Section III-C)."
+        ),
+        extras={"incorrect_answer": "Iga Swiatek"},
+    )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro (RAGE) library.
+
+Every error raised deliberately by this package derives from
+:class:`RageError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class RageError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(RageError):
+    """An invalid configuration value was supplied."""
+
+
+class RetrievalError(RageError):
+    """The retrieval substrate could not satisfy a request."""
+
+
+class EmptyIndexError(RetrievalError):
+    """A query was issued against an index with no documents."""
+
+
+class UnknownDocumentError(RetrievalError):
+    """A document identifier does not exist in the corpus or index."""
+
+
+class PromptError(RageError):
+    """A prompt could not be built or parsed."""
+
+
+class GenerationError(RageError):
+    """The language model failed to produce an answer."""
+
+
+class SearchBudgetError(RageError):
+    """A perturbation search was configured with a non-positive budget."""
+
+
+class PerturbationError(RageError):
+    """A perturbation is inconsistent with the context it applies to."""
+
+
+class AssignmentError(RageError):
+    """The assignment solver received an infeasible or malformed instance."""
+
+
+class DatasetError(RageError):
+    """A built-in dataset could not be constructed or located."""

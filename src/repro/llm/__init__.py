@@ -1,0 +1,44 @@
+"""LLM substrate: prompts, intents, claim extraction, knowledge base,
+and the deterministic simulated model (Llama-2-7B-chat substitute).
+"""
+
+from .base import GenerationResult, LanguageModel, TokenUsage
+from .cache import CacheStats, CachingLLM
+from .extraction import Claim, ClaimExtractor, ClaimKind, split_sentences
+from .intents import (
+    ENTITY_PATTERN,
+    ParsedQuestion,
+    QuestionIntent,
+    classify_intent,
+    parse_question,
+)
+from .knowledge import KBFact, KnowledgeBase
+from .prompts import DEFAULT_PROMPT_BUILDER, ParsedPrompt, PromptBuilder, parse_prompt
+from .scripted import ScriptedLLM
+from .simulated import SimulatedLLM, SimulatedLLMConfig
+
+__all__ = [
+    "GenerationResult",
+    "LanguageModel",
+    "TokenUsage",
+    "CacheStats",
+    "CachingLLM",
+    "Claim",
+    "ClaimExtractor",
+    "ClaimKind",
+    "split_sentences",
+    "ENTITY_PATTERN",
+    "ParsedQuestion",
+    "QuestionIntent",
+    "classify_intent",
+    "parse_question",
+    "KBFact",
+    "KnowledgeBase",
+    "DEFAULT_PROMPT_BUILDER",
+    "ParsedPrompt",
+    "PromptBuilder",
+    "parse_prompt",
+    "ScriptedLLM",
+    "SimulatedLLM",
+    "SimulatedLLMConfig",
+]

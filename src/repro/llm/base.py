@@ -1,0 +1,72 @@
+"""Language-model interface: what RAGE requires of an LLM.
+
+The paper runs Llama-2-7B-chat but notes the software "is fully
+compatible with any similar transformer-based LLM".  We keep that
+property: everything above this layer sees only :class:`LanguageModel`
+— a name plus ``generate(prompt) -> GenerationResult``.  The simulated
+model (:mod:`repro.llm.simulated`) and the caching wrapper
+(:mod:`repro.llm.cache`) both implement it; a Hugging Face client could
+be slotted in without touching the explanation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from ..attention.model import AttentionTrace
+
+
+@dataclass(frozen=True)
+class TokenUsage:
+    """Token accounting for one generation call."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus completion tokens."""
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class GenerationResult:
+    """Everything one LLM call returns.
+
+    Attributes
+    ----------
+    answer:
+        The raw answer string (pre-normalization).
+    prompt:
+        The exact prompt that produced it.
+    attention:
+        Synthetic (or real) attention trace over the prompt's sources;
+        ``None`` when the model does not expose attention.
+    usage:
+        Token accounting.
+    diagnostics:
+        Model-specific extras; the simulated model reports the candidate
+        vote tally and the detected question intent here.  Purely
+        informational — the explanation algorithms never read it.
+    """
+
+    answer: str
+    prompt: str
+    attention: Optional[AttentionTrace] = None
+    usage: TokenUsage = field(default_factory=TokenUsage)
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+
+@runtime_checkable
+class LanguageModel(Protocol):
+    """The minimal LLM contract the explanation layer depends on."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable model identifier (reports, cache keys)."""
+        ...
+
+    def generate(self, prompt: str) -> GenerationResult:
+        """Produce an answer for a fully-rendered prompt."""
+        ...

@@ -1,0 +1,80 @@
+"""Prompt-level memoization for perturbation searches.
+
+A counterfactual search may evaluate hundreds of perturbations, and the
+insight analyses re-evaluate many of the same combinations; caching on
+the exact prompt string makes repeated evaluations free while keeping
+the wrapped model a pure prompt -> answer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .base import GenerationResult, LanguageModel
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`CachingLLM` instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        """Total generate() invocations observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls served from cache (0.0 when unused)."""
+        if self.calls == 0:
+            return 0.0
+        return self.hits / self.calls
+
+
+class CachingLLM:
+    """Memoizing wrapper around any :class:`LanguageModel`.
+
+    The wrapped model must be deterministic (the simulated model is);
+    caching a sampling model would freeze one sample per prompt.
+    """
+
+    def __init__(self, model: LanguageModel, max_entries: Optional[int] = None) -> None:
+        self._model = model
+        self._max_entries = max_entries
+        self._cache: Dict[str, GenerationResult] = {}
+        self.stats = CacheStats()
+
+    @property
+    def name(self) -> str:
+        """Wrapped model's name with a cache marker."""
+        return f"cached({self._model.name})"
+
+    @property
+    def inner(self) -> LanguageModel:
+        """The wrapped model."""
+        return self._model
+
+    def generate(self, prompt: str) -> GenerationResult:
+        """Serve from cache when possible, else delegate and remember."""
+        cached = self._cache.get(prompt)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = self._model.generate(prompt)
+        if self._max_entries is not None and len(self._cache) >= self._max_entries:
+            # FIFO eviction: drop the oldest inserted entry.
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+        self._cache[prompt] = result
+        return result
+
+    def clear(self) -> None:
+        """Empty the cache (stats are kept)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

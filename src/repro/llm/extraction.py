@@ -1,0 +1,204 @@
+"""Rule-based claim extraction — the simulated LLM's "reading".
+
+A real LLM reads the delimited sources and internalizes their claims;
+the simulated model makes that step an explicit, testable information
+extraction pass.  Three claim kinds cover the paper's use cases:
+
+* ``AWARD`` — "<entity> won the <event> in <year>" and variants: the
+  championship/award facts behind Use Cases 2 and 3.
+* ``SUPERLATIVE`` — "<entity> is widely considered the best ...": an
+  explicit best-of assertion (strong evidence for SUPERLATIVE intent).
+* ``RANK_FIRST`` — "<entity> ranks first with <value> <metric>": an
+  implicit best-of ranking (weaker evidence; Use Case 1's metric docs).
+
+Each claim records the source sentence's analyzed terms so the answerer
+can check topical overlap with the question.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, List, Optional
+
+from ..textproc import Tokenizer, normalize_entity
+from .intents import ENTITY_PATTERN
+
+# Split after terminal punctuation, but not after a list marker like
+# " 1." (a space, a single digit, then the period) — years ("2018.")
+# still split because their last pre-period character is a digit.
+_SENTENCE_SPLIT_RE = re.compile(r"(?<=[.!?;])(?<!\s\d[.!?;])\s+")
+
+_ENT = ENTITY_PATTERN
+
+
+class ClaimKind(str, Enum):
+    """What kind of evidence a claim carries."""
+
+    AWARD = "award"
+    SUPERLATIVE = "superlative"
+    RANK_FIRST = "rank_first"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One extracted assertion from a source sentence.
+
+    Attributes
+    ----------
+    entity:
+        The claimed entity, original surface form ("Roger Federer").
+    kind:
+        Claim category (controls evidence strength).
+    year:
+        Event year when stated.
+    value:
+        Numeric figure for RANK_FIRST claims ("369").
+    terms:
+        Analyzed terms of the whole sentence, for topical matching.
+    sentence:
+        The raw sentence (reports/debugging).
+    """
+
+    entity: str
+    kind: ClaimKind
+    year: Optional[int] = None
+    value: Optional[str] = None
+    terms: FrozenSet[str] = field(default_factory=frozenset)
+    sentence: str = ""
+
+    @property
+    def entity_key(self) -> str:
+        """Normalized entity for comparisons."""
+        return normalize_entity(self.entity)
+
+
+_AWARD_PATTERNS = [
+    # "Coco Gauff won the US Open women's singles championship in 2023"
+    re.compile(
+        r"(?P<entity>" + _ENT + r") won the (?P<event>[\w\s'().-]+?) in (?P<year>\d{4})"
+    ),
+    # "The 2023 US Open women's singles championship was won by Coco Gauff"
+    re.compile(
+        r"[Tt]he (?P<year>\d{4}) (?P<event>[\w\s'().-]+?) (?:was won by|went to) "
+        r"(?P<entity>" + _ENT + r")"
+    ),
+    # "Iga Swiatek won the 2022 US Open"
+    re.compile(
+        r"(?P<entity>" + _ENT + r") (?:won|captured|claimed) the (?P<year>\d{4}) "
+        r"(?P<event>[\w\s'().-]+)"
+    ),
+    # "Coco Gauff is the 2023 US Open champion"
+    re.compile(
+        r"(?P<entity>" + _ENT + r") (?:is|was) the (?P<year>\d{4}) "
+        r"(?P<event>[\w\s'().-]+?) (?:champion|winner)"
+    ),
+]
+
+_SUPERLATIVE_PATTERNS = [
+    # "Roger Federer is widely considered the best ..."
+    re.compile(
+        r"(?P<entity>" + _ENT + r"),? (?:is|was|remains)"
+        r"(?: widely| often| generally)?(?: considered| regarded as| seen as)?"
+        r"(?: to be)? the (?:best|greatest|top|finest)"
+    ),
+    # "... the greatest of them is Novak Djokovic"
+    re.compile(
+        r"the (?:best|greatest|top|finest) [\w\s'().-]*? is "
+        r"(?P<entity>" + _ENT + r")"
+    ),
+]
+
+_RANK_FIRST_PATTERNS = [
+    # "Roger Federer ranks first with 369 Grand Slam match wins"
+    re.compile(
+        r"(?P<entity>" + _ENT + r") rank(?:s|ed)? first"
+        r"(?: with (?P<value>[\d,.]+))?"
+    ),
+    # "Novak Djokovic leads with 24 titles" / "leads the list with 428 weeks"
+    re.compile(
+        r"(?P<entity>" + _ENT + r") leads(?: [\w\s'-]+?)? with (?P<value>[\d,.]+)"
+    ),
+    # Enumerated list style: "1. Roger Federer (369)"
+    re.compile(r"1\.\s*(?P<entity>" + _ENT + r")"),
+]
+
+
+def split_sentences(text: str) -> List[str]:
+    """Sentence segmentation on terminal punctuation (kept simple)."""
+    return [part.strip() for part in _SENTENCE_SPLIT_RE.split(text) if part.strip()]
+
+
+class ClaimExtractor:
+    """Extract all claims from a source text."""
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+
+    def extract(self, text: str) -> List[Claim]:
+        """All claims found in ``text``, in sentence-then-pattern order."""
+        claims: List[Claim] = []
+        for sentence in split_sentences(text):
+            terms = frozenset(self._tokenizer.tokenize(sentence))
+            claims.extend(self._extract_awards(sentence, terms))
+            claims.extend(self._extract_superlatives(sentence, terms))
+            claims.extend(self._extract_rank_firsts(sentence, terms))
+        return claims
+
+    def _extract_awards(self, sentence: str, terms: FrozenSet[str]) -> List[Claim]:
+        found: List[Claim] = []
+        for pattern in _AWARD_PATTERNS:
+            for match in pattern.finditer(sentence):
+                found.append(
+                    Claim(
+                        entity=match.group("entity").strip(),
+                        kind=ClaimKind.AWARD,
+                        year=int(match.group("year")),
+                        terms=terms,
+                        sentence=sentence,
+                    )
+                )
+        return _dedupe(found)
+
+    def _extract_superlatives(self, sentence: str, terms: FrozenSet[str]) -> List[Claim]:
+        found: List[Claim] = []
+        for pattern in _SUPERLATIVE_PATTERNS:
+            for match in pattern.finditer(sentence):
+                found.append(
+                    Claim(
+                        entity=match.group("entity").strip(),
+                        kind=ClaimKind.SUPERLATIVE,
+                        terms=terms,
+                        sentence=sentence,
+                    )
+                )
+        return _dedupe(found)
+
+    def _extract_rank_firsts(self, sentence: str, terms: FrozenSet[str]) -> List[Claim]:
+        found: List[Claim] = []
+        for pattern in _RANK_FIRST_PATTERNS:
+            for match in pattern.finditer(sentence):
+                groups = match.groupdict()
+                found.append(
+                    Claim(
+                        entity=match.group("entity").strip(),
+                        kind=ClaimKind.RANK_FIRST,
+                        value=groups.get("value"),
+                        terms=terms,
+                        sentence=sentence,
+                    )
+                )
+        return _dedupe(found)
+
+
+def _dedupe(claims: List[Claim]) -> List[Claim]:
+    """Drop repeated (entity, kind, year) triples within one sentence."""
+    seen: set = set()
+    unique: List[Claim] = []
+    for claim in claims:
+        key = (claim.entity_key, claim.kind, claim.year)
+        if key not in seen:
+            seen.add(key)
+            unique.append(claim)
+    return unique

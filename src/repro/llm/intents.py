@@ -1,0 +1,127 @@
+"""Question-intent parsing for the simulated LLM.
+
+A real instruction-tuned LLM infers what kind of answer a question
+wants.  The simulated model makes that inference explicit and testable:
+a question is classified into one of four intents, and auxiliary slots
+(subject entity, year range) are extracted with patterns.
+
+Intents
+-------
+SUPERLATIVE   "Who is the best/greatest ...?"          -> entity
+MOST_RECENT   "Who is the most recent/latest ...?"     -> entity
+COUNT         "How many times did X ... ?"             -> number
+FACTOID       anything else                            -> entity/value
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from ..textproc import Tokenizer, normalize_entity
+
+# Entity pattern: capitalized word runs, allowing lowercase connectors.
+# The first character class admits accented Latin capitals (À-Þ plus the
+# Latin Extended-A block for names like Świątek); trailing periods are
+# deliberately excluded so sentence-final names stay clean.
+_CAP = r"[A-ZÀ-ÖØ-ÞĀ-ſ]"
+ENTITY_PATTERN = (
+    _CAP + r"[\w'-]*"
+    r"(?:\s+(?:of|the|de|van|der|von|di|da)\s+" + _CAP + r"[\w'-]*"
+    r"|\s+" + _CAP + r"[\w'-]*)*"
+)
+
+_COUNT_RE = re.compile(r"\bhow many\b", re.IGNORECASE)
+_MOST_RECENT_RE = re.compile(
+    r"\b(?:most recent|latest|newest|current|last)\b", re.IGNORECASE
+)
+_EARLIEST_RE = re.compile(
+    r"\b(?:first|earliest|inaugural|original)\b", re.IGNORECASE
+)
+_SUPERLATIVE_RE = re.compile(
+    r"\b(?:best|greatest|top|finest|most successful|most accomplished)\b",
+    re.IGNORECASE,
+)
+_RANGE_RE = re.compile(
+    r"\b(?:between|from)\s+(\d{4})\s+(?:and|to)\s+(\d{4})\b", re.IGNORECASE
+)
+_SUBJECT_RE = re.compile(
+    r"\b(?:did|has|have|does|was|were)\s+(?P<entity>" + ENTITY_PATTERN + r")"
+)
+
+
+class QuestionIntent(str, Enum):
+    """The answer type a question requests."""
+
+    SUPERLATIVE = "superlative"
+    MOST_RECENT = "most_recent"
+    EARLIEST = "earliest"
+    COUNT = "count"
+    FACTOID = "factoid"
+
+
+@dataclass(frozen=True)
+class ParsedQuestion:
+    """A question decomposed into intent and slots.
+
+    Attributes
+    ----------
+    text:
+        The original question.
+    intent:
+        Detected :class:`QuestionIntent`.
+    subject:
+        Normalized subject entity for COUNT questions ("novak djokovic"
+        in "How many times did Novak Djokovic ...").
+    year_range:
+        Inclusive (start, end) when the question bounds a period.
+    terms:
+        Analyzed content terms (lowercased, stopwords removed, stemmed)
+        used for topical matching against source claims.
+    """
+
+    text: str
+    intent: QuestionIntent
+    subject: Optional[str] = None
+    year_range: Optional[Tuple[int, int]] = None
+    terms: FrozenSet[str] = field(default_factory=frozenset)
+
+
+def classify_intent(question: str) -> QuestionIntent:
+    """Intent from surface patterns.  COUNT and the temporal intents
+    outrank SUPERLATIVE so "how many ... best ..." counts; MOST_RECENT
+    outranks EARLIEST so "most recent first-round winner" reads as
+    recency."""
+    if _COUNT_RE.search(question):
+        return QuestionIntent.COUNT
+    if _MOST_RECENT_RE.search(question):
+        return QuestionIntent.MOST_RECENT
+    if _EARLIEST_RE.search(question):
+        return QuestionIntent.EARLIEST
+    if _SUPERLATIVE_RE.search(question):
+        return QuestionIntent.SUPERLATIVE
+    return QuestionIntent.FACTOID
+
+
+def parse_question(question: str, tokenizer: Optional[Tokenizer] = None) -> ParsedQuestion:
+    """Full question analysis: intent, subject, year range, terms."""
+    tokenizer = tokenizer or Tokenizer()
+    intent = classify_intent(question)
+    subject: Optional[str] = None
+    match = _SUBJECT_RE.search(question)
+    if match is not None:
+        subject = normalize_entity(match.group("entity"))
+    year_range: Optional[Tuple[int, int]] = None
+    range_match = _RANGE_RE.search(question)
+    if range_match is not None:
+        start, end = int(range_match.group(1)), int(range_match.group(2))
+        year_range = (min(start, end), max(start, end))
+    return ParsedQuestion(
+        text=question,
+        intent=intent,
+        subject=subject,
+        year_range=year_range,
+        terms=frozenset(tokenizer.tokenize(question)),
+    )

@@ -1,0 +1,121 @@
+"""Parametric knowledge — what the simulated LLM "learned in training".
+
+RAG explanations only make sense against a model that also has its own
+trained knowledge: the bottom-up counterfactual flips "the empty-context
+answer", and the full-context answer mixes context evidence with a
+parametric prior (the LLM "using its own pre-trained knowledge and
+retrieved knowledge sources").
+
+A :class:`KnowledgeBase` stores :class:`KBFact` records keyed by intent
+plus topic terms.  Lookup is a soft match: the fact whose topic terms
+are best covered by the question's terms wins, subject to a minimum
+coverage threshold.  Facts can be deliberately *stale or wrong* (e.g. a
+training cutoff before the newest championship) — that mismatch between
+parametric and retrieved knowledge is exactly what the use cases probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional
+
+from ..errors import ConfigError
+from ..textproc import Tokenizer
+from .intents import ParsedQuestion, QuestionIntent
+
+
+@dataclass(frozen=True)
+class KBFact:
+    """One parametric fact.
+
+    Attributes
+    ----------
+    intent:
+        The question intent this fact answers.
+    topic_terms:
+        Analyzed terms describing the topic; matched against questions.
+    answer:
+        The answer string the model would produce from memory.
+    confidence:
+        Relative strength of the parametric belief in [0, 1]; scales the
+        prior weight it contributes when mixed with context evidence.
+    """
+
+    intent: QuestionIntent
+    topic_terms: FrozenSet[str]
+    answer: str
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.topic_terms:
+            raise ConfigError("a KBFact needs at least one topic term")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ConfigError(f"confidence must be in [0, 1], got {self.confidence}")
+
+    def coverage(self, question_terms: FrozenSet[str]) -> float:
+        """Fraction of this fact's topic terms present in the question."""
+        return len(self.topic_terms & question_terms) / len(self.topic_terms)
+
+
+class KnowledgeBase:
+    """A collection of parametric facts with soft lookup."""
+
+    def __init__(
+        self,
+        facts: Optional[Iterable[KBFact]] = None,
+        min_coverage: float = 0.5,
+    ) -> None:
+        if not 0.0 < min_coverage <= 1.0:
+            raise ConfigError(f"min_coverage must be in (0, 1], got {min_coverage}")
+        self.min_coverage = min_coverage
+        self._facts: List[KBFact] = list(facts or ())
+
+    def add(self, fact: KBFact) -> None:
+        """Register a fact."""
+        self._facts.append(fact)
+
+    def add_fact(
+        self,
+        intent: QuestionIntent,
+        topic: str,
+        answer: str,
+        confidence: float = 1.0,
+        tokenizer: Optional[Tokenizer] = None,
+    ) -> KBFact:
+        """Convenience: build topic terms from a natural-language topic."""
+        tokenizer = tokenizer or Tokenizer()
+        fact = KBFact(
+            intent=intent,
+            topic_terms=frozenset(tokenizer.tokenize(topic)),
+            answer=answer,
+            confidence=confidence,
+        )
+        self.add(fact)
+        return fact
+
+    def lookup(self, question: ParsedQuestion) -> Optional[KBFact]:
+        """Best-matching fact for the question, or None.
+
+        Candidates must share the question's intent and reach the
+        coverage threshold; the best coverage wins, ties broken by
+        higher confidence then insertion order (deterministic).
+        """
+        best: Optional[KBFact] = None
+        best_key = (0.0, 0.0)
+        for fact in self._facts:
+            if fact.intent is not question.intent:
+                continue
+            coverage = fact.coverage(question.terms)
+            if coverage < self.min_coverage:
+                continue
+            key = (coverage, fact.confidence)
+            if best is None or key > best_key:
+                best = fact
+                best_key = key
+        return best
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self):
+        return iter(self._facts)

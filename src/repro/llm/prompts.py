@@ -1,0 +1,105 @@
+"""Prompt construction and parsing.
+
+RAGE combines the ranked context ``Dq`` and the question ``q`` into a
+natural-language prompt instructing the LLM "to answer question q using
+the information contained within the set of delimited sources".  The
+prompt is "the final and sole input to the LLM", so the simulated model
+must *parse sources back out of the prompt text* rather than receive
+them through a side channel — :func:`parse_prompt` is that inverse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import PromptError
+
+_HEADER = (
+    "You are a question answering assistant. Answer the question using "
+    "only the information contained in the delimited sources below. "
+    "Respond with just the answer."
+)
+_NO_SOURCES_LINE = "No sources are provided; answer from your own knowledge."
+_SOURCE_PREFIX = "[Source {index}] "
+_QUESTION_PREFIX = "Question: "
+_ANSWER_SUFFIX = "Answer:"
+
+_SOURCE_RE = re.compile(
+    r"^\[Source (?P<index>\d+)\] (?P<text>.*?)$", re.MULTILINE
+)
+_QUESTION_RE = re.compile(
+    r"^Question: (?P<question>.*?)\nAnswer:", re.MULTILINE | re.DOTALL
+)
+
+
+@dataclass(frozen=True)
+class ParsedPrompt:
+    """A prompt decomposed back into question + ordered source texts."""
+
+    question: str
+    source_texts: List[str]
+
+    @property
+    def k(self) -> int:
+        """Number of context sources."""
+        return len(self.source_texts)
+
+
+class PromptBuilder:
+    """Render (question, ordered source texts) into the RAG prompt.
+
+    Source texts must be single-line strings (documents in this library
+    are paragraph-style); embedded newlines are folded to spaces so the
+    per-line delimiter parse stays unambiguous.
+    """
+
+    def build(self, question: str, source_texts: Sequence[str]) -> str:
+        """Render the full prompt for a context in the given order."""
+        question = " ".join(question.split())
+        if not question:
+            raise PromptError("question must be non-empty")
+        lines = [_HEADER, ""]
+        if source_texts:
+            for index, text in enumerate(source_texts, start=1):
+                flat = " ".join(str(text).split())
+                if not flat:
+                    raise PromptError(f"source {index} is empty")
+                lines.append(_SOURCE_PREFIX.format(index=index) + flat)
+        else:
+            lines.append(_NO_SOURCES_LINE)
+        lines.append("")
+        lines.append(_QUESTION_PREFIX + question)
+        lines.append(_ANSWER_SUFFIX)
+        return "\n".join(lines)
+
+
+def parse_prompt(prompt: str) -> ParsedPrompt:
+    """Recover the question and ordered source texts from a prompt.
+
+    Raises
+    ------
+    PromptError
+        When the prompt does not follow the :class:`PromptBuilder`
+        layout (missing question, gap in source numbering, ...).
+    """
+    question_match = _QUESTION_RE.search(prompt)
+    if question_match is None:
+        raise PromptError("prompt has no 'Question: ... Answer:' block")
+    question = question_match.group("question").strip()
+    if not question:
+        raise PromptError("prompt question is empty")
+    sources: List[str] = []
+    for match in _SOURCE_RE.finditer(prompt):
+        index = int(match.group("index"))
+        if index != len(sources) + 1:
+            raise PromptError(
+                f"source numbering broken: expected {len(sources) + 1}, got {index}"
+            )
+        sources.append(match.group("text").strip())
+    return ParsedPrompt(question=question, source_texts=sources)
+
+
+#: Shared default builder.
+DEFAULT_PROMPT_BUILDER = PromptBuilder()

@@ -1,0 +1,166 @@
+"""Adapter for real Hugging Face transformer models.
+
+The paper runs ``meta-llama/Llama-2-7b-chat-hf`` through the
+Transformers library and notes the software "is fully compatible with
+any similar transformer-based LLM".  This adapter realizes that claim
+for the reproduction: it implements the same :class:`LanguageModel`
+protocol as the simulated model, so a real checkpoint can drive every
+explanation algorithm unchanged.
+
+``transformers``/``torch`` are *optional*: this environment is offline,
+so the import happens lazily and failures raise a clear
+:class:`~repro.errors.GenerationError` at construction time.  The
+adapter is exercised in tests through a lightweight fake of the
+transformers interface (no network, no weights), which pins down the
+exact calls a real model would receive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..attention.model import AttentionTrace, TokenAttention
+from ..errors import GenerationError
+from .base import GenerationResult, TokenUsage
+from .prompts import parse_prompt
+
+
+class TransformersLLM:
+    """Drive a causal-LM checkpoint through the RAGE prompt contract.
+
+    Parameters
+    ----------
+    model_name:
+        Checkpoint id, e.g. ``meta-llama/Llama-2-7b-chat-hf``.
+    max_new_tokens:
+        Generation cap (answers are short spans).
+    device:
+        Torch device string; ``None`` lets the library decide.
+    loader:
+        Injection point for tests: a callable returning
+        ``(tokenizer, model)``.  Defaults to loading through
+        ``transformers.AutoTokenizer`` / ``AutoModelForCausalLM``.
+    """
+
+    def __init__(
+        self,
+        model_name: str = "meta-llama/Llama-2-7b-chat-hf",
+        max_new_tokens: int = 32,
+        device: Optional[str] = None,
+        loader=None,
+    ) -> None:
+        self.model_name = model_name
+        self.max_new_tokens = max_new_tokens
+        self.device = device
+        if loader is None:
+            loader = self._default_loader
+        try:
+            self._tokenizer, self._model = loader(model_name, device)
+        except GenerationError:
+            raise
+        except Exception as error:  # pragma: no cover - depends on env
+            raise GenerationError(
+                f"could not load {model_name!r}: {error}"
+            ) from error
+
+    @staticmethod
+    def _default_loader(model_name: str, device: Optional[str]):
+        try:
+            from transformers import AutoModelForCausalLM, AutoTokenizer
+        except ImportError as error:
+            raise GenerationError(
+                "the transformers library is not installed; use "
+                "repro.llm.SimulatedLLM or install transformers+torch"
+            ) from error
+        tokenizer = AutoTokenizer.from_pretrained(model_name)
+        model = AutoModelForCausalLM.from_pretrained(
+            model_name, output_attentions=True
+        )
+        if device is not None:
+            model = model.to(device)
+        return tokenizer, model
+
+    @property
+    def name(self) -> str:
+        """Checkpoint identifier."""
+        return f"transformers/{self.model_name}"
+
+    def generate(self, prompt: str) -> GenerationResult:
+        """Tokenize, generate, decode, and expose per-source attention."""
+        parsed = parse_prompt(prompt)  # validates the prompt contract
+        encoded = self._tokenizer(prompt, return_tensors="pt")
+        if self.device is not None and hasattr(encoded, "to"):
+            encoded = encoded.to(self.device)
+        output = self._model.generate(
+            **encoded,
+            max_new_tokens=self.max_new_tokens,
+            do_sample=False,  # deterministic: RAGE perturbs, it must not sample
+            output_attentions=True,
+            return_dict_in_generate=True,
+        )
+        prompt_length = encoded["input_ids"].shape[-1]
+        answer_ids = output.sequences[0][prompt_length:]
+        answer = self._tokenizer.decode(answer_ids, skip_special_tokens=True).strip()
+        trace = self._attention_trace(parsed, prompt, output)
+        return GenerationResult(
+            answer=answer,
+            prompt=prompt,
+            attention=trace,
+            usage=TokenUsage(
+                prompt_tokens=int(prompt_length),
+                completion_tokens=int(len(answer_ids)),
+            ),
+            diagnostics={"model": self.model_name},
+        )
+
+    def _attention_trace(self, parsed, prompt: str, output) -> Optional[AttentionTrace]:
+        """Fold HF attention tensors into the library's trace structure.
+
+        Maps each prompt token to its source by character offsets, then
+        stores the last-position attention row per layer/head — exactly
+        the values the paper sums over layers, heads and tokens.
+        """
+        attentions = getattr(output, "attentions", None)
+        if not attentions:
+            return None
+        first_step = attentions[0]  # tuple over layers, prompt-wide
+        num_layers = len(first_step)
+        num_heads = first_step[0].shape[1]
+        offsets = self._tokenizer(
+            prompt, return_offsets_mapping=True
+        ).get("offset_mapping")
+        if offsets is None:
+            return None
+        source_spans = []
+        cursor = 0
+        for text in parsed.source_texts:
+            start = prompt.find(text, cursor)
+            source_spans.append((start, start + len(text)))
+            cursor = start + len(text)
+        trace = AttentionTrace(num_layers=num_layers, num_heads=num_heads)
+        for token_index, (start, end) in enumerate(offsets):
+            source_index = next(
+                (
+                    i
+                    for i, (s_start, s_end) in enumerate(source_spans)
+                    if start >= s_start and end <= s_end
+                ),
+                None,
+            )
+            if source_index is None:
+                continue
+            values = tuple(
+                tuple(
+                    float(first_step[layer][0, head, -1, token_index])
+                    for head in range(num_heads)
+                )
+                for layer in range(num_layers)
+            )
+            trace.tokens.append(
+                TokenAttention(
+                    token=prompt[start:end],
+                    source_index=source_index,
+                    values=values,
+                )
+            )
+        return trace

@@ -1,0 +1,44 @@
+"""Retrieval substrate: documents, inverted index, BM25, top-k search.
+
+This package stands in for the paper's Pyserini BM25 + Lucene index.
+"""
+
+from .bm25 import BM25Scorer, Scorer, TfIdfScorer, top_k
+from .dense import DenseIndex, DenseScorer, HashedEmbedder, HybridScorer
+from .document import Corpus, Document
+from .index import IndexStats, InvertedIndex, Posting
+from .metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from .persistence import load_index, save_index
+from .searcher import RetrievalResult, RetrievedSource, Searcher
+
+__all__ = [
+    "BM25Scorer",
+    "Scorer",
+    "TfIdfScorer",
+    "top_k",
+    "Corpus",
+    "Document",
+    "IndexStats",
+    "InvertedIndex",
+    "Posting",
+    "RetrievalResult",
+    "RetrievedSource",
+    "Searcher",
+    "load_index",
+    "save_index",
+    "DenseIndex",
+    "DenseScorer",
+    "HashedEmbedder",
+    "HybridScorer",
+    "average_precision",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+]

@@ -1,0 +1,175 @@
+"""Dense retrieval: embedding-based ranking and hybrid fusion.
+
+The retrieval toolkit the paper builds on (Pyserini) is explicitly "a
+Python toolkit for reproducible information retrieval research with
+sparse AND dense representations".  This module provides the dense half
+without external model weights:
+
+* :class:`HashedEmbedder` — deterministic feature-hashed bag-of-terms
+  embeddings (the "hashing trick"): each analyzed term is hashed to a
+  dimension and a sign, giving fixed-width vectors whose cosine
+  similarity approximates term overlap.  No training, no network, fully
+  reproducible — the appropriate stand-in for a sentence encoder in
+  this offline environment (see DESIGN.md §3).
+* :class:`DenseIndex` — exact (brute-force) nearest-neighbour search
+  over normalized document vectors.
+* :class:`DenseScorer` — the :class:`~repro.retrieval.bm25.Scorer`
+  protocol over a dense index, so :class:`Searcher` can rank with it.
+* :class:`HybridScorer` — min-max-normalized linear fusion of a sparse
+  and a dense scorer (Pyserini's standard hybrid).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, EmptyIndexError
+from ..textproc import Tokenizer
+from .bm25 import Scorer
+from .document import Document
+from .index import InvertedIndex
+
+
+class HashedEmbedder:
+    """Feature-hashed bag-of-terms embeddings.
+
+    Each analyzed term deterministically maps to one of ``dimensions``
+    buckets with a +/-1 sign (both derived from a blake2b digest);
+    vectors are L2-normalized so dot product = cosine similarity.
+    """
+
+    def __init__(self, dimensions: int = 256, tokenizer: Optional[Tokenizer] = None) -> None:
+        if dimensions <= 0:
+            raise ConfigError(f"dimensions must be positive, got {dimensions}")
+        self.dimensions = dimensions
+        self.tokenizer = tokenizer or Tokenizer()
+
+    def _slot(self, term: str) -> Tuple[int, float]:
+        digest = hashlib.blake2b(term.encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "big")
+        index = value % self.dimensions
+        sign = 1.0 if (value >> 63) & 1 else -1.0
+        return index, sign
+
+    def embed(self, text: str) -> np.ndarray:
+        """Normalized embedding of ``text`` (zero vector for no terms)."""
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        for term in self.tokenizer.tokenize(text):
+            index, sign = self._slot(term)
+            vector[index] += sign
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Stacked embeddings, one row per text."""
+        if not texts:
+            return np.zeros((0, self.dimensions), dtype=np.float64)
+        return np.vstack([self.embed(text) for text in texts])
+
+
+class DenseIndex:
+    """Exact nearest-neighbour search over document embeddings."""
+
+    def __init__(self, embedder: Optional[HashedEmbedder] = None) -> None:
+        self.embedder = embedder or HashedEmbedder()
+        self._doc_ids: List[str] = []
+        self._matrix = np.zeros((0, self.embedder.dimensions), dtype=np.float64)
+
+    @classmethod
+    def build(
+        cls,
+        documents: Sequence[Document],
+        embedder: Optional[HashedEmbedder] = None,
+    ) -> "DenseIndex":
+        """Embed and index every document."""
+        index = cls(embedder=embedder)
+        texts = [doc.text + " " + doc.title for doc in documents]
+        index._doc_ids = [doc.doc_id for doc in documents]
+        index._matrix = index.embedder.embed_batch(texts)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def search(self, query: str, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-k ``(doc_id, cosine)`` pairs, best first, ties by doc id."""
+        if len(self) == 0:
+            raise EmptyIndexError("cannot search an empty dense index")
+        if k <= 0:
+            raise ConfigError(f"k must be positive, got {k}")
+        query_vector = self.embedder.embed(query)
+        similarities = self._matrix @ query_vector
+        scored = sorted(
+            zip(self._doc_ids, similarities.tolist()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return scored[:k]
+
+    def scores(self, query: str) -> Dict[str, float]:
+        """Cosine similarity for every indexed document."""
+        if len(self) == 0:
+            return {}
+        query_vector = self.embedder.embed(query)
+        similarities = self._matrix @ query_vector
+        return dict(zip(self._doc_ids, similarities.tolist()))
+
+
+class DenseScorer:
+    """Adapt a :class:`DenseIndex` to the sparse :class:`Scorer` protocol.
+
+    The inverted index supplies the document set and the analyzed query
+    terms; scores come from the dense index.  Build both indexes over
+    the same corpus.
+    """
+
+    def __init__(self, dense_index: DenseIndex) -> None:
+        self.dense_index = dense_index
+
+    def score_query(self, index: InvertedIndex, query_terms: Sequence[str]) -> Dict[str, float]:
+        query = " ".join(query_terms)
+        scores = self.dense_index.scores(query)
+        # Keep only docs present in the sparse index (same corpus check)
+        # and with positive affinity, mirroring sparse behaviour where
+        # non-matching docs are unscored.
+        return {
+            doc_id: score
+            for doc_id, score in scores.items()
+            if doc_id in index and score > 0.0
+        }
+
+
+class HybridScorer:
+    """Min-max-normalized linear fusion: alpha*sparse + (1-alpha)*dense."""
+
+    def __init__(self, sparse: Scorer, dense: Scorer, alpha: float = 0.5) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+        self.sparse = sparse
+        self.dense = dense
+        self.alpha = alpha
+
+    @staticmethod
+    def _normalize(scores: Dict[str, float]) -> Dict[str, float]:
+        if not scores:
+            return {}
+        low = min(scores.values())
+        high = max(scores.values())
+        if math.isclose(low, high):
+            return {doc_id: 1.0 for doc_id in scores}
+        return {doc_id: (s - low) / (high - low) for doc_id, s in scores.items()}
+
+    def score_query(self, index: InvertedIndex, query_terms: Sequence[str]) -> Dict[str, float]:
+        sparse_scores = self._normalize(self.sparse.score_query(index, query_terms))
+        dense_scores = self._normalize(self.dense.score_query(index, query_terms))
+        fused: Dict[str, float] = {}
+        for doc_id in set(sparse_scores) | set(dense_scores):
+            fused[doc_id] = self.alpha * sparse_scores.get(doc_id, 0.0) + (
+                1.0 - self.alpha
+            ) * dense_scores.get(doc_id, 0.0)
+        return fused

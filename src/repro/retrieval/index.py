@@ -1,0 +1,147 @@
+"""Positional inverted index — the Lucene-index substitute.
+
+The index stores, per analyzed term, a postings list of
+``(doc_id, term_frequency, positions)`` plus per-document lengths and
+collection statistics.  This is everything BM25 and TF-IDF need, and the
+positions support phrase-level diagnostics in the claim extractor tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import UnknownDocumentError
+from ..textproc import Tokenizer
+from .document import Corpus, Document
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document entry inside a term's postings list."""
+
+    doc_id: str
+    term_frequency: int
+    positions: Tuple[int, ...] = ()
+
+
+@dataclass
+class IndexStats:
+    """Collection-level statistics used by the ranking functions."""
+
+    num_documents: int = 0
+    total_terms: int = 0
+    vocabulary_size: int = 0
+
+    @property
+    def average_doc_length(self) -> float:
+        """Mean analyzed-token count per document (0.0 when empty)."""
+        if self.num_documents == 0:
+            return 0.0
+        return self.total_terms / self.num_documents
+
+
+class InvertedIndex:
+    """Term -> postings map built from a :class:`Corpus`.
+
+    Parameters
+    ----------
+    tokenizer:
+        The analysis chain; defaults to the package-wide configuration
+        (lowercase, stopwords removed, Porter-stemmed).
+    store_positions:
+        Keep within-document token positions in each posting.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Optional[Tokenizer] = None,
+        store_positions: bool = True,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+        self.store_positions = store_positions
+        self._postings: Dict[str, List[Posting]] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._corpus = Corpus()
+
+    # -- construction --------------------------------------------------
+
+    def add_document(self, doc: Document) -> None:
+        """Analyze and index one document."""
+        self._corpus.add(doc)
+        terms = self.tokenizer.tokenize(doc.text + " " + doc.title)
+        self._doc_lengths[doc.doc_id] = len(terms)
+        occurrences: Dict[str, List[int]] = {}
+        for position, term in enumerate(terms):
+            occurrences.setdefault(term, []).append(position)
+        for term, positions in occurrences.items():
+            posting = Posting(
+                doc_id=doc.doc_id,
+                term_frequency=len(positions),
+                positions=tuple(positions) if self.store_positions else (),
+            )
+            self._postings.setdefault(term, []).append(posting)
+
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[Document],
+        tokenizer: Optional[Tokenizer] = None,
+        store_positions: bool = True,
+    ) -> "InvertedIndex":
+        """Index every document in ``documents`` and return the index."""
+        index = cls(tokenizer=tokenizer, store_positions=store_positions)
+        for doc in documents:
+            index.add_document(doc)
+        return index
+
+    # -- lookups --------------------------------------------------------
+
+    def postings(self, term: str) -> List[Posting]:
+        """Postings list for an *analyzed* term (empty when absent)."""
+        return self._postings.get(term, [])
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing the analyzed term."""
+        return len(self._postings.get(term, ()))
+
+    def doc_length(self, doc_id: str) -> int:
+        """Analyzed token count of a document."""
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(f"no document with id {doc_id!r}") from None
+
+    def document(self, doc_id: str) -> Document:
+        """Return the stored document."""
+        return self._corpus.get(doc_id)
+
+    def documents(self) -> List[Document]:
+        """All indexed documents in insertion order."""
+        return list(self._corpus)
+
+    def vocabulary(self) -> List[str]:
+        """All analyzed terms, sorted for determinism."""
+        return sorted(self._postings)
+
+    @property
+    def stats(self) -> IndexStats:
+        """Fresh collection statistics snapshot."""
+        return IndexStats(
+            num_documents=len(self._doc_lengths),
+            total_terms=sum(self._doc_lengths.values()),
+            vocabulary_size=len(self._postings),
+        )
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Frequency of analyzed ``term`` inside ``doc_id`` (0 if absent)."""
+        for posting in self._postings.get(term, ()):
+            if posting.doc_id == doc_id:
+                return posting.term_frequency
+        return 0

@@ -1,0 +1,78 @@
+"""Standard ranked-retrieval quality metrics.
+
+Used by benchmark E11 and available for evaluating custom corpora:
+precision@k, recall@k, mean reciprocal rank, average precision (MAP for
+a single query), and nDCG with binary relevance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Set
+
+from ..errors import ConfigError
+
+
+def _relevant_set(relevant: Iterable[str]) -> Set[str]:
+    result = set(relevant)
+    if not result:
+        raise ConfigError("relevant set must be non-empty")
+    return result
+
+
+def precision_at_k(ranking: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of the top-k that is relevant."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    relevant_set = _relevant_set(relevant)
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc_id in top if doc_id in relevant_set) / k
+
+
+def recall_at_k(ranking: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of the relevant set found in the top-k."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    relevant_set = _relevant_set(relevant)
+    found = sum(1 for doc_id in ranking[:k] if doc_id in relevant_set)
+    return found / len(relevant_set)
+
+
+def reciprocal_rank(ranking: Sequence[str], relevant: Iterable[str]) -> float:
+    """1 / rank of the first relevant document (0.0 when none appears)."""
+    relevant_set = _relevant_set(relevant)
+    for rank, doc_id in enumerate(ranking, start=1):
+        if doc_id in relevant_set:
+            return 1.0 / rank
+    return 0.0
+
+
+def average_precision(ranking: Sequence[str], relevant: Iterable[str]) -> float:
+    """Mean of precision@rank over ranks holding relevant documents."""
+    relevant_set = _relevant_set(relevant)
+    hits = 0
+    precision_sum = 0.0
+    for rank, doc_id in enumerate(ranking, start=1):
+        if doc_id in relevant_set:
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / len(relevant_set)
+
+
+def ndcg_at_k(ranking: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    relevant_set = _relevant_set(relevant)
+    dcg = sum(
+        1.0 / math.log2(rank + 1)
+        for rank, doc_id in enumerate(ranking[:k], start=1)
+        if doc_id in relevant_set
+    )
+    ideal_hits = min(len(relevant_set), k)
+    ideal = sum(1.0 / math.log2(rank + 1) for rank in range(1, ideal_hits + 1))
+    return dcg / ideal if ideal > 0 else 0.0

@@ -1,0 +1,115 @@
+"""Index persistence — save/load the inverted index as JSON.
+
+The paper's system keeps "locally-configured document indexes" (Lucene
+on disk).  This module gives the from-scratch index the same property:
+an index can be built once, serialized, and reopened without re-analysis
+— the analyzer configuration travels with the file so a reopened index
+tokenizes queries identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from ..errors import RetrievalError
+from ..textproc import Tokenizer
+from .document import Document
+from .index import InvertedIndex, Posting
+
+#: Format marker written into every index file.
+FORMAT_VERSION = 1
+
+
+def index_to_dict(index: InvertedIndex) -> Dict[str, object]:
+    """Serializable representation of a full index."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "tokenizer": {
+            "lowercase": index.tokenizer.lowercase,
+            "remove_stopwords": index.tokenizer.remove_stopwords,
+            "stem": index.tokenizer.stem,
+            "fold_accents": index.tokenizer.fold_accents,
+        },
+        "store_positions": index.store_positions,
+        "documents": [doc.to_dict() for doc in index.documents()],
+        "postings": {
+            term: [
+                {
+                    "doc_id": posting.doc_id,
+                    "tf": posting.term_frequency,
+                    "positions": list(posting.positions),
+                }
+                for posting in index.postings(term)
+            ]
+            for term in index.vocabulary()
+        },
+        "doc_lengths": {
+            doc.doc_id: index.doc_length(doc.doc_id) for doc in index.documents()
+        },
+    }
+
+
+def index_from_dict(payload: Dict[str, object]) -> InvertedIndex:
+    """Rebuild an index from :func:`index_to_dict` output.
+
+    The stored postings are restored verbatim (no re-analysis), so a
+    reopened index is bit-identical to the saved one.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise RetrievalError(
+            f"unsupported index format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    tok_config = dict(payload["tokenizer"])  # type: ignore[arg-type]
+    index = InvertedIndex(
+        tokenizer=Tokenizer(**tok_config),
+        store_positions=bool(payload["store_positions"]),
+    )
+    # Restore documents into the corpus without re-analyzing them.
+    for doc_payload in payload["documents"]:  # type: ignore[union-attr]
+        index._corpus.add(Document.from_dict(doc_payload))
+    index._doc_lengths = {
+        str(doc_id): int(length)
+        for doc_id, length in dict(payload["doc_lengths"]).items()  # type: ignore[arg-type]
+    }
+    postings: Dict[str, List[Posting]] = {}
+    for term, entries in dict(payload["postings"]).items():  # type: ignore[arg-type]
+        postings[str(term)] = [
+            Posting(
+                doc_id=str(entry["doc_id"]),
+                term_frequency=int(entry["tf"]),
+                positions=tuple(int(p) for p in entry["positions"]),
+            )
+            for entry in entries
+        ]
+    index._postings = postings
+    return index
+
+
+def save_index(index: InvertedIndex, path: str | Path) -> None:
+    """Write the index to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+
+
+def load_index(path: str | Path) -> InvertedIndex:
+    """Read an index previously written by :func:`save_index`.
+
+    Raises
+    ------
+    RetrievalError
+        When the file is missing, malformed, or a different format
+        version.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise RetrievalError(f"no index file at {file_path}")
+    try:
+        payload = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise RetrievalError(f"corrupt index file {file_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise RetrievalError(f"corrupt index file {file_path}: not an object")
+    return index_from_dict(payload)

@@ -1,0 +1,220 @@
+"""A self-contained implementation of the Porter stemming algorithm.
+
+Porter, M.F., "An algorithm for suffix stripping", Program 14(3), 1980.
+The retrieval substrate stems both indexed terms and query terms so that
+morphological variants ("winning", "wins", "winner") match.
+
+The implementation follows the original five-step description.  It is
+deliberately written as small pure functions over a measure/condition
+helper class so each rule is independently testable.
+"""
+
+from __future__ import annotations
+
+_VOWELS = "aeiou"
+
+
+class _Word:
+    """Mutable view over a word with the Porter condition helpers."""
+
+    def __init__(self, word: str) -> None:
+        self.b = word
+
+    # -- character classes -------------------------------------------------
+
+    def _is_consonant(self, i: int) -> bool:
+        ch = self.b[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not self._is_consonant(i - 1)
+        return True
+
+    # -- Porter conditions -------------------------------------------------
+
+    def measure(self, stem_len: int | None = None) -> int:
+        """Return m, the number of VC sequences in the (sub-)stem."""
+        end = len(self.b) if stem_len is None else stem_len
+        m = 0
+        i = 0
+        # Skip initial consonants.
+        while i < end and self._is_consonant(i):
+            i += 1
+        while True:
+            while i < end and not self._is_consonant(i):
+                i += 1
+            if i >= end:
+                return m
+            m += 1
+            while i < end and self._is_consonant(i):
+                i += 1
+            if i >= end:
+                return m
+
+    def has_vowel(self, stem_len: int) -> bool:
+        return any(not self._is_consonant(i) for i in range(stem_len))
+
+    def ends_double_consonant(self) -> bool:
+        if len(self.b) < 2:
+            return False
+        return self.b[-1] == self.b[-2] and self._is_consonant(len(self.b) - 1)
+
+    def ends_cvc(self, stem_len: int | None = None) -> bool:
+        """True when the stem ends consonant-vowel-consonant, and the final
+        consonant is not w, x or y."""
+        end = len(self.b) if stem_len is None else stem_len
+        if end < 3:
+            return False
+        if (
+            self._is_consonant(end - 1)
+            and not self._is_consonant(end - 2)
+            and self._is_consonant(end - 3)
+        ):
+            return self.b[end - 1] not in "wxy"
+        return False
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str) -> str:
+    return word[: len(word) - len(suffix)] + replacement
+
+
+def _step1a(word: str) -> str:
+    if word.endswith("sses"):
+        return _replace_suffix(word, "sses", "ss")
+    if word.endswith("ies"):
+        return _replace_suffix(word, "ies", "i")
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _Word(word).measure(len(stem)) > 0:
+            return word[:-1]
+        return word
+    flagged = None
+    if word.endswith("ed"):
+        stem = word[:-2]
+        if _Word(word).has_vowel(len(stem)):
+            flagged = stem
+    elif word.endswith("ing"):
+        stem = word[:-3]
+        if _Word(word).has_vowel(len(stem)):
+            flagged = stem
+    if flagged is None:
+        return word
+    word = flagged
+    if word.endswith(("at", "bl", "iz")):
+        return word + "e"
+    w = _Word(word)
+    if w.ends_double_consonant() and not word.endswith(("l", "s", "z")):
+        return word[:-1]
+    if w.measure() == 1 and w.ends_cvc():
+        return word + "e"
+    return word
+
+
+def _step1c(word: str) -> str:
+    if word.endswith("y") and _Word(word).has_vowel(len(word) - 1):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
+    ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
+    ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+    ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+    ("iviti", "ive"), ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _apply_rule_list(word: str, rules: tuple[tuple[str, str], ...]) -> str:
+    for suffix, replacement in rules:
+        if word.endswith(suffix):
+            stem_len = len(word) - len(suffix)
+            if _Word(word).measure(stem_len) > 0:
+                return _replace_suffix(word, suffix, replacement)
+            return word
+    return word
+
+
+def _step4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem_len = len(word) - len(suffix)
+            if suffix == "ion" and stem_len > 0 and word[stem_len - 1] not in "st":
+                return word
+            if _Word(word).measure(stem_len) > 1:
+                return word[:stem_len]
+            return word
+    return word
+
+
+def _step5a(word: str) -> str:
+    if word.endswith("e"):
+        stem_len = len(word) - 1
+        w = _Word(word)
+        m = w.measure(stem_len)
+        if m > 1 or (m == 1 and not w.ends_cvc(stem_len)):
+            return word[:-1]
+    return word
+
+
+def _step5b(word: str) -> str:
+    w = _Word(word)
+    if w.measure() > 1 and w.ends_double_consonant() and word.endswith("l"):
+        return word[:-1]
+    return word
+
+
+def stem(word: str) -> str:
+    """Return the Porter stem of ``word``.
+
+    The input is expected to be a lowercase alphabetic token; words of
+    length <= 2 are returned unchanged (per Porter's original note).
+    """
+    if len(word) <= 2:
+        return word
+    word = _step1a(word)
+    word = _step1b(word)
+    word = _step1c(word)
+    word = _apply_rule_list(word, _STEP2_RULES)
+    word = _apply_rule_list(word, _STEP3_RULES)
+    word = _step4(word)
+    word = _step5a(word)
+    word = _step5b(word)
+    return word
+
+
+class PorterStemmer:
+    """Object wrapper with a small memo cache around :func:`stem`."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, str] = {}
+
+    def __call__(self, word: str) -> str:
+        cached = self._cache.get(word)
+        if cached is None:
+            cached = stem(word)
+            self._cache[word] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        """Number of distinct words stemmed so far (for diagnostics)."""
+        return len(self._cache)

@@ -1,0 +1,27 @@
+"""Rendering: ASCII artifacts for the CLI, static HTML reports."""
+
+from .ascii import (
+    render_combination_counterfactual,
+    render_combination_insights,
+    render_optimal_permutations,
+    render_permutation_counterfactual,
+    render_permutation_insights,
+    render_pie,
+    render_table,
+)
+from .html import render_report_html, write_report_html
+from .markdown import render_report_markdown, write_report_markdown
+
+__all__ = [
+    "render_combination_counterfactual",
+    "render_combination_insights",
+    "render_optimal_permutations",
+    "render_permutation_counterfactual",
+    "render_permutation_insights",
+    "render_pie",
+    "render_table",
+    "render_report_html",
+    "write_report_html",
+    "render_report_markdown",
+    "write_report_markdown",
+]

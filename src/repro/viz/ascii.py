@@ -1,0 +1,152 @@
+"""Terminal rendering: tables, pie charts, rules, counterfactuals.
+
+The Plotly Dash UI of the paper shows, per analysis, a pie chart of the
+answer distribution, a list of answer rules, and a table associating
+answers with the perturbations that produced them.  This module renders
+the same three artifacts as plain text for the CLI and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.counterfactual import CombinationSearchResult, SearchDirection
+from ..core.insights import AnswerSlice, CombinationInsights, PermutationInsights
+from ..core.optimal import OptimalPermutation
+from ..core.permutation_cf import PermutationSearchResult
+
+_BAR_WIDTH = 40
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A minimal fixed-width table with a header rule."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_pie(slices: Sequence[AnswerSlice], width: int = _BAR_WIDTH) -> str:
+    """Horizontal-bar 'pie chart' of the answer distribution."""
+    if not slices:
+        return "(no answers)"
+    label_width = max(len(s.answer) for s in slices)
+    lines: List[str] = []
+    for item in slices:
+        bar = "#" * max(1, round(item.fraction * width))
+        lines.append(
+            f"{item.answer.ljust(label_width)}  {bar} "
+            f"{item.fraction * 100:5.1f}%  ({item.count})"
+        )
+    return "\n".join(lines)
+
+
+def render_combination_insights(insights: CombinationInsights, max_rows: int = 20) -> str:
+    """Pie + rules + answer/combination table for one analysis."""
+    parts = [
+        f"Combination insights for: {insights.query}",
+        f"  perturbations analyzed: {insights.total} "
+        f"(LLM evaluations: {insights.num_evaluations})",
+        "",
+        "Answer distribution:",
+        _indent(render_pie(insights.pie())),
+        "",
+        "Answer rules:",
+    ]
+    if insights.rules:
+        parts.extend(f"  - {rule.describe()}" for rule in insights.rules)
+    else:
+        parts.append("  (no rules found)")
+    rows = [
+        (answer, ", ".join(kept) if kept else "(empty context)")
+        for answer, kept in insights.answer_table()[:max_rows]
+    ]
+    parts.extend(["", "Combinations by answer:", _indent(render_table(("answer", "kept sources"), rows))])
+    if insights.total > max_rows:
+        parts.append(f"  ... {insights.total - max_rows} more rows")
+    return "\n".join(parts)
+
+
+def render_permutation_insights(insights: PermutationInsights, max_rows: int = 20) -> str:
+    """Pie + positional rules + answer/permutation table."""
+    parts = [
+        f"Permutation insights for: {insights.query}",
+        f"  perturbations analyzed: {insights.total} "
+        f"(LLM evaluations: {insights.num_evaluations})",
+        "",
+        "Answer distribution:",
+        _indent(render_pie(insights.pie())),
+        "",
+        "Positional rules:",
+    ]
+    if insights.rules:
+        parts.extend(f"  - {rule.describe()}" for rule in insights.rules)
+    else:
+        parts.append("  (no rules found)")
+    rows = []
+    for key, perms in sorted(insights.groups.items(), key=lambda kv: -len(kv[1])):
+        for perm in perms[: max(1, max_rows // max(1, len(insights.groups)))]:
+            rows.append((insights.display_answers[key], " > ".join(perm.order)))
+    parts.extend(["", "Permutations by answer (truncated):",
+                  _indent(render_table(("answer", "order"), rows))])
+    if insights.is_stable:
+        parts.append("")
+        parts.append("The answer is stable across every analyzed permutation.")
+    return "\n".join(parts)
+
+
+def render_combination_counterfactual(result: CombinationSearchResult) -> str:
+    """One combination counterfactual as a citation-style sentence."""
+    head = (
+        "Top-down counterfactual"
+        if result.direction is SearchDirection.TOP_DOWN
+        else "Bottom-up counterfactual"
+    )
+    lines = [f"{head} (baseline answer: {result.baseline_answer!r})"]
+    if result.counterfactual is None:
+        status = "budget exhausted" if result.budget_exhausted else "no flip exists"
+        lines.append(f"  not found ({status}; {result.num_evaluations} evaluations)")
+        return "\n".join(lines)
+    cf = result.counterfactual
+    verb = "removing" if cf.direction is SearchDirection.TOP_DOWN else "retaining only"
+    lines.append(
+        f"  {verb} {', '.join(cf.changed_sources)} changes the answer to "
+        f"{cf.new_answer!r}"
+    )
+    lines.append(
+        f"  (subset size {cf.size}, {result.num_evaluations} LLM evaluations)"
+    )
+    return "\n".join(lines)
+
+
+def render_permutation_counterfactual(result: PermutationSearchResult) -> str:
+    """One permutation counterfactual with its similarity."""
+    lines = [f"Permutation counterfactual (baseline answer: {result.baseline_answer!r})"]
+    if result.counterfactual is None:
+        status = "budget exhausted" if result.budget_exhausted else "no flip exists"
+        lines.append(f"  not found ({status}; {result.num_evaluations} evaluations)")
+        return "\n".join(lines)
+    cf = result.counterfactual
+    lines.append(f"  reorder to: {' > '.join(cf.perturbation.order)}")
+    lines.append(
+        f"  answer becomes {cf.new_answer!r} "
+        f"(Kendall tau {cf.tau:.3f}; moved: {', '.join(cf.moved_sources)})"
+    )
+    return "\n".join(lines)
+
+
+def render_optimal_permutations(placements: Sequence[OptimalPermutation]) -> str:
+    """The top-s optimal placements as a table."""
+    rows = [
+        (str(p.rank), " > ".join(p.order), f"{p.score:.4f}") for p in placements
+    ]
+    return render_table(("rank", "order", "relevance x attention"), rows)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

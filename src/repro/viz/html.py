@@ -1,0 +1,181 @@
+"""Static HTML reports — the dependency-free Plotly Dash substitute.
+
+Renders a :class:`repro.core.engine.RageReport` into a self-contained
+HTML page with an inline SVG pie chart, the answer rules, the
+perturbation tables, and the counterfactual explanations.  No external
+assets, no JavaScript dependencies — open the file in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import List, Sequence
+
+from ..core.engine import RageReport
+from ..core.insights import AnswerSlice
+
+_PALETTE = [
+    "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+    "#b279a2", "#ff9da6", "#9d755d", "#bab0ac", "#eeca3b",
+]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1c2733; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; width: 100%; }
+th, td { border: 1px solid #d7dde3; padding: 0.3rem 0.6rem;
+         text-align: left; font-size: 0.9rem; }
+th { background: #eef2f6; }
+.answer { font-weight: 600; color: #205081; }
+.rule { background: #f6f8d8; padding: 0.4rem 0.8rem; border-radius: 4px;
+        margin: 0.25rem 0; }
+.legend-swatch { display: inline-block; width: 0.8rem; height: 0.8rem;
+                 margin-right: 0.4rem; border-radius: 2px; }
+figure { display: flex; gap: 2rem; align-items: center; margin: 1rem 0; }
+"""
+
+
+def _svg_pie(slices: Sequence[AnswerSlice], radius: int = 90) -> str:
+    """Inline SVG pie chart for an answer distribution."""
+    if not slices:
+        return "<p>(no data)</p>"
+    if len(slices) == 1:
+        color = _PALETTE[0]
+        return (
+            f'<svg width="{2 * radius}" height="{2 * radius}">'
+            f'<circle cx="{radius}" cy="{radius}" r="{radius}" fill="{color}"/></svg>'
+        )
+    cx = cy = radius
+    parts: List[str] = [f'<svg width="{2 * radius}" height="{2 * radius}">']
+    angle = -math.pi / 2
+    for index, item in enumerate(slices):
+        sweep = 2 * math.pi * item.fraction
+        x1 = cx + radius * math.cos(angle)
+        y1 = cy + radius * math.sin(angle)
+        angle += sweep
+        x2 = cx + radius * math.cos(angle)
+        y2 = cy + radius * math.sin(angle)
+        large = 1 if sweep > math.pi else 0
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<path d="M{cx},{cy} L{x1:.2f},{y1:.2f} '
+            f'A{radius},{radius} 0 {large} 1 {x2:.2f},{y2:.2f} Z" '
+            f'fill="{color}"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(slices: Sequence[AnswerSlice]) -> str:
+    rows = []
+    for index, item in enumerate(slices):
+        color = _PALETTE[index % len(_PALETTE)]
+        rows.append(
+            f'<div><span class="legend-swatch" style="background:{color}"></span>'
+            f"{html.escape(item.answer)} — {item.fraction * 100:.1f}% "
+            f"({item.count})</div>"
+        )
+    return "<div>" + "".join(rows) + "</div>"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_report_html(report: RageReport, max_rows: int = 30) -> str:
+    """Render a full explanation report as a standalone HTML page."""
+    combo = report.combination_insights
+    sections: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>RAGE report</title><style>{_CSS}</style></head><body>",
+        "<h1>RAGE explanation report</h1>",
+        f"<p><b>Question:</b> {html.escape(report.query)}</p>",
+        f"<p><b>Full-context answer:</b> "
+        f"<span class='answer'>{html.escape(report.answer)}</span></p>",
+        f"<p><b>Context ({report.context.k} sources):</b> "
+        + html.escape(" > ".join(report.context.doc_ids()))
+        + "</p>",
+        "<h2>Combination insights</h2>",
+        "<figure>",
+        _svg_pie(combo.pie()),
+        _legend(combo.pie()),
+        "</figure>",
+    ]
+    if combo.rules:
+        sections.append("<div>")
+        sections.extend(
+            f"<p class='rule'>{html.escape(rule.describe())}</p>" for rule in combo.rules
+        )
+        sections.append("</div>")
+    table_rows = [
+        (answer, ", ".join(kept) if kept else "(empty)")
+        for answer, kept in combo.answer_table()[:max_rows]
+    ]
+    sections.append(_table(("answer", "kept sources"), table_rows))
+
+    if report.permutation_insights is not None:
+        perm = report.permutation_insights
+        sections.extend(
+            [
+                "<h2>Permutation insights</h2>",
+                "<figure>",
+                _svg_pie(perm.pie()),
+                _legend(perm.pie()),
+                "</figure>",
+            ]
+        )
+        if perm.rules:
+            sections.extend(
+                f"<p class='rule'>{html.escape(rule.describe())}</p>" for rule in perm.rules
+            )
+        elif perm.is_stable:
+            sections.append("<p>The answer is stable under every analyzed order.</p>")
+
+    sections.append("<h2>Counterfactual explanations</h2>")
+    for label, search in (("Top-down", report.top_down), ("Bottom-up", report.bottom_up)):
+        if search.counterfactual is None:
+            sections.append(f"<p><b>{label}:</b> none found.</p>")
+            continue
+        cf = search.counterfactual
+        verb = "Removing" if label == "Top-down" else "Retaining only"
+        sections.append(
+            f"<p><b>{label}:</b> {verb} "
+            f"<i>{html.escape(', '.join(cf.changed_sources))}</i> flips "
+            f"{html.escape(cf.baseline_answer)} → "
+            f"<span class='answer'>{html.escape(cf.new_answer)}</span> "
+            f"({search.num_evaluations} evaluations).</p>"
+        )
+    if report.permutation_counterfactual is not None:
+        pcf = report.permutation_counterfactual
+        if pcf.counterfactual is not None:
+            cf = pcf.counterfactual
+            sections.append(
+                f"<p><b>Permutation:</b> reordering to "
+                f"<i>{html.escape(' > '.join(cf.perturbation.order))}</i> flips the "
+                f"answer to <span class='answer'>{html.escape(cf.new_answer)}</span> "
+                f"(Kendall tau {cf.tau:.3f}).</p>"
+            )
+
+    if report.optimal:
+        sections.append("<h2>Optimal permutations</h2>")
+        sections.append(
+            _table(
+                ("rank", "order", "score"),
+                [(p.rank, " > ".join(p.order), f"{p.score:.4f}") for p in report.optimal],
+            )
+        )
+    sections.append("</body></html>")
+    return "".join(sections)
+
+
+def write_report_html(report: RageReport, path: str, max_rows: int = 30) -> None:
+    """Render and write the report to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_report_html(report, max_rows=max_rows))

@@ -1,0 +1,138 @@
+"""Markdown rendering of explanation reports.
+
+Completes the rendering trio (ASCII for terminals, HTML for browsers,
+Markdown for READMEs / issue trackers / experiment logs): a
+:class:`~repro.core.engine.RageReport` becomes a self-contained Markdown
+document with tables for the distributions, block quotes for the rules,
+and the counterfactual sentences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.counterfactual import CombinationSearchResult, SearchDirection
+from ..core.engine import RageReport
+from ..core.insights import AnswerSlice
+from ..core.permutation_cf import PermutationSearchResult
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = "\n".join("| " + " | ".join(str(c) for c in row) + " |" for row in rows)
+    return "\n".join([head, rule, body]) if rows else "\n".join([head, rule])
+
+
+def _distribution_table(slices: Sequence[AnswerSlice]) -> str:
+    return _table(
+        ("answer", "perturbations", "share"),
+        [(s.answer, s.count, f"{s.fraction * 100:.1f}%") for s in slices],
+    )
+
+
+def _combination_cf_line(result: CombinationSearchResult) -> str:
+    label = (
+        "Top-down" if result.direction is SearchDirection.TOP_DOWN else "Bottom-up"
+    )
+    if result.counterfactual is None:
+        return f"**{label}:** none found ({result.num_evaluations} evaluations)."
+    cf = result.counterfactual
+    verb = "Removing" if result.direction is SearchDirection.TOP_DOWN else "Retaining only"
+    sources = ", ".join(f"`{doc_id}`" for doc_id in cf.changed_sources)
+    return (
+        f"**{label}:** {verb} {sources} flips *{cf.baseline_answer}* → "
+        f"**{cf.new_answer}** ({result.num_evaluations} evaluations)."
+    )
+
+
+def _permutation_cf_line(result: PermutationSearchResult) -> str:
+    if result.counterfactual is None:
+        return (
+            f"**Permutation:** no order flip found "
+            f"({result.num_evaluations} evaluations)."
+        )
+    cf = result.counterfactual
+    order = " → ".join(f"`{doc_id}`" for doc_id in cf.perturbation.order)
+    return (
+        f"**Permutation:** reordering to {order} flips the answer to "
+        f"**{cf.new_answer}** (Kendall tau {cf.tau:.3f})."
+    )
+
+
+def render_report_markdown(report: RageReport, max_rows: int = 25) -> str:
+    """Render a full report as a Markdown document."""
+    combo = report.combination_insights
+    lines: List[str] = [
+        "# RAGE explanation report",
+        "",
+        f"**Question:** {report.query}",
+        "",
+        f"**Full-context answer:** **{report.answer}**",
+        "",
+        "**Context:** " + " → ".join(f"`{d}`" for d in report.context.doc_ids()),
+        "",
+        "## Combination insights",
+        "",
+        _distribution_table(combo.pie()),
+        "",
+    ]
+    if combo.rules:
+        lines.append("Rules:")
+        lines.append("")
+        lines.extend(f"> {rule.describe()}" for rule in combo.rules)
+        lines.append("")
+    table_rows = [
+        (answer, ", ".join(f"`{d}`" for d in kept) if kept else "*(empty)*")
+        for answer, kept in combo.answer_table()[:max_rows]
+    ]
+    lines.extend([_table(("answer", "kept sources"), table_rows), ""])
+    if combo.total > max_rows:
+        lines.extend([f"*... {combo.total - max_rows} more rows*", ""])
+
+    if report.permutation_insights is not None:
+        perm = report.permutation_insights
+        lines.extend(
+            ["## Permutation insights", "", _distribution_table(perm.pie()), ""]
+        )
+        if perm.rules:
+            lines.extend(f"> {rule.describe()}" for rule in perm.rules)
+            lines.append("")
+        elif perm.is_stable:
+            lines.extend(
+                ["The answer is stable under every analyzed order.", ""]
+            )
+
+    lines.extend(["## Counterfactual explanations", ""])
+    lines.append("- " + _combination_cf_line(report.top_down))
+    lines.append("- " + _combination_cf_line(report.bottom_up))
+    if report.permutation_counterfactual is not None:
+        lines.append("- " + _permutation_cf_line(report.permutation_counterfactual))
+    lines.append("")
+
+    if report.optimal:
+        lines.extend(
+            [
+                "## Optimal permutations",
+                "",
+                _table(
+                    ("rank", "order", "score"),
+                    [
+                        (
+                            p.rank,
+                            " → ".join(f"`{d}`" for d in p.order),
+                            f"{p.score:.4f}",
+                        )
+                        for p in report.optimal
+                    ],
+                ),
+                "",
+            ]
+        )
+    return "\n".join(lines)
+
+
+def write_report_markdown(report: RageReport, path: str, max_rows: int = 25) -> None:
+    """Render and write the Markdown report to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_report_markdown(report, max_rows=max_rows))

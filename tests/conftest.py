@@ -1,0 +1,85 @@
+"""Shared fixtures: demo use cases, engines, and small worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.core.context import Context
+from repro.core.evaluate import ContextEvaluator
+from repro.datasets import load_use_case
+from repro.retrieval import Corpus, Document, InvertedIndex, Searcher
+
+
+@pytest.fixture(scope="session")
+def big_three():
+    return load_use_case("big_three")
+
+
+@pytest.fixture(scope="session")
+def us_open():
+    return load_use_case("us_open")
+
+
+@pytest.fixture(scope="session")
+def player_of_the_year():
+    return load_use_case("player_of_the_year")
+
+
+def make_engine(use_case, **config_kwargs) -> Rage:
+    """Fresh engine for a use case (per-test isolation)."""
+    defaults = dict(k=use_case.k)
+    defaults.update(config_kwargs)
+    return Rage.from_corpus(
+        use_case.corpus,
+        SimulatedLLM(knowledge=use_case.knowledge),
+        config=RageConfig(**defaults),
+    )
+
+
+@pytest.fixture()
+def big_three_engine(big_three):
+    return make_engine(big_three)
+
+
+@pytest.fixture()
+def us_open_engine(us_open):
+    return make_engine(us_open)
+
+
+@pytest.fixture()
+def potya_engine(player_of_the_year):
+    return make_engine(player_of_the_year, max_evaluations=2000)
+
+
+@pytest.fixture()
+def big_three_context(big_three, big_three_engine) -> Context:
+    return big_three_engine.retrieve(big_three.query)
+
+
+@pytest.fixture()
+def big_three_evaluator(big_three, big_three_engine, big_three_context) -> ContextEvaluator:
+    return ContextEvaluator(big_three_engine.llm, big_three_context)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A small, hand-checkable corpus for retrieval unit tests."""
+    return Corpus(
+        [
+            Document(doc_id="d1", text="the quick brown fox jumps over the lazy dog"),
+            Document(doc_id="d2", text="a quick survey of fox populations in the wild"),
+            Document(doc_id="d3", text="dogs and cats living together in harmony"),
+            Document(doc_id="d4", text="quick quick quick brown foxes everywhere", title="foxes"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_corpus) -> InvertedIndex:
+    return InvertedIndex.build(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_searcher(tiny_index) -> Searcher:
+    return Searcher(tiny_index)

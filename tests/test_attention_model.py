@@ -1,0 +1,132 @@
+"""Synthetic attention model tests."""
+
+import math
+
+import pytest
+
+from repro.attention import (
+    AttentionModel,
+    PositionPrior,
+    aggregate_by_source,
+    combination_score,
+    normalize_scores,
+    rank_sources,
+    source_attention_scores,
+)
+from repro.errors import ConfigError
+
+QUERY = "who won the championship"
+SOURCES = [
+    "Alpha won the championship in 2020 with a great season.",
+    "Some completely unrelated text about gardening and soil.",
+    "Beta won the championship in 2021 after a strong run.",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AttentionModel(num_layers=3, num_heads=2, seed=1, depth=0.8)
+
+
+def test_trace_shape(model):
+    trace = model.trace(QUERY, SOURCES)
+    assert trace.num_layers == 3
+    assert trace.num_heads == 2
+    assert all(len(entry.values) == 3 for entry in trace.tokens)
+    assert all(len(layer) == 2 for entry in trace.tokens for layer in entry.values)
+
+
+def test_trace_deterministic(model):
+    t1 = model.trace(QUERY, SOURCES)
+    t2 = model.trace(QUERY, SOURCES)
+    assert t1.source_totals == t2.source_totals
+
+
+def test_different_seed_different_values():
+    a = AttentionModel(seed=1).trace(QUERY, SOURCES)
+    b = AttentionModel(seed=2).trace(QUERY, SOURCES)
+    assert a.source_totals != b.source_totals
+
+
+def test_empty_context(model):
+    trace = model.trace(QUERY, [])
+    assert trace.source_totals == []
+    assert trace.source_share() == []
+
+
+def test_positional_bias_visible(model):
+    """With a V prior, identical texts at the ends out-attend the middle."""
+    same = ["identical text about the championship"] * 5
+    trace = model.trace(QUERY, same)
+    totals = trace.source_totals
+    assert totals[0] > totals[2]
+    assert totals[4] > totals[2]
+
+
+def test_salient_tokens_attract_attention(model):
+    trace = model.trace(QUERY, SOURCES)
+    by_source = {}
+    for entry in trace.tokens:
+        by_source.setdefault(entry.source_index, []).append(entry)
+    champ_tokens = [e for e in by_source[0] if e.token.lower() == "championship"]
+    other_tokens = [e for e in by_source[0] if e.token.lower() == "season"]
+    assert champ_tokens and other_tokens
+    assert champ_tokens[0].total() > other_tokens[0].total()
+
+
+def test_source_share_sums_to_one(model):
+    share = model.trace(QUERY, SOURCES).source_share()
+    assert math.isclose(sum(share), 1.0, rel_tol=1e-9)
+
+
+def test_aggregate_by_source(model):
+    trace = model.trace(QUERY, SOURCES)
+    scores = aggregate_by_source(trace, ["a", "b", "c"])
+    assert set(scores) == {"a", "b", "c"}
+    assert scores["a"] == pytest.approx(trace.source_totals[0])
+
+
+def test_aggregate_missing_sources(model):
+    trace = model.trace(QUERY, SOURCES[:2])
+    scores = aggregate_by_source(trace, ["a", "b", "c"])
+    assert scores["c"] == 0.0
+
+
+def test_combination_score_is_sum():
+    scores = {"a": 1.0, "b": 2.0, "c": 4.0}
+    assert combination_score(scores, ["a", "c"]) == 5.0
+    assert combination_score(scores, []) == 0.0
+    assert combination_score(scores, ["missing"]) == 0.0
+
+
+def test_normalize_scores():
+    normalized = normalize_scores({"a": 1.0, "b": 3.0})
+    assert normalized == {"a": 0.25, "b": 0.75}
+    assert normalize_scores({"a": 0.0}) == {"a": 0.0}
+
+
+def test_rank_sources():
+    assert rank_sources({"a": 1.0, "b": 3.0, "c": 2.0}) == ["b", "c", "a"]
+    assert rank_sources({"b": 1.0, "a": 1.0}) == ["a", "b"]  # id tiebreak
+
+
+def test_source_attention_scores(model):
+    trace = model.trace(QUERY, SOURCES)
+    scores = source_attention_scores(trace)
+    assert set(scores) == {0, 1, 2}
+
+
+def test_invalid_model_shape():
+    with pytest.raises(ConfigError):
+        AttentionModel(num_layers=0)
+    with pytest.raises(ConfigError):
+        AttentionModel(num_heads=0)
+
+
+def test_uniform_prior_no_position_bias():
+    model = AttentionModel(prior=PositionPrior.UNIFORM, seed=3)
+    same = ["identical words here"] * 4
+    totals = model.trace(QUERY, same).source_totals
+    # Hash noise varies per (source, token) but stays within (0.5, 1.5)x
+    # of the base, so no position can dominate by more than 3x.
+    assert max(totals) / min(totals) < 3.0

@@ -1,0 +1,118 @@
+"""Hungarian algorithm tests: optimality, duals, infeasibility."""
+
+import math
+import random
+
+import pytest
+
+from repro.combinatorics import (
+    FORBIDDEN,
+    assignment_cost,
+    brute_force_assignments,
+    solve_assignment,
+    validate_square,
+)
+from repro.errors import AssignmentError
+
+
+def test_trivial_1x1():
+    solution = solve_assignment([[7.0]])
+    assert solution.assignment == (0,)
+    assert solution.cost == 7.0
+
+
+def test_known_3x3():
+    matrix = [
+        [4.0, 1.0, 3.0],
+        [2.0, 0.0, 5.0],
+        [3.0, 2.0, 2.0],
+    ]
+    solution = solve_assignment(matrix)
+    assert solution.cost == 5.0  # 1 + 2 + 2
+    assert solution.assignment == (1, 0, 2)
+
+
+def test_identity_preference():
+    matrix = [
+        [0.0, 9.0, 9.0],
+        [9.0, 0.0, 9.0],
+        [9.0, 9.0, 0.0],
+    ]
+    assert solve_assignment(matrix).assignment == (0, 1, 2)
+
+
+def test_matches_bruteforce_on_random_instances():
+    rng = random.Random(11)
+    for _ in range(60):
+        n = rng.randint(1, 7)
+        matrix = [[rng.uniform(-5, 10) for _ in range(n)] for _ in range(n)]
+        ours = solve_assignment(matrix)
+        best = brute_force_assignments(matrix, limit=1)[0]
+        assert ours.cost == pytest.approx(best.cost)
+
+
+def test_negative_costs_supported():
+    matrix = [[-3.0, -1.0], [-2.0, -4.0]]
+    solution = solve_assignment(matrix)
+    assert solution.cost == -7.0
+
+
+def test_dual_feasibility():
+    """Reduced costs must be >= 0 everywhere and ~0 on assigned edges."""
+    rng = random.Random(23)
+    for _ in range(40):
+        n = rng.randint(2, 8)
+        matrix = [[rng.uniform(0, 100) for _ in range(n)] for _ in range(n)]
+        solution = solve_assignment(matrix)
+        for i in range(n):
+            for j in range(n):
+                assert solution.reduced_cost(matrix, i, j) >= -1e-7
+        for i, j in enumerate(solution.assignment):
+            assert solution.reduced_cost(matrix, i, j) == pytest.approx(0.0, abs=1e-7)
+
+
+def test_forbidden_edges_avoided():
+    matrix = [
+        [FORBIDDEN, 1.0],
+        [1.0, FORBIDDEN],
+    ]
+    solution = solve_assignment(matrix)
+    assert solution.assignment == (1, 0)
+    assert solution.cost == 2.0
+
+
+def test_infeasible_raises():
+    matrix = [
+        [FORBIDDEN, FORBIDDEN],
+        [1.0, 1.0],
+    ]
+    with pytest.raises(AssignmentError):
+        solve_assignment(matrix)
+
+
+def test_assignment_cost_helper():
+    matrix = [[1.0, 2.0], [3.0, 4.0]]
+    assert assignment_cost(matrix, (0, 1)) == 5.0
+    assert assignment_cost(matrix, (1, 0)) == 5.0
+
+
+def test_validate_square():
+    assert validate_square([[1.0]]) == 1
+    with pytest.raises(AssignmentError):
+        validate_square([])
+    with pytest.raises(AssignmentError):
+        validate_square([[1.0, 2.0]])
+
+
+def test_bruteforce_sorted_and_limited():
+    matrix = [[1.0, 2.0], [3.0, 4.0]]
+    solutions = brute_force_assignments(matrix)
+    assert [s.cost for s in solutions] == [5.0, 5.0]
+    assert len(brute_force_assignments(matrix, limit=1)) == 1
+
+
+def test_bruteforce_skips_forbidden():
+    matrix = [[FORBIDDEN, 1.0], [1.0, FORBIDDEN]]
+    solutions = brute_force_assignments(matrix)
+    assert len(solutions) == 1
+    assert math.isfinite(solutions[0].cost)

@@ -1,0 +1,100 @@
+"""Lazy inversion-ordered permutation generation tests."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.combinatorics import (
+    count_inversions,
+    kendall_tau,
+    max_inversions,
+    permutations_by_inversions,
+    permutations_by_tau,
+)
+from repro.errors import ConfigError
+
+
+def test_max_inversions():
+    assert max_inversions(1) == 0
+    assert max_inversions(4) == 6
+    assert max_inversions(10) == 45
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+def test_enumerates_exactly_all_permutations(k):
+    items = list(range(k))
+    generated = [order for order, _ in permutations_by_inversions(items)]
+    assert len(generated) == math.factorial(k)
+    assert set(generated) == set(itertools.permutations(items))
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+def test_inversion_counts_correct(k):
+    items = list(range(k))
+    for order, claimed in permutations_by_inversions(items):
+        positions = [items.index(x) for x in order]
+        assert count_inversions(positions) == claimed
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+def test_nondecreasing_inversions(k):
+    counts = [count for _, count in permutations_by_inversions(list(range(k)))]
+    assert counts == sorted(counts)
+    assert counts[0] == 0
+    assert counts[-1] == max_inversions(k)
+
+
+def test_identity_first_reversal_last():
+    items = ["a", "b", "c", "d"]
+    generated = [order for order, _ in permutations_by_inversions(items)]
+    assert generated[0] == ("a", "b", "c", "d")
+    assert generated[-1] == ("d", "c", "b", "a")
+
+
+def test_lazy_prefix_cost():
+    """Consuming a prefix must not require enumerating 15!."""
+    items = list(range(15))
+    stream = permutations_by_inversions(items)
+    first_hundred = list(itertools.islice(stream, 100))
+    assert len(first_hundred) == 100
+    assert first_hundred[0][1] == 0
+    # inversions stay tiny within the first hundred orders of k=15
+    assert all(count <= 3 for _, count in first_hundred)
+
+
+def test_permutations_by_tau_matches_kendall():
+    items = ["w", "x", "y", "z"]
+    for order, tau in permutations_by_tau(items):
+        assert tau == pytest.approx(kendall_tau(items, order))
+
+
+def test_permutations_by_tau_decreasing():
+    taus = [tau for _, tau in permutations_by_tau(list(range(5)))]
+    assert taus == sorted(taus, reverse=True)
+
+
+def test_identity_excluded_by_default():
+    items = [0, 1, 2]
+    orders = [order for order, _ in permutations_by_tau(items)]
+    assert tuple(items) not in orders
+    with_identity = [
+        order for order, _ in permutations_by_tau(items, include_identity=True)
+    ]
+    assert with_identity[0] == tuple(items)
+
+
+def test_empty_and_singleton():
+    assert list(permutations_by_inversions([])) == [((), 0)]
+    assert list(permutations_by_inversions(["only"])) == [(("only",), 0)]
+
+
+def test_duplicate_items_rejected():
+    with pytest.raises(ConfigError):
+        list(permutations_by_inversions(["a", "a"]))
+
+
+def test_deterministic():
+    a = list(itertools.islice(permutations_by_inversions(list(range(8))), 50))
+    b = list(itertools.islice(permutations_by_inversions(list(range(8))), 50))
+    assert a == b

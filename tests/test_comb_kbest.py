@@ -1,0 +1,148 @@
+"""k-best assignment tests: CH and Murty vs brute force."""
+
+import math
+import random
+
+import pytest
+
+from repro.combinatorics import (
+    brute_force_kbest,
+    kbest_assignments_ch,
+    kbest_assignments_murty,
+    second_best_assignment,
+    solve_assignment,
+)
+from repro.combinatorics.hungarian import FORBIDDEN
+from repro.errors import AssignmentError
+
+
+def _random_matrix(rng, n, low=0.0, high=10.0):
+    return [[rng.uniform(low, high) for _ in range(n)] for _ in range(n)]
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_first_solution_is_optimal(algorithm):
+    rng = random.Random(1)
+    for _ in range(20):
+        n = rng.randint(2, 6)
+        matrix = _random_matrix(rng, n)
+        best = solve_assignment(matrix)
+        ranked = algorithm(matrix, 1)
+        assert len(ranked) == 1
+        assert ranked[0].cost == pytest.approx(best.cost)
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_costs_nondecreasing(algorithm):
+    rng = random.Random(2)
+    matrix = _random_matrix(rng, 5)
+    ranked = algorithm(matrix, 30)
+    costs = [r.cost for r in ranked]
+    assert costs == sorted(costs)
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_no_duplicate_assignments(algorithm):
+    rng = random.Random(3)
+    matrix = _random_matrix(rng, 5)
+    ranked = algorithm(matrix, 60)
+    assignments = [r.assignment for r in ranked]
+    assert len(set(assignments)) == len(assignments)
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_matches_bruteforce_costs(algorithm):
+    rng = random.Random(4)
+    for _ in range(40):
+        n = rng.randint(2, 5)
+        s = rng.randint(1, math.factorial(n))
+        matrix = _random_matrix(rng, n)
+        expected = [r.cost for r in brute_force_kbest(matrix, s)]
+        actual = [r.cost for r in algorithm(matrix, s)]
+        assert len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            assert a == pytest.approx(e, abs=1e-8)
+
+
+def test_ch_and_murty_agree():
+    rng = random.Random(5)
+    for _ in range(25):
+        n = rng.randint(2, 6)
+        s = rng.randint(1, 2 * n)
+        matrix = _random_matrix(rng, n)
+        ch = kbest_assignments_ch(matrix, s)
+        murty = kbest_assignments_murty(matrix, s)
+        assert [round(r.cost, 8) for r in ch] == [round(r.cost, 8) for r in murty]
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_exhausts_small_space(algorithm):
+    matrix = [[1.0, 2.0], [3.0, 4.0]]
+    ranked = algorithm(matrix, 10)
+    assert len(ranked) == 2  # only 2! assignments exist
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_ranks_are_sequential(algorithm):
+    matrix = _random_matrix(random.Random(6), 4)
+    ranked = algorithm(matrix, 10)
+    assert [r.rank for r in ranked] == list(range(1, len(ranked) + 1))
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_invalid_s(algorithm):
+    with pytest.raises(AssignmentError):
+        algorithm([[1.0]], 0)
+
+
+@pytest.mark.parametrize("algorithm", [kbest_assignments_ch, kbest_assignments_murty])
+def test_respects_forbidden_edges(algorithm):
+    matrix = [
+        [FORBIDDEN, 1.0, 2.0],
+        [1.0, FORBIDDEN, 3.0],
+        [2.0, 3.0, FORBIDDEN],
+    ]
+    ranked = algorithm(matrix, 10)
+    for solution in ranked:
+        for row, col in enumerate(solution.assignment):
+            assert math.isfinite(matrix[row][col])
+    expected = [r.cost for r in brute_force_kbest(matrix, 10)]
+    assert [round(r.cost, 8) for r in ranked] == [round(c, 8) for c in expected]
+
+
+def test_second_best_differs_from_best():
+    rng = random.Random(7)
+    for _ in range(20):
+        n = rng.randint(2, 6)
+        matrix = _random_matrix(rng, n)
+        best = solve_assignment(matrix)
+        second = second_best_assignment(matrix)
+        assert second is not None
+        assignment, cost = second
+        assert assignment != best.assignment
+        assert cost >= best.cost - 1e-9
+        expected = brute_force_kbest(matrix, 2)[1].cost
+        assert cost == pytest.approx(expected, abs=1e-8)
+
+
+def test_second_best_none_for_single_solution_space():
+    assert second_best_assignment([[1.0]]) is None
+
+
+def test_second_best_with_integer_ties():
+    matrix = [[1.0, 1.0], [1.0, 1.0]]
+    second = second_best_assignment(matrix)
+    assert second is not None
+    assert second[1] == pytest.approx(2.0)
+
+
+def test_kbest_on_integer_matrix_with_ties():
+    matrix = [
+        [2.0, 2.0, 3.0],
+        [1.0, 2.0, 1.0],
+        [3.0, 1.0, 2.0],
+    ]
+    expected = [r.cost for r in brute_force_kbest(matrix, 6)]
+    for algorithm in (kbest_assignments_ch, kbest_assignments_murty):
+        actual = [r.cost for r in algorithm(matrix, 6)]
+        assert actual == pytest.approx(expected)

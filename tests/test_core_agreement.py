@@ -1,0 +1,173 @@
+"""Source agreement/disagreement analysis tests."""
+
+import pytest
+
+from repro.core import (
+    Context,
+    PairVerdict,
+    analyze_agreement,
+    render_agreement,
+)
+from repro.retrieval import Document
+
+
+def _context(*texts):
+    docs = [
+        Document(doc_id=f"d{i}", text=text) for i, text in enumerate(texts)
+    ]
+    return Context.from_documents("q?", docs)
+
+
+def test_dated_conflict_detected():
+    report = analyze_agreement(
+        _context(
+            "The 2022 sandcastle cup was won by Ann Dune.",
+            "The 2022 sandcastle cup was won by Bay Shore.",
+        )
+    )
+    assert not report.is_consistent
+    assert report.inconsistent_sources() == ["d0", "d1"]
+    pair = report.pairs[0]
+    assert pair.verdict is PairVerdict.CONFLICT
+
+
+def test_dated_agreement_detected():
+    report = analyze_agreement(
+        _context(
+            "The 2022 sandcastle cup was won by Ann Dune.",
+            "Ann Dune won the sandcastle cup in 2022.",
+        )
+    )
+    assert report.is_consistent
+    assert report.pairs[0].verdict is PairVerdict.AGREE
+
+
+def test_different_years_are_independent():
+    report = analyze_agreement(
+        _context(
+            "The 2021 sandcastle cup was won by Ann Dune.",
+            "The 2022 sandcastle cup was won by Bay Shore.",
+        )
+    )
+    assert report.pairs[0].verdict is PairVerdict.INDEPENDENT
+    assert report.is_consistent
+
+
+def test_different_events_same_year_independent():
+    report = analyze_agreement(
+        _context(
+            "The 2022 sandcastle cup was won by Ann Dune.",
+            "The 2022 pie eating trophy was won by Bay Shore.",
+        )
+    )
+    assert report.pairs[0].verdict is PairVerdict.INDEPENDENT
+
+
+def test_superlative_conflict():
+    report = analyze_agreement(
+        _context(
+            "Robin Hood is widely considered the best archer in the kingdom.",
+            "Will Scarlet ranks first with 99 archer tournament wins in the kingdom.",
+        )
+    )
+    assert report.pairs[0].verdict is PairVerdict.CONFLICT
+
+
+def test_superlative_agreement_across_kinds():
+    report = analyze_agreement(
+        _context(
+            "Robin Hood is widely considered the best archer in the kingdom.",
+            "Robin Hood ranks first with 120 archer tournament wins in the kingdom.",
+        )
+    )
+    assert report.pairs[0].verdict is PairVerdict.AGREE
+
+
+def test_off_topic_superlatives_independent():
+    report = analyze_agreement(
+        _context(
+            "Robin Hood is widely considered the best archer in the kingdom.",
+            "Tess Tube is widely considered the best chemist in the laboratory.",
+        )
+    )
+    assert report.pairs[0].verdict is PairVerdict.INDEPENDENT
+
+
+def test_conflict_outweighs_agreement():
+    """One contradiction marks the pair conflicting even with agreements."""
+    report = analyze_agreement(
+        _context(
+            "Ann Dune won the sandcastle cup in 2021. "
+            "Ann Dune won the sandcastle cup in 2022.",
+            "Ann Dune won the sandcastle cup in 2021. "
+            "Bay Shore won the sandcastle cup in 2022.",
+        )
+    )
+    pair = report.pairs[0]
+    assert pair.verdict is PairVerdict.CONFLICT
+    verdicts = {match.verdict for match in pair.matches}
+    assert verdicts == {PairVerdict.AGREE, PairVerdict.CONFLICT}
+
+
+def test_big_three_sources_disagree(big_three, big_three_engine):
+    """Use Case 1's subjective sources disagree about who is best."""
+    context = big_three_engine.retrieve(big_three.query)
+    report = analyze_agreement(context)
+    assert not report.is_consistent
+    assert "bigthree-1-match-wins" in report.inconsistent_sources()
+    # match-wins (Federer) conflicts with grand-slams (Djokovic)
+    pair = next(
+        p
+        for p in report.pairs
+        if {p.left_doc_id, p.right_doc_id}
+        == {"bigthree-1-match-wins", "bigthree-2-grand-slams"}
+    )
+    assert pair.verdict is PairVerdict.CONFLICT
+
+
+def test_us_open_sources_consistent(us_open, us_open_engine):
+    """Use Case 2's yearly sources never contradict (different years)."""
+    context = us_open_engine.retrieve(us_open.query)
+    assert analyze_agreement(context).is_consistent
+
+
+def test_render_agreement_conflicting():
+    report = analyze_agreement(
+        _context(
+            "The 2022 sandcastle cup was won by Ann Dune.",
+            "The 2022 sandcastle cup was won by Bay Shore.",
+        )
+    )
+    text = render_agreement(report)
+    assert "Inconsistent sources detected" in text
+    assert "'Ann Dune' vs 'Bay Shore' (2022)" in text
+
+
+def test_render_agreement_consistent():
+    report = analyze_agreement(
+        _context("The 2022 sandcastle cup was won by Ann Dune.")
+    )
+    assert "mutually consistent" in render_agreement(report)
+
+
+def test_render_deduplicates_equivalent_claims():
+    report = analyze_agreement(
+        _context(
+            "Robin Hood is widely considered the best archer in the kingdom. "
+            "Robin Hood ranks first with 120 archer contest wins in the kingdom.",
+            "Will Scarlet is widely considered the best archer in the kingdom.",
+        )
+    )
+    text = render_agreement(report)
+    line = "'Robin Hood' vs 'Will Scarlet' (superlative)"
+    assert text.count(line) == 1
+
+
+def test_cli_agreement(capsys):
+    from repro.app.cli import main
+
+    assert main(["agreement", "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "Disagreements:" in out
+    assert main(["agreement", "--use-case", "us_open"]) == 0
+    assert "mutually consistent" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Context and perturbation value-object tests."""
+
+import pytest
+
+from repro.core import CombinationPerturbation, Context, PermutationPerturbation
+from repro.errors import PerturbationError
+from repro.retrieval import Document
+
+
+def _context(k=4):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    return Context.from_documents("query?", docs, scores=[float(k - i) for i in range(k)])
+
+
+def test_context_accessors():
+    context = _context()
+    assert context.k == 4
+    assert context.doc_ids() == ("d0", "d1", "d2", "d3")
+    assert context.texts() == ["text 0", "text 1", "text 2", "text 3"]
+    assert context.position_of("d2") == 2
+    assert "d1" in context
+    assert "zz" not in context
+    assert context.retrieval_scores()["d0"] == 4.0
+
+
+def test_context_duplicate_sources_rejected():
+    doc = Document(doc_id="d", text="x")
+    with pytest.raises(PerturbationError):
+        Context.from_documents("q", [doc, doc])
+
+
+def test_context_scores_mismatch_rejected():
+    docs = [Document(doc_id="d0", text="x")]
+    with pytest.raises(PerturbationError):
+        Context.from_documents("q", docs, scores=[1.0, 2.0])
+
+
+def test_context_unknown_source():
+    with pytest.raises(PerturbationError):
+        _context().position_of("nope")
+
+
+def test_texts_for_order():
+    context = _context()
+    assert context.texts_for(("d3", "d0")) == ["text 3", "text 0"]
+
+
+def test_combination_apply_keeps_order():
+    context = _context()
+    perturbation = CombinationPerturbation(kept=("d0", "d2"))
+    assert perturbation.apply(context) == ("d0", "d2")
+    assert perturbation.size == 2
+
+
+def test_combination_rejects_wrong_order():
+    context = _context()
+    with pytest.raises(PerturbationError):
+        CombinationPerturbation(kept=("d2", "d0")).apply(context)
+
+
+def test_combination_rejects_duplicates():
+    context = _context()
+    with pytest.raises(PerturbationError):
+        CombinationPerturbation(kept=("d0", "d0")).apply(context)
+
+
+def test_combination_rejects_unknown():
+    context = _context()
+    with pytest.raises(PerturbationError):
+        CombinationPerturbation(kept=("d0", "zz")).apply(context)
+
+
+def test_combination_removed_complement():
+    context = _context()
+    perturbation = CombinationPerturbation(kept=("d1", "d3"))
+    assert perturbation.removed(context) == ("d0", "d2")
+
+
+def test_combination_from_removal():
+    context = _context()
+    perturbation = CombinationPerturbation.from_removal(context, ["d1"])
+    assert perturbation.kept == ("d0", "d2", "d3")
+    with pytest.raises(PerturbationError):
+        CombinationPerturbation.from_removal(context, ["zz"])
+
+
+def test_empty_combination_allowed():
+    context = _context()
+    perturbation = CombinationPerturbation(kept=())
+    assert perturbation.apply(context) == ()
+    assert perturbation.removed(context) == context.doc_ids()
+
+
+def test_permutation_apply():
+    context = _context()
+    order = ("d3", "d2", "d1", "d0")
+    assert PermutationPerturbation(order=order).apply(context) == order
+
+
+def test_permutation_must_cover_context():
+    context = _context()
+    with pytest.raises(PerturbationError):
+        PermutationPerturbation(order=("d0", "d1")).apply(context)
+    with pytest.raises(PerturbationError):
+        PermutationPerturbation(order=("d0", "d1", "d2", "zz")).apply(context)
+
+
+def test_permutation_identity_detection():
+    context = _context()
+    assert PermutationPerturbation(order=context.doc_ids()).is_identity(context)
+    assert not PermutationPerturbation(order=("d1", "d0", "d2", "d3")).is_identity(context)
+
+
+def test_permutation_moved_sources():
+    context = _context()
+    perturbation = PermutationPerturbation(order=("d1", "d0", "d2", "d3"))
+    assert perturbation.moved_sources(context) == ["d1", "d0"]
+
+
+def test_from_retrieval(tiny_searcher):
+    result = tiny_searcher.search("quick fox", k=3)
+    context = Context.from_retrieval(result)
+    assert context.query == "quick fox"
+    assert context.k == len(result)
+    assert list(context.doc_ids()) == result.doc_ids()

@@ -1,0 +1,131 @@
+"""Combination counterfactual search tests."""
+
+import pytest
+
+from repro.core import (
+    ContextEvaluator,
+    SearchDirection,
+    search_combination_counterfactual,
+)
+from repro.errors import SearchBudgetError
+
+
+def _search(evaluator, scores, **kwargs):
+    return search_combination_counterfactual(evaluator, scores, **kwargs)
+
+
+def test_top_down_finds_minimal_flip(big_three_engine, big_three, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, direction=SearchDirection.TOP_DOWN)
+    assert result.found
+    cf = result.counterfactual
+    assert cf.changed_sources == ("bigthree-1-match-wins",)
+    assert cf.baseline_answer == "Roger Federer"
+    assert cf.new_answer == "Novak Djokovic"
+    assert cf.size == 1
+
+
+def test_top_down_minimality_is_exhaustive(big_three_engine, big_three_context):
+    """With an unbounded budget, no smaller flipping subset can exist."""
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, keep_trail=True)
+    found_size = result.counterfactual.size
+    smaller_tried = [c for c, _ in result.trail if len(c) < found_size]
+    baseline = result.baseline_answer
+    # every strictly smaller subset was evaluated and none flipped
+    from itertools import combinations
+
+    assert {tuple(c) for c, _ in result.trail} >= {
+        c
+        for size in range(1, found_size)
+        for c in combinations(big_three_context.doc_ids(), size)
+    }
+    for combo, answer in result.trail:
+        if len(combo) < found_size:
+            assert answer == baseline
+
+
+def test_bottom_up_defaults_to_original_target(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, direction=SearchDirection.BOTTOM_UP)
+    assert result.found
+    cf = result.counterfactual
+    assert cf.baseline_answer == "Novak Djokovic"  # empty-context (KB) answer
+    assert cf.new_answer == "Roger Federer"        # the full-context target
+    assert cf.changed_sources == ("bigthree-1-match-wins",)
+
+
+def test_bottom_up_citation_use_case_3(potya_engine, player_of_the_year):
+    context = potya_engine.retrieve(player_of_the_year.query)
+    evaluator = ContextEvaluator(potya_engine.llm, context)
+    scores = potya_engine.relevance_scores(context)
+    result = _search(
+        evaluator, scores, direction="bottom_up", max_evaluations=2000
+    )
+    assert result.found
+    cited = sorted(result.counterfactual.changed_sources)
+    assert cited == [
+        "potya-2011", "potya-2012", "potya-2014", "potya-2015", "potya-2018"
+    ]
+    assert result.counterfactual.new_answer == "5"
+
+
+def test_target_answer_respected(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, target_answer="Rafael Nadal")
+    assert result.found
+    assert result.counterfactual.new_answer == "Rafael Nadal"
+
+
+def test_target_answer_normalized(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, target_answer="  rafael NADAL. ")
+    assert result.found
+    assert result.counterfactual.new_answer == "Rafael Nadal"
+
+
+def test_unreachable_target(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, target_answer="Serena Williams")
+    assert not result.found
+    assert not result.budget_exhausted  # space exhausted, not budget
+
+
+def test_budget_exhaustion(potya_engine, player_of_the_year):
+    context = potya_engine.retrieve(player_of_the_year.query)
+    evaluator = ContextEvaluator(potya_engine.llm, context)
+    scores = potya_engine.relevance_scores(context)
+    result = _search(
+        evaluator, scores, direction="bottom_up", max_evaluations=3
+    )
+    assert not result.found
+    assert result.budget_exhausted
+    assert result.num_evaluations == 3
+
+
+def test_invalid_budget(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    with pytest.raises(SearchBudgetError):
+        _search(evaluator, {}, max_evaluations=0)
+
+
+def test_relevance_ordering_prioritizes_high_scores(big_three_engine, big_three_context):
+    """The first size-1 candidate must be the highest-relevance source."""
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = _search(evaluator, scores, keep_trail=True)
+    first_candidate = result.trail[0][0]
+    best = max(scores, key=scores.get)
+    assert first_candidate == (best,)
+
+
+def test_string_direction_accepted(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    assert _search(evaluator, scores, direction="top_down").found

@@ -1,0 +1,53 @@
+"""ContextEvaluator tests (memoization, call counting)."""
+
+from repro.core import ContextEvaluator
+
+
+def test_original_and_empty(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    assert evaluator.original().answer == "Roger Federer"
+    assert evaluator.empty().answer == "Novak Djokovic"
+
+
+def test_memoization(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    first = evaluator.evaluate(big_three_context.doc_ids())
+    calls = evaluator.llm_calls
+    second = evaluator.evaluate(big_three_context.doc_ids())
+    assert evaluator.llm_calls == calls  # served from memo
+    assert first is second
+
+
+def test_order_is_part_of_the_key(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    ids = big_three_context.doc_ids()
+    a = evaluator.evaluate(ids)
+    b = evaluator.evaluate((ids[1], ids[0]) + ids[2:])
+    assert evaluator.llm_calls == 2
+    assert a.normalized_answer != b.normalized_answer  # UC1 flip
+
+
+def test_normalized_answer(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    evaluation = evaluator.original()
+    assert evaluation.normalized_answer == "roger federer"
+
+
+def test_subset_evaluation(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    only_h2h = evaluator.evaluate(("bigthree-4-head-to-head",))
+    assert only_h2h.answer == "Rafael Nadal"
+
+
+def test_generation_bypasses_memo(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    evaluator.generation(big_three_context.doc_ids())
+    evaluator.generation(big_three_context.doc_ids())
+    assert evaluator.llm_calls == 2
+
+
+def test_generation_returns_attention(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    result = evaluator.generation(big_three_context.doc_ids())
+    assert result.attention is not None
+    assert len(result.attention.source_totals) == big_three_context.k

@@ -1,0 +1,126 @@
+"""Greedy combination counterfactual tests."""
+
+import pytest
+
+from repro.core import (
+    Context,
+    ContextEvaluator,
+    SearchDirection,
+    greedy_combination_counterfactual,
+    search_combination_counterfactual,
+)
+from repro.datasets import make_timeline_world
+from repro.errors import SearchBudgetError
+from repro.llm import ScriptedLLM, SimulatedLLM
+from repro.retrieval import Document
+
+
+def _context(k=4, question="what is the answer?"):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    return Context.from_documents(question, docs)
+
+
+def _uniform_scores(context):
+    return {doc_id: 1.0 for doc_id in context.doc_ids()}
+
+
+def test_greedy_matches_exhaustive_on_use_case_1(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    greedy = greedy_combination_counterfactual(evaluator, scores)
+    exhaustive = search_combination_counterfactual(evaluator, scores)
+    assert greedy.found and exhaustive.found
+    assert greedy.counterfactual.changed_sources == exhaustive.counterfactual.changed_sources
+    assert greedy.counterfactual.new_answer == exhaustive.counterfactual.new_answer
+
+
+def test_greedy_result_is_minimal():
+    """No proper subset of the greedy set flips the answer."""
+    context = _context(5)
+    # flips iff both d1 and d3 are removed
+    llm = ScriptedLLM(
+        answer_fn=lambda q, texts: (
+            "flipped" if "text 1" not in texts and "text 3" not in texts else "base"
+        )
+    )
+    evaluator = ContextEvaluator(llm, context)
+    result = greedy_combination_counterfactual(evaluator, _uniform_scores(context))
+    assert result.found
+    assert sorted(result.counterfactual.changed_sources) == ["d1", "d3"]
+
+
+def test_greedy_linear_llm_calls():
+    """Grow + shrink stays within 2k evaluations even when the flip
+    needs most of the context removed."""
+    k = 12
+    context = _context(k)
+    # flips only when fewer than 3 sources remain
+    llm = ScriptedLLM(
+        answer_fn=lambda q, texts: "flipped" if len(texts) < 3 else "base"
+    )
+    evaluator = ContextEvaluator(llm, context)
+    result = greedy_combination_counterfactual(evaluator, _uniform_scores(context))
+    assert result.found
+    assert result.counterfactual.size == k - 2
+    assert result.num_evaluations <= 2 * k
+
+
+def test_greedy_bottom_up_citation():
+    world = make_timeline_world(12, seed=5)
+    from repro import Rage, RageConfig
+
+    rage = Rage.from_corpus(
+        world.corpus,
+        SimulatedLLM(knowledge=world.knowledge),
+        config=RageConfig(k=12, max_evaluations=4000),
+    )
+    context = rage.retrieve(world.query)
+    evaluator = ContextEvaluator(rage.llm, context)
+    scores = rage.relevance_scores(context)
+    result = greedy_combination_counterfactual(
+        evaluator, scores, direction=SearchDirection.BOTTOM_UP
+    )
+    assert result.found
+    # the citation set contains exactly the subject's winning years
+    cited_years = {
+        int(doc_id.rsplit("-", 1)[1]) for doc_id in result.counterfactual.changed_sources
+    }
+    assert cited_years == set(world.subject_years)
+    # linear cost, far below the exhaustive C(12, 1..m) budget
+    assert result.num_evaluations <= 24
+
+
+def test_greedy_no_flip_exists():
+    context = _context(3)
+    llm = ScriptedLLM(default="constant")
+    evaluator = ContextEvaluator(llm, context)
+    result = greedy_combination_counterfactual(evaluator, _uniform_scores(context))
+    assert not result.found
+    assert result.num_evaluations <= 3
+
+
+def test_greedy_budget_exhaustion():
+    context = _context(8)
+    llm = ScriptedLLM(answer_fn=lambda q, texts: "flipped" if not texts else "base")
+    evaluator = ContextEvaluator(llm, context)
+    result = greedy_combination_counterfactual(
+        evaluator, _uniform_scores(context), max_evaluations=2
+    )
+    assert not result.found
+    assert result.budget_exhausted
+
+
+def test_greedy_invalid_budget(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    with pytest.raises(SearchBudgetError):
+        greedy_combination_counterfactual(evaluator, {}, max_evaluations=0)
+
+
+def test_greedy_target_answer(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    scores = big_three_engine.relevance_scores(big_three_context)
+    result = greedy_combination_counterfactual(
+        evaluator, scores, target_answer="Novak Djokovic"
+    )
+    assert result.found
+    assert result.counterfactual.new_answer == "Novak Djokovic"

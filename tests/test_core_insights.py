@@ -1,0 +1,165 @@
+"""Combination/permutation insight analysis tests."""
+
+import pytest
+
+from repro.core import (
+    ContextEvaluator,
+    analyze_combinations,
+    analyze_permutations,
+    select_combinations,
+    select_permutations,
+)
+from repro.textproc import normalize_answer
+
+
+@pytest.fixture()
+def big_three_insights(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    perturbations = select_combinations(big_three_context)
+    return analyze_combinations(evaluator, perturbations)
+
+
+def test_combination_totals(big_three_insights):
+    assert big_three_insights.total == 2**4 - 1  # empty excluded by default
+
+
+def test_pie_fractions_sum_to_one(big_three_insights):
+    pie = big_three_insights.pie()
+    assert sum(s.fraction for s in pie) == pytest.approx(1.0)
+    assert pie == sorted(pie, key=lambda s: -s.count)
+
+
+def test_figure_2_distribution(big_three_insights):
+    """Fig. 2 content: three answers, Federer most frequent."""
+    pie = big_three_insights.pie()
+    answers = [s.answer for s in pie]
+    assert answers[0] == "Roger Federer"
+    assert set(answers) == {"Roger Federer", "Novak Djokovic", "Rafael Nadal"}
+
+
+def test_federer_rule_matches_paper(big_three_insights):
+    rule = big_three_insights.rule_for("Roger Federer")
+    assert rule is not None
+    assert rule.required_sources == ("bigthree-1-match-wins",)
+    assert "bigthree-1-match-wins" in rule.describe()
+
+
+def test_rules_are_sound(big_three_insights):
+    """Every rule source must appear in every combination of its answer."""
+    for rule in big_three_insights.rules:
+        key = normalize_answer(rule.answer)
+        for combo in big_three_insights.groups[key]:
+            assert set(rule.required_sources) <= set(combo.kept)
+
+
+def test_rules_are_maximal(big_three_insights):
+    """No source outside the rule appears in every combination."""
+    for rule in big_three_insights.rules:
+        key = normalize_answer(rule.answer)
+        combos = big_three_insights.groups[key]
+        universe = set(big_three_insights.groups)  # just to touch it
+        all_ids = set().union(*(set(c.kept) for c in combos))
+        for doc_id in all_ids - set(rule.required_sources):
+            assert any(doc_id not in set(c.kept) for c in combos)
+
+
+def test_exclusion_rule_for_djokovic(big_three_insights):
+    """Extension: Djokovic only wins when the match-wins doc is absent."""
+    rule = big_three_insights.rule_for("Novak Djokovic")
+    assert rule is not None
+    assert rule.required_sources == ()
+    assert rule.excluded_sources == ("bigthree-1-match-wins",)
+    assert "excluded" in rule.describe()
+
+
+def test_exclusion_rules_are_sound(big_three_insights):
+    """Excluded sources never appear in the answer's combinations and do
+    appear in some other answer's combination."""
+    for rule in big_three_insights.rules:
+        key = normalize_answer(rule.answer)
+        for combo in big_three_insights.groups[key]:
+            assert not (set(rule.excluded_sources) & set(combo.kept))
+        for doc_id in rule.excluded_sources:
+            assert any(
+                doc_id in set(combo.kept)
+                for other_key, combos in big_three_insights.groups.items()
+                if other_key != key
+                for combo in combos
+            )
+
+
+def test_answer_table_rows(big_three_insights):
+    rows = big_three_insights.answer_table()
+    assert len(rows) == big_three_insights.total
+    # grouped: all rows of the most frequent answer come first
+    first_answer = rows[0][0]
+    first_block = [r for r in rows if r[0] == first_answer]
+    assert rows[: len(first_block)] == first_block
+
+
+def test_rule_for_unknown_answer(big_three_insights):
+    assert big_three_insights.rule_for("Serena Williams") is None
+
+
+def test_num_evaluations_counted(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    perturbations = select_combinations(big_three_context)
+    insights = analyze_combinations(evaluator, perturbations)
+    assert insights.num_evaluations == insights.total
+
+
+def test_permutation_insights_use_case_2(us_open_engine, us_open):
+    context = us_open_engine.retrieve(us_open.query)
+    evaluator = ContextEvaluator(us_open_engine.llm, context)
+    perturbations = select_permutations(context, sample_size=60, seed=1)
+    insights = analyze_permutations(evaluator, perturbations)
+    answers = {s.answer for s in insights.pie()}
+    assert "Coco Gauff" in answers
+    assert "Iga Swiatek" in answers  # the paper's out-of-date confusion
+    assert not insights.is_stable
+
+
+def test_permutation_insights_stability_use_case_3(potya_engine, player_of_the_year):
+    context = potya_engine.retrieve(player_of_the_year.query)
+    evaluator = ContextEvaluator(potya_engine.llm, context)
+    perturbations = select_permutations(context, sample_size=25, seed=2)
+    insights = analyze_permutations(evaluator, perturbations)
+    assert insights.is_stable
+    assert insights.pie()[0].answer == "5"
+    assert insights.rules == []  # "no rules were found" (paper III-D)
+
+
+def test_permutation_rules_sound(us_open_engine, us_open):
+    context = us_open_engine.retrieve(us_open.query)
+    evaluator = ContextEvaluator(us_open_engine.llm, context)
+    perturbations = select_permutations(context, sample_size=40, seed=3)
+    insights = analyze_permutations(evaluator, perturbations)
+    for rule in insights.rules:
+        key = normalize_answer(rule.answer)
+        for perm in insights.groups[key]:
+            for position, doc_id in rule.fixed_positions:
+                assert perm.order[position] == doc_id
+
+
+def test_permutation_rule_not_emitted_for_fully_pinned_singleton(
+    us_open_engine, us_open
+):
+    context = us_open_engine.retrieve(us_open.query)
+    evaluator = ContextEvaluator(us_open_engine.llm, context)
+    perturbations = select_permutations(context, sample_size=200, seed=4)
+    insights = analyze_permutations(evaluator, perturbations)
+    k = context.k
+    for rule in insights.rules:
+        key = normalize_answer(rule.answer)
+        if len(insights.groups[key]) == 1:
+            assert len(rule.fixed_positions) < k
+
+
+def test_empty_perturbation_context_answer(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    perturbations = select_combinations(big_three_context, include_empty=True)
+    insights = analyze_combinations(evaluator, perturbations)
+    assert insights.total == 2**4
+    # the empty combination answers from parametric knowledge (Djokovic)
+    key = normalize_answer("Novak Djokovic")
+    assert any(p.kept == () for p in insights.groups[key])

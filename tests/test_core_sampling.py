@@ -1,0 +1,85 @@
+"""Perturbation selection tests."""
+
+import pytest
+
+from repro.core import select_combinations, select_permutations
+from repro.core.context import Context
+from repro.errors import ConfigError
+from repro.retrieval import Document
+
+
+def _context(k):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    return Context.from_documents("q", docs)
+
+
+def test_select_all_combinations():
+    context = _context(4)
+    perturbations = select_combinations(context)
+    assert len(perturbations) == 2**4 - 1
+    for p in perturbations:
+        p.validate(context)
+
+
+def test_select_combinations_include_flags():
+    context = _context(3)
+    with_empty = select_combinations(context, include_empty=True)
+    assert any(p.kept == () for p in with_empty)
+    without_full = select_combinations(context, include_full=False)
+    assert all(p.kept != context.doc_ids() for p in without_full)
+
+
+def test_select_combinations_sampled():
+    context = _context(10)
+    perturbations = select_combinations(context, sample_size=25, seed=1)
+    assert len(perturbations) == 25
+    assert len({p.kept for p in perturbations}) == 25
+    for p in perturbations:
+        p.validate(context)
+
+
+def test_select_combinations_sample_deterministic():
+    context = _context(8)
+    a = select_combinations(context, sample_size=10, seed=5)
+    b = select_combinations(context, sample_size=10, seed=5)
+    assert [p.kept for p in a] == [p.kept for p in b]
+    c = select_combinations(context, sample_size=10, seed=6)
+    assert [p.kept for p in a] != [p.kept for p in c]
+
+
+def test_select_combinations_invalid_sample():
+    with pytest.raises(ConfigError):
+        select_combinations(_context(3), sample_size=0)
+
+
+def test_select_all_permutations():
+    context = _context(3)
+    perturbations = select_permutations(context)
+    assert len(perturbations) == 6
+    for p in perturbations:
+        p.validate(context)
+
+
+def test_select_permutations_exclude_identity():
+    context = _context(3)
+    perturbations = select_permutations(context, include_identity=False)
+    assert len(perturbations) == 5
+    assert all(not p.is_identity(context) for p in perturbations)
+
+
+def test_select_permutations_sampled_large_k():
+    context = _context(12)  # 12! is far beyond enumeration
+    perturbations = select_permutations(context, sample_size=30, seed=2)
+    assert len(perturbations) == 30
+    for p in perturbations:
+        p.validate(context)
+
+
+def test_select_permutations_exhaustive_cap():
+    with pytest.raises(ConfigError):
+        select_permutations(_context(9))
+
+
+def test_select_permutations_invalid_sample():
+    with pytest.raises(ConfigError):
+        select_permutations(_context(3), sample_size=-1)

@@ -1,0 +1,73 @@
+"""Relevance scoring (S(q, d, Dq)) tests."""
+
+import pytest
+
+from repro.core import (
+    AttentionRelevance,
+    RelevanceMethod,
+    RetrievalRelevance,
+    make_scorer,
+)
+from repro.core.context import Context
+from repro.errors import ConfigError
+from repro.llm import GenerationResult
+from repro.retrieval import Document
+
+
+def test_retrieval_relevance_returns_bm25_scores(big_three_engine, big_three):
+    context = big_three_engine.retrieve(big_three.query)
+    scores = RetrievalRelevance().scores(context)
+    assert scores == context.retrieval_scores()
+    assert scores["bigthree-1-match-wins"] == max(scores.values())
+
+
+def test_attention_relevance_normalized(big_three_engine, big_three):
+    context = big_three_engine.retrieve(big_three.query)
+    scorer = AttentionRelevance(big_three_engine.llm)
+    scores = scorer.scores(context)
+    assert set(scores) == set(context.doc_ids())
+    assert sum(scores.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in scores.values())
+
+
+def test_attention_relevance_unnormalized(big_three_engine, big_three):
+    context = big_three_engine.retrieve(big_three.query)
+    raw = AttentionRelevance(big_three_engine.llm, normalize=False).scores(context)
+    assert sum(raw.values()) > 1.0  # raw sums over layers/heads/tokens
+
+
+def test_attention_relevance_reflects_position_bias(big_three_engine, big_three):
+    """End sources aggregate more attention than middle ones for
+    comparable texts."""
+    context = big_three_engine.retrieve(big_three.query)
+    scores = AttentionRelevance(big_three_engine.llm).scores(context)
+    ids = context.doc_ids()
+    assert scores[ids[0]] > scores[ids[2]] or scores[ids[-1]] > scores[ids[1]]
+
+
+def test_attention_relevance_requires_attention():
+    class NoAttention:
+        name = "no-attn"
+
+        def generate(self, prompt):
+            return GenerationResult(answer="x", prompt=prompt, attention=None)
+
+    context = Context.from_documents("q", [Document(doc_id="d", text="t")])
+    with pytest.raises(ConfigError):
+        AttentionRelevance(NoAttention()).scores(context)
+
+
+def test_make_scorer_retrieval():
+    scorer = make_scorer(RelevanceMethod.RETRIEVAL)
+    assert isinstance(scorer, RetrievalRelevance)
+    assert isinstance(make_scorer("retrieval"), RetrievalRelevance)
+
+
+def test_make_scorer_attention_needs_llm():
+    with pytest.raises(ConfigError):
+        make_scorer(RelevanceMethod.ATTENTION)
+
+
+def test_make_scorer_attention(big_three_engine):
+    scorer = make_scorer("attention", llm=big_three_engine.llm)
+    assert isinstance(scorer, AttentionRelevance)

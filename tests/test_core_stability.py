@@ -1,0 +1,131 @@
+"""Salience and stability metric tests."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ContextEvaluator,
+    answer_entropy,
+    order_stability,
+    positional_sensitivity,
+    select_permutations,
+    source_salience,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def big_three_insights(big_three_engine, big_three):
+    return big_three_engine.combination_insights(big_three.query)
+
+
+def test_salience_identifies_decisive_source(big_three_insights):
+    scores = source_salience(big_three_insights)
+    assert scores[0].doc_id == "bigthree-1-match-wins"
+    assert scores[0].contrast == pytest.approx(1.0)
+    assert scores[0].answer == "Roger Federer"
+    # every other source has near-zero or negative influence on Federer
+    for score in scores[1:]:
+        assert score.contrast < 0.5
+
+
+def test_salience_scores_sorted(big_three_insights):
+    scores = source_salience(big_three_insights)
+    contrasts = [s.contrast for s in scores]
+    assert contrasts == sorted(contrasts, reverse=True)
+
+
+def test_salience_support_counts(big_three_insights):
+    scores = source_salience(big_three_insights)
+    for score in scores:
+        present, absent = score.support
+        assert present + absent == big_three_insights.total
+        assert present == 8  # each source appears in half of 2^4 combos,
+        assert absent == 7   # minus the excluded empty combination
+
+
+def test_salience_for_specific_answer(big_three_insights):
+    scores = source_salience(big_three_insights, answer="Rafael Nadal")
+    best = scores[0]
+    assert best.doc_id == "bigthree-4-head-to-head"
+    assert best.contrast > 0
+
+
+def test_salience_unknown_answer_rejected(big_three_insights):
+    with pytest.raises(ConfigError):
+        source_salience(big_three_insights, answer="Serena Williams")
+
+
+def test_salience_rates_bounded(big_three_insights):
+    for answer_slice in big_three_insights.pie():
+        for score in source_salience(big_three_insights, answer=answer_slice.answer):
+            assert 0.0 <= score.present_rate <= 1.0
+            assert 0.0 <= score.absent_rate <= 1.0
+            assert -1.0 <= score.contrast <= 1.0
+
+
+def test_entropy_ambiguous_case(big_three_insights):
+    entropy = answer_entropy(big_three_insights)
+    assert entropy > 0.0
+    assert entropy <= math.log2(len(big_three_insights.groups)) + 1e-12
+
+
+def test_entropy_stable_case(potya_engine, player_of_the_year):
+    insights = potya_engine.permutation_insights(
+        player_of_the_year.query, sample_size=20
+    )
+    assert answer_entropy(insights) == 0.0
+
+
+def test_order_stability_fragile_context(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    perturbations = select_permutations(big_three_context)
+    stability = order_stability(evaluator, perturbations)
+    assert not stability.is_stable
+    assert 0.0 < stability.stable_fraction < 1.0
+    assert stability.flip_tau == pytest.approx(1 - 2 / 6)
+    assert stability.num_permutations == 24
+
+
+def test_order_stability_stable_context(potya_engine, player_of_the_year):
+    context = potya_engine.retrieve(player_of_the_year.query)
+    evaluator = ContextEvaluator(potya_engine.llm, context)
+    perturbations = select_permutations(context, sample_size=15, seed=1)
+    stability = order_stability(evaluator, perturbations)
+    assert stability.is_stable
+    assert stability.stable_fraction == 1.0
+    assert stability.flip_tau is None
+
+
+def test_order_stability_requires_permutations(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    with pytest.raises(ConfigError):
+        order_stability(evaluator, [])
+
+
+def test_positional_sensitivity_us_open(us_open_engine, us_open):
+    """For the most-recent question, some position must carry signal."""
+    insights = us_open_engine.permutation_insights(us_open.query, sample_size=80)
+    sensitivity = positional_sensitivity(insights)
+    assert set(sensitivity) == set(range(5))
+    assert all(0.0 <= value <= 1.0 for value in sensitivity.values())
+    assert max(sensitivity.values()) > 0.1
+
+
+def test_positional_sensitivity_stable_context(potya_engine, player_of_the_year):
+    insights = potya_engine.permutation_insights(
+        player_of_the_year.query, sample_size=15
+    )
+    sensitivity = positional_sensitivity(insights)
+    assert all(value == 0.0 for value in sensitivity.values())
+
+
+def test_engine_salience_facade(big_three_engine, big_three):
+    scores = big_three_engine.source_salience(big_three.query)
+    assert scores[0].doc_id == "bigthree-1-match-wins"
+
+
+def test_engine_order_stability_facade(big_three_engine, big_three):
+    stability = big_three_engine.order_stability(big_three.query, sample_size=20)
+    assert stability.num_permutations == 20

@@ -1,0 +1,143 @@
+"""Dataset registry and synthetic generator tests."""
+
+import pytest
+
+from repro.datasets import (
+    DJOKOVIC_YEARS,
+    WINNERS,
+    available_use_cases,
+    load_use_case,
+    make_superlative_world,
+    make_timeline_world,
+    random_corpus,
+)
+from repro.errors import DatasetError
+from repro.llm import ClaimExtractor, ClaimKind
+
+
+def test_registry_lists_all_three():
+    assert available_use_cases() == ["big_three", "player_of_the_year", "us_open"]
+
+
+def test_unknown_use_case():
+    with pytest.raises(DatasetError):
+        load_use_case("nope")
+
+
+@pytest.mark.parametrize("name", ["big_three", "us_open", "player_of_the_year"])
+def test_use_cases_well_formed(name):
+    case = load_use_case(name)
+    assert case.name == name
+    assert len(case.corpus) >= case.k
+    assert case.query
+    assert len(case.knowledge) >= 1
+    if case.expected_context is not None:
+        assert len(case.expected_context) == case.k
+        for doc_id in case.expected_context:
+            assert doc_id in case.corpus
+
+
+def test_big_three_doc_claims():
+    """Each Big Three document must carry its intended claim."""
+    case = load_use_case("big_three")
+    extractor = ClaimExtractor()
+    wins = extractor.extract(case.corpus.get("bigthree-1-match-wins").text)
+    assert any(
+        c.kind == ClaimKind.SUPERLATIVE and c.entity == "Roger Federer" for c in wins
+    )
+    slams = extractor.extract(case.corpus.get("bigthree-2-grand-slams").text)
+    assert any(
+        c.kind == ClaimKind.RANK_FIRST and c.entity == "Novak Djokovic" for c in slams
+    )
+    h2h = extractor.extract(case.corpus.get("bigthree-4-head-to-head").text)
+    assert any(
+        c.kind == ClaimKind.RANK_FIRST and c.entity == "Rafael Nadal" for c in h2h
+    )
+
+
+def test_us_open_docs_have_equal_analyzed_length():
+    """Equal lengths guarantee score ties, hence chronological order."""
+    from repro.textproc import Tokenizer
+
+    case = load_use_case("us_open")
+    tokenizer = Tokenizer()
+    lengths = {len(tokenizer.tokenize(doc.text)) for doc in case.corpus}
+    assert len(lengths) == 1
+
+
+def test_timeline_winners_match_paper():
+    assert DJOKOVIC_YEARS == (2011, 2012, 2014, 2015, 2018)
+    assert WINNERS[2016] == "Andy Murray"
+    assert sum(1 for w in WINNERS.values() if w == "Rafael Nadal") == 4
+
+
+def test_superlative_world_reproducible():
+    a = make_superlative_world(6, seed=42)
+    b = make_superlative_world(6, seed=42)
+    assert a.query == b.query
+    assert [d.text for d in a.corpus] == [d.text for d in b.corpus]
+    assert a.endorsements == b.endorsements
+
+
+def test_superlative_world_structure():
+    world = make_superlative_world(8, num_candidates=4, seed=1)
+    assert len(world.corpus) == 8
+    assert len(world.endorsements) == 8
+    assert set(world.endorsements) <= set(world.candidates)
+    assert world.topic in world.query
+
+
+def test_superlative_world_docs_carry_claims():
+    world = make_superlative_world(10, seed=2)
+    extractor = ClaimExtractor()
+    for doc, endorsed in zip(world.corpus, world.endorsements):
+        claims = extractor.extract(doc.text)
+        assert any(c.entity == endorsed for c in claims), doc.text
+
+
+def test_superlative_world_validation():
+    with pytest.raises(Exception):
+        make_superlative_world(0)
+    with pytest.raises(Exception):
+        make_superlative_world(3, num_candidates=1)
+
+
+def test_timeline_world_structure():
+    world = make_timeline_world(12, seed=3, start_year=1990)
+    assert len(world.corpus) == 12
+    assert world.year_range == (1990, 2001)
+    assert all(1990 <= year <= 2001 for year in world.subject_years)
+    assert world.subject in world.query
+
+
+def test_timeline_world_subject_years_consistent():
+    world = make_timeline_world(15, seed=4)
+    extractor = ClaimExtractor()
+    extracted_years = set()
+    for doc in world.corpus:
+        for claim in extractor.extract(doc.text):
+            if claim.entity == world.subject:
+                extracted_years.add(claim.year)
+    assert extracted_years == set(world.subject_years)
+
+
+def test_random_corpus_planted_relevant():
+    corpus, relevant = random_corpus(50, seed=5, num_relevant=5)
+    assert len(corpus) == 50
+    assert len(relevant) == 5
+    for doc_id in relevant:
+        text = corpus.get(doc_id).text
+        assert "needle" in text and "haystack" in text
+
+
+def test_random_corpus_reproducible():
+    a, _ = random_corpus(20, seed=6)
+    b, _ = random_corpus(20, seed=6)
+    assert [d.text for d in a] == [d.text for d in b]
+
+
+def test_random_corpus_validation():
+    with pytest.raises(Exception):
+        random_corpus(0)
+    with pytest.raises(Exception):
+        random_corpus(3, num_relevant=5)

@@ -1,0 +1,70 @@
+"""Error hierarchy tests: one catch-all base, specific subclasses."""
+
+import pytest
+
+from repro import RageError
+from repro.errors import (
+    AssignmentError,
+    ConfigError,
+    DatasetError,
+    EmptyIndexError,
+    GenerationError,
+    PerturbationError,
+    PromptError,
+    RetrievalError,
+    SearchBudgetError,
+    UnknownDocumentError,
+)
+
+ALL_ERRORS = [
+    ConfigError,
+    RetrievalError,
+    EmptyIndexError,
+    UnknownDocumentError,
+    PromptError,
+    GenerationError,
+    SearchBudgetError,
+    PerturbationError,
+    AssignmentError,
+    DatasetError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_derive_from_rage_error(error_cls):
+    assert issubclass(error_cls, RageError)
+    assert issubclass(error_cls, Exception)
+
+
+def test_retrieval_specializations():
+    assert issubclass(EmptyIndexError, RetrievalError)
+    assert issubclass(UnknownDocumentError, RetrievalError)
+
+
+def test_single_catch_covers_library_failures():
+    """A caller catching RageError intercepts every deliberate failure
+    path exercised here."""
+    from repro.attention import position_weights
+    from repro.datasets import load_use_case
+    from repro.retrieval import InvertedIndex, Searcher
+
+    failing_calls = [
+        lambda: Searcher(InvertedIndex()).search("q"),
+        lambda: load_use_case("missing"),
+        lambda: position_weights("uniform", 0),
+    ]
+    for call in failing_calls:
+        with pytest.raises(RageError):
+            call()
+
+
+def test_errors_carry_messages():
+    try:
+        from repro.datasets import load_use_case
+
+        load_use_case("nope")
+    except DatasetError as error:
+        assert "nope" in str(error)
+        assert "big_three" in str(error)  # lists what is available
+    else:  # pragma: no cover
+        pytest.fail("expected DatasetError")

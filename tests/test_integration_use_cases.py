@@ -1,0 +1,194 @@
+"""End-to-end reproduction of the paper's three demonstration use cases.
+
+Every assertion here corresponds to a sentence in Section III of the
+paper; EXPERIMENTS.md cross-references these tests.
+"""
+
+import pytest
+
+from repro import SearchDirection
+from repro.core import ContextEvaluator
+from tests.conftest import make_engine
+
+
+class TestUseCase1AmbiguousAnswers:
+    """Section III-B: the Big Three."""
+
+    def test_retrieval_places_match_wins_first(self, big_three, big_three_engine):
+        context = big_three_engine.retrieve(big_three.query)
+        assert list(context.doc_ids()) == big_three.expected_context
+        assert context.doc_ids()[0] == "bigthree-1-match-wins"
+
+    def test_full_context_answer_is_federer(self, big_three, big_three_engine):
+        """'when asked with the combination of all retrieved documents,
+        the LLM's answer is Roger Federer'"""
+        assert big_three_engine.ask(big_three.query).answer == "Roger Federer"
+
+    def test_parametric_expectation_is_djokovic(self, big_three, big_three_engine):
+        """'The user expects that Novak Djokovic ... might be the LLM's
+        choice' — the parametric (empty-context) answer."""
+        context = big_three_engine.retrieve(big_three.query)
+        evaluator = ContextEvaluator(big_three_engine.llm, context)
+        assert evaluator.empty().answer == "Novak Djokovic"
+
+    def test_combination_insights_rule(self, big_three, big_three_engine):
+        """'this document was included in every combination for which the
+        LLM answered Roger Federer'"""
+        insights = big_three_engine.combination_insights(big_three.query)
+        rule = insights.rule_for("Roger Federer")
+        assert rule is not None
+        assert rule.required_sources == ("bigthree-1-match-wins",)
+
+    def test_first_document_drives_the_answer(self, big_three, big_three_engine):
+        """'RAGE ... discovers that the first document led the LLM to
+        produce this answer' — removing it flips the answer."""
+        result = big_three_engine.combination_counterfactual(big_three.query)
+        assert result.found
+        assert result.counterfactual.changed_sources == ("bigthree-1-match-wins",)
+
+    def test_moving_to_second_position_flips_to_djokovic(
+        self, big_three, big_three_engine
+    ):
+        """'moving the document to the second position altered the answer
+        to Novak Djokovic'"""
+        result = big_three_engine.permutation_counterfactual(big_three.query)
+        assert result.found
+        cf = result.counterfactual
+        assert cf.perturbation.order.index("bigthree-1-match-wins") == 1
+        assert cf.new_answer == "Novak Djokovic"
+
+    def test_answers_are_ambiguous_across_combinations(
+        self, big_three, big_three_engine
+    ):
+        """Fig. 2: multiple answers across combinations."""
+        insights = big_three_engine.combination_insights(big_three.query)
+        assert len(insights.pie()) == 3
+
+
+class TestUseCase2InconsistentSources:
+    """Section III-C: US Open champions."""
+
+    def test_context_is_chronological_with_2023_last(self, us_open, us_open_engine):
+        context = us_open_engine.retrieve(us_open.query)
+        assert list(context.doc_ids()) == us_open.expected_context
+        assert context.doc_ids()[-1] == "usopen-2023"
+
+    def test_full_context_answer_is_gauff(self, us_open, us_open_engine):
+        """'the combination containing all sources produces the response
+        Coco Gauff'"""
+        assert us_open_engine.ask(us_open.query).answer == "Coco Gauff"
+
+    def test_last_document_is_the_provenance(self, us_open, us_open_engine):
+        """'the last context document recognizes Gauff as the 2023
+        champion' — removing it flips the answer."""
+        result = us_open_engine.combination_counterfactual(us_open.query)
+        assert result.found
+        assert "usopen-2023" in result.counterfactual.changed_sources
+
+    def test_midcontext_reordering_yields_swiatek(self, us_open, us_open_engine):
+        """'the LLM incorrectly identifies the 2022 champion Iga Swiatek
+        whenever the last document is moved towards the middle'"""
+        result = us_open_engine.permutation_counterfactual(us_open.query)
+        assert result.found
+        cf = result.counterfactual
+        assert cf.new_answer == "Iga Swiatek"
+        new_position = cf.perturbation.order.index("usopen-2023")
+        assert 0 < new_position < 4  # moved inward, off both ends
+
+    def test_middle_positions_systematically_confuse(self, us_open, us_open_engine):
+        """Exhaustive check for the exact middle position: the up-to-date
+        document never wins from there, and the 2022 champion is the
+        dominant wrong answer (an older champion can still win when it
+        occupies a high-attention end — same mechanism, staler source)."""
+        context = us_open_engine.retrieve(us_open.query)
+        evaluator = ContextEvaluator(us_open_engine.llm, context)
+        others = [d for d in context.doc_ids() if d != "usopen-2023"]
+        import itertools
+        from collections import Counter
+
+        answers = Counter()
+        for rest in itertools.permutations(others):
+            order = rest[:2] + ("usopen-2023",) + rest[2:]
+            answers[evaluator.evaluate(order).answer] += 1
+        assert answers["Coco Gauff"] == 0
+        assert answers.most_common(1)[0][0] == "Iga Swiatek"
+
+    def test_stale_parametric_memory(self, us_open, us_open_engine):
+        context = us_open_engine.retrieve(us_open.query)
+        evaluator = ContextEvaluator(us_open_engine.llm, context)
+        assert evaluator.empty().answer == "Emma Raducanu"
+
+
+class TestUseCase3Timelines:
+    """Section III-D: Player of the Year."""
+
+    def test_full_context_answer_is_five(self, player_of_the_year, potya_engine):
+        """'the LLM produces the expected answer of 5'"""
+        assert potya_engine.ask(player_of_the_year.query).answer == "5"
+
+    def test_bottom_up_cites_five_documents(self, player_of_the_year, potya_engine):
+        """'RAGE cites five separate documents from those provided, each
+        documenting a different year in which Djokovic won'"""
+        result = potya_engine.combination_counterfactual(
+            player_of_the_year.query, direction=SearchDirection.BOTTOM_UP
+        )
+        assert result.found
+        cited = sorted(result.counterfactual.changed_sources)
+        assert cited == [
+            "potya-2011", "potya-2012", "potya-2014", "potya-2015", "potya-2018"
+        ]
+        assert result.counterfactual.new_answer == "5"
+
+    def test_permutation_insights_consistent(self, player_of_the_year, potya_engine):
+        """'a pie chart and answer table that indicate a consistent answer
+        of 5 ... no rules were found'"""
+        insights = potya_engine.permutation_insights(
+            player_of_the_year.query, sample_size=40
+        )
+        assert insights.is_stable
+        assert insights.pie()[0].answer == "5"
+        assert insights.rules == []
+
+    def test_removing_any_djokovic_year_decrements(self, player_of_the_year, potya_engine):
+        context = potya_engine.retrieve(player_of_the_year.query)
+        evaluator = ContextEvaluator(potya_engine.llm, context)
+        for year in (2011, 2012, 2014, 2015, 2018):
+            kept = tuple(d for d in context.doc_ids() if d != f"potya-{year}")
+            assert evaluator.evaluate(kept).answer == "4"
+
+    def test_removing_nadal_years_keeps_answer(self, player_of_the_year, potya_engine):
+        context = potya_engine.retrieve(player_of_the_year.query)
+        evaluator = ContextEvaluator(potya_engine.llm, context)
+        kept = tuple(
+            d for d in context.doc_ids() if d not in ("potya-2010", "potya-2013")
+        )
+        assert evaluator.evaluate(kept).answer == "5"
+
+    def test_imperfect_parametric_memory(self, player_of_the_year, potya_engine):
+        context = potya_engine.retrieve(player_of_the_year.query)
+        evaluator = ContextEvaluator(potya_engine.llm, context)
+        assert evaluator.empty().answer == "4"
+
+
+class TestCrossCutting:
+    """Properties the demo leans on across all use cases."""
+
+    @pytest.mark.parametrize(
+        "name", ["big_three", "us_open", "player_of_the_year"]
+    )
+    def test_explanations_are_deterministic(self, name):
+        from repro.datasets import load_use_case
+
+        case = load_use_case(name)
+        first = make_engine(case).ask(case.query).answer
+        second = make_engine(case).ask(case.query).answer
+        assert first == second
+
+    def test_attention_and_retrieval_scoring_both_work(self, big_three):
+        from repro import RelevanceMethod
+
+        for method in (RelevanceMethod.RETRIEVAL, RelevanceMethod.ATTENTION):
+            engine = make_engine(big_three, relevance_method=method)
+            result = engine.combination_counterfactual(big_three.query)
+            assert result.found
+            assert result.counterfactual.new_answer == "Novak Djokovic"

@@ -1,0 +1,85 @@
+"""Caching LLM wrapper tests."""
+
+from repro.llm import CachingLLM, GenerationResult, PromptBuilder, SimulatedLLM
+
+
+class CountingModel:
+    """Stub model that counts real generate calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    @property
+    def name(self):
+        return "counting-stub"
+
+    def generate(self, prompt):
+        self.calls += 1
+        return GenerationResult(answer=f"answer-{len(prompt) % 7}", prompt=prompt)
+
+
+def test_cache_hit_avoids_inner_call():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    first = cached.generate("prompt one")
+    second = cached.generate("prompt one")
+    assert inner.calls == 1
+    assert first is second
+    assert cached.stats.hits == 1
+    assert cached.stats.misses == 1
+    assert cached.stats.hit_rate == 0.5
+
+
+def test_different_prompts_miss():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    cached.generate("a")
+    cached.generate("b")
+    assert inner.calls == 2
+    assert cached.stats.misses == 2
+
+
+def test_clear_resets_entries_not_stats():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    cached.generate("a")
+    cached.clear()
+    cached.generate("a")
+    assert inner.calls == 2
+    assert cached.stats.misses == 2
+    assert len(cached) == 1
+
+
+def test_fifo_eviction():
+    inner = CountingModel()
+    cached = CachingLLM(inner, max_entries=2)
+    cached.generate("a")
+    cached.generate("b")
+    cached.generate("c")  # evicts "a"
+    assert len(cached) == 2
+    cached.generate("a")  # must re-generate
+    assert inner.calls == 4
+
+
+def test_name_and_inner():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    assert "counting-stub" in cached.name
+    assert cached.inner is inner
+
+
+def test_stats_empty():
+    cached = CachingLLM(CountingModel())
+    assert cached.stats.calls == 0
+    assert cached.stats.hit_rate == 0.0
+
+
+def test_cache_wraps_simulated_llm_transparently():
+    builder = PromptBuilder()
+    raw = SimulatedLLM()
+    cached = CachingLLM(SimulatedLLM())
+    prompt = builder.build(
+        "Who won the pie contest trophy?",
+        ["Sam Baker won the pie contest trophy in 2015."],
+    )
+    assert cached.generate(prompt).answer == raw.generate(prompt).answer

@@ -1,0 +1,129 @@
+"""Claim extraction tests."""
+
+import pytest
+
+from repro.llm import ClaimExtractor, ClaimKind, split_sentences
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return ClaimExtractor()
+
+
+def test_split_sentences():
+    parts = split_sentences("One. Two! Three? Four; five.")
+    assert parts == ["One.", "Two!", "Three?", "Four;", "five."]
+    assert split_sentences("") == []
+
+
+def test_award_won_the_in(extractor):
+    claims = extractor.extract("Coco Gauff won the US Open championship in 2023.")
+    assert len(claims) == 1
+    claim = claims[0]
+    assert claim.kind == ClaimKind.AWARD
+    assert claim.entity == "Coco Gauff"
+    assert claim.year == 2023
+
+
+def test_award_was_won_by(extractor):
+    claims = extractor.extract(
+        "The 2019 US Open women's singles championship was won by Bianca Andreescu."
+    )
+    assert claims[0].entity == "Bianca Andreescu"
+    assert claims[0].year == 2019
+
+
+def test_award_went_to(extractor):
+    claims = extractor.extract("The 2016 award went to Andy Murray.")
+    assert claims[0].entity == "Andy Murray"
+    assert claims[0].year == 2016
+
+
+def test_award_claimed_the(extractor):
+    claims = extractor.extract("Iga Swiatek claimed the 2022 US Open title.")
+    assert claims[0].entity == "Iga Swiatek"
+    assert claims[0].year == 2022
+
+
+def test_award_is_the_champion(extractor):
+    claims = extractor.extract("Coco Gauff is the 2023 US Open champion.")
+    assert claims[0].entity == "Coco Gauff"
+    assert claims[0].year == 2023
+
+
+def test_superlative_considered_best(extractor):
+    claims = extractor.extract(
+        "Roger Federer is widely considered the best tennis player of his era."
+    )
+    assert claims[0].kind == ClaimKind.SUPERLATIVE
+    assert claims[0].entity == "Roger Federer"
+
+
+def test_superlative_is_the_greatest(extractor):
+    claims = extractor.extract("Many argue the greatest player of all time is Serena Williams.")
+    assert any(
+        c.kind == ClaimKind.SUPERLATIVE and c.entity == "Serena Williams" for c in claims
+    )
+
+
+def test_rank_first(extractor):
+    claims = extractor.extract("Roger Federer ranks first with 369 match wins.")
+    assert claims[0].kind == ClaimKind.RANK_FIRST
+    assert claims[0].entity == "Roger Federer"
+    assert claims[0].value == "369"
+
+
+def test_leads_with(extractor):
+    claims = extractor.extract("Novak Djokovic leads the list with 428 weeks.")
+    assert claims[0].kind == ClaimKind.RANK_FIRST
+    assert claims[0].entity == "Novak Djokovic"
+    assert claims[0].value == "428"
+
+
+def test_enumerated_list(extractor):
+    claims = extractor.extract("The ranking: 1. Ann Chovey, 2. Bill Board.")
+    rank_claims = [c for c in claims if c.kind == ClaimKind.RANK_FIRST]
+    assert rank_claims and rank_claims[0].entity == "Ann Chovey"
+
+
+def test_no_claims_in_plain_text(extractor):
+    assert extractor.extract("the weather was pleasant and mild all week") == []
+
+
+def test_entity_stops_at_lowercase(extractor):
+    claims = extractor.extract(
+        "The 2010 award was won by Rafael Nadal after a dominant season."
+    )
+    assert claims[0].entity == "Rafael Nadal"
+
+
+def test_multiple_claims_multiple_sentences(extractor):
+    text = (
+        "Alice Springs won the marathon cup in 2018. "
+        "Betty Crocker won the marathon cup in 2019."
+    )
+    claims = extractor.extract(text)
+    assert {(c.entity, c.year) for c in claims} == {
+        ("Alice Springs", 2018),
+        ("Betty Crocker", 2019),
+    }
+
+
+def test_dedupe_within_sentence(extractor):
+    # Two patterns can match the same fact; only one claim must survive.
+    claims = extractor.extract("Coco Gauff won the 2023 US Open title in 2023.")
+    keys = [(c.entity_key, c.kind, c.year) for c in claims]
+    assert len(keys) == len(set(keys))
+
+
+def test_claim_terms_populated(extractor):
+    claims = extractor.extract("Coco Gauff won the US Open championship in 2023.")
+    assert "championship" in claims[0].terms or any(
+        t.startswith("championship"[:8]) for t in claims[0].terms
+    )
+    assert claims[0].sentence.startswith("Coco Gauff")
+
+
+def test_entity_key_normalized(extractor):
+    claims = extractor.extract("Iga Świątek won the tournament cup in 2022.")
+    assert claims[0].entity_key == "iga swiatek"

@@ -1,0 +1,102 @@
+"""Question-intent parsing tests."""
+
+import pytest
+
+from repro.llm import QuestionIntent, classify_intent, parse_question
+
+
+@pytest.mark.parametrize(
+    "question,intent",
+    [
+        ("Who is the best tennis player?", QuestionIntent.SUPERLATIVE),
+        ("Who is the greatest of all time?", QuestionIntent.SUPERLATIVE),
+        ("Which is the top ranked team?", QuestionIntent.SUPERLATIVE),
+        ("Who is the most recent champion?", QuestionIntent.MOST_RECENT),
+        ("Who is the latest winner?", QuestionIntent.MOST_RECENT),
+        ("Who is the current champion?", QuestionIntent.MOST_RECENT),
+        ("How many times did Ann Lee win?", QuestionIntent.COUNT),
+        ("How many titles does she hold?", QuestionIntent.COUNT),
+        ("Who won the 2019 final?", QuestionIntent.FACTOID),
+        ("What is the capital of France?", QuestionIntent.FACTOID),
+    ],
+)
+def test_classify_intent(question, intent):
+    assert classify_intent(question) == intent
+
+
+@pytest.mark.parametrize(
+    "question",
+    [
+        "Who was the first winner of the cup?",
+        "Who was the earliest champion?",
+        "Who won the inaugural tournament?",
+    ],
+)
+def test_earliest_intent(question):
+    assert classify_intent(question) == QuestionIntent.EARLIEST
+
+
+def test_most_recent_beats_earliest():
+    question = "Who is the most recent first-round winner?"
+    assert classify_intent(question) == QuestionIntent.MOST_RECENT
+
+
+def test_count_beats_superlative():
+    assert classify_intent("How many times was she the best?") == QuestionIntent.COUNT
+
+
+def test_most_recent_beats_superlative():
+    question = "Who is the most recent best-in-show winner?"
+    assert classify_intent(question) == QuestionIntent.MOST_RECENT
+
+
+def test_parse_subject_extraction():
+    parsed = parse_question("How many times did Novak Djokovic win the award?")
+    assert parsed.intent == QuestionIntent.COUNT
+    assert parsed.subject == "novak djokovic"
+
+
+def test_parse_subject_multiword_connector():
+    parsed = parse_question("How many times did Vincent van Gogh paint sunflowers?")
+    assert parsed.subject == "vincent van gogh"
+
+
+def test_parse_subject_after_auxiliary():
+    parsed = parse_question("How many rings does Saturn have?")
+    assert parsed.subject == "saturn"
+
+
+def test_parse_subject_absent():
+    parsed = parse_question("How many wins happened last year?")
+    assert parsed.subject is None
+
+
+def test_parse_year_range():
+    parsed = parse_question("How many wins between 2010 and 2019?")
+    assert parsed.year_range == (2010, 2019)
+
+
+def test_parse_year_range_from_to():
+    parsed = parse_question("How many wins from 2012 to 2015?")
+    assert parsed.year_range == (2012, 2015)
+
+
+def test_parse_year_range_reversed_normalized():
+    parsed = parse_question("How many wins between 2019 and 2010?")
+    assert parsed.year_range == (2010, 2019)
+
+
+def test_parse_no_year_range():
+    assert parse_question("Who is the best player?").year_range is None
+
+
+def test_parse_terms_analyzed():
+    parsed = parse_question("Who is the best tennis player?")
+    assert "tenni" in parsed.terms
+    assert "player" in parsed.terms
+    assert "the" not in parsed.terms
+
+
+def test_parsed_question_preserves_text():
+    question = "Who is the best?"
+    assert parse_question(question).text == question

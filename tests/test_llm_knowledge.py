@@ -1,0 +1,93 @@
+"""Knowledge base (parametric memory) tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm import KBFact, KnowledgeBase, QuestionIntent, parse_question
+
+
+def _fact(intent, topic, answer, confidence=1.0):
+    kb = KnowledgeBase()
+    return kb, kb.add_fact(intent=intent, topic=topic, answer=answer, confidence=confidence)
+
+
+def test_fact_validation():
+    with pytest.raises(ConfigError):
+        KBFact(intent=QuestionIntent.FACTOID, topic_terms=frozenset(), answer="x")
+    with pytest.raises(ConfigError):
+        KBFact(
+            intent=QuestionIntent.FACTOID,
+            topic_terms=frozenset({"a"}),
+            answer="x",
+            confidence=1.5,
+        )
+
+
+def test_lookup_matching_intent_and_topic():
+    kb, fact = _fact(QuestionIntent.SUPERLATIVE, "best tennis player", "Ann Lee")
+    question = parse_question("Who is the best tennis player alive?")
+    assert kb.lookup(question) is fact
+
+
+def test_lookup_wrong_intent_misses():
+    kb, _ = _fact(QuestionIntent.SUPERLATIVE, "best tennis player", "Ann Lee")
+    question = parse_question("Who is the most recent tennis champion, the best one?")
+    # intent resolves to MOST_RECENT, so the SUPERLATIVE fact cannot match
+    assert kb.lookup(question) is None
+
+
+def test_lookup_coverage_threshold():
+    kb, _ = _fact(QuestionIntent.SUPERLATIVE, "best alpine skier switzerland", "Ann Lee")
+    question = parse_question("Who is the best baker?")
+    assert kb.lookup(question) is None  # only 1/4 topic terms covered
+
+
+def test_lookup_best_coverage_wins():
+    kb = KnowledgeBase()
+    weak = kb.add_fact(QuestionIntent.SUPERLATIVE, "best player somewhere else", "A")
+    strong = kb.add_fact(QuestionIntent.SUPERLATIVE, "best tennis player", "B")
+    question = parse_question("Who is the best tennis player?")
+    assert kb.lookup(question) is strong
+    assert kb.lookup(question) is not weak
+
+
+def test_lookup_confidence_breaks_ties():
+    kb = KnowledgeBase()
+    kb.add_fact(QuestionIntent.SUPERLATIVE, "best tennis player", "low", confidence=0.4)
+    high = kb.add_fact(QuestionIntent.SUPERLATIVE, "best tennis player", "high", confidence=0.9)
+    question = parse_question("Who is the best tennis player?")
+    assert kb.lookup(question) is high
+
+
+def test_coverage_computation():
+    _, fact = _fact(QuestionIntent.FACTOID, "solar panel efficiency", "x")
+    question = parse_question("What is the efficiency of a solar panel?")
+    assert fact.coverage(question.terms) == 1.0
+
+
+def test_min_coverage_configurable():
+    facts = [
+        KBFact(
+            intent=QuestionIntent.FACTOID,
+            topic_terms=frozenset({"alpha", "beta", "gamma", "delta"}),
+            answer="x",
+        )
+    ]
+    strict = KnowledgeBase(facts, min_coverage=1.0)
+    lax = KnowledgeBase(facts, min_coverage=0.25)
+    question = parse_question("What about alpha?")
+    assert strict.lookup(question) is None
+    assert lax.lookup(question) is not None
+
+
+def test_min_coverage_validation():
+    with pytest.raises(ConfigError):
+        KnowledgeBase(min_coverage=0.0)
+
+
+def test_len_and_iter():
+    kb = KnowledgeBase()
+    kb.add_fact(QuestionIntent.FACTOID, "topic one", "a")
+    kb.add_fact(QuestionIntent.FACTOID, "topic two", "b")
+    assert len(kb) == 2
+    assert {fact.answer for fact in kb} == {"a", "b"}

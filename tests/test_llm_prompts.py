@@ -1,0 +1,80 @@
+"""Prompt building and parsing round-trip tests."""
+
+import pytest
+
+from repro.errors import PromptError
+from repro.llm import PromptBuilder, parse_prompt
+
+BUILDER = PromptBuilder()
+
+
+def test_roundtrip_with_sources():
+    question = "Who won the race?"
+    sources = ["Alpha won the race in 2020.", "Beta won the race in 2021."]
+    prompt = BUILDER.build(question, sources)
+    parsed = parse_prompt(prompt)
+    assert parsed.question == question
+    assert parsed.source_texts == sources
+    assert parsed.k == 2
+
+
+def test_roundtrip_empty_context():
+    prompt = BUILDER.build("Who won?", [])
+    parsed = parse_prompt(prompt)
+    assert parsed.question == "Who won?"
+    assert parsed.source_texts == []
+    assert "No sources are provided" in prompt
+
+
+def test_sources_are_numbered_from_one():
+    prompt = BUILDER.build("q?", ["first", "second", "third"])
+    assert "[Source 1] first" in prompt
+    assert "[Source 2] second" in prompt
+    assert "[Source 3] third" in prompt
+
+
+def test_order_is_preserved():
+    a = BUILDER.build("q?", ["x", "y"])
+    b = BUILDER.build("q?", ["y", "x"])
+    assert a != b
+    assert parse_prompt(a).source_texts == ["x", "y"]
+    assert parse_prompt(b).source_texts == ["y", "x"]
+
+
+def test_multiline_sources_folded():
+    prompt = BUILDER.build("q?", ["line one\nline two"])
+    parsed = parse_prompt(prompt)
+    assert parsed.source_texts == ["line one line two"]
+
+
+def test_multiline_question_folded():
+    prompt = BUILDER.build("who\nwon?", ["text"])
+    assert parse_prompt(prompt).question == "who won?"
+
+
+def test_empty_question_rejected():
+    with pytest.raises(PromptError):
+        BUILDER.build("   ", ["text"])
+
+
+def test_empty_source_rejected():
+    with pytest.raises(PromptError):
+        BUILDER.build("q?", ["ok", "  "])
+
+
+def test_parse_rejects_missing_question():
+    with pytest.raises(PromptError):
+        parse_prompt("[Source 1] text only")
+
+
+def test_parse_rejects_broken_numbering():
+    prompt = "\n".join(
+        ["header", "", "[Source 1] a", "[Source 3] b", "", "Question: q?", "Answer:"]
+    )
+    with pytest.raises(PromptError):
+        parse_prompt(prompt)
+
+
+def test_prompt_instructs_source_use():
+    prompt = BUILDER.build("q?", ["text"])
+    assert "delimited sources" in prompt

@@ -1,0 +1,188 @@
+"""TransformersLLM adapter tests via a lightweight fake backend.
+
+No network, no weights: the fake reproduces the slice of the
+transformers generate() interface the adapter consumes, pinning the
+exact calls a real checkpoint would receive.
+"""
+
+import pytest
+
+from repro.core import Context, ContextEvaluator, search_combination_counterfactual
+from repro.errors import GenerationError
+from repro.llm import PromptBuilder
+from repro.llm.transformers_adapter import TransformersLLM
+from repro.retrieval import Document
+
+BUILDER = PromptBuilder()
+
+
+class _FakeTensor:
+    """Just enough of a tensor: shape and slicing over a list."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    @property
+    def shape(self):
+        return (1, len(self.values))
+
+    def __getitem__(self, item):
+        if isinstance(item, tuple):  # sequences[0][n:]
+            raise TypeError
+        result = self.values[item]
+        return _FakeTensor(result) if isinstance(result, list) else result
+
+    def __len__(self):
+        return len(self.values)
+
+
+class _FakeEncoding(dict):
+    def to(self, device):
+        return self
+
+
+class _FakeLayerAttention:
+    """Indexable as [0, head, -1, token] with deterministic values."""
+
+    def __init__(self, num_heads, num_tokens):
+        self.shape = (1, num_heads, num_tokens, num_tokens)
+
+    def __getitem__(self, key):
+        _, head, _, token = key
+        return 0.01 * (head + 1) + 0.001 * token
+
+
+class _FakeOutput:
+    def __init__(self, sequences, attentions):
+        self.sequences = sequences
+        self.attentions = attentions
+
+
+class _FakeTokenizer:
+    """Whitespace tokenizer with char offsets and a simple vocab."""
+
+    def __call__(self, text, return_tensors=None, return_offsets_mapping=False):
+        tokens = []
+        offsets = []
+        cursor = 0
+        for word in text.split():
+            start = text.find(word, cursor)
+            offsets.append((start, start + len(word)))
+            tokens.append(hash(word) % 1000)
+            cursor = start + len(word)
+        encoding = _FakeEncoding({"input_ids": _FakeTensor(tokens)})
+        if return_offsets_mapping:
+            encoding["offset_mapping"] = offsets
+        return encoding
+
+    def decode(self, ids, skip_special_tokens=True):
+        return self._answer
+
+    _answer = "Fake Answer"
+
+
+class _FakeModel:
+    def __init__(self, tokenizer, answer_fn=None):
+        self._tokenizer = tokenizer
+        self._answer_fn = answer_fn
+        self.generate_kwargs = None
+
+    def generate(self, input_ids=None, offset_mapping=None, **kwargs):
+        self.generate_kwargs = kwargs
+        prompt_tokens = input_ids.values
+        answer_ids = [1, 2]
+        num_layers, num_heads = 2, 3
+        attentions = (
+            tuple(
+                _FakeLayerAttention(num_heads, len(prompt_tokens))
+                for _ in range(num_layers)
+            ),
+        )
+        return _FakeOutput(
+            sequences=[_FakeTensor(prompt_tokens + answer_ids)],
+            attentions=attentions,
+        )
+
+
+def _adapter(answer="Fake Answer"):
+    tokenizer = _FakeTokenizer()
+    tokenizer._answer = answer
+    model = _FakeModel(tokenizer)
+    return TransformersLLM(
+        model_name="fake/model",
+        loader=lambda name, device: (tokenizer, model),
+    ), model
+
+
+def test_missing_transformers_raises_generation_error():
+    with pytest.raises(GenerationError):
+        TransformersLLM(model_name="meta-llama/Llama-2-7b-chat-hf")
+
+
+def test_name():
+    adapter, _ = _adapter()
+    assert adapter.name == "transformers/fake/model"
+
+
+def test_generate_decodes_answer():
+    adapter, model = _adapter(answer="Roger Federer")
+    prompt = BUILDER.build("Who is the best?", ["Some source text."])
+    result = adapter.generate(prompt)
+    assert result.answer == "Roger Federer"
+    assert result.usage.prompt_tokens == len(prompt.split())
+    assert result.usage.completion_tokens == 2
+
+
+def test_generation_is_greedy_and_attention_enabled():
+    adapter, model = _adapter()
+    adapter.generate(BUILDER.build("q?", ["text"]))
+    assert model.generate_kwargs["do_sample"] is False
+    assert model.generate_kwargs["output_attentions"] is True
+    assert model.generate_kwargs["return_dict_in_generate"] is True
+
+
+def test_attention_trace_maps_tokens_to_sources():
+    adapter, _ = _adapter()
+    prompt = BUILDER.build("q?", ["alpha beta", "gamma delta epsilon"])
+    result = adapter.generate(prompt)
+    trace = result.attention
+    assert trace is not None
+    by_source = {}
+    for entry in trace.tokens:
+        by_source.setdefault(entry.source_index, []).append(entry.token)
+    assert by_source[0] == ["alpha", "beta"]
+    assert by_source[1] == ["gamma", "delta", "epsilon"]
+    assert trace.num_layers == 2 and trace.num_heads == 3
+
+
+def test_adapter_drives_explanations():
+    """The adapter satisfies the LanguageModel protocol end to end."""
+    tokenizer = _FakeTokenizer()
+
+    class FlippingModel(_FakeModel):
+        def generate(self, input_ids=None, **kwargs):
+            output = super().generate(input_ids=input_ids, **kwargs)
+            # answer depends on prompt length: removing a source flips it
+            # (full context is ~70 whitespace tokens; one source is 14)
+            tokenizer._answer = "long" if len(input_ids.values) > 60 else "short"
+            return output
+
+    adapter = TransformersLLM(
+        model_name="fake/flip",
+        loader=lambda name, device: (tokenizer, FlippingModel(tokenizer)),
+    )
+    docs = [
+        Document(doc_id=f"d{i}", text="word " * 12) for i in range(3)
+    ]
+    context = Context.from_documents("what is it?", docs)
+    evaluator = ContextEvaluator(adapter, context)
+    scores = {doc.doc_id: 1.0 for doc in docs}
+    result = search_combination_counterfactual(evaluator, scores)
+    assert result.found
+    assert result.counterfactual.new_answer == "short"
+
+
+def test_invalid_prompt_rejected():
+    adapter, _ = _adapter()
+    with pytest.raises(Exception):
+        adapter.generate("not a RAGE prompt at all")

@@ -1,0 +1,140 @@
+"""Property-based tests for the combinatorial substrate."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics import (
+    brute_force_kbest,
+    count_inversions,
+    fisher_yates_shuffle,
+    kbest_assignments_ch,
+    kbest_assignments_murty,
+    kendall_tau,
+    ordered_combinations,
+    sample_combinations,
+    sample_permutations,
+    solve_assignment,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30, unique=True), seeds)
+def test_shuffle_is_permutation(items, seed):
+    shuffled = fisher_yates_shuffle(items, random.Random(seed))
+    assert sorted(shuffled) == sorted(items)
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=40), seeds)
+def test_sample_permutations_valid(k, s, seed):
+    items = list(range(k))
+    perms = sample_permutations(items, s, random.Random(seed))
+    assert len(perms) == min(s, math.factorial(k))
+    assert len(set(perms)) == len(perms)
+    for perm in perms:
+        assert sorted(perm) == items
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=50), seeds)
+def test_sample_combinations_valid(k, s, seed):
+    items = [f"i{j}" for j in range(k)]
+    combos = sample_combinations(items, s, random.Random(seed))
+    assert len(set(combos)) == len(combos)
+    for combo in combos:
+        assert list(combo) == [i for i in items if i in set(combo)]
+
+
+@given(st.permutations(list(range(8))))
+def test_kendall_tau_bounds(perm):
+    tau = kendall_tau(list(range(8)), list(perm))
+    assert -1.0 <= tau <= 1.0
+
+
+@given(st.permutations(list(range(7))))
+def test_kendall_tau_symmetry(perm):
+    reference = list(range(7))
+    assert kendall_tau(reference, list(perm)) == kendall_tau(list(perm), reference)
+
+
+@given(st.permutations(list(range(7))))
+def test_kendall_tau_reversal_antisymmetry(perm):
+    reference = list(range(7))
+    tau = kendall_tau(reference, list(perm))
+    tau_reversed = kendall_tau(list(reversed(reference)), list(perm))
+    assert abs(tau + tau_reversed) < 1e-12
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=50))
+def test_inversions_bounds(values):
+    n = len(values)
+    assert 0 <= count_inversions(values) <= n * (n - 1) // 2
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_hungarian_optimal_vs_bruteforce(n, seed):
+    rng = random.Random(seed)
+    matrix = [[rng.uniform(-10, 10) for _ in range(n)] for _ in range(n)]
+    solution = solve_assignment(matrix)
+    best = brute_force_kbest(matrix, 1)[0]
+    assert abs(solution.cost - best.cost) < 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_kbest_matches_bruteforce(n, s, seed):
+    rng = random.Random(seed)
+    matrix = [[rng.uniform(0, 10) for _ in range(n)] for _ in range(n)]
+    expected = [round(r.cost, 8) for r in brute_force_kbest(matrix, s)]
+    ch = [round(r.cost, 8) for r in kbest_assignments_ch(matrix, s)]
+    murty = [round(r.cost, 8) for r in kbest_assignments_murty(matrix, s)]
+    assert ch == expected
+    assert murty == expected
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_kbest_integer_ties(n, seed):
+    rng = random.Random(seed)
+    matrix = [[float(rng.randint(0, 2)) for _ in range(n)] for _ in range(n)]
+    s = math.factorial(n)
+    expected = [round(r.cost, 8) for r in brute_force_kbest(matrix, s)]
+    assert [round(r.cost, 8) for r in kbest_assignments_ch(matrix, s)] == expected
+    assert [round(r.cost, 8) for r in kbest_assignments_murty(matrix, s)] == expected
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from([f"d{i}" for i in range(6)]),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        min_size=6,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_ordered_combinations_invariants(scores):
+    items = sorted(scores)
+    combos = list(ordered_combinations(items, scores=scores))
+    sizes = [len(c) for c in combos]
+    assert sizes == sorted(sizes)
+    # within each size, estimated relevance is non-increasing
+    for size in set(sizes):
+        estimates = [
+            sum(scores[d] for d in combo) for combo in combos if len(combo) == size
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(estimates, estimates[1:]))
+    # complete and duplicate-free
+    assert len(set(combos)) == len(combos) == 2 ** len(items) - 1

@@ -1,0 +1,128 @@
+"""Property-based tests for the explanation core on synthetic worlds."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.attention import PositionPrior, position_weights
+from repro.core import (
+    ContextEvaluator,
+    analyze_combinations,
+    naive_optimal_permutations,
+    optimal_permutations,
+    search_combination_counterfactual,
+    select_combinations,
+)
+from repro.core.context import Context
+from repro.datasets import make_superlative_world
+from repro.retrieval import Document
+from repro.textproc import normalize_answer
+
+world_seeds = st.integers(min_value=0, max_value=500)
+
+
+def _engine(world, k):
+    return Rage.from_corpus(
+        world.corpus,
+        SimulatedLLM(knowledge=world.knowledge),
+        config=RageConfig(k=k, max_evaluations=4000),
+    )
+
+
+@given(world_seeds, st.integers(min_value=3, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_counterfactual_minimality(seed, k):
+    """Any found counterfactual is minimal in subset size: the search is
+    size-major and exhaustive below the found size."""
+    world = make_superlative_world(k, seed=seed)
+    engine = _engine(world, k)
+    context = engine.retrieve(world.query)
+    evaluator = ContextEvaluator(engine.llm, context)
+    scores = engine.relevance_scores(context)
+    result = search_combination_counterfactual(
+        evaluator, scores, keep_trail=True, max_evaluations=5000
+    )
+    if not result.found:
+        return
+    found_size = result.counterfactual.size
+    import itertools
+
+    smaller = {
+        combo
+        for size in range(1, found_size)
+        for combo in itertools.combinations(context.doc_ids(), size)
+    }
+    tried = {combo for combo, _ in result.trail}
+    assert smaller <= tried
+    baseline_norm = normalize_answer(result.baseline_answer)
+    for combo, answer in result.trail:
+        if len(combo) < found_size:
+            assert normalize_answer(answer) == baseline_norm
+
+
+@given(world_seeds, st.integers(min_value=3, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_counterfactual_verifies(seed, k):
+    """Applying the found perturbation really changes the answer."""
+    world = make_superlative_world(k, seed=seed)
+    engine = _engine(world, k)
+    context = engine.retrieve(world.query)
+    evaluator = ContextEvaluator(engine.llm, context)
+    scores = engine.relevance_scores(context)
+    result = search_combination_counterfactual(evaluator, scores, max_evaluations=5000)
+    if not result.found:
+        return
+    replay = evaluator.evaluate(result.counterfactual.perturbation.apply(context))
+    assert replay.normalized_answer == normalize_answer(result.counterfactual.new_answer)
+    assert replay.normalized_answer != normalize_answer(result.baseline_answer)
+
+
+@given(world_seeds, st.integers(min_value=3, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_insight_rules_sound(seed, k):
+    """Every rule's sources appear in every combination of its answer."""
+    world = make_superlative_world(k, seed=seed)
+    engine = _engine(world, k)
+    context = engine.retrieve(world.query)
+    evaluator = ContextEvaluator(engine.llm, context)
+    insights = analyze_combinations(evaluator, select_combinations(context))
+    assert insights.total == 2**context.k - 1
+    for rule in insights.rules:
+        key = normalize_answer(rule.answer)
+        for combo in insights.groups[key]:
+            assert set(rule.required_sources) <= set(combo.kept)
+
+
+@given(
+    world_seeds,
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=20, deadline=None)
+def test_optimal_matches_naive(seed, k, s):
+    rng = random.Random(seed)
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q", docs)
+    scores = {f"d{i}": rng.uniform(0, 1) for i in range(k)}
+    weights = position_weights(PositionPrior.V_SHAPED, k, depth=0.8)
+    fast = optimal_permutations(context, scores, s=s, attention_weights=weights)
+    naive = naive_optimal_permutations(context, scores, s, weights)
+    assert [round(p.score, 9) for p in fast] == [round(p.score, 9) for p in naive]
+
+
+@given(world_seeds, st.integers(min_value=3, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_answer_distribution_complete(seed, k):
+    """Insight groups partition the analyzed perturbations."""
+    world = make_superlative_world(k, seed=seed)
+    engine = _engine(world, k)
+    insights = engine.combination_insights(world.query)
+    total = sum(len(group) for group in insights.groups.values())
+    assert total == insights.total
+    seen = set()
+    for group in insights.groups.values():
+        for perturbation in group:
+            assert perturbation.kept not in seen
+            seen.add(perturbation.kept)

@@ -1,0 +1,93 @@
+"""Property-based tests for the retrieval substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval import BM25Scorer, Corpus, Document, InvertedIndex, Searcher
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+doc_texts = st.lists(words, min_size=1, max_size=30).map(" ".join)
+
+
+@st.composite
+def corpora(draw):
+    texts = draw(st.lists(doc_texts, min_size=1, max_size=8))
+    return Corpus(
+        Document(doc_id=f"d{i}", text=text) for i, text in enumerate(texts)
+    )
+
+
+@given(corpora())
+@settings(max_examples=40, deadline=None)
+def test_index_consistency(corpus):
+    index = InvertedIndex.build(corpus)
+    assert len(index) == len(corpus)
+    stats = index.stats
+    assert stats.total_terms == sum(
+        index.doc_length(doc.doc_id) for doc in corpus
+    )
+    # df of every term equals its postings length and is within bounds
+    for term in index.vocabulary():
+        df = index.document_frequency(term)
+        assert 1 <= df <= len(corpus)
+        assert df == len(index.postings(term))
+
+
+@given(corpora())
+@settings(max_examples=40, deadline=None)
+def test_postings_tf_matches_positions(corpus):
+    index = InvertedIndex.build(corpus)
+    for term in index.vocabulary():
+        for posting in index.postings(term):
+            assert posting.term_frequency == len(posting.positions)
+            assert list(posting.positions) == sorted(posting.positions)
+
+
+@given(corpora(), st.lists(words, min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_bm25_scores_nonnegative(corpus, query_words):
+    index = InvertedIndex.build(corpus)
+    scores = BM25Scorer().score_query(index, query_words)
+    assert all(value >= 0 for value in scores.values())
+    # only documents containing at least one query term are scored
+    for doc_id in scores:
+        assert any(index.term_frequency(w, doc_id) > 0 for w in query_words)
+
+
+@given(corpora(), st.lists(words, min_size=1, max_size=4), st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_search_ranking_invariants(corpus, query_words, k):
+    searcher = Searcher(InvertedIndex.build(corpus))
+    result = searcher.search(" ".join(query_words), k=k)
+    assert len(result) <= k
+    scores = result.scores()
+    assert scores == sorted(scores, reverse=True)
+    assert len(set(result.doc_ids())) == len(result)
+
+
+@given(corpora(), st.lists(words, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_search_deterministic(corpus, query_words):
+    query = " ".join(query_words)
+    searcher = Searcher(InvertedIndex.build(corpus))
+    assert searcher.search(query, k=5).doc_ids() == searcher.search(query, k=5).doc_ids()
+
+
+@given(corpora())
+@settings(max_examples=20, deadline=None)
+def test_adding_matching_term_does_not_hurt(corpus):
+    """Appending the query term to a document never lowers its score."""
+    query_word = "zzzneedle"
+    index_before = InvertedIndex.build(corpus)
+    boosted = Corpus(
+        Document(doc_id=doc.doc_id, text=doc.text + " " + query_word)
+        for doc in corpus
+    )
+    index_after = InvertedIndex.build(boosted)
+    query_terms = index_before.tokenizer.tokenize(query_word)  # analyzed form
+    before = BM25Scorer().score_query(index_before, query_terms)
+    after = BM25Scorer().score_query(index_after, query_terms)
+    assert not before
+    assert set(after) == {doc.doc_id for doc in corpus}

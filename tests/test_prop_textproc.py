@@ -1,0 +1,88 @@
+"""Property-based tests for the text-processing substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textproc import (
+    STOPWORDS,
+    Tokenizer,
+    normalize_answer,
+    stem,
+    word_spans,
+)
+
+text_strategy = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    max_size=200,
+)
+word_strategy = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20)
+
+
+@given(text_strategy)
+def test_normalize_idempotent(text):
+    once = normalize_answer(text)
+    assert normalize_answer(once) == once
+
+
+@given(text_strategy)
+def test_normalize_output_shape(text):
+    result = normalize_answer(text)
+    assert result == result.strip()
+    assert "  " not in result
+    assert result == result.lower()
+
+
+@given(st.text(alphabet=string.ascii_letters + string.digits + " .,!?'", max_size=200))
+def test_normalize_case_insensitive(text):
+    assert normalize_answer(text.upper()) == normalize_answer(text.lower())
+
+
+@given(word_strategy)
+def test_stem_never_longer(word):
+    assert len(stem(word)) <= len(word)
+    assert stem(word)  # never empty for non-empty input
+
+
+@given(word_strategy)
+def test_stem_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@given(text_strategy)
+def test_word_spans_within_bounds(text):
+    for span in word_spans(text):
+        assert 0 <= span.start < span.end <= len(text)
+        assert span.text
+
+
+@given(text_strategy)
+def test_word_spans_ordered_and_disjoint(text):
+    spans = word_spans(text)
+    for left, right in zip(spans, spans[1:]):
+        assert left.end <= right.start
+
+
+@given(text_strategy)
+@settings(max_examples=50)
+def test_tokenizer_excludes_stopwords(text):
+    terms = Tokenizer(stem=False).tokenize(text)
+    assert not (set(terms) & STOPWORDS)
+
+
+@given(text_strategy)
+@settings(max_examples=50)
+def test_tokenizer_lowercases(text):
+    for term in Tokenizer(stem=False).tokenize(text):
+        assert term == term.lower()
+
+
+@given(st.lists(word_strategy, min_size=1, max_size=20))
+def test_tokenizer_subset_of_unfiltered(words):
+    text = " ".join(words)
+    filtered = Tokenizer(stem=False).tokenize(text)
+    unfiltered = Tokenizer(stem=False, remove_stopwords=False).tokenize(text)
+    assert len(filtered) <= len(unfiltered)
+    iterator = iter(unfiltered)
+    assert all(term in iterator for term in filtered)  # order-preserving subsequence

@@ -1,0 +1,110 @@
+"""Inverted index and corpus/document unit tests."""
+
+import json
+
+import pytest
+
+from repro.errors import UnknownDocumentError
+from repro.retrieval import Corpus, Document, InvertedIndex
+from repro.textproc import Tokenizer
+
+
+def test_document_validation():
+    with pytest.raises(ValueError):
+        Document(doc_id="", text="x")
+    with pytest.raises(ValueError):
+        Document(doc_id="d", text="")
+
+
+def test_document_roundtrip():
+    doc = Document(doc_id="d1", text="hello", title="t", metadata={"a": "1"})
+    assert Document.from_dict(doc.to_dict()) == doc
+
+
+def test_document_display_title():
+    assert Document(doc_id="d", text="x", title="T").display_title() == "T"
+    assert Document(doc_id="d", text="x").display_title() == "d"
+
+
+def test_corpus_duplicate_rejected():
+    corpus = Corpus([Document(doc_id="d", text="x")])
+    with pytest.raises(ValueError):
+        corpus.add(Document(doc_id="d", text="y"))
+
+
+def test_corpus_lookup_and_iteration(tiny_corpus):
+    assert len(tiny_corpus) == 4
+    assert tiny_corpus.get("d2").doc_id == "d2"
+    assert "d3" in tiny_corpus
+    assert tiny_corpus.doc_ids() == ["d1", "d2", "d3", "d4"]
+    with pytest.raises(UnknownDocumentError):
+        tiny_corpus.get("missing")
+
+
+def test_corpus_json_roundtrip(tiny_corpus):
+    restored = Corpus.from_json(tiny_corpus.to_json())
+    assert restored.doc_ids() == tiny_corpus.doc_ids()
+    assert restored.get("d1").text == tiny_corpus.get("d1").text
+    json.loads(tiny_corpus.to_json())  # valid JSON
+
+
+def test_index_document_frequency(tiny_index):
+    assert tiny_index.document_frequency("quick") == 3
+    assert tiny_index.document_frequency("fox") == 3  # foxes stems to fox
+    assert tiny_index.document_frequency("absent") == 0
+
+
+def test_index_term_frequency(tiny_index):
+    assert tiny_index.term_frequency("quick", "d4") == 3
+    assert tiny_index.term_frequency("quick", "d3") == 0
+
+
+def test_index_positions(tiny_index):
+    postings = tiny_index.postings("quick")
+    by_doc = {p.doc_id: p for p in postings}
+    assert by_doc["d4"].positions == (0, 1, 2)
+
+
+def test_index_doc_length(tiny_index):
+    # "the quick brown fox jumps over the lazy dog" minus stopwords
+    assert tiny_index.doc_length("d1") == 6
+    with pytest.raises(UnknownDocumentError):
+        tiny_index.doc_length("nope")
+
+
+def test_index_title_indexed():
+    index = InvertedIndex.build(
+        [Document(doc_id="d", text="body words", title="tiger")]
+    )
+    assert index.document_frequency("tiger") == 1
+
+
+def test_index_stats(tiny_index):
+    stats = tiny_index.stats
+    assert stats.num_documents == 4
+    assert stats.total_terms > 0
+    assert stats.average_doc_length == stats.total_terms / 4
+    assert stats.vocabulary_size == len(tiny_index.vocabulary())
+
+
+def test_empty_index_stats():
+    index = InvertedIndex()
+    assert index.stats.average_doc_length == 0.0
+    assert len(index) == 0
+
+
+def test_index_contains_and_documents(tiny_index):
+    assert "d1" in tiny_index
+    assert "zz" not in tiny_index
+    assert [d.doc_id for d in tiny_index.documents()] == ["d1", "d2", "d3", "d4"]
+
+
+def test_index_without_positions(tiny_corpus):
+    index = InvertedIndex.build(tiny_corpus, store_positions=False)
+    assert all(p.positions == () for p in index.postings("quick"))
+
+
+def test_index_custom_tokenizer(tiny_corpus):
+    index = InvertedIndex.build(tiny_corpus, tokenizer=Tokenizer(stem=False))
+    assert index.document_frequency("foxes") == 1
+    assert index.document_frequency("fox") == 2

@@ -1,0 +1,104 @@
+"""Ranked-retrieval metric tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+RANKING = ["a", "b", "c", "d", "e"]
+
+
+def test_precision_at_k():
+    assert precision_at_k(RANKING, {"a", "c"}, 1) == 1.0
+    assert precision_at_k(RANKING, {"a", "c"}, 2) == 0.5
+    assert precision_at_k(RANKING, {"a", "c"}, 4) == 0.5
+    assert precision_at_k(RANKING, {"z"}, 5) == 0.0
+
+
+def test_precision_k_beyond_ranking():
+    # k larger than the ranking penalizes missing results
+    assert precision_at_k(["a"], {"a", "b"}, 2) == 0.5
+
+
+def test_recall_at_k():
+    assert recall_at_k(RANKING, {"a", "c"}, 1) == 0.5
+    assert recall_at_k(RANKING, {"a", "c"}, 3) == 1.0
+    assert recall_at_k(RANKING, {"a", "z"}, 5) == 0.5
+
+
+def test_reciprocal_rank():
+    assert reciprocal_rank(RANKING, {"a"}) == 1.0
+    assert reciprocal_rank(RANKING, {"c"}) == pytest.approx(1 / 3)
+    assert reciprocal_rank(RANKING, {"z"}) == 0.0
+
+
+def test_average_precision_perfect():
+    assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+
+def test_average_precision_partial():
+    # relevant at ranks 1 and 3: (1/1 + 2/3) / 2
+    assert average_precision(RANKING, {"a", "c"}) == pytest.approx((1 + 2 / 3) / 2)
+
+
+def test_average_precision_missing_penalized():
+    # one of two relevant docs never retrieved
+    assert average_precision(["a", "b"], {"a", "z"}) == pytest.approx(0.5)
+
+
+def test_ndcg_perfect_is_one():
+    assert ndcg_at_k(["a", "b", "c"], {"a", "b"}, 3) == pytest.approx(1.0)
+
+
+def test_ndcg_order_sensitivity():
+    good = ndcg_at_k(["a", "b", "x"], {"a", "b"}, 3)
+    bad = ndcg_at_k(["x", "a", "b"], {"a", "b"}, 3)
+    assert good > bad > 0.0
+
+
+def test_ndcg_known_value():
+    # relevant at rank 2 only, one relevant doc total, k=2:
+    # dcg = 1/log2(3); idcg = 1/log2(2) = 1
+    assert ndcg_at_k(["x", "a"], {"a"}, 2) == pytest.approx(1 / math.log2(3))
+
+
+def test_ndcg_no_hits():
+    assert ndcg_at_k(["x", "y"], {"a"}, 2) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        precision_at_k(RANKING, {"a"}, 0)
+    with pytest.raises(ConfigError):
+        recall_at_k(RANKING, set(), 3)
+    with pytest.raises(ConfigError):
+        ndcg_at_k(RANKING, {"a"}, -1)
+    with pytest.raises(ConfigError):
+        reciprocal_rank(RANKING, [])
+
+
+def test_metrics_bounded():
+    import random
+
+    rng = random.Random(0)
+    for _ in range(50):
+        ranking = [f"d{i}" for i in range(10)]
+        rng.shuffle(ranking)
+        relevant = set(rng.sample(ranking, rng.randint(1, 5)))
+        k = rng.randint(1, 10)
+        for value in (
+            precision_at_k(ranking, relevant, k),
+            recall_at_k(ranking, relevant, k),
+            reciprocal_rank(ranking, relevant),
+            average_precision(ranking, relevant),
+            ndcg_at_k(ranking, relevant, k),
+        ):
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,105 @@
+"""Index save/load tests."""
+
+import json
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.retrieval import (
+    BM25Scorer,
+    InvertedIndex,
+    Searcher,
+    load_index,
+    save_index,
+)
+from repro.retrieval.persistence import FORMAT_VERSION, index_from_dict, index_to_dict
+from repro.textproc import Tokenizer
+
+
+def test_roundtrip_preserves_structure(tiny_index, tmp_path):
+    path = tmp_path / "index.json"
+    save_index(tiny_index, path)
+    reopened = load_index(path)
+    assert len(reopened) == len(tiny_index)
+    assert reopened.vocabulary() == tiny_index.vocabulary()
+    for term in tiny_index.vocabulary():
+        assert reopened.postings(term) == tiny_index.postings(term)
+    for doc in tiny_index.documents():
+        assert reopened.doc_length(doc.doc_id) == tiny_index.doc_length(doc.doc_id)
+        assert reopened.document(doc.doc_id) == doc
+
+
+def test_roundtrip_preserves_rankings(tiny_index, tmp_path):
+    path = tmp_path / "index.json"
+    save_index(tiny_index, path)
+    reopened = load_index(path)
+    for query in ("quick brown fox", "dogs cats", "harmony"):
+        original = Searcher(tiny_index).search(query, k=4)
+        restored = Searcher(reopened).search(query, k=4)
+        assert original.doc_ids() == restored.doc_ids()
+        assert original.scores() == pytest.approx(restored.scores())
+
+
+def test_roundtrip_preserves_tokenizer_config(tmp_path):
+    from repro.retrieval import Document
+
+    index = InvertedIndex.build(
+        [Document(doc_id="d", text="Winning Games")],
+        tokenizer=Tokenizer(stem=False, remove_stopwords=False),
+    )
+    path = tmp_path / "index.json"
+    save_index(index, path)
+    reopened = load_index(path)
+    assert reopened.tokenizer.stem is False
+    assert reopened.tokenizer.remove_stopwords is False
+    # query analysis matches: unstemmed term present
+    assert reopened.document_frequency("winning") == 1
+
+
+def test_bm25_scores_identical_after_reload(tiny_index, tmp_path):
+    path = tmp_path / "index.json"
+    save_index(tiny_index, path)
+    reopened = load_index(path)
+    scorer = BM25Scorer()
+    terms = tiny_index.tokenizer.tokenize("quick fox dog")
+    assert scorer.score_query(tiny_index, terms) == pytest.approx(
+        scorer.score_query(reopened, terms)
+    )
+
+
+def test_missing_file():
+    with pytest.raises(RetrievalError):
+        load_index("/nonexistent/index.json")
+
+
+def test_corrupt_file(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(RetrievalError):
+        load_index(path)
+    path.write_text("[1, 2, 3]", encoding="utf-8")
+    with pytest.raises(RetrievalError):
+        load_index(path)
+
+
+def test_wrong_format_version(tiny_index, tmp_path):
+    payload = index_to_dict(tiny_index)
+    payload["format_version"] = FORMAT_VERSION + 1
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(RetrievalError):
+        load_index(path)
+
+
+def test_dict_roundtrip_without_files(tiny_index):
+    payload = index_to_dict(tiny_index)
+    rebuilt = index_from_dict(payload)
+    assert rebuilt.vocabulary() == tiny_index.vocabulary()
+
+
+def test_saved_file_is_json(tiny_index, tmp_path):
+    path = tmp_path / "index.json"
+    save_index(tiny_index, path)
+    parsed = json.loads(path.read_text(encoding="utf-8"))
+    assert parsed["format_version"] == FORMAT_VERSION
+    assert len(parsed["documents"]) == len(tiny_index)

@@ -1,0 +1,52 @@
+"""Answer normalization — the paper's comparison rule."""
+
+from repro.textproc import answers_equal, normalize_answer, normalize_entity, strip_accents
+
+
+def test_lowercase():
+    assert normalize_answer("Roger Federer") == "roger federer"
+
+
+def test_punctuation_removed():
+    assert normalize_answer("Roger Federer.") == "roger federer"
+    assert normalize_answer("it's: five!") == "it s five"
+
+
+def test_whitespace_trimmed_and_collapsed():
+    assert normalize_answer("  Roger   Federer \n") == "roger federer"
+
+
+def test_idempotent():
+    values = ["Roger Federer.", "  FIVE ", "Iga Świątek!", "a  b\tc"]
+    for value in values:
+        once = normalize_answer(value)
+        assert normalize_answer(once) == once
+
+
+def test_accents_folded():
+    assert normalize_answer("Iga Świątek") == "iga swiatek"
+
+
+def test_strip_accents():
+    assert strip_accents("café") == "cafe"
+    assert strip_accents("naïve") == "naive"
+
+
+def test_answers_equal():
+    assert answers_equal("Roger Federer.", "roger federer")
+    assert answers_equal("FIVE", "five")
+    assert not answers_equal("Roger Federer", "Novak Djokovic")
+
+
+def test_numbers_survive():
+    assert normalize_answer("5") == "5"
+    assert normalize_answer(" 5. ") == "5"
+
+
+def test_normalize_entity_matches_answer_folding():
+    assert normalize_entity("Djokovic's") == normalize_answer("djokovic s")
+
+
+def test_empty_string():
+    assert normalize_answer("") == ""
+    assert normalize_answer("   ") == ""

@@ -1,0 +1,122 @@
+"""Porter stemmer unit tests against known reference pairs."""
+
+import pytest
+
+from repro.textproc.stemmer import PorterStemmer, stem
+
+
+# Reference pairs from Porter's published examples and vocabulary.
+KNOWN_STEMS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(word, expected):
+    assert stem(word) == expected
+
+
+def test_short_words_unchanged():
+    for word in ("a", "be", "it", "ox"):
+        assert stem(word) == word
+
+
+def test_morphological_variants_collapse():
+    assert stem("winning") == stem("winnings")[: len(stem("winning"))]
+    assert stem("running") == stem("runs")[:3] == "run"
+    assert stem("championships").startswith("championship"[:8])
+
+
+def test_wins_and_winning_share_stem():
+    assert stem("wins") == "win"
+    assert stem("winning") == "win"
+
+
+def test_stemmer_object_caches():
+    stemmer = PorterStemmer()
+    assert stemmer("relational") == "relat"
+    assert stemmer("relational") == "relat"
+    assert stemmer.cache_size() == 1
+
+
+def test_stemmer_is_idempotent_on_common_words():
+    # Stemming an already-stemmed common word should be stable enough to
+    # reuse as an index term (not required by Porter in general, but holds
+    # for this vocabulary and protects the index contract).
+    for word in ("tennis", "player", "champion", "award", "season"):
+        once = stem(word)
+        assert stem(once) == once

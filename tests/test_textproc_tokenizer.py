@@ -1,0 +1,83 @@
+"""Tokenizer and span tests."""
+
+import pytest
+
+from repro.textproc import Span, Tokenizer, ngrams, word_spans
+
+
+def test_word_spans_offsets():
+    text = "Hello, world! Don't panic."
+    spans = word_spans(text)
+    assert [s.text for s in spans] == ["Hello", "world", "Dont", "panic"]
+    for span in spans:
+        # The span region covers the token (apostrophes may pad it).
+        assert text[span.start : span.end].replace("'", "") == span.text
+
+
+def test_word_spans_possessive_folding():
+    spans = word_spans("Djokovic's racket")
+    assert spans[0].text == "Djokovics"
+
+
+def test_span_length():
+    span = Span(text="abc", start=4, end=7)
+    assert len(span) == 3
+
+
+def test_default_tokenizer_pipeline():
+    tokenizer = Tokenizer()
+    terms = tokenizer.tokenize("The players were winning championships")
+    assert "the" not in terms          # stopword removed
+    assert "were" not in terms         # stopword removed
+    assert "player" in terms           # stemmed
+    assert "win" in terms              # stemmed
+    assert any(t.startswith("championship") for t in terms)
+
+
+def test_tokenizer_no_stem():
+    tokenizer = Tokenizer(stem=False)
+    assert tokenizer.tokenize("winning games") == ["winning", "games"]
+
+
+def test_tokenizer_keep_stopwords():
+    tokenizer = Tokenizer(remove_stopwords=False, stem=False)
+    assert tokenizer.tokenize("the fox") == ["the", "fox"]
+
+
+def test_tokenizer_accent_folding():
+    tokenizer = Tokenizer(stem=False)
+    assert tokenizer.tokenize("Świątek café") == ["swiatek", "cafe"]
+
+
+def test_tokenizer_numbers_kept():
+    tokenizer = Tokenizer()
+    assert "2023" in tokenizer.tokenize("the 2023 championship")
+
+
+def test_tokenize_unique():
+    tokenizer = Tokenizer(stem=False)
+    assert tokenizer.tokenize_unique("fox fox dog") == {"fox", "dog"}
+
+
+def test_tokenizer_callable():
+    tokenizer = Tokenizer(stem=False)
+    assert tokenizer("fox dog") == ["fox", "dog"]
+
+
+def test_ngrams():
+    assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+    assert list(ngrams(["a"], 2)) == []
+
+
+def test_ngrams_invalid_n():
+    with pytest.raises(ValueError):
+        list(ngrams(["a"], 0))
+
+
+def test_empty_text():
+    assert Tokenizer().tokenize("") == []
+    assert word_spans("") == []
+
+
+def test_punctuation_only():
+    assert Tokenizer().tokenize("!!! ... ???") == []

@@ -1,0 +1,100 @@
+"""ASCII rendering tests."""
+
+from repro.core import ContextEvaluator, SearchDirection, analyze_combinations, select_combinations
+from repro.viz import (
+    render_combination_counterfactual,
+    render_combination_insights,
+    render_optimal_permutations,
+    render_permutation_counterfactual,
+    render_permutation_insights,
+    render_pie,
+    render_table,
+)
+from repro.core.insights import AnswerSlice
+
+
+def test_render_table_alignment():
+    text = render_table(("name", "value"), [("a", "1"), ("longer", "22")])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+
+
+def test_render_pie_percentages():
+    slices = [
+        AnswerSlice(answer="A", count=3, fraction=0.75),
+        AnswerSlice(answer="B", count=1, fraction=0.25),
+    ]
+    text = render_pie(slices)
+    assert "75.0%" in text and "25.0%" in text
+    assert text.index("A") < text.index("B")
+
+
+def test_render_pie_empty():
+    assert "no answers" in render_pie([])
+
+
+def test_render_combination_insights(big_three_engine, big_three):
+    insights = big_three_engine.combination_insights(big_three.query)
+    text = render_combination_insights(insights)
+    assert "Roger Federer" in text
+    assert "bigthree-1-match-wins" in text
+    assert "Answer rules:" in text
+    assert "Answer distribution:" in text
+
+
+def test_render_combination_insights_truncation(big_three_engine, big_three):
+    insights = big_three_engine.combination_insights(big_three.query)
+    text = render_combination_insights(insights, max_rows=3)
+    assert "more rows" in text
+
+
+def test_render_permutation_insights(us_open_engine, us_open):
+    insights = us_open_engine.permutation_insights(us_open.query, sample_size=20)
+    text = render_permutation_insights(insights)
+    assert "Positional rules:" in text or "no rules" in text
+    assert "Coco Gauff" in text
+
+
+def test_render_permutation_insights_stability(potya_engine, player_of_the_year):
+    insights = potya_engine.permutation_insights(player_of_the_year.query, sample_size=10)
+    text = render_permutation_insights(insights)
+    assert "stable" in text
+
+
+def test_render_combination_counterfactual_found(big_three_engine, big_three):
+    result = big_three_engine.combination_counterfactual(big_three.query)
+    text = render_combination_counterfactual(result)
+    assert "removing" in text
+    assert "Novak Djokovic" in text
+
+
+def test_render_bottom_up_counterfactual(big_three_engine, big_three):
+    result = big_three_engine.combination_counterfactual(
+        big_three.query, direction=SearchDirection.BOTTOM_UP
+    )
+    text = render_combination_counterfactual(result)
+    assert "retaining only" in text
+
+
+def test_render_counterfactual_not_found(big_three_engine, big_three):
+    result = big_three_engine.combination_counterfactual(
+        big_three.query, target_answer="Nobody Real"
+    )
+    text = render_combination_counterfactual(result)
+    assert "not found" in text
+
+
+def test_render_permutation_counterfactual(big_three_engine, big_three):
+    result = big_three_engine.permutation_counterfactual(big_three.query)
+    text = render_permutation_counterfactual(result)
+    assert "Kendall tau" in text
+    assert "reorder to" in text
+
+
+def test_render_optimal(big_three_engine, big_three):
+    placements = big_three_engine.optimal_permutations(big_three.query, s=3)
+    text = render_optimal_permutations(placements)
+    assert "rank" in text
+    assert text.count(">") >= 3

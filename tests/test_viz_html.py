@@ -1,0 +1,94 @@
+"""Static HTML report tests."""
+
+import html.parser
+
+import pytest
+
+from repro.viz import render_report_html, write_report_html
+
+
+class _Validator(html.parser.HTMLParser):
+    """Collects tag balance and text for structural checks."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link", "path", "circle"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+        self.text = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}>")
+        else:
+            self.stack.pop()
+
+    def handle_data(self, data):
+        self.text.append(data)
+
+
+@pytest.fixture(scope="module")
+def report(big_three):
+    from tests.conftest import make_engine
+
+    engine = make_engine(big_three)
+    return engine.explain(big_three.query)
+
+
+@pytest.fixture(scope="module")
+def page(report):
+    return render_report_html(report)
+
+
+def test_html_is_well_formed(page):
+    validator = _Validator()
+    validator.feed(page)
+    assert validator.errors == []
+    assert validator.stack == []
+
+
+def test_html_contains_answer_and_rules(page):
+    assert "Roger Federer" in page
+    assert "bigthree-1-match-wins" in page
+    assert "Counterfactual explanations" in page
+
+
+def test_html_has_svg_pie(page):
+    assert "<svg" in page
+    assert "path d=" in page or "circle" in page
+
+
+def test_html_escapes_content(big_three):
+    from repro.core.insights import AnswerSlice
+    from repro.viz.html import _legend
+
+    legend = _legend([AnswerSlice(answer="<script>x</script>", count=1, fraction=1.0)])
+    assert "<script>" not in legend
+    assert "&lt;script&gt;" in legend
+
+
+def test_single_answer_pie_is_full_circle():
+    from repro.core.insights import AnswerSlice
+    from repro.viz.html import _svg_pie
+
+    svg = _svg_pie([AnswerSlice(answer="only", count=4, fraction=1.0)])
+    assert "circle" in svg
+
+
+def test_write_report_html(tmp_path, report):
+    path = tmp_path / "report.html"
+    write_report_html(report, str(path))
+    content = path.read_text(encoding="utf-8")
+    assert content.startswith("<!doctype html>")
+    assert "RAGE explanation report" in content
+
+
+def test_optimal_section_present(page):
+    assert "Optimal permutations" in page

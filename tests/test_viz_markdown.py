@@ -1,0 +1,80 @@
+"""Markdown report rendering tests."""
+
+import pytest
+
+from repro.viz import render_report_markdown, write_report_markdown
+
+
+@pytest.fixture(scope="module")
+def report(big_three):
+    from tests.conftest import make_engine
+
+    return make_engine(big_three).explain(big_three.query)
+
+
+@pytest.fixture(scope="module")
+def markdown(report):
+    return render_report_markdown(report)
+
+
+def test_headline_sections(markdown):
+    assert markdown.startswith("# RAGE explanation report")
+    assert "## Combination insights" in markdown
+    assert "## Permutation insights" in markdown
+    assert "## Counterfactual explanations" in markdown
+    assert "## Optimal permutations" in markdown
+
+
+def test_answer_and_context(markdown):
+    assert "**Full-context answer:** **Roger Federer**" in markdown
+    assert "`bigthree-1-match-wins`" in markdown
+
+
+def test_tables_well_formed(markdown):
+    """Every Markdown table row has a consistent column count."""
+    lines = markdown.splitlines()
+    index = 0
+    tables = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("|") and index + 1 < len(lines) and set(
+            lines[index + 1].replace("|", "").strip()
+        ) <= {"-"}:
+            tables += 1
+            columns = line.count("|")
+            row = index + 2
+            while row < len(lines) and lines[row].startswith("|"):
+                assert lines[row].count("|") == columns, lines[row]
+                row += 1
+            index = row
+        else:
+            index += 1
+    assert tables >= 3  # combo distribution, combo table, perm distribution
+
+
+def test_rules_as_blockquotes(markdown):
+    assert "> every combination answering 'Roger Federer' included" in markdown
+
+
+def test_counterfactual_lines(markdown):
+    assert "**Top-down:** Removing `bigthree-1-match-wins`" in markdown
+    assert "**Bottom-up:** Retaining only" in markdown
+    assert "Kendall tau" in markdown
+
+
+def test_truncation(report):
+    markdown = render_report_markdown(report, max_rows=3)
+    assert "more rows*" in markdown
+
+
+def test_write_report_markdown(tmp_path, report):
+    path = tmp_path / "report.md"
+    write_report_markdown(report, str(path))
+    content = path.read_text(encoding="utf-8")
+    assert content.startswith("# RAGE explanation report")
+
+
+def test_stable_context_note(potya_engine, player_of_the_year):
+    report = potya_engine.explain(player_of_the_year.query, sample_size=10)
+    markdown = render_report_markdown(report)
+    assert "stable under every analyzed order" in markdown
