@@ -1,0 +1,164 @@
+"""E14 — Batched, memo-shared ``Rage.explain()`` vs. the serial flow.
+
+The full report evaluates the same context under every explanation
+primitive.  Shapes: (1) the shared-evaluator plan issues strictly fewer
+LLM calls than running each sub-explanation with its own evaluator —
+no prompt is ever generated twice; (2) pre-batching the enumerable
+perturbation sets turns hundreds of one-prompt calls into a handful of
+batches; (3) wall-clock for the full report drops accordingly.
+"""
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.datasets import load_use_case
+from repro.datasets.synthetic import make_superlative_world
+
+
+class CountingLLM:
+    """Counts every prompt that reaches the wrapped model."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.batches = 0
+
+    @property
+    def name(self):
+        return f"counting({self.inner.name})"
+
+    def generate(self, prompt):
+        self.calls += 1
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        self.calls += len(prompts)
+        self.batches += 1
+        return self.inner.generate_batch(prompts)
+
+
+def _counting_engine(case, k, **kwargs):
+    defaults = dict(k=k, max_evaluations=4000, cache=False)
+    defaults.update(kwargs)
+    llm = CountingLLM(SimulatedLLM(knowledge=case.knowledge))
+    rage = Rage.from_corpus(case.corpus, llm, config=RageConfig(**defaults))
+    return rage, llm
+
+
+def _serial_report(rage, query, context):
+    """The pre-plan flow: every sub-explanation on a fresh evaluator."""
+    rage.ask(query, context=context)
+    rage.combination_insights(query, context=context)
+    rage.permutation_insights(query, context=context)
+    rage.combination_counterfactual(query, context=context, direction="top_down")
+    rage.combination_counterfactual(query, context=context, direction="bottom_up")
+    rage.permutation_counterfactual(query, context=context)
+    rage.order_stability(query, context=context)
+
+
+def _k6_case():
+    world = make_superlative_world(num_sources=6, num_candidates=3, seed=7)
+    return world
+
+
+def test_e14_k6_batched_explain_fewer_llm_calls():
+    """Acceptance shape: shared plan < serial on a k=6 use case."""
+    world = _k6_case()
+    rage_serial, llm_serial = _counting_engine(world, k=6)
+    context = rage_serial.retrieve(world.query)
+    _serial_report(rage_serial, world.query, context)
+
+    rage_batched, llm_batched = _counting_engine(world, k=6)
+    report = rage_batched.explain(world.query)
+
+    print(
+        f"\nE14 k=6 LLM calls: serial={llm_serial.calls} "
+        f"batched={llm_batched.calls} "
+        f"({llm_batched.batches} batches), saved="
+        f"{llm_serial.calls - llm_batched.calls}"
+    )
+    assert report.answer
+    assert llm_batched.calls < llm_serial.calls
+    assert llm_batched.batches >= 1
+    assert report.llm_calls == llm_batched.calls
+
+
+def test_e14_big_three_no_duplicate_prompts():
+    case = load_use_case("big_three")
+
+    class RecordingLLM(CountingLLM):
+        def __init__(self, inner):
+            super().__init__(inner)
+            self.seen = {}
+
+        def generate(self, prompt):
+            self.seen[prompt] = self.seen.get(prompt, 0) + 1
+            return super().generate(prompt)
+
+        def generate_batch(self, prompts):
+            for p in prompts:
+                self.seen[p] = self.seen.get(p, 0) + 1
+            return super().generate_batch(prompts)
+
+    llm = RecordingLLM(SimulatedLLM(knowledge=case.knowledge))
+    rage = Rage.from_corpus(
+        case.corpus, llm, config=RageConfig(k=case.k, cache=False)
+    )
+    rage.explain(case.query)
+    duplicates = {p: n for p, n in llm.seen.items() if n > 1}
+    assert duplicates == {}
+
+
+def test_e14_batched_explain_wallclock(benchmark):
+    world = _k6_case()
+
+    def run():
+        rage, _ = _counting_engine(world, k=6)
+        return rage.explain(world.query)
+
+    report = benchmark(run)
+    assert report.combination_insights.total == 2**6 - 1
+
+
+def test_e14_serial_flow_wallclock(benchmark):
+    world = _k6_case()
+
+    def run():
+        rage, _ = _counting_engine(world, k=6)
+        context = rage.retrieve(world.query)
+        _serial_report(rage, world.query, context)
+        return rage
+
+    benchmark(run)
+
+
+def test_e14_report_matches_serial_answers():
+    """Sharing the memo must not change any explanation outcome."""
+    world = _k6_case()
+    rage_a, _ = _counting_engine(world, k=6)
+    report = rage_a.explain(world.query)
+
+    rage_b, _ = _counting_engine(world, k=6)
+    context = rage_b.retrieve(world.query)
+    combination = rage_b.combination_insights(world.query, context=context)
+    top_down = rage_b.combination_counterfactual(
+        world.query, context=context, direction="top_down"
+    )
+    bottom_up = rage_b.combination_counterfactual(
+        world.query, context=context, direction="bottom_up"
+    )
+
+    assert report.combination_insights.total == combination.total
+    assert {
+        key: len(group) for key, group in report.combination_insights.groups.items()
+    } == {key: len(group) for key, group in combination.groups.items()}
+    assert report.top_down.found == top_down.found
+    if top_down.found:
+        assert (
+            report.top_down.counterfactual.changed_sources
+            == top_down.counterfactual.changed_sources
+        )
+    assert report.bottom_up.found == bottom_up.found
+    if bottom_up.found:
+        assert (
+            report.bottom_up.counterfactual.changed_sources
+            == bottom_up.counterfactual.changed_sources
+        )

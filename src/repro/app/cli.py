@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--query", default=None, help="override the canonical question")
         p.add_argument("--k", type=int, default=None, help="retrieval depth override")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="thread-pool width for batched evaluation on backends "
+            "without native batching (I/O-bound models only)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -101,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--markdown", default=None, help="also write a Markdown report here"
     )
+    p_rep.add_argument(
+        "--stats",
+        action="store_true",
+        help="print LLM-call and prompt-cache statistics after the report",
+    )
 
     sub.add_parser("list", help="list the built-in use cases")
     sub.add_parser(
@@ -110,10 +122,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _session(args: argparse.Namespace) -> RageSession:
-    config: Optional[RageConfig] = None
+    from ..datasets.base import load_use_case
+
+    case = load_use_case(args.use_case)
+    overrides = dict(k=case.k)
     if args.k is not None:
-        config = RageConfig(k=args.k)
-    session = RageSession.for_use_case(args.use_case, config=config)
+        overrides["k"] = args.k
+    if getattr(args, "workers", None) is not None:
+        overrides["batch_workers"] = args.workers
+    config: Optional[RageConfig] = RageConfig(**overrides)
+    session = RageSession.for_use_case(case, config=config)
     if args.query:
         session.pose(args.query)
     return session
@@ -228,6 +246,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_combination_counterfactual(report.bottom_up))
         if report.permutation_counterfactual is not None:
             print(render_permutation_counterfactual(report.permutation_counterfactual))
+        if report.stability is not None:
+            stability = report.stability
+            flip = (
+                "none found"
+                if stability.flip_tau is None
+                else f"tau={stability.flip_tau:.3f}"
+            )
+            print(
+                f"\nOrder stability: {stability.stable_fraction * 100:.1f}% of "
+                f"{stability.num_permutations} sampled orders keep the answer "
+                f"(most similar flip: {flip})"
+            )
         if report.optimal:
             print()
             print("Optimal permutations:")
@@ -240,6 +270,19 @@ def _dispatch(args: argparse.Namespace) -> int:
 
             write_report_markdown(report, args.markdown)
             print(f"\nMarkdown report written to {args.markdown}")
+        if args.stats:
+            from ..llm.cache import CachingLLM
+
+            print(f"\nEvaluation stats: {report.llm_calls} LLM calls")
+            llm = session.rage.llm
+            if isinstance(llm, CachingLLM):
+                stats = llm.stats
+                print(
+                    f"Prompt cache: {stats.hits} hits / {stats.misses} misses "
+                    f"(hit rate {stats.hit_rate:.2f}); "
+                    f"{stats.batches} batches covering {stats.batched_prompts} "
+                    f"prompts, {stats.batched_misses} reached the model"
+                )
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

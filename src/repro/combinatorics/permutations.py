@@ -41,22 +41,42 @@ def sample_permutations(
     sample_size: int,
     rng: random.Random,
     distinct: bool = True,
+    exclude: Sequence[Sequence[T]] = (),
 ) -> List[Tuple[T, ...]]:
     """Draw ``sample_size`` random permutations in O(k * sample_size).
 
     With ``distinct=True`` duplicate draws are rejected; if the request
-    exceeds k! all permutations are returned instead (still bounded).
+    exceeds the admissible population all admissible permutations are
+    returned instead (still bounded).  ``exclude`` lists forbidden
+    permutations (e.g. the identity) that are rejected *during* the
+    draw, so the result never silently under-fills.
     """
     if sample_size <= 0:
         raise ConfigError(f"sample_size must be positive, got {sample_size}")
     k = len(items)
-    population = math.factorial(k)
+    reference = sorted(items)
+    # Only true permutations of ``items`` shrink the population; other
+    # entries could never be drawn anyway.
+    excluded = {
+        order
+        for order in {tuple(o) for o in exclude}
+        if sorted(order) == reference
+    }
+    population = math.factorial(k) - len(excluded)
+    if population <= 0:
+        # Every permutation is forbidden: rejection sampling below
+        # would loop forever regardless of the distinct flag.
+        raise ConfigError("exclude forbids every permutation of the items")
     if distinct and sample_size >= population:
-        return list(itertools.permutations(items))
+        return [
+            perm for perm in itertools.permutations(items) if perm not in excluded
+        ]
     picks: List[Tuple[T, ...]] = []
     seen: set = set()
     while len(picks) < sample_size:
         perm = tuple(fisher_yates_shuffle(items, rng))
+        if perm in excluded:
+            continue
         if distinct:
             if perm in seen:
                 continue

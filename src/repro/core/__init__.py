@@ -47,6 +47,7 @@ from .permutation_cf import (
     ranked_permutations,
     search_permutation_counterfactual,
 )
+from .plan import EvaluationPlan, PlanStats
 from .sampling import select_combinations, select_permutations
 from .stability import (
     OrderStability,
@@ -102,6 +103,8 @@ __all__ = [
     "PermutationSearchResult",
     "ranked_permutations",
     "search_permutation_counterfactual",
+    "EvaluationPlan",
+    "PlanStats",
     "select_combinations",
     "select_permutations",
     "OrderStability",

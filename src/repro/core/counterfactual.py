@@ -22,7 +22,7 @@ from ..combinatorics.combinations import ordered_combinations
 from ..errors import SearchBudgetError
 from ..textproc import normalize_answer
 from .context import CombinationPerturbation, Context
-from .evaluate import ContextEvaluator
+from .evaluate import ContextEvaluator, scan_candidates
 
 
 class SearchDirection(str, Enum):
@@ -79,6 +79,7 @@ def search_combination_counterfactual(
     target_answer: Optional[str] = None,
     max_evaluations: int = 1000,
     keep_trail: bool = False,
+    batch_size: int = 1,
 ) -> CombinationSearchResult:
     """Find a minimal combination counterfactual.
 
@@ -97,13 +98,24 @@ def search_combination_counterfactual(
         TOP_DOWN and defaults to the full-context answer for BOTTOM_UP
         (the paper's "citation" reading).
     max_evaluations:
-        LLM-call budget for this search.
+        LLM-call budget for this search, in *real* LLM calls: candidates
+        already memoized by the (possibly shared) evaluator are free,
+        matching the paper's LLM-call semantics.
     keep_trail:
         Record every (candidate, answer) pair — used by the pruning
         benchmarks; off by default to save memory.
+    batch_size:
+        Number of un-memoized candidates evaluated per LLM batch.  The
+        default of 1 reproduces the paper's strictly sequential search;
+        larger values trade a few wasted evaluations past the flip for
+        batched-backend throughput.  The reported ``num_evaluations``
+        always counts every real call, including chunk members after
+        the flip.
     """
     if max_evaluations <= 0:
         raise SearchBudgetError(f"max_evaluations must be positive, got {max_evaluations}")
+    if batch_size < 1:
+        raise SearchBudgetError(f"batch_size must be >= 1, got {batch_size}")
     direction = SearchDirection(direction)
     context = evaluator.context
     doc_ids = list(context.doc_ids())
@@ -137,32 +149,45 @@ def search_combination_counterfactual(
         descending=True,
     )
 
-    evaluations = 0
-    for subset in candidates:
-        if evaluations >= max_evaluations:
-            result.budget_exhausted = True
-            break
-        if direction is SearchDirection.TOP_DOWN:
-            perturbation = CombinationPerturbation.from_removal(context, subset)
-            changed = subset
-        else:
-            perturbation = CombinationPerturbation(kept=subset)
-            changed = subset
-        evaluation = evaluator.evaluate(perturbation.apply(context))
-        evaluations += 1
+    # The budget counts real LLM calls only: the baselines above are the
+    # caller's cost (they are shared across every explanation), and memo
+    # hits — e.g. subsets a prior insight analysis already evaluated —
+    # are free.  scan_candidates owns the chunking/accounting.
+    def stream():
+        for subset in candidates:
+            if direction is SearchDirection.TOP_DOWN:
+                perturbation = CombinationPerturbation.from_removal(context, subset)
+            else:
+                # Retained sets render in *context* order: candidate
+                # tuples are only guaranteed context-ordered by the
+                # default enumerator, and a relevance-ordered prompt
+                # would conflate the combination effect with a
+                # permutation effect.
+                perturbation = CombinationPerturbation(
+                    kept=tuple(sorted(subset, key=context.position_of))
+                )
+            yield perturbation.apply(context), (subset, perturbation)
+
+    def match(payload, evaluation):
+        subset, perturbation = payload
         if keep_trail:
             result.trail.append((subset, evaluation.answer))
-        if _flips(evaluation.normalized_answer, baseline, target_norm):
-            result.counterfactual = CombinationCounterfactual(
-                direction=direction,
-                perturbation=perturbation,
-                changed_sources=changed,
-                baseline_answer=baseline.answer,
-                new_answer=evaluation.answer,
-                estimated_relevance=sum(relevance_scores.get(d, 0.0) for d in subset),
-            )
-            break
-    result.num_evaluations = evaluations
+        if not _flips(evaluation.normalized_answer, baseline, target_norm):
+            return None
+        return CombinationCounterfactual(
+            direction=direction,
+            perturbation=perturbation,
+            changed_sources=perturbation.kept
+            if direction is SearchDirection.BOTTOM_UP
+            else subset,
+            baseline_answer=baseline.answer,
+            new_answer=evaluation.answer,
+            estimated_relevance=sum(relevance_scores.get(d, 0.0) for d in subset),
+        )
+
+    result.counterfactual, result.num_evaluations, result.budget_exhausted = (
+        scan_candidates(evaluator, stream(), match, max_evaluations, batch_size)
+    )
     return result
 
 

@@ -48,8 +48,10 @@ from .insights import (
 )
 from .optimal import OptimalPermutation, optimal_permutations
 from .permutation_cf import PermutationSearchResult, search_permutation_counterfactual
+from .plan import EvaluationPlan
 from .sampling import select_combinations, select_permutations
 from .scoring import RelevanceMethod, make_scorer
+from .stability import OrderStability, order_stability as compute_order_stability
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,15 @@ class RageConfig:
         used by optimal permutations.
     cache:
         Wrap the LLM in a prompt cache (recommended).
+    batch_workers:
+        Thread-pool width for batched evaluation when the LLM has no
+        native ``generate_batch`` (useful for I/O-bound remote
+        backends); ``None`` keeps batch misses sequential.
+    search_batch_size:
+        Un-memoized candidates per LLM batch inside the sequential
+        counterfactual searches.  1 (default) is the paper's strictly
+        serial search; larger values trade a few evaluations past the
+        flip for batched-backend throughput.
     """
 
     k: int = 10
@@ -86,12 +97,18 @@ class RageConfig:
     expected_prior: PositionPrior = PositionPrior.V_SHAPED
     expected_depth: float = 0.8
     cache: bool = True
+    batch_workers: Optional[int] = None
+    search_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.k <= 0:
             raise ConfigError(f"k must be positive, got {self.k}")
         if self.max_evaluations <= 0:
             raise ConfigError("max_evaluations must be positive")
+        if self.batch_workers is not None and self.batch_workers < 1:
+            raise ConfigError("batch_workers must be >= 1 (or None)")
+        if self.search_batch_size < 1:
+            raise ConfigError("search_batch_size must be >= 1")
 
 
 @dataclass
@@ -117,6 +134,8 @@ class RageReport:
     bottom_up: CombinationSearchResult
     permutation_counterfactual: Optional[PermutationSearchResult]
     optimal: List[OptimalPermutation] = field(default_factory=list)
+    stability: Optional[OrderStability] = None
+    llm_calls: int = 0
 
 
 class Rage:
@@ -133,7 +152,11 @@ class Rage:
         self.config = config or RageConfig()
         self.index = index
         self.searcher = Searcher(index, scorer=retrieval_scorer)
-        self.llm: LanguageModel = CachingLLM(llm) if self.config.cache else llm
+        self.llm: LanguageModel = (
+            CachingLLM(llm, batch_workers=self.config.batch_workers)
+            if self.config.cache
+            else llm
+        )
         self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
 
     @classmethod
@@ -155,11 +178,22 @@ class Rage:
         result = self.searcher.search(query, k=k or self.config.k)
         return Context.from_retrieval(result)
 
-    def ask(self, query: str, context: Optional[Context] = None) -> AskResult:
-        """Retrieve (unless given a context) and answer."""
+    def ask(
+        self,
+        query: str,
+        context: Optional[Context] = None,
+        evaluator: Optional[ContextEvaluator] = None,
+    ) -> AskResult:
+        """Retrieve (unless given a context) and answer.
+
+        The full generation (with attention trace) also primes the
+        evaluator's memo, so a shared evaluator never re-pays for the
+        full-context evaluation.
+        """
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         generation = evaluator.generation(context.doc_ids())
+        evaluator.prime(context.doc_ids(), generation)
         return AskResult(
             query=query,
             answer=generation.answer,
@@ -182,10 +216,11 @@ class Rage:
         context: Optional[Context] = None,
         sample_size: Optional[int] = None,
         include_empty: bool = False,
+        evaluator: Optional[ContextEvaluator] = None,
     ) -> CombinationInsights:
         """Answer distribution, table and rules over combinations."""
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         perturbations = select_combinations(
             context,
             sample_size=sample_size if sample_size is not None else self.config.sample_size,
@@ -199,10 +234,11 @@ class Rage:
         query: str,
         context: Optional[Context] = None,
         sample_size: Optional[int] = None,
+        evaluator: Optional[ContextEvaluator] = None,
     ) -> PermutationInsights:
         """Answer distribution, table and rules over permutations."""
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         perturbations = select_permutations(
             context,
             sample_size=sample_size if sample_size is not None else self.config.sample_size,
@@ -217,17 +253,19 @@ class Rage:
         direction: SearchDirection | str = SearchDirection.TOP_DOWN,
         target_answer: Optional[str] = None,
         max_evaluations: Optional[int] = None,
+        evaluator: Optional[ContextEvaluator] = None,
     ) -> CombinationSearchResult:
         """Minimal source removal (top-down) or retention (bottom-up)
         that flips the answer."""
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         return search_combination_counterfactual(
             evaluator,
             relevance_scores=self.relevance_scores(context),
             direction=direction,
             target_answer=target_answer,
             max_evaluations=max_evaluations or self.config.max_evaluations,
+            batch_size=self.config.search_batch_size,
         )
 
     def permutation_counterfactual(
@@ -236,14 +274,16 @@ class Rage:
         context: Optional[Context] = None,
         target_answer: Optional[str] = None,
         max_evaluations: Optional[int] = None,
+        evaluator: Optional[ContextEvaluator] = None,
     ) -> PermutationSearchResult:
         """Most-similar reordering (max Kendall tau) that flips the answer."""
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         return search_permutation_counterfactual(
             evaluator,
             target_answer=target_answer,
             max_evaluations=max_evaluations or self.config.max_evaluations,
+            batch_size=self.config.search_batch_size,
         )
 
     def optimal_permutations(
@@ -286,17 +326,15 @@ class Rage:
         query: str,
         context: Optional[Context] = None,
         sample_size: Optional[int] = 50,
-    ):
+        evaluator: Optional[ContextEvaluator] = None,
+    ) -> OrderStability:
         """Order-stability summary over sampled permutations."""
-        from .sampling import select_permutations
-        from .stability import order_stability
-
         context = context or self.retrieve(query)
-        evaluator = self._evaluator(context)
+        evaluator = evaluator or self._evaluator(context)
         perturbations = select_permutations(
             context, sample_size=sample_size, seed=self.config.seed
         )
-        return order_stability(evaluator, perturbations)
+        return compute_order_stability(evaluator, perturbations)
 
     def explain(
         self,
@@ -305,45 +343,107 @@ class Rage:
         sample_size: Optional[int] = None,
         optimal_s: int = 3,
         wide_permutation_budget: int = 200,
+        stability_sample: int = 50,
     ) -> RageReport:
         """Everything at once (powers the CLI report command).
+
+        One :class:`~repro.core.evaluate.ContextEvaluator` — one memo,
+        one LLM-call counter — is shared across every sub-explanation,
+        and every enumerable perturbation set (both baselines, the
+        combination insight set, the permutation insight and stability
+        sets) is pre-batched through an
+        :class:`~repro.core.plan.EvaluationPlan` before the sequential
+        counterfactual searches run.  The searches then walk their
+        candidate lists mostly through memo hits; only orderings the
+        plan never saw reach the LLM.  ``report.llm_calls`` records the
+        shared evaluator's total real LLM calls.
 
         Contexts wider than the exhaustive permutation cap run the lazy
         decreasing-tau counterfactual search under
         ``wide_permutation_budget`` LLM calls instead of skipping.
         """
         context = context or self.retrieve(query)
-        answered = self.ask(query, context=context)
-        combination = self.combination_insights(query, context=context, sample_size=sample_size)
-        permutation: Optional[PermutationInsights] = None
+        evaluator = self._evaluator(context)
+        answered = self.ask(query, context=context, evaluator=evaluator)
         sample = sample_size if sample_size is not None else self.config.sample_size
+
+        combination_set = select_combinations(
+            context, sample_size=sample, seed=self.config.seed, include_empty=False
+        )
+        permutation_set = None
         if context.k <= 8 or sample is not None:
-            permutation = self.permutation_insights(query, context=context, sample_size=sample)
-        if context.k <= 8:
-            permutation_cf = self.permutation_counterfactual(query, context=context)
-        else:
-            permutation_cf = self.permutation_counterfactual(
-                query,
-                context=context,
-                max_evaluations=min(wide_permutation_budget, self.config.max_evaluations),
+            permutation_set = select_permutations(
+                context, sample_size=sample, seed=self.config.seed
             )
+        stability_set = select_permutations(
+            context, sample_size=stability_sample, seed=self.config.seed
+        )
+
+        plan = EvaluationPlan(evaluator)
+        plan.add_baselines()
+        plan.add_perturbations(combination_set)
+        if permutation_set is not None:
+            plan.add_perturbations(permutation_set)
+        plan.add_perturbations(stability_set)
+        plan.execute()
+
+        combination = analyze_combinations(evaluator, combination_set)
+        permutation: Optional[PermutationInsights] = None
+        if permutation_set is not None:
+            permutation = analyze_permutations(evaluator, permutation_set)
+        if context.k <= 8:
+            permutation_budget = self.config.max_evaluations
+        else:
+            permutation_budget = min(wide_permutation_budget, self.config.max_evaluations)
+        permutation_cf = self.permutation_counterfactual(
+            query,
+            context=context,
+            max_evaluations=permutation_budget,
+            evaluator=evaluator,
+        )
+        # Score once and share: with attention-based relevance each
+        # scores() call is a fresh full-context generation outside the
+        # shared evaluator, so per-search recomputation would both
+        # duplicate prompts and escape report.llm_calls.
+        scores = self.relevance_scores(context)
         return RageReport(
             query=query,
             answer=answered.answer,
             context=context,
             combination_insights=combination,
             permutation_insights=permutation,
-            top_down=self.combination_counterfactual(
-                query, context=context, direction=SearchDirection.TOP_DOWN
+            top_down=search_combination_counterfactual(
+                evaluator,
+                relevance_scores=scores,
+                direction=SearchDirection.TOP_DOWN,
+                max_evaluations=self.config.max_evaluations,
+                batch_size=self.config.search_batch_size,
             ),
-            bottom_up=self.combination_counterfactual(
-                query, context=context, direction=SearchDirection.BOTTOM_UP
+            bottom_up=search_combination_counterfactual(
+                evaluator,
+                relevance_scores=scores,
+                direction=SearchDirection.BOTTOM_UP,
+                max_evaluations=self.config.max_evaluations,
+                batch_size=self.config.search_batch_size,
             ),
             permutation_counterfactual=permutation_cf,
-            optimal=self.optimal_permutations(query, context=context, s=optimal_s),
+            optimal=optimal_permutations(
+                context,
+                relevance_scores=scores,
+                s=optimal_s,
+                prior=self.config.expected_prior,
+                depth=self.config.expected_depth,
+            ),
+            stability=compute_order_stability(evaluator, stability_set),
+            llm_calls=evaluator.llm_calls,
         )
 
     # -- internals ---------------------------------------------------------
 
     def _evaluator(self, context: Context) -> ContextEvaluator:
-        return ContextEvaluator(self.llm, context, self.prompt_builder)
+        return ContextEvaluator(
+            self.llm,
+            context,
+            self.prompt_builder,
+            batch_workers=self.config.batch_workers,
+        )

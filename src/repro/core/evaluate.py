@@ -5,14 +5,31 @@ sources into a prompt, ask the LLM, normalize the answer".  The
 :class:`ContextEvaluator` centralizes that step, counts LLM calls (the
 unit the pruning benchmarks measure), and memoizes by ordered id tuple
 so re-visited perturbations are free.
+
+:meth:`ContextEvaluator.evaluate_many` is the batched entry point: it
+deduplicates the requested orderings, consults the memo, and dispatches
+only the misses — as a single batch — through
+:func:`repro.llm.base.batched_generate`, so backends with native batch
+inference see one call instead of hundreds.  ``llm_calls`` counts
+*misses only*, whichever entry point triggered them, making it the
+paper's LLM-call metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..llm.base import GenerationResult, LanguageModel
+from ..llm.base import GenerationResult, LanguageModel, batched_generate
 from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
 from ..textproc import normalize_answer
 from .context import Context
@@ -28,17 +45,33 @@ class Evaluation:
 
 
 class ContextEvaluator:
-    """Evaluate orderings of (subsets of) a context against an LLM."""
+    """Evaluate orderings of (subsets of) a context against an LLM.
+
+    Parameters
+    ----------
+    llm:
+        The language model (or caching wrapper) to evaluate against.
+    context:
+        The retrieved context whose perturbations are evaluated.
+    prompt_builder:
+        Prompt renderer; defaults to the paper's template.
+    batch_workers:
+        Optional thread-pool width for :meth:`evaluate_many` when the
+        model has no native ``generate_batch`` — useful for I/O-bound
+        backends (remote APIs), pointless for compute-bound ones.
+    """
 
     def __init__(
         self,
         llm: LanguageModel,
         context: Context,
         prompt_builder: Optional[PromptBuilder] = None,
+        batch_workers: Optional[int] = None,
     ) -> None:
         self.llm = llm
         self.context = context
         self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
+        self.batch_workers = batch_workers
         self._memo: Dict[Tuple[str, ...], Evaluation] = {}
         self._llm_calls = 0
 
@@ -47,6 +80,15 @@ class ContextEvaluator:
         """Number of distinct LLM invocations made so far."""
         return self._llm_calls
 
+    @property
+    def memo_size(self) -> int:
+        """Number of distinct orderings memoized so far."""
+        return len(self._memo)
+
+    def is_memoized(self, ordered_doc_ids: Sequence[str]) -> bool:
+        """True when evaluating this ordering would be free (memo hit)."""
+        return tuple(ordered_doc_ids) in self._memo
+
     def evaluate(self, ordered_doc_ids: Sequence[str]) -> Evaluation:
         """Answer for the given ordered source ids (memoized)."""
         key = tuple(ordered_doc_ids)
@@ -54,6 +96,65 @@ class ContextEvaluator:
         if cached is not None:
             return cached
         result = self._generate(key)
+        return self._memoize(key, result)
+
+    def evaluate_many(
+        self, orderings: Sequence[Sequence[str]]
+    ) -> List[Evaluation]:
+        """Evaluate many orderings, batching the memo misses.
+
+        Duplicate orderings and memo hits cost nothing; the distinct
+        misses are rendered into prompts and dispatched as one batch.
+        Results align with ``orderings`` (one evaluation per entry, in
+        input order), and every result is memoized for later single
+        :meth:`evaluate` calls.
+        """
+        keys = [tuple(ordering) for ordering in orderings]
+        miss_order: List[Tuple[str, ...]] = []
+        seen: set = set()
+        for key in keys:
+            if key not in self._memo and key not in seen:
+                seen.add(key)
+                miss_order.append(key)
+        if miss_order:
+            prompts = [
+                self.prompt_builder.build(
+                    self.context.query, self.context.texts_for(key)
+                )
+                for key in miss_order
+            ]
+            self._llm_calls += len(miss_order)
+            results = batched_generate(
+                self.llm, prompts, max_workers=self.batch_workers
+            )
+            for key, result in zip(miss_order, results):
+                self._memoize(key, result)
+        return [self._memo[key] for key in keys]
+
+    def generation(self, ordered_doc_ids: Sequence[str]) -> GenerationResult:
+        """Full generation result (fresh call; used for attention traces)."""
+        return self._generate(tuple(ordered_doc_ids))
+
+    def prime(
+        self, ordered_doc_ids: Sequence[str], result: GenerationResult
+    ) -> Evaluation:
+        """Memoize an externally produced generation for an ordering.
+
+        Lets a caller that already paid for a full generation (e.g. the
+        engine's ``ask``, which needs the attention trace) seed the memo
+        so later ``evaluate`` calls on the same ordering are free.
+        """
+        return self._memoize(tuple(ordered_doc_ids), result)
+
+    def _generate(self, ordered_doc_ids: Tuple[str, ...]) -> GenerationResult:
+        texts = self.context.texts_for(ordered_doc_ids)
+        prompt = self.prompt_builder.build(self.context.query, texts)
+        self._llm_calls += 1
+        return self.llm.generate(prompt)
+
+    def _memoize(
+        self, key: Tuple[str, ...], result: GenerationResult
+    ) -> Evaluation:
         evaluation = Evaluation(
             ordered_doc_ids=key,
             answer=result.answer,
@@ -61,16 +162,6 @@ class ContextEvaluator:
         )
         self._memo[key] = evaluation
         return evaluation
-
-    def generation(self, ordered_doc_ids: Sequence[str]) -> GenerationResult:
-        """Full generation result (fresh call; used for attention traces)."""
-        return self._generate(tuple(ordered_doc_ids))
-
-    def _generate(self, ordered_doc_ids: Tuple[str, ...]) -> GenerationResult:
-        texts = self.context.texts_for(ordered_doc_ids)
-        prompt = self.prompt_builder.build(self.context.query, texts)
-        self._llm_calls += 1
-        return self.llm.generate(prompt)
 
     # -- canonical evaluations -------------------------------------------
 
@@ -81,3 +172,74 @@ class ContextEvaluator:
     def empty(self) -> Evaluation:
         """The empty-context (parametric knowledge only) evaluation."""
         return self.evaluate(())
+
+
+def scan_candidates(
+    evaluator: ContextEvaluator,
+    candidates: Iterable[Tuple[Tuple[str, ...], Any]],
+    match: Callable[[Any, Evaluation], Optional[Any]],
+    max_evaluations: int,
+    batch_size: int = 1,
+) -> Tuple[Optional[Any], int, bool]:
+    """Budgeted, batched, in-order scan over evaluation candidates.
+
+    The shared engine of both sequential counterfactual searches:
+    ``candidates`` yields ``(ordering, payload)`` pairs in priority
+    order; ``match(payload, evaluation)`` is invoked once per evaluated
+    candidate *in candidate order* (record trails there) and the first
+    non-``None`` return stops the scan.
+
+    Budget semantics: ``max_evaluations`` bounds *real* LLM calls —
+    memo hits are free.  Un-memoized candidates accumulate into chunks
+    of ``batch_size`` and are dispatched through
+    :meth:`ContextEvaluator.evaluate_many`; ``batch_size=1`` reproduces
+    strictly sequential evaluation (memoized candidates additionally
+    resolve immediately while nothing fresh is pending, preserving
+    exact sequential stopping).  With larger chunks, members evaluated
+    after an in-chunk hit are still charged.
+
+    Returns ``(hit, real_llm_calls, budget_exhausted)`` where
+    ``budget_exhausted`` is only set when a fresh candidate was left
+    unevaluated and nothing pending matched.
+    """
+    start_calls = evaluator.llm_calls
+
+    def spent() -> int:
+        return evaluator.llm_calls - start_calls
+
+    pending: List[Tuple[Tuple[str, ...], Any]] = []
+    pending_fresh = 0
+    hit: Optional[Any] = None
+    budget_exhausted = False
+
+    def flush() -> Optional[Any]:
+        nonlocal pending, pending_fresh
+        batch, pending, pending_fresh = pending, [], 0
+        if not batch:
+            return None
+        evaluations = evaluator.evaluate_many([ordering for ordering, _ in batch])
+        for (_, payload), evaluation in zip(batch, evaluations):
+            found = match(payload, evaluation)
+            if found is not None:
+                return found
+        return None
+
+    for ordering, payload in candidates:
+        fresh = not evaluator.is_memoized(ordering)
+        if fresh and spent() + pending_fresh >= max_evaluations:
+            hit = flush()
+            if hit is None:
+                budget_exhausted = True
+            break
+        pending.append((ordering, payload))
+        if fresh:
+            pending_fresh += 1
+        # Flush when the chunk is full — or for free when everything
+        # pending is memoized, preserving exact sequential stopping.
+        if pending_fresh >= batch_size or (not fresh and pending_fresh == 0):
+            hit = flush()
+            if hit is not None:
+                break
+    else:
+        hit = flush()
+    return hit, spent(), budget_exhausted

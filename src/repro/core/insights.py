@@ -174,8 +174,10 @@ def analyze_combinations(
     groups: Dict[str, List[CombinationPerturbation]] = {}
     display: Dict[str, str] = {}
     before = evaluator.llm_calls
-    for perturbation in perturbations:
-        evaluation = evaluator.evaluate(perturbation.apply(evaluator.context))
+    evaluations = evaluator.evaluate_many(
+        [perturbation.apply(evaluator.context) for perturbation in perturbations]
+    )
+    for perturbation, evaluation in zip(perturbations, evaluations):
         key = evaluation.normalized_answer
         groups.setdefault(key, []).append(perturbation)
         display.setdefault(key, evaluation.answer)
@@ -221,8 +223,10 @@ def analyze_permutations(
     groups: Dict[str, List[PermutationPerturbation]] = {}
     display: Dict[str, str] = {}
     before = evaluator.llm_calls
-    for perturbation in perturbations:
-        evaluation = evaluator.evaluate(perturbation.apply(evaluator.context))
+    evaluations = evaluator.evaluate_many(
+        [perturbation.apply(evaluator.context) for perturbation in perturbations]
+    )
+    for perturbation, evaluation in zip(perturbations, evaluations):
         key = evaluation.normalized_answer
         groups.setdefault(key, []).append(perturbation)
         display.setdefault(key, evaluation.answer)

@@ -24,7 +24,7 @@ from ..combinatorics.permutations import all_permutations
 from ..errors import SearchBudgetError
 from ..textproc import normalize_answer
 from .context import Context, PermutationPerturbation
-from .evaluate import ContextEvaluator
+from .evaluate import ContextEvaluator, scan_candidates
 
 #: Enumerating k! permutations is the paper's algorithm; above this k we
 #: refuse and ask the caller to sample instead (8! = 40320 evaluations).
@@ -98,6 +98,7 @@ def search_permutation_counterfactual(
     max_evaluations: int = 1000,
     keep_trail: bool = False,
     lazy: Optional[bool] = None,
+    batch_size: int = 1,
 ) -> PermutationSearchResult:
     """Find the most-similar answer-changing permutation.
 
@@ -106,14 +107,24 @@ def search_permutation_counterfactual(
     switch to the lazy decreasing-tau generator, bounded by
     ``max_evaluations``.  Pass ``lazy=True``/``False`` to force a mode.
 
+    ``max_evaluations`` bounds *real* LLM calls: orders the (possibly
+    shared) evaluator has already memoized — e.g. from a permutation
+    insight analysis over the same context — are free, matching the
+    paper's LLM-call semantics.  ``batch_size`` chunks un-memoized
+    candidates into batched LLM calls (default 1 = the paper's strictly
+    sequential evaluation; larger values may charge a few evaluations
+    past the flip in exchange for batched-backend throughput).
+
     Raises
     ------
     SearchBudgetError
-        On a non-positive budget, or when ``lazy=False`` is forced for a
-        context beyond the exhaustive cap.
+        On a non-positive budget or batch size, or when ``lazy=False``
+        is forced for a context beyond the exhaustive cap.
     """
     if max_evaluations <= 0:
         raise SearchBudgetError(f"max_evaluations must be positive, got {max_evaluations}")
+    if batch_size < 1:
+        raise SearchBudgetError(f"batch_size must be >= 1, got {batch_size}")
     context = evaluator.context
     if lazy is None:
         lazy = context.k > MAX_EXHAUSTIVE_K
@@ -133,26 +144,36 @@ def search_permutation_counterfactual(
         budget_exhausted=False,
     )
     candidates = lazy_ranked_permutations(context) if lazy else ranked_permutations(context)
-    evaluations = 0
-    for order, tau in candidates:
-        if evaluations >= max_evaluations:
-            result.budget_exhausted = True
-            break
-        perturbation = PermutationPerturbation(order=order)
-        evaluation = evaluator.evaluate(perturbation.apply(context))
-        evaluations += 1
+
+    # Budget = real LLM calls from here on (the baseline is the caller's
+    # shared cost; memo hits are free).  scan_candidates owns the
+    # chunking/accounting shared with the combination search.
+    def match(payload, evaluation):
+        order, tau = payload
         if keep_trail:
             result.trail.append((order, tau, evaluation.answer))
         changed = evaluation.normalized_answer != baseline.normalized_answer
-        hits_target = target_norm is None or evaluation.normalized_answer == target_norm
-        if changed and hits_target:
-            result.counterfactual = PermutationCounterfactual(
-                perturbation=perturbation,
-                tau=tau,
-                baseline_answer=baseline.answer,
-                new_answer=evaluation.answer,
-                moved_sources=tuple(perturbation.moved_sources(context)),
-            )
-            break
-    result.num_evaluations = evaluations
+        hits_target = (
+            target_norm is None or evaluation.normalized_answer == target_norm
+        )
+        if not (changed and hits_target):
+            return None
+        perturbation = PermutationPerturbation(order=order)
+        return PermutationCounterfactual(
+            perturbation=perturbation,
+            tau=tau,
+            baseline_answer=baseline.answer,
+            new_answer=evaluation.answer,
+            moved_sources=tuple(perturbation.moved_sources(context)),
+        )
+
+    result.counterfactual, result.num_evaluations, result.budget_exhausted = (
+        scan_candidates(
+            evaluator,
+            ((order, (order, tau)) for order, tau in candidates),
+            match,
+            max_evaluations,
+            batch_size,
+        )
+    )
     return result

@@ -1,0 +1,119 @@
+"""Shared batched evaluation plans for multi-explanation reports.
+
+A full RAGE report (``Rage.explain``) runs half a dozen sub-explanations
+— combination and permutation insights, two combination counterfactual
+directions, the permutation counterfactual, and order stability — and
+every one of them reduces to evaluating perturbations of the *same*
+context.  Run independently, each builds its own
+:class:`~repro.core.evaluate.ContextEvaluator`, so the memo is discarded
+between analyses and shared work (the full-context baseline, the
+empty-context baseline, every subset the counterfactual search re-visits
+after the insight analysis already answered it) is paid for repeatedly,
+one serial prompt at a time.
+
+An :class:`EvaluationPlan` inverts that: one evaluator (one memo, one
+LLM-call counter) is shared across the whole report, and every
+*enumerable* perturbation set is registered up front and dispatched as a
+single deduplicated batch (:meth:`EvaluationPlan.execute`) before the
+sequential searches run.  The searches then walk their candidate lists
+almost entirely through memo hits, and only genuinely novel orderings
+(e.g. deep subsets beyond a sampled insight set) reach the LLM.
+
+The plan is deliberately dumb about *what* to evaluate — callers decide;
+it owns deduplication, batching, and accounting.  Typical use::
+
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator)
+    plan.add([context.doc_ids(), ()])          # both baselines
+    plan.add_perturbations(combination_set)    # insight analyses
+    plan.add_perturbations(permutation_set)
+    stats = plan.execute()                     # one batch to the LLM
+    # ... run analyses/searches against the shared, warm evaluator
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .evaluate import ContextEvaluator
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Outcome of one :meth:`EvaluationPlan.execute` flush.
+
+    Attributes
+    ----------
+    requested:
+        Orderings registered since the previous flush (duplicates
+        included — what naive per-analysis evaluation would have paid).
+    dispatched:
+        Distinct, un-memoized orderings actually sent to the LLM.
+    """
+
+    requested: int
+    dispatched: int
+
+    @property
+    def saved(self) -> int:
+        """Evaluations avoided by deduplication and the shared memo."""
+        return self.requested - self.dispatched
+
+
+class EvaluationPlan:
+    """Collects orderings, then evaluates the distinct misses as one batch.
+
+    The plan wraps — never owns — a :class:`ContextEvaluator`: callers
+    keep using the evaluator directly after (or between) flushes, and
+    everything the plan evaluated is visible through the evaluator's
+    memo.  ``add``/``add_perturbations`` are cheap (set insertion);
+    nothing reaches the LLM until :meth:`execute`.
+    """
+
+    def __init__(self, evaluator: ContextEvaluator) -> None:
+        self.evaluator = evaluator
+        self._pending: List[Tuple[str, ...]] = []
+        self._pending_keys: set = set()
+        self._requested = 0
+
+    @property
+    def pending(self) -> int:
+        """Distinct orderings queued for the next :meth:`execute`."""
+        return len(self._pending)
+
+    def add(self, orderings: Sequence[Sequence[str]]) -> "EvaluationPlan":
+        """Register explicit orderings (ordered doc-id sequences)."""
+        for ordering in orderings:
+            self._requested += 1
+            key = tuple(ordering)
+            if key in self._pending_keys or self.evaluator.is_memoized(key):
+                continue
+            self._pending_keys.add(key)
+            self._pending.append(key)
+        return self
+
+    def add_perturbations(self, perturbations: Sequence) -> "EvaluationPlan":
+        """Register perturbations (combination or permutation) by
+        resolving each against the evaluator's context."""
+        context = self.evaluator.context
+        return self.add([p.apply(context) for p in perturbations])
+
+    def add_baselines(self) -> "EvaluationPlan":
+        """Register the full-context and empty-context evaluations."""
+        return self.add([self.evaluator.context.doc_ids(), ()])
+
+    def execute(self) -> PlanStats:
+        """Evaluate every pending ordering as one deduplicated batch."""
+        requested = self._requested
+        pending = self._pending
+        self._pending = []
+        self._pending_keys = set()
+        self._requested = 0
+        before = self.evaluator.llm_calls
+        if pending:
+            self.evaluator.evaluate_many(pending)
+        return PlanStats(
+            requested=requested,
+            dispatched=self.evaluator.llm_calls - before,
+        )

@@ -57,7 +57,10 @@ def select_permutations(
     """All permutations, or ``sample_size`` Fisher–Yates draws.
 
     Exhaustive selection refuses absurd contexts (k > 8) the same way
-    the permutation search does; sampling has no such limit.
+    the permutation search does; sampling has no such limit.  With
+    ``include_identity=False`` the sampled path always returns exactly
+    ``sample_size`` permutations (capped by k! - 1): the identity is
+    rejected during the draw, never filtered out afterwards.
     """
     doc_ids = context.doc_ids()
     if sample_size is None:
@@ -67,10 +70,18 @@ def select_permutations(
                 "pass sample_size"
             )
         orders: List[Tuple[str, ...]] = list(all_permutations(doc_ids))
+        if not include_identity:
+            orders = [order for order in orders if order != doc_ids]
     else:
         if sample_size <= 0:
             raise ConfigError(f"sample_size must be positive, got {sample_size}")
-        orders = sample_permutations(doc_ids, sample_size, random.Random(seed))
-    if not include_identity:
-        orders = [order for order in orders if order != doc_ids]
+        # Excluding the identity rejects it *during* the draw: filtering
+        # it out afterwards would silently return sample_size - 1
+        # permutations whenever the identity happened to be drawn.
+        orders = sample_permutations(
+            doc_ids,
+            sample_size,
+            random.Random(seed),
+            exclude=() if include_identity else (doc_ids,),
+        )
     return [PermutationPerturbation(order=order) for order in orders]

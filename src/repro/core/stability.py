@@ -173,7 +173,8 @@ def order_stability(
     evaluator: ContextEvaluator,
     perturbations: Sequence[PermutationPerturbation],
 ) -> OrderStability:
-    """Evaluate permutations and summarize order stability."""
+    """Evaluate permutations (one batch, memo-aware) and summarize
+    order stability."""
     if not perturbations:
         raise ConfigError("no permutations supplied")
     context = evaluator.context
@@ -181,8 +182,10 @@ def order_stability(
     reference = context.doc_ids()
     stable = 0
     best_flip_tau: Optional[float] = None
-    for perturbation in perturbations:
-        evaluation = evaluator.evaluate(perturbation.apply(context))
+    evaluations = evaluator.evaluate_many(
+        [perturbation.apply(context) for perturbation in perturbations]
+    )
+    for perturbation, evaluation in zip(perturbations, evaluations):
         if evaluation.normalized_answer == baseline:
             stable += 1
             continue

@@ -2,7 +2,7 @@
 and the deterministic simulated model (Llama-2-7B-chat substitute).
 """
 
-from .base import GenerationResult, LanguageModel, TokenUsage
+from .base import GenerationResult, LanguageModel, TokenUsage, batched_generate
 from .cache import CacheStats, CachingLLM
 from .extraction import Claim, ClaimExtractor, ClaimKind, split_sentences
 from .intents import (
@@ -21,6 +21,7 @@ __all__ = [
     "GenerationResult",
     "LanguageModel",
     "TokenUsage",
+    "batched_generate",
     "CacheStats",
     "CachingLLM",
     "Claim",

@@ -7,12 +7,38 @@ property: everything above this layer sees only :class:`LanguageModel`
 model (:mod:`repro.llm.simulated`) and the caching wrapper
 (:mod:`repro.llm.cache`) both implement it; a Hugging Face client could
 be slotted in without touching the explanation code.
+
+The batching contract
+---------------------
+Every RAGE explanation reduces to evaluating *many* prompts against the
+same model, so backends may additionally implement::
+
+    generate_batch(prompts: Sequence[str]) -> List[GenerationResult]
+
+with these guarantees, which all callers rely on:
+
+* **Alignment** — exactly one result per input prompt, in input order.
+* **Equivalence** — ``generate_batch(ps)[i].answer`` equals
+  ``generate(ps[i]).answer`` for deterministic models.  Auxiliary
+  fields are best-effort: a backend may omit per-token attention in
+  batch mode when materializing it per prompt would negate the batching
+  win (answers, usage and diagnostics must still be populated).
+* **No partial failure** — a backend either answers every prompt or
+  raises; callers never receive a short list.
+
+``generate_batch`` is *optional*: :func:`batched_generate` is the
+single dispatch point that prefers a native batch implementation, falls
+back to an optional thread pool for backends that can overlap I/O
+(remote APIs), and otherwise degrades to a sequential loop.  Callers
+(e.g. :meth:`repro.core.evaluate.ContextEvaluator.evaluate_many`)
+should never probe for ``generate_batch`` themselves.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from ..attention.model import AttentionTrace
 
@@ -70,3 +96,40 @@ class LanguageModel(Protocol):
     def generate(self, prompt: str) -> GenerationResult:
         """Produce an answer for a fully-rendered prompt."""
         ...
+
+
+def batched_generate(
+    model: LanguageModel,
+    prompts: Sequence[str],
+    max_workers: Optional[int] = None,
+) -> List[GenerationResult]:
+    """Evaluate ``prompts`` against ``model``, batching when possible.
+
+    Dispatch order (see the module docstring for the full contract):
+
+    1. The model's own ``generate_batch`` — true batched inference
+       (vectorized simulation, padded transformer batches, cache
+       partitioning).
+    2. A thread pool of ``max_workers`` concurrent ``generate`` calls —
+       only useful for backends that release the GIL or wait on I/O
+       (remote APIs); pass ``None``/``1`` for compute-bound models.
+    3. A plain sequential loop.
+
+    Results are always aligned with ``prompts`` (one per prompt, input
+    order), whatever the dispatch path.
+    """
+    if not prompts:
+        return []
+    native = getattr(model, "generate_batch", None)
+    if callable(native):
+        results = list(native(prompts))
+        if len(results) != len(prompts):
+            raise RuntimeError(
+                f"{model.name}: generate_batch returned {len(results)} "
+                f"results for {len(prompts)} prompts"
+            )
+        return results
+    if max_workers is not None and max_workers > 1 and len(prompts) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(model.generate, prompts))
+    return [model.generate(prompt) for prompt in prompts]

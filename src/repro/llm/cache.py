@@ -4,22 +4,41 @@ A counterfactual search may evaluate hundreds of perturbations, and the
 insight analyses re-evaluate many of the same combinations; caching on
 the exact prompt string makes repeated evaluations free while keeping
 the wrapped model a pure prompt -> answer function.
+
+The wrapper is batch-aware: :meth:`CachingLLM.generate_batch` partitions
+a batch into hits and distinct misses, forwards *only the misses* to the
+wrapped model as one batch (via :func:`repro.llm.base.batched_generate`,
+so an inner model's native batching is preserved), and reassembles the
+results in prompt order.  :class:`CacheStats` counts both the per-prompt
+hit/miss totals and the batch-level traffic, so benchmarks can report
+how much batching actually reached the model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-from .base import GenerationResult, LanguageModel
+from ..errors import ConfigError
+from .base import GenerationResult, LanguageModel, batched_generate
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one :class:`CachingLLM` instance."""
+    """Hit/miss counters for one :class:`CachingLLM` instance.
+
+    ``hits``/``misses`` count individual prompts whichever entry point
+    served them; ``batches`` and ``batched_prompts`` additionally track
+    :meth:`CachingLLM.generate_batch` traffic, and ``batched_misses``
+    the prompts within those batches that actually reached the wrapped
+    model (after deduplication).
+    """
 
     hits: int = 0
     misses: int = 0
+    batches: int = 0
+    batched_prompts: int = 0
+    batched_misses: int = 0
 
     @property
     def calls(self) -> int:
@@ -41,9 +60,26 @@ class CachingLLM:
     caching a sampling model would freeze one sample per prompt.
     """
 
-    def __init__(self, model: LanguageModel, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        model: LanguageModel,
+        max_entries: Optional[int] = None,
+        batch_workers: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(
+                f"max_entries must be >= 1 (or None for unbounded), got {max_entries}"
+            )
+        if batch_workers is not None and batch_workers < 1:
+            raise ConfigError(
+                f"batch_workers must be >= 1 (or None), got {batch_workers}"
+            )
         self._model = model
         self._max_entries = max_entries
+        # Forwarded to batched_generate for the miss batch, so a
+        # non-batchable I/O-bound backend still gets its thread pool
+        # even behind the cache.
+        self.batch_workers = batch_workers
         self._cache: Dict[str, GenerationResult] = {}
         self.stats = CacheStats()
 
@@ -65,12 +101,63 @@ class CachingLLM:
             return cached
         self.stats.misses += 1
         result = self._model.generate(prompt)
-        if self._max_entries is not None and len(self._cache) >= self._max_entries:
-            # FIFO eviction: drop the oldest inserted entry.
+        self._store(prompt, result)
+        return result
+
+    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Serve hits from cache, delegate distinct misses as one batch.
+
+        Duplicate prompts within the batch reach the model once; the
+        repeats are served from the freshly-filled cache and counted as
+        hits, exactly as a second sequential call would be.
+        """
+        self.stats.batches += 1
+        self.stats.batched_prompts += len(prompts)
+        # Resolve eagerly: under a bounded cache the miss inserts below
+        # may evict entries this very batch still needs.
+        resolved: Dict[str, GenerationResult] = {}
+        misses: set = set()
+        miss_order: List[str] = []
+        for prompt in prompts:
+            if prompt in resolved or prompt in misses:
+                continue
+            cached = self._cache.get(prompt)
+            if cached is not None:
+                resolved[prompt] = cached
+            else:
+                misses.add(prompt)
+                miss_order.append(prompt)
+        if miss_order:
+            generated = batched_generate(
+                self._model, miss_order, max_workers=self.batch_workers
+            )
+            self.stats.batched_misses += len(miss_order)
+            for prompt, result in zip(miss_order, generated):
+                self._store(prompt, result)
+                resolved[prompt] = result
+        charged: set = set()
+        results: List[GenerationResult] = []
+        for prompt in prompts:
+            if prompt in misses and prompt not in charged:
+                charged.add(prompt)
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            results.append(resolved[prompt])
+        return results
+
+    def _store(self, prompt: str, result: GenerationResult) -> None:
+        if (
+            self._max_entries is not None
+            and len(self._cache) >= self._max_entries
+            and self._cache
+        ):
+            # FIFO eviction: drop the oldest inserted entry.  The
+            # emptiness guard keeps a cleared (or externally drained)
+            # cache from raising StopIteration on the next insert.
             oldest = next(iter(self._cache))
             del self._cache[oldest]
         self._cache[prompt] = result
-        return result
 
     def clear(self) -> None:
         """Empty the cache (stats are kept)."""

@@ -17,7 +17,7 @@ unscripted.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .base import GenerationResult, TokenUsage
 from .prompts import parse_prompt
@@ -76,6 +76,17 @@ class ScriptedLLM:
             ),
             diagnostics={"scripted": True},
         )
+
+    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Batch entry point; a plain per-prompt loop.
+
+        Script lookup has no shared work to amortize, so this matches
+        what the :func:`~repro.llm.base.batched_generate` fallback would
+        do.  It is kept explicit so replay scripts count calls the same
+        way on both paths and tests pin the contract on this class
+        directly.
+        """
+        return [self.generate(prompt) for prompt in prompts]
 
     def record(self, source_texts: Sequence[str], answer: str) -> None:
         """Add one (context -> answer) pair to the script."""

@@ -150,6 +150,7 @@ class SimulatedLLM:
             depth=self.config.prior_depth,
         )
         self._claim_cache: Dict[str, List[Claim]] = {}
+        self._weight_cache: Dict[int, List[float]] = {}
 
     @property
     def name(self) -> str:
@@ -162,17 +163,40 @@ class SimulatedLLM:
         """Answer the prompt (see module docstring for the rules)."""
         parsed = parse_prompt(prompt)
         question = parse_question(parsed.question, self._tokenizer)
+        return self._answer_one(prompt, parsed, question)
+
+    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Vectorized :meth:`generate` over many prompts.
+
+        Perturbation batches share almost everything: the question is
+        usually identical and the source texts are drawn from one small
+        context, so parsing the question once per distinct surface form
+        and extracting claims once per distinct source text (the claim
+        cache) amortizes the per-prompt work to the decision rules.
+        """
+        questions: Dict[str, ParsedQuestion] = {}
+        results: List[GenerationResult] = []
+        for prompt in prompts:
+            parsed = parse_prompt(prompt)
+            question = questions.get(parsed.question)
+            if question is None:
+                question = parse_question(parsed.question, self._tokenizer)
+                questions[parsed.question] = question
+            results.append(self._answer_one(prompt, parsed, question))
+        return results
+
+    def _answer_one(self, prompt: str, parsed, question: ParsedQuestion) -> GenerationResult:
+        """Shared result construction for both generation entry points."""
         trace = self._attention.trace(parsed.question, parsed.source_texts)
         answer, votes = self._decide(question, parsed.source_texts)
-        usage = TokenUsage(
-            prompt_tokens=len(prompt.split()),
-            completion_tokens=len(answer.split()),
-        )
         return GenerationResult(
             answer=answer,
             prompt=prompt,
             attention=trace,
-            usage=usage,
+            usage=TokenUsage(
+                prompt_tokens=len(prompt.split()),
+                completion_tokens=len(answer.split()),
+            ),
             diagnostics={"intent": question.intent.value, "votes": votes},
         )
 
@@ -293,7 +317,11 @@ class SimulatedLLM:
         return self.config.unknown_answer
 
     def _position_weights(self, k: int) -> List[float]:
-        return position_weights(self.config.prior, k, depth=self.config.prior_depth)
+        cached = self._weight_cache.get(k)
+        if cached is None:
+            cached = position_weights(self.config.prior, k, depth=self.config.prior_depth)
+            self._weight_cache[k] = cached
+        return cached
 
     def _claims(self, text: str) -> List[Claim]:
         cached = self._claim_cache.get(text)

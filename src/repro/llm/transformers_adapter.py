@@ -17,12 +17,37 @@ exact calls a real model would receive.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..attention.model import AttentionTrace, TokenAttention
 from ..errors import GenerationError
 from .base import GenerationResult, TokenUsage
 from .prompts import parse_prompt
+
+
+def _completion_count(answer_ids, pad_id) -> int:
+    """Generated tokens excluding batch padding.
+
+    HF right-pads generated rows that hit EOS before the batch's
+    longest row, so a raw ``len()`` would inflate short answers' usage
+    exactly when batching is on.
+    """
+    if pad_id is None:
+        return int(len(answer_ids))
+    try:
+        return sum(1 for token in answer_ids if int(token) != pad_id)
+    except (TypeError, ValueError):  # exotic tensor rows: best effort
+        return int(len(answer_ids))
+
+
+def _mask_sum(row) -> int:
+    """Sum an attention-mask row that may be a tensor or a plain list."""
+    total = getattr(row, "sum", None)
+    if callable(total):
+        value = total()
+        item = getattr(value, "item", None)
+        return int(item() if callable(item) else value)
+    return int(sum(row))
 
 
 class TransformersLLM:
@@ -36,6 +61,12 @@ class TransformersLLM:
         Generation cap (answers are short spans).
     device:
         Torch device string; ``None`` lets the library decide.
+    max_batch_rows:
+        Upper bound on rows per padded ``model.generate`` call.  A
+        shared evaluation plan can hand the whole perturbation set to
+        ``generate_batch`` at once (hundreds to tens of thousands of
+        prompts); without a cap that is a single enormous padded tensor
+        and an instant OOM.  Batches are chunked transparently.
     loader:
         Injection point for tests: a callable returning
         ``(tokenizer, model)``.  Defaults to loading through
@@ -47,11 +78,17 @@ class TransformersLLM:
         model_name: str = "meta-llama/Llama-2-7b-chat-hf",
         max_new_tokens: int = 32,
         device: Optional[str] = None,
+        max_batch_rows: int = 32,
         loader=None,
     ) -> None:
+        if max_batch_rows < 1:
+            raise GenerationError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
         self.model_name = model_name
         self.max_new_tokens = max_new_tokens
         self.device = device
+        self.max_batch_rows = max_batch_rows
         if loader is None:
             loader = self._default_loader
         try:
@@ -112,6 +149,79 @@ class TransformersLLM:
             ),
             diagnostics={"model": self.model_name},
         )
+
+    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """True batched inference: one padded ``model.generate`` call.
+
+        All prompts are tokenized together with left padding (decoder-
+        only models generate from the rightmost position, so padding
+        must sit on the left) and decoded row by row.  Per the batching
+        contract in :mod:`repro.llm.base`, attention traces are omitted
+        in batch mode — materializing full per-token attention for every
+        row would negate the batching win; use :meth:`generate` where a
+        trace is required.
+        """
+        if not prompts:
+            return []
+        for prompt in prompts:
+            parse_prompt(prompt)  # validate the prompt contract up front
+        if len(prompts) > self.max_batch_rows:
+            results: List[GenerationResult] = []
+            for start in range(0, len(prompts), self.max_batch_rows):
+                results.extend(
+                    self.generate_batch(prompts[start : start + self.max_batch_rows])
+                )
+            return results
+        pad_restore = getattr(self._tokenizer, "padding_side", None)
+        if pad_restore is not None:
+            self._tokenizer.padding_side = "left"
+        if getattr(self._tokenizer, "pad_token", None) is None and hasattr(
+            self._tokenizer, "eos_token"
+        ):
+            self._tokenizer.pad_token = self._tokenizer.eos_token
+        try:
+            encoded = self._tokenizer(list(prompts), return_tensors="pt", padding=True)
+        except TypeError:
+            # Tokenizer cannot pad a batch (minimal fakes, exotic
+            # backends): keep the contract with sequential calls.
+            return [self.generate(prompt) for prompt in prompts]
+        finally:
+            if pad_restore is not None:
+                self._tokenizer.padding_side = pad_restore
+        if self.device is not None and hasattr(encoded, "to"):
+            encoded = encoded.to(self.device)
+        output = self._model.generate(
+            **encoded,
+            max_new_tokens=self.max_new_tokens,
+            do_sample=False,
+            return_dict_in_generate=True,
+        )
+        prompt_length = encoded["input_ids"].shape[-1]
+        attention_mask = encoded.get("attention_mask")
+        results: List[GenerationResult] = []
+        pad_id = getattr(self._tokenizer, "pad_token_id", None)
+        for row, prompt in enumerate(prompts):
+            answer_ids = output.sequences[row][prompt_length:]
+            answer = self._tokenizer.decode(
+                answer_ids, skip_special_tokens=True
+            ).strip()
+            if attention_mask is not None:
+                real_tokens = int(_mask_sum(attention_mask[row]))
+            else:
+                real_tokens = int(prompt_length)
+            results.append(
+                GenerationResult(
+                    answer=answer,
+                    prompt=prompt,
+                    attention=None,
+                    usage=TokenUsage(
+                        prompt_tokens=real_tokens,
+                        completion_tokens=_completion_count(answer_ids, pad_id),
+                    ),
+                    diagnostics={"model": self.model_name, "batched": True},
+                )
+            )
+        return results
 
     def _attention_trace(self, parsed, prompt: str, output) -> Optional[AttentionTrace]:
         """Fold HF attention tensors into the library's trace structure.

@@ -105,3 +105,37 @@ def test_inversion_vector():
     assert inversion_vector([0, 1, 2]) == [0, 0, 0]
     assert inversion_vector([2, 1, 0]) == [0, 1, 2]
     assert sum(inversion_vector([1, 0, 2])) == 1
+
+
+def test_sample_permutations_exclude_rejects_during_draw():
+    items = ("a", "b", "c")
+    for seed in range(20):
+        picks = sample_permutations(
+            items, 2, random.Random(seed), exclude=[items]
+        )
+        assert len(picks) == 2
+        assert items not in picks
+
+
+def test_sample_permutations_exclude_caps_population():
+    items = ("a", "b", "c")
+    picks = sample_permutations(items, 50, random.Random(0), exclude=[items])
+    assert len(picks) == math.factorial(3) - 1
+    assert items not in picks
+
+
+def test_sample_permutations_exclude_all_raises():
+    """Regression guard: distinct=False with a fully excluded population
+    must raise instead of rejection-sampling forever."""
+    with pytest.raises(ConfigError):
+        sample_permutations(
+            ("a",), 1, random.Random(0), distinct=False, exclude=[("a",)]
+        )
+
+
+def test_sample_permutations_exclude_ignores_non_permutations():
+    items = ("a", "b")
+    picks = sample_permutations(
+        items, 2, random.Random(0), exclude=[("z", "q"), ("a",)]
+    )
+    assert sorted(picks) == [("a", "b"), ("b", "a")]

@@ -129,3 +129,104 @@ def test_string_direction_accepted(big_three_engine, big_three_context):
     evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
     scores = big_three_engine.relevance_scores(big_three_context)
     assert _search(evaluator, scores, direction="top_down").found
+
+
+def _scripted_world(k=4, answer_fn=None):
+    from repro.core.context import Context
+    from repro.llm import ScriptedLLM
+    from repro.retrieval import Document
+
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q?", docs)
+    llm = ScriptedLLM(answer_fn=answer_fn or (lambda q, texts: "stable"))
+    return context, llm
+
+
+def test_budget_counts_real_llm_calls_not_memo_hits():
+    """Regression: memoized re-evaluations were charged against the
+    budget, so a warm shared evaluator could exhaust max_evaluations
+    without a single real LLM call."""
+    # flips only when exactly d3 is removed (kept = d0,d1,d2)
+    def answers(q, texts):
+        return "flipped" if texts == ("text 0", "text 1", "text 2") else "base"
+
+    context, llm = _scripted_world(answer_fn=answers)
+    evaluator = ContextEvaluator(llm, context)
+    scores = {f"d{i}": float(4 - i) for i in range(4)}  # d3 tried last
+    # warm the memo with every size-1 removal (an insight pass would)
+    for i in range(4):
+        evaluator.evaluate(tuple(f"d{j}" for j in range(4) if j != i))
+    evaluator.original()
+    calls = evaluator.llm_calls
+    result = _search(evaluator, scores, max_evaluations=1)
+    assert result.found  # pre-fix: budget exhausted before reaching d3
+    assert not result.budget_exhausted
+    assert result.counterfactual.changed_sources == ("d3",)
+    assert result.num_evaluations == 0  # everything came from the memo
+    assert evaluator.llm_calls == calls
+
+
+def test_budget_still_bounds_fresh_evaluations():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    result = _search(evaluator, {}, max_evaluations=5)
+    assert result.budget_exhausted
+    assert result.num_evaluations == 5
+
+
+def test_bottom_up_renders_retained_sets_in_context_order():
+    """Retained-set prompts must preserve the context order even when
+    the relevance ranking (which orders the *candidates*) is the exact
+    reverse — otherwise combination and permutation effects conflate."""
+    seen = []
+
+    def answers(q, texts):
+        seen.append(texts)
+        return "base"
+
+    context, llm = _scripted_world(answer_fn=answers)
+    evaluator = ContextEvaluator(llm, context)
+    reversed_scores = {f"d{i}": float(i) for i in range(4)}  # d3 most relevant
+    _search(evaluator, reversed_scores, direction=SearchDirection.BOTTOM_UP)
+    texts_in_context_order = [f"text {i}" for i in range(4)]
+    for texts in seen:
+        positions = [texts_in_context_order.index(t) for t in texts]
+        assert positions == sorted(positions)
+
+
+def test_bottom_up_context_order_with_explicitly_unordered_candidates():
+    """Even a relevance-ordered candidate tuple renders in context order."""
+    from repro.core.context import CombinationPerturbation
+
+    context, llm = _scripted_world()
+    # the defensive normalization in the search itself
+    subset = ("d2", "d0")
+    ordered = tuple(sorted(subset, key=context.position_of))
+    perturbation = CombinationPerturbation(kept=ordered)
+    assert perturbation.apply(context) == ("d0", "d2")
+
+
+def test_batched_search_matches_serial_result():
+    def answers(q, texts):
+        return "flipped" if len(texts) == 2 else "base"
+
+    context, llm = _scripted_world(answer_fn=answers)
+    scores = {f"d{i}": float(i) for i in range(4)}
+    serial = _search(
+        ContextEvaluator(llm, context), scores, direction="top_down", batch_size=1
+    )
+    batched = _search(
+        ContextEvaluator(llm, context), scores, direction="top_down", batch_size=8
+    )
+    assert serial.found and batched.found
+    assert (
+        serial.counterfactual.changed_sources
+        == batched.counterfactual.changed_sources
+    )
+    assert serial.counterfactual.new_answer == batched.counterfactual.new_answer
+
+
+def test_invalid_batch_size(big_three_engine, big_three_context):
+    evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
+    with pytest.raises(SearchBudgetError):
+        _search(evaluator, {}, batch_size=0)

@@ -12,6 +12,10 @@ def test_config_validation():
         RageConfig(k=0)
     with pytest.raises(ConfigError):
         RageConfig(max_evaluations=0)
+    with pytest.raises(ConfigError):
+        RageConfig(batch_workers=0)
+    with pytest.raises(ConfigError):
+        RageConfig(search_batch_size=0)
 
 
 def test_from_corpus_builds_index(big_three):
@@ -122,6 +126,49 @@ def test_explain_large_context_uses_lazy_permutation_search(
     assert report.permutation_counterfactual.budget_exhausted
     assert report.permutation_insights is not None  # sampled path is fine
     assert report.answer == "5"
+
+
+def test_explain_reports_stability_and_llm_calls(big_three_engine, big_three):
+    report = big_three_engine.explain(big_three.query)
+    assert report.stability is not None
+    assert report.stability.num_permutations == 24  # all 4! orders
+    assert report.llm_calls > 0
+
+
+def test_explain_shares_one_evaluator_memo(big_three, big_three_engine):
+    """The whole report re-uses one memo: the combination insight set
+    plus both baselines covers every combination search candidate, so
+    the searches report zero fresh evaluations."""
+    report = big_three_engine.explain(big_three.query)
+    assert report.top_down.found
+    assert report.top_down.num_evaluations == 0
+    assert report.bottom_up.found
+    assert report.bottom_up.num_evaluations == 0
+
+
+def test_sub_explanations_accept_shared_evaluator(big_three, big_three_engine):
+    context = big_three_engine.retrieve(big_three.query)
+    evaluator = big_three_engine._evaluator(context)
+    big_three_engine.combination_insights(
+        big_three.query, context=context, evaluator=evaluator
+    )
+    calls_after_insights = evaluator.llm_calls
+    result = big_three_engine.combination_counterfactual(
+        big_three.query, context=context, evaluator=evaluator
+    )
+    assert result.found
+    assert evaluator.llm_calls == calls_after_insights  # pure memo hits
+
+
+def test_search_batch_size_configurable(big_three):
+    rage = Rage.from_corpus(
+        big_three.corpus,
+        SimulatedLLM(knowledge=big_three.knowledge),
+        config=RageConfig(k=4, search_batch_size=8),
+    )
+    top_down = rage.combination_counterfactual(big_three.query)
+    assert top_down.found
+    assert top_down.counterfactual.changed_sources == ("bigthree-1-match-wins",)
 
 
 def test_cache_effect_across_calls(big_three, big_three_engine):

@@ -1,6 +1,16 @@
-"""ContextEvaluator tests (memoization, call counting)."""
+"""ContextEvaluator tests (memoization, call counting, batching)."""
 
 from repro.core import ContextEvaluator
+from repro.core.context import Context
+from repro.llm import ScriptedLLM
+from repro.retrieval import Document
+
+
+def _scripted_world(k=3):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q?", docs)
+    llm = ScriptedLLM(answer_fn=lambda q, texts: f"{len(texts)} sources")
+    return context, llm
 
 
 def test_original_and_empty(big_three_engine, big_three_context):
@@ -51,3 +61,59 @@ def test_generation_returns_attention(big_three_engine, big_three_context):
     result = evaluator.generation(big_three_context.doc_ids())
     assert result.attention is not None
     assert len(result.attention.source_totals) == big_three_context.k
+
+
+def test_evaluate_many_deduplicates_and_aligns():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    orderings = [("d0",), ("d0", "d1"), ("d0",), (), ("d0", "d1")]
+    evaluations = evaluator.evaluate_many(orderings)
+    assert [e.ordered_doc_ids for e in evaluations] == [
+        ("d0",), ("d0", "d1"), ("d0",), (), ("d0", "d1"),
+    ]
+    assert [e.answer for e in evaluations] == [
+        "1 sources", "2 sources", "1 sources", "0 sources", "2 sources",
+    ]
+    # three distinct orderings -> three real calls, duplicates free
+    assert evaluator.llm_calls == 3
+    assert llm.calls == 3
+
+
+def test_evaluate_many_consults_and_fills_memo():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    evaluator.evaluate(("d0",))
+    evaluator.evaluate_many([("d0",), ("d1",)])
+    assert evaluator.llm_calls == 2  # only ("d1",) was a miss
+    calls = evaluator.llm_calls
+    # single-path evaluation now hits the batch-filled memo
+    assert evaluator.evaluate(("d1",)).answer == "1 sources"
+    assert evaluator.llm_calls == calls
+
+
+def test_is_memoized_and_memo_size():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    assert not evaluator.is_memoized(("d0",))
+    evaluator.evaluate(("d0",))
+    assert evaluator.is_memoized(("d0",))
+    assert evaluator.is_memoized(["d0"])  # any sequence form
+    assert evaluator.memo_size == 1
+
+
+def test_prime_seeds_memo_from_external_generation():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    generation = evaluator.generation(context.doc_ids())  # fresh, 1 call
+    evaluator.prime(context.doc_ids(), generation)
+    calls = evaluator.llm_calls
+    evaluation = evaluator.original()
+    assert evaluator.llm_calls == calls  # memo hit, no new call
+    assert evaluation.answer == generation.answer
+
+
+def test_evaluate_many_empty_is_free():
+    context, llm = _scripted_world()
+    evaluator = ContextEvaluator(llm, context)
+    assert evaluator.evaluate_many([]) == []
+    assert evaluator.llm_calls == 0

@@ -147,3 +147,46 @@ def test_invalid_budget(big_three_engine, big_three_context):
     evaluator = ContextEvaluator(big_three_engine.llm, big_three_context)
     with pytest.raises(SearchBudgetError):
         search_permutation_counterfactual(evaluator, max_evaluations=0)
+    with pytest.raises(SearchBudgetError):
+        search_permutation_counterfactual(evaluator, batch_size=0)
+
+
+def test_budget_counts_real_llm_calls_not_memo_hits():
+    """Regression: a warm evaluator (e.g. after permutation insights)
+    used to burn the whole budget on memoized orders."""
+    from repro.llm import ScriptedLLM
+
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(4)]
+    context = Context.from_documents("q?", docs)
+    # flips only when the first two sources swap — an adjacent
+    # transposition tried *after* the (0-indexed) last-pair swap within
+    # the max-tau tie, i.e. beyond a budget of 1
+    llm = ScriptedLLM(
+        answer_fn=lambda q, texts: "flip"
+        if texts == ("text 1", "text 0", "text 2", "text 3")
+        else "base"
+    )
+    evaluator = ContextEvaluator(llm, context)
+    # warm the memo with every permutation (an insight analysis would)
+    from itertools import permutations as iter_permutations
+
+    evaluator.evaluate_many(list(iter_permutations(context.doc_ids())))
+    calls = evaluator.llm_calls
+    result = search_permutation_counterfactual(evaluator, max_evaluations=1)
+    assert result.found  # pre-fix: exhausted on memoized candidates
+    assert not result.budget_exhausted
+    assert result.num_evaluations == 0
+    assert evaluator.llm_calls == calls
+
+
+def test_batched_search_matches_serial_result(us_open_engine, us_open):
+    context = us_open_engine.retrieve(us_open.query)
+    serial = search_permutation_counterfactual(
+        ContextEvaluator(us_open_engine.llm, context), batch_size=1
+    )
+    batched = search_permutation_counterfactual(
+        ContextEvaluator(us_open_engine.llm, context), batch_size=16
+    )
+    assert serial.found and batched.found
+    assert serial.counterfactual.tau == pytest.approx(batched.counterfactual.tau)
+    assert serial.counterfactual.new_answer == batched.counterfactual.new_answer

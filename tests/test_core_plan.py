@@ -1,0 +1,160 @@
+"""EvaluationPlan tests + shared-evaluator explain() guarantees."""
+
+from collections import Counter
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.core import ContextEvaluator, EvaluationPlan
+from repro.core.context import (
+    CombinationPerturbation,
+    Context,
+    PermutationPerturbation,
+)
+from repro.core.sampling import select_combinations
+from repro.datasets import load_use_case
+from repro.llm import ScriptedLLM
+from repro.retrieval import Document
+
+
+def _world(k=3):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q?", docs)
+    llm = ScriptedLLM(answer_fn=lambda q, texts: f"{len(texts)} sources")
+    return context, llm
+
+
+class RecordingLLM:
+    """Counts how often each prompt reaches the model, whatever the path."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.prompts = Counter()
+
+    @property
+    def name(self):
+        return f"recording({self.inner.name})"
+
+    def generate(self, prompt):
+        self.prompts[prompt] += 1
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        for prompt in prompts:
+            self.prompts[prompt] += 1
+        return self.inner.generate_batch(prompts)
+
+
+def test_plan_deduplicates_and_batches():
+    context, llm = _world()
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator)
+    plan.add([("d0",), ("d0", "d1"), ("d0",)])  # one duplicate
+    assert plan.pending == 2
+    stats = plan.execute()
+    assert stats.requested == 3
+    assert stats.dispatched == 2
+    assert stats.saved == 1
+    assert evaluator.llm_calls == 2
+
+
+def test_plan_skips_memoized_orderings():
+    context, llm = _world()
+    evaluator = ContextEvaluator(llm, context)
+    evaluator.evaluate(("d0",))
+    plan = EvaluationPlan(evaluator)
+    plan.add([("d0",), ("d1",)])
+    assert plan.pending == 1
+    stats = plan.execute()
+    assert stats.dispatched == 1
+
+
+def test_plan_add_perturbations_and_baselines():
+    context, llm = _world()
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator)
+    plan.add_baselines()
+    plan.add_perturbations(
+        [
+            CombinationPerturbation(kept=("d0",)),
+            PermutationPerturbation(order=("d1", "d0", "d2")),
+        ]
+    )
+    stats = plan.execute()
+    assert stats.dispatched == 4  # full, empty, one combo, one perm
+    assert evaluator.is_memoized(context.doc_ids())
+    assert evaluator.is_memoized(())
+    assert evaluator.is_memoized(("d1", "d0", "d2"))
+
+
+def test_plan_execute_resets_for_reuse():
+    context, llm = _world()
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator)
+    plan.add([("d0",)])
+    plan.execute()
+    stats = plan.execute()  # nothing pending
+    assert stats.requested == 0
+    assert stats.dispatched == 0
+    plan.add([("d0",), ("d1",)])  # first is now memoized
+    stats = plan.execute()
+    assert stats.requested == 2
+    assert stats.dispatched == 1
+
+
+def test_plan_covers_insight_selection():
+    context, llm = _world(4)
+    evaluator = ContextEvaluator(llm, context)
+    perturbations = select_combinations(context)
+    EvaluationPlan(evaluator).add_perturbations(perturbations).execute()
+    assert evaluator.memo_size == len(perturbations)
+
+
+def _recording_engine(case, **kwargs):
+    defaults = dict(k=case.k, cache=False)
+    defaults.update(kwargs)
+    llm = RecordingLLM(SimulatedLLM(knowledge=case.knowledge))
+    return Rage.from_corpus(case.corpus, llm, config=RageConfig(**defaults)), llm
+
+
+def test_explain_shared_evaluator_issues_no_duplicate_llm_calls():
+    """The acceptance guarantee: one report, every prompt at most once."""
+    case = load_use_case("big_three")
+    rage, llm = _recording_engine(case)
+    report = rage.explain(case.query)
+    duplicates = {p: n for p, n in llm.prompts.items() if n > 1}
+    assert duplicates == {}
+    assert report.llm_calls == sum(llm.prompts.values())
+
+
+def test_explain_strictly_fewer_llm_calls_than_serial_flow():
+    """Shared memo beats per-sub-explanation evaluators on the same work."""
+    case = load_use_case("big_three")
+    rage, llm = _recording_engine(case)
+    rage.explain(case.query)
+    batched_calls = sum(llm.prompts.values())
+
+    serial_rage, serial_llm = _recording_engine(case)
+    context = serial_rage.retrieve(case.query)
+    serial_rage.ask(case.query, context=context)
+    serial_rage.combination_insights(case.query, context=context)
+    serial_rage.permutation_insights(case.query, context=context)
+    serial_rage.combination_counterfactual(
+        case.query, context=context, direction="top_down"
+    )
+    serial_rage.combination_counterfactual(
+        case.query, context=context, direction="bottom_up"
+    )
+    serial_rage.permutation_counterfactual(case.query, context=context)
+    serial_rage.order_stability(case.query, context=context)
+    serial_calls = sum(serial_llm.prompts.values())
+
+    assert batched_calls < serial_calls
+
+
+def test_explain_report_carries_stability_and_call_count():
+    case = load_use_case("big_three")
+    rage, _ = _recording_engine(case)
+    report = rage.explain(case.query)
+    assert report.stability is not None
+    assert report.stability.num_permutations > 0
+    assert 0.0 <= report.stability.stable_fraction <= 1.0
+    assert report.llm_calls > 0

@@ -83,3 +83,33 @@ def test_select_permutations_exhaustive_cap():
 def test_select_permutations_invalid_sample():
     with pytest.raises(ConfigError):
         select_permutations(_context(3), sample_size=-1)
+
+
+def test_sampled_exclude_identity_meets_requested_size_for_every_seed():
+    """Regression: filtering the identity *after* sampling silently
+    returned sample_size - 1 permutations whenever the identity was
+    drawn.  With k=3 and sample_size=2 many seeds used to under-fill."""
+    context = _context(3)
+    for seed in range(40):
+        perturbations = select_permutations(
+            context, sample_size=2, seed=seed, include_identity=False
+        )
+        assert len(perturbations) == 2, f"seed {seed} under-sampled"
+        assert all(not p.is_identity(context) for p in perturbations)
+
+
+def test_sampled_exclude_identity_caps_at_population():
+    context = _context(3)
+    perturbations = select_permutations(
+        context, sample_size=50, seed=0, include_identity=False
+    )
+    assert len(perturbations) == 6 - 1  # 3! minus the identity
+    assert len({p.order for p in perturbations}) == 5
+
+
+def test_sampled_exclude_identity_distinct_and_deterministic():
+    context = _context(4)
+    a = select_permutations(context, sample_size=10, seed=3, include_identity=False)
+    b = select_permutations(context, sample_size=10, seed=3, include_identity=False)
+    assert [p.order for p in a] == [p.order for p in b]
+    assert len({p.order for p in a}) == 10

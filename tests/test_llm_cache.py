@@ -1,5 +1,8 @@
 """Caching LLM wrapper tests."""
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.llm import CachingLLM, GenerationResult, PromptBuilder, SimulatedLLM
 
 
@@ -72,6 +75,108 @@ def test_stats_empty():
     cached = CachingLLM(CountingModel())
     assert cached.stats.calls == 0
     assert cached.stats.hit_rate == 0.0
+
+
+def test_invalid_max_entries_rejected():
+    """Regression: max_entries=0 used to crash the first eviction with
+    StopIteration (next(iter({})) on an empty cache) instead of failing
+    fast at construction."""
+    with pytest.raises(ConfigError):
+        CachingLLM(CountingModel(), max_entries=0)
+    with pytest.raises(ConfigError):
+        CachingLLM(CountingModel(), max_entries=-3)
+
+
+def test_eviction_survives_clear_between_inserts():
+    """An externally emptied cache must not break the eviction path."""
+    inner = CountingModel()
+    cached = CachingLLM(inner, max_entries=1)
+    cached.generate("a")
+    cached.clear()
+    cached.generate("b")  # cache is empty but at the size boundary
+    assert len(cached) == 1
+    cached.generate("c")  # normal eviction of "b"
+    assert len(cached) == 1
+
+
+def test_generate_batch_partitions_hits_and_misses():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    cached.generate("a")
+    results = cached.generate_batch(["a", "b", "c", "b"])
+    assert [r.prompt for r in results] == ["a", "b", "c", "b"]
+    # only the two distinct misses reached the model
+    assert inner.calls == 3  # "a" earlier + "b", "c" now
+    assert cached.stats.batches == 1
+    assert cached.stats.batched_prompts == 4
+    assert cached.stats.batched_misses == 2
+    # "a" hit, "b" miss, "c" miss, duplicate "b" served from cache = hit
+    assert cached.stats.hits == 2
+    assert cached.stats.misses == 3  # 1 sequential + 2 batched
+
+
+def test_generate_batch_second_pass_all_hits():
+    inner = CountingModel()
+    cached = CachingLLM(inner)
+    cached.generate_batch(["a", "b"])
+    calls = inner.calls
+    results = cached.generate_batch(["a", "b"])
+    assert inner.calls == calls
+    assert [r.prompt for r in results] == ["a", "b"]
+
+
+def test_generate_batch_bounded_cache_still_aligned():
+    """Eviction during a batch larger than the cache must not lose
+    results for the batch itself."""
+    inner = CountingModel()
+    cached = CachingLLM(inner, max_entries=2)
+    results = cached.generate_batch(["a", "b", "c", "d", "a"])
+    assert [r.prompt for r in results] == ["a", "b", "c", "d", "a"]
+    assert len(cached) == 2  # only the two newest entries survive
+
+
+def test_generate_batch_uses_inner_native_batch():
+    class BatchingModel(CountingModel):
+        def __init__(self):
+            super().__init__()
+            self.batch_calls = 0
+
+        def generate_batch(self, prompts):
+            self.batch_calls += 1
+            self.calls += len(prompts)
+            return [
+                GenerationResult(answer="from-batch", prompt=p) for p in prompts
+            ]
+
+    inner = BatchingModel()
+    cached = CachingLLM(inner)
+    cached.generate_batch(["x", "y", "z"])
+    assert inner.batch_calls == 1
+
+
+def test_generate_batch_forwards_thread_pool_to_non_batch_backend():
+    """Regression: the cache used to swallow batch_workers, so a
+    non-batchable backend behind the (default) cache never saw the
+    thread pool."""
+    import threading
+
+    class ThreadTrackingModel(CountingModel):
+        def __init__(self):
+            super().__init__()
+            self.threads = set()
+
+        def generate(self, prompt):
+            self.threads.add(threading.get_ident())
+            return super().generate(prompt)
+
+    inner = ThreadTrackingModel()
+    cached = CachingLLM(inner, batch_workers=3)
+    results = cached.generate_batch([f"prompt-{i}" for i in range(6)])
+    assert len(results) == 6
+    assert inner.calls == 6
+    assert len(inner.threads) >= 1  # pool ran (thread reuse is scheduler's call)
+    with pytest.raises(ConfigError):
+        CachingLLM(CountingModel(), batch_workers=0)
 
 
 def test_cache_wraps_simulated_llm_transparently():

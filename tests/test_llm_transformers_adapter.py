@@ -186,3 +186,132 @@ def test_invalid_prompt_rejected():
     adapter, _ = _adapter()
     with pytest.raises(Exception):
         adapter.generate("not a RAGE prompt at all")
+
+
+# -- batched inference ----------------------------------------------------
+
+
+class _Fake2DTensor:
+    """Batch of token rows: shape only (the adapter reads nothing else)."""
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    @property
+    def shape(self):
+        return (len(self.rows), len(self.rows[0]) if self.rows else 0)
+
+
+class _FakeBatchTokenizer:
+    """Whitespace tokenizer that supports left-padded batch encoding."""
+
+    pad_token = None
+    eos_token = "</s>"
+    padding_side = "right"
+
+    def __call__(self, text, return_tensors=None, padding=False,
+                 return_offsets_mapping=False):
+        if isinstance(text, list):
+            assert padding, "batch encoding requires padding"
+            assert self.padding_side == "left"
+            token_rows = [[hash(w) % 1000 for w in t.split()] for t in text]
+            width = max(len(row) for row in token_rows)
+            padded = [[0] * (width - len(row)) + row for row in token_rows]
+            mask = [[0] * (width - len(row)) + [1] * len(row) for row in token_rows]
+            return _FakeEncoding(
+                {"input_ids": _Fake2DTensor(padded), "attention_mask": mask}
+            )
+        tokens = [hash(w) % 1000 for w in text.split()]
+        return _FakeEncoding({"input_ids": _FakeTensor(tokens)})
+
+    def decode(self, ids, skip_special_tokens=True):
+        return f"answer-{ids[0] - 100}"
+
+
+class _FakeBatchModel:
+    def __init__(self):
+        self.batch_calls = 0
+        self.batch_kwargs = None
+
+    def generate(self, input_ids=None, attention_mask=None, **kwargs):
+        self.batch_calls += 1
+        self.batch_kwargs = kwargs
+        return _FakeOutput(
+            sequences=[
+                list(row) + [100 + index]
+                for index, row in enumerate(input_ids.rows)
+            ],
+            attentions=None,
+        )
+
+
+def test_generate_batch_true_batched_inference():
+    tokenizer = _FakeBatchTokenizer()
+    model = _FakeBatchModel()
+    adapter = TransformersLLM(
+        model_name="fake/batch", loader=lambda name, device: (tokenizer, model)
+    )
+    prompts = [
+        BUILDER.build("q?", ["alpha"]),
+        BUILDER.build("q?", ["beta gamma delta epsilon"]),
+        BUILDER.build("q?", ["zeta eta"]),
+    ]
+    results = adapter.generate_batch(prompts)
+    assert model.batch_calls == 1  # one padded call for the whole batch
+    assert [r.answer for r in results] == ["answer-0", "answer-1", "answer-2"]
+    assert [r.prompt for r in results] == prompts
+    # batch mode omits attention per the contract, but keeps usage honest
+    assert all(r.attention is None for r in results)
+    assert [r.usage.prompt_tokens for r in results] == [
+        len(p.split()) for p in prompts
+    ]
+    assert all(r.diagnostics.get("batched") for r in results)
+    assert model.batch_kwargs["do_sample"] is False
+    # the pad token was filled from eos and padding_side restored
+    assert tokenizer.pad_token == "</s>"
+    assert tokenizer.padding_side == "right"
+
+
+def test_generate_batch_chunks_oversized_batches():
+    """A plan-sized batch must split into bounded model.generate calls
+    instead of one giant padded tensor."""
+    tokenizer = _FakeBatchTokenizer()
+    model = _FakeBatchModel()
+    adapter = TransformersLLM(
+        model_name="fake/batch",
+        max_batch_rows=4,
+        loader=lambda name, device: (tokenizer, model),
+    )
+    prompts = [BUILDER.build("q?", [f"text {i}"]) for i in range(10)]
+    results = adapter.generate_batch(prompts)
+    assert model.batch_calls == 3  # 4 + 4 + 2
+    assert [r.prompt for r in results] == prompts
+
+
+def test_invalid_max_batch_rows():
+    with pytest.raises(GenerationError):
+        TransformersLLM(
+            model_name="fake/batch",
+            max_batch_rows=0,
+            loader=lambda name, device: (_FakeBatchTokenizer(), _FakeBatchModel()),
+        )
+
+
+def test_generate_batch_empty():
+    tokenizer = _FakeBatchTokenizer()
+    adapter = TransformersLLM(
+        model_name="fake/batch",
+        loader=lambda name, device: (tokenizer, _FakeBatchModel()),
+    )
+    assert adapter.generate_batch([]) == []
+
+
+def test_generate_batch_falls_back_when_tokenizer_cannot_pad():
+    """Backends with no padding support keep the alignment contract via
+    sequential generation."""
+    adapter, _ = _adapter(answer="Sequential Answer")
+    prompts = [BUILDER.build("q?", ["one"]), BUILDER.build("q?", ["two"])]
+    results = adapter.generate_batch(prompts)
+    assert len(results) == 2
+    assert [r.prompt for r in results] == prompts
+    assert all(r.answer == "Sequential Answer" for r in results)
