@@ -1,0 +1,204 @@
+"""E15 — Answer-implication lattice pruning vs. the batched baseline.
+
+The paper's contribution #2 promises "inference pruning strategies to
+reduce the space of possible counterfactual explanations".  PR 1's
+:class:`~repro.core.plan.EvaluationPlan` (benchmark E14) pre-batches
+every enumerable perturbation but still pays one real LLM call per
+distinct combination.  This benchmark measures what the
+:class:`~repro.core.lattice.AnswerLattice` saves on top of that
+baseline, and — the part that makes the savings trustworthy — asserts
+answer-for-answer **exactness**: the pruned report's answers,
+combination groups, rules, and counterfactual sources must be bitwise
+identical to the unpruned run's.
+
+Worlds: seeded :func:`~repro.datasets.synthetic.make_timeline_world`
+counting scenarios (Use Case 3 analogues) across k ∈ {6..10} — counting
+is monotone over the subset lattice, the regime where sandwich
+implication is provably sound — plus the big_three use case and
+position-weighted superlative worlds as the control group, where the
+lattice's order-stability gate must keep the pruned run identical
+(usually by refusing to imply anything).
+
+Run directly (``pytest benchmarks/bench_e15_lattice_pruning.py -s``) to
+see the per-k savings table; set ``BENCH_E15_OUT`` to also write the
+results as JSON (uploaded as a CI artifact for BENCH trajectory
+tracking).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.datasets import load_use_case
+from repro.datasets.synthetic import make_superlative_world, make_timeline_world
+
+K_RANGE = (6, 7, 8, 9, 10)
+WORLD_SEED = 1
+#: Shared explain() shape: every combination enumerated, permutation
+#: insight and stability sets sampled, counterfactual budget bounded so
+#: the (flipless) permutation search costs both modes the same.
+EXPLAIN_KWARGS = dict(permutation_sample=40, stability_sample=40)
+MAX_EVALUATIONS = 48
+
+
+class CountingLLM:
+    """Counts every prompt that reaches the wrapped model."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.batches = 0
+
+    @property
+    def name(self):
+        return f"counting({self.inner.name})"
+
+    def generate(self, prompt):
+        self.calls += 1
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        self.calls += len(prompts)
+        self.batches += 1
+        return self.inner.generate_batch(prompts)
+
+
+def _explain(world, k, plan_pruning, **overrides):
+    llm = CountingLLM(SimulatedLLM(knowledge=world.knowledge))
+    config = dict(
+        k=k,
+        cache=False,
+        max_evaluations=MAX_EVALUATIONS,
+        plan_pruning=plan_pruning,
+    )
+    config.update(overrides)
+    rage = Rage.from_corpus(world.corpus, llm, config=RageConfig(**config))
+    report = rage.explain(world.query, **EXPLAIN_KWARGS)
+    return report, llm
+
+
+def _groups_signature(insights):
+    return {
+        key: sorted(combo.kept for combo in combos)
+        for key, combos in insights.groups.items()
+    }
+
+
+def _counterfactual_signature(result):
+    cf = result.counterfactual
+    if cf is None:
+        found = None
+    elif hasattr(cf, "changed_sources"):  # combination counterfactual
+        found = (cf.changed_sources, cf.new_answer, cf.size)
+    else:  # permutation counterfactual
+        found = (cf.perturbation.order, cf.new_answer, cf.tau)
+    return (result.found, found, result.baseline_answer)
+
+
+def _assert_exact(pruned, plain):
+    """Answer-for-answer exactness between pruned and unpruned reports."""
+    assert pruned.answer == plain.answer
+    assert _groups_signature(pruned.combination_insights) == _groups_signature(
+        plain.combination_insights
+    )
+    assert (
+        pruned.combination_insights.display_answers
+        == plain.combination_insights.display_answers
+    )
+    assert pruned.combination_insights.rules == plain.combination_insights.rules
+    assert _counterfactual_signature(pruned.top_down) == _counterfactual_signature(
+        plain.top_down
+    )
+    assert _counterfactual_signature(pruned.bottom_up) == _counterfactual_signature(
+        plain.bottom_up
+    )
+    assert _counterfactual_signature(
+        pruned.permutation_counterfactual
+    ) == _counterfactual_signature(plain.permutation_counterfactual)
+
+
+def _run_k(k):
+    world = make_timeline_world(k, seed=WORLD_SEED)
+    pruned_report, pruned_llm = _explain(world, k, plan_pruning=True)
+    plain_report, plain_llm = _explain(world, k, plan_pruning=False)
+    _assert_exact(pruned_report, plain_report)
+    assert pruned_llm.calls <= plain_llm.calls
+    assert pruned_report.llm_calls == pruned_llm.calls
+    saved = 1.0 - pruned_llm.calls / plain_llm.calls
+    return {
+        "k": k,
+        "baseline_calls": plain_llm.calls,
+        "pruned_calls": pruned_llm.calls,
+        "saved_fraction": round(saved, 4),
+        "implied": pruned_report.implied,
+        "pruned": pruned_report.pruned,
+        "dispatched": pruned_report.plan_stats.dispatched,
+        "requested": pruned_report.plan_stats.requested,
+    }
+
+
+def test_e15_lattice_pruning_savings_and_exactness():
+    """Headline: ≥ 25% fewer real LLM calls at every k ≥ 7, with
+    bitwise-identical answers, groups, rules and counterfactuals."""
+    rows = [_run_k(k) for k in K_RANGE]
+    print(f"\nE15 LLM calls, pruned vs batched baseline (timeline worlds):")
+    print(f"  {'k':>2} {'baseline':>9} {'pruned':>7} {'saved':>7} {'implied':>8}")
+    for row in rows:
+        print(
+            f"  {row['k']:>2} {row['baseline_calls']:>9} {row['pruned_calls']:>7} "
+            f"{row['saved_fraction'] * 100:>6.1f}% {row['implied']:>8}"
+        )
+    for row in rows:
+        assert row["pruned_calls"] < row["baseline_calls"], row
+        if row["k"] >= 7:
+            assert row["saved_fraction"] >= 0.25, row
+    out_path = os.environ.get("BENCH_E15_OUT")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump({"bench": "e15_lattice_pruning", "rows": rows}, handle, indent=2)
+
+
+def test_e15_superlative_gate_keeps_reports_exact():
+    """Control group: position-weighted worlds must stay identical —
+    the order-stability gate (plus probes/rollback) bars unsound
+    implication, and pruning never costs extra calls."""
+    for seed in (0, 1, 2, 3):
+        world = make_superlative_world(6, seed=seed)
+        pruned_report, pruned_llm = _explain(
+            world, 6, plan_pruning=True, max_evaluations=400
+        )
+        plain_report, plain_llm = _explain(
+            world, 6, plan_pruning=False, max_evaluations=400
+        )
+        _assert_exact(pruned_report, plain_report)
+        assert pruned_llm.calls <= plain_llm.calls
+
+
+def test_e15_big_three_report_unchanged():
+    """The flagship use case (k=4) sits below the pruning floor: the
+    pruned flow must be call-for-call identical to the baseline."""
+    case = load_use_case("big_three")
+    pruned_report, pruned_llm = _explain(
+        case, case.k, plan_pruning=True, max_evaluations=2000
+    )
+    plain_report, plain_llm = _explain(
+        case, case.k, plan_pruning=False, max_evaluations=2000
+    )
+    _assert_exact(pruned_report, plain_report)
+    assert pruned_llm.calls == plain_llm.calls
+    assert pruned_report.pruned == 0
+
+
+@pytest.mark.parametrize("plan_pruning", (True, False), ids=("pruned", "baseline"))
+def test_e15_wallclock(benchmark, plan_pruning):
+    """Wall-clock of the full k=8 report, pruned vs baseline."""
+    world = make_timeline_world(8, seed=WORLD_SEED)
+
+    def run():
+        report, _ = _explain(world, 8, plan_pruning=plan_pruning)
+        return report
+
+    report = benchmark(run)
+    assert report.combination_insights.total == 2 ** 8 - 1

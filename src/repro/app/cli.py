@@ -60,6 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="thread-pool width for batched evaluation on backends "
             "without native batching (I/O-bound models only)",
         )
+        p.add_argument(
+            "--no-prune",
+            action="store_true",
+            help="disable answer-implication plan pruning (evaluate every "
+            "perturbation with a real LLM call)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -130,6 +136,8 @@ def _session(args: argparse.Namespace) -> RageSession:
         overrides["k"] = args.k
     if getattr(args, "workers", None) is not None:
         overrides["batch_workers"] = args.workers
+    if getattr(args, "no_prune", False):
+        overrides["plan_pruning"] = False
     config: Optional[RageConfig] = RageConfig(**overrides)
     session = RageSession.for_use_case(case, config=config)
     if args.query:
@@ -274,6 +282,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             from ..llm.cache import CachingLLM
 
             print(f"\nEvaluation stats: {report.llm_calls} LLM calls")
+            if report.plan_stats is not None:
+                stats = report.plan_stats
+                print(
+                    f"Plan: {stats.requested} requested, "
+                    f"{stats.dispatched} dispatched, "
+                    f"{stats.implied} implied, {stats.pruned} pruned"
+                )
             llm = session.rage.llm
             if isinstance(llm, CachingLLM):
                 stats = llm.stats

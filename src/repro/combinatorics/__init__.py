@@ -4,9 +4,11 @@ Hungarian algorithm, and k-best assignments (Chegireddy–Hamacher, Murty).
 
 from .combinations import (
     all_combinations,
+    combination_mask,
     combinations_of_size,
     complement,
     count_combinations,
+    mask_combination,
     ordered_combinations,
     sample_combinations,
 )
@@ -49,9 +51,11 @@ from .permutations import (
 
 __all__ = [
     "all_combinations",
+    "combination_mask",
     "combinations_of_size",
     "complement",
     "count_combinations",
+    "mask_combination",
     "ordered_combinations",
     "sample_combinations",
     "FORBIDDEN",

@@ -16,6 +16,32 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..errors import ConfigError
 
 
+def combination_mask(items: Sequence[str], combination: Iterable[str]) -> int:
+    """Bitmask of ``combination`` over the ``items`` universe.
+
+    Bit ``i`` is set when ``items[i]`` is a member.  The mask is the
+    canonical subset encoding shared by :func:`sample_combinations` and
+    :class:`repro.core.lattice.AnswerLattice`; unknown members raise
+    :class:`ConfigError`.
+    """
+    positions = {item: index for index, item in enumerate(items)}
+    mask = 0
+    for member in combination:
+        index = positions.get(member)
+        if index is None:
+            raise ConfigError(f"{member!r} is not in the item universe")
+        mask |= 1 << index
+    return mask
+
+
+def mask_combination(items: Sequence[str], mask: int) -> Tuple[str, ...]:
+    """Members of ``mask`` in ``items`` order (inverse of
+    :func:`combination_mask`)."""
+    if mask < 0 or mask >> len(items):
+        raise ConfigError(f"mask {mask:#x} out of range for {len(items)} items")
+    return tuple(item for index, item in enumerate(items) if mask >> index & 1)
+
+
 def combinations_of_size(items: Sequence[str], size: int) -> Iterator[Tuple[str, ...]]:
     """All size-``size`` combinations in lexicographic index order."""
     if size < 0 or size > len(items):
@@ -103,6 +129,12 @@ def sample_combinations(
     if sample_size <= 0:
         raise ConfigError(f"sample_size must be positive, got {sample_size}")
     k = len(items)
+    if k == 0:
+        # Degenerate universe: the only combination is the empty one —
+        # which is also the full one, so both flags must admit it.
+        # Guarded explicitly because ``rng.getrandbits(0)`` raises
+        # ValueError on Python < 3.11.
+        return [()] if include_empty and include_full else []
     population = count_combinations(k, include_empty, include_full)
     if sample_size >= population:
         return list(all_combinations(items, include_empty, include_full))
@@ -117,7 +149,7 @@ def sample_combinations(
         if mask in seen:
             continue
         seen.add(mask)
-        picks.append(tuple(items[i] for i in range(k) if mask >> i & 1))
+        picks.append(mask_combination(items, mask))
     return picks
 
 

@@ -1,5 +1,17 @@
 """RAGE core: contexts, perturbations, counterfactual searches,
-insights, optimal permutations, and the engine facade.
+insights, optimal permutations, answer-implication pruning, and the
+engine facade.
+
+:mod:`~repro.core.lattice` holds the answer-implication subsystem: a
+bitmask-indexed :class:`AnswerLattice` that records every evaluated
+combination and implies answers for unevaluated ones via monotone
+sandwich bounds between confirmed rule intervals.  The staged
+:class:`EvaluationPlan` prunes implied combinations from its batches,
+and the counterfactual searches skip candidates whose implied answer
+cannot flip (verifying implied flips with one real call).  Implication
+self-gates on observed order stability and rolls back on conflicts, so
+position-sensitive (non-monotone) models keep their exact unpruned
+behavior.
 """
 
 from .agreement import (
@@ -33,7 +45,9 @@ from .insights import (
     PermutationRule,
     analyze_combinations,
     analyze_permutations,
+    derive_combination_rules,
 )
+from .lattice import AnswerLattice, LatticeEntry, LatticeStats
 from .optimal import (
     OptimalPermutation,
     benefit_matrix,
@@ -94,6 +108,10 @@ __all__ = [
     "PermutationRule",
     "analyze_combinations",
     "analyze_permutations",
+    "derive_combination_rules",
+    "AnswerLattice",
+    "LatticeEntry",
+    "LatticeStats",
     "OptimalPermutation",
     "benefit_matrix",
     "naive_optimal_permutations",

@@ -23,6 +23,7 @@ from ..errors import SearchBudgetError
 from ..textproc import normalize_answer
 from .context import CombinationPerturbation, Context
 from .evaluate import ContextEvaluator, scan_candidates
+from .lattice import AnswerLattice
 
 
 class SearchDirection(str, Enum):
@@ -80,6 +81,8 @@ def search_combination_counterfactual(
     max_evaluations: int = 1000,
     keep_trail: bool = False,
     batch_size: int = 1,
+    lattice: Optional[AnswerLattice] = None,
+    adaptive: bool = False,
 ) -> CombinationSearchResult:
     """Find a minimal combination counterfactual.
 
@@ -111,6 +114,18 @@ def search_combination_counterfactual(
         batched-backend throughput.  The reported ``num_evaluations``
         always counts every real call, including chunk members after
         the flip.
+    lattice:
+        Optional :class:`~repro.core.lattice.AnswerLattice`.  When its
+        implication gate is open, candidates whose implied answer
+        cannot flip are skipped without an LLM call and an implied flip
+        is confirmed by one real evaluation (verify-on-hit) before it
+        can be returned — a found counterfactual is always backed by a
+        genuine answer.  Trail entries only cover evaluated candidates;
+        implied skips never appear in it.
+    adaptive:
+        Grow the evaluation chunk geometrically while no flip (or
+        implied flip) appears and reset it on a near-hit; see
+        :func:`repro.core.evaluate.scan_candidates`.
     """
     if max_evaluations <= 0:
         raise SearchBudgetError(f"max_evaluations must be positive, got {max_evaluations}")
@@ -186,7 +201,29 @@ def search_combination_counterfactual(
         )
 
     result.counterfactual, result.num_evaluations, result.budget_exhausted = (
-        scan_candidates(evaluator, stream(), match, max_evaluations, batch_size)
+        scan_candidates(
+            evaluator,
+            stream(),
+            match,
+            max_evaluations,
+            batch_size,
+            lattice=lattice,
+            flips=lambda normalized: _flips(normalized, baseline, target_norm),
+            # Near-hit (adaptive chunk reset): an answer change that
+            # missed the target.  Only meaningful top-down — bottom-up
+            # candidates differ from the *empty-context* baseline almost
+            # by definition, which would pin the chunk at its floor.
+            near=(
+                (
+                    lambda evaluation: evaluation.normalized_answer
+                    != baseline.normalized_answer
+                    and evaluation.normalized_answer != target_norm
+                )
+                if target_norm is not None and direction is SearchDirection.TOP_DOWN
+                else None
+            ),
+            adaptive=adaptive,
+        )
     )
     return result
 

@@ -47,8 +47,9 @@ from .insights import (
     analyze_permutations,
 )
 from .optimal import OptimalPermutation, optimal_permutations
+from .lattice import AnswerLattice
 from .permutation_cf import PermutationSearchResult, search_permutation_counterfactual
-from .plan import EvaluationPlan
+from .plan import EvaluationPlan, PlanStats
 from .sampling import select_combinations, select_permutations
 from .scoring import RelevanceMethod, make_scorer
 from .stability import OrderStability, order_stability as compute_order_stability
@@ -87,6 +88,26 @@ class RageConfig:
         counterfactual searches.  1 (default) is the paper's strictly
         serial search; larger values trade a few evaluations past the
         flip for batched-backend throughput.
+    plan_pruning:
+        Let ``explain()`` attach an
+        :class:`~repro.core.lattice.AnswerLattice` to its evaluation
+        plan: combination answers that are implied by already-evaluated
+        combinations (monotone sandwich bounds between confirmed
+        answer-rule intervals) are pruned from the batch instead of
+        paying an LLM call, and the counterfactual searches skip
+        candidates whose implied answer cannot flip (implied flips are
+        verified by one real evaluation).  Implication self-gates on
+        observed order stability and rolls back on any conflict, so
+        position-sensitive contexts degrade to the unpruned plan;
+        ``rage report --no-prune`` and ``plan_pruning=False`` disable
+        it outright.
+    adaptive_search_batching:
+        Grow the counterfactual searches' evaluation chunk
+        geometrically (from ``search_batch_size``, reset on near-hits)
+        while no flip appears — fewer, larger batches for real
+        transformer backends.  Off by default: the paper's search is
+        strictly sequential and adaptive chunks may charge a few extra
+        evaluations past the flip.
     """
 
     k: int = 10
@@ -99,6 +120,8 @@ class RageConfig:
     cache: bool = True
     batch_workers: Optional[int] = None
     search_batch_size: int = 1
+    plan_pruning: bool = True
+    adaptive_search_batching: bool = False
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -123,7 +146,14 @@ class AskResult:
 
 @dataclass
 class RageReport:
-    """One-call bundle of every explanation for a question."""
+    """One-call bundle of every explanation for a question.
+
+    ``plan_stats`` carries the evaluation plan's flush accounting when
+    ``explain()`` pre-batched the report; ``implied`` and ``pruned``
+    surface the answer-implication savings (lattice-implied answers
+    consumed, and LLM calls avoided net of verification probes) — both
+    zero when plan pruning is disabled or self-gated off.
+    """
 
     query: str
     answer: str
@@ -136,6 +166,9 @@ class RageReport:
     optimal: List[OptimalPermutation] = field(default_factory=list)
     stability: Optional[OrderStability] = None
     llm_calls: int = 0
+    plan_stats: Optional[PlanStats] = None
+    implied: int = 0
+    pruned: int = 0
 
 
 class Rage:
@@ -344,6 +377,7 @@ class Rage:
         optimal_s: int = 3,
         wide_permutation_budget: int = 200,
         stability_sample: int = 50,
+        permutation_sample: Optional[int] = None,
     ) -> RageReport:
         """Everything at once (powers the CLI report command).
 
@@ -358,6 +392,22 @@ class Rage:
         plan never saw reach the LLM.  ``report.llm_calls`` records the
         shared evaluator's total real LLM calls.
 
+        With ``config.plan_pruning`` (the default) an
+        :class:`~repro.core.lattice.AnswerLattice` rides along: the
+        plan executes *staged* (seed round, rule-interval confirmation,
+        implication rounds with probes), combination answers implied by
+        monotone sandwich bounds never reach the LLM, and the
+        counterfactual searches skip candidates whose implied answer
+        cannot flip (verifying implied flips with one real call).
+        ``report.implied``/``report.pruned`` count the savings;
+        implication self-disables on order-sensitive contexts so
+        position-biased models keep their exact unpruned behavior.
+
+        ``permutation_sample`` overrides ``sample_size`` for the
+        permutation insight set only (benchmarks enumerate every
+        combination while sampling the k! orderings); ``None`` keeps
+        the shared ``sample_size`` semantics.
+
         Contexts wider than the exhaustive permutation cap run the lazy
         decreasing-tau counterfactual search under
         ``wide_permutation_budget`` LLM calls instead of skipping.
@@ -366,28 +416,39 @@ class Rage:
         evaluator = self._evaluator(context)
         answered = self.ask(query, context=context, evaluator=evaluator)
         sample = sample_size if sample_size is not None else self.config.sample_size
+        perm_sample = permutation_sample if permutation_sample is not None else sample
 
         combination_set = select_combinations(
             context, sample_size=sample, seed=self.config.seed, include_empty=False
         )
         permutation_set = None
-        if context.k <= 8 or sample is not None:
+        if context.k <= 8 or perm_sample is not None:
             permutation_set = select_permutations(
-                context, sample_size=sample, seed=self.config.seed
+                context, sample_size=perm_sample, seed=self.config.seed
             )
         stability_set = select_permutations(
             context, sample_size=stability_sample, seed=self.config.seed
         )
 
-        plan = EvaluationPlan(evaluator)
+        # Score once and share: with attention-based relevance each
+        # scores() call is a fresh full-context generation outside the
+        # shared evaluator, so per-search recomputation would both
+        # duplicate prompts and escape report.llm_calls.  The staged
+        # plan also wants the scores, to order its seed round.
+        scores = self.relevance_scores(context)
+
+        lattice = AnswerLattice(context) if self.config.plan_pruning else None
+        plan = EvaluationPlan(evaluator, lattice=lattice)
         plan.add_baselines()
         plan.add_perturbations(combination_set)
         if permutation_set is not None:
             plan.add_perturbations(permutation_set)
         plan.add_perturbations(stability_set)
-        plan.execute()
+        plan_stats = plan.execute(relevance_scores=scores)
 
-        combination = analyze_combinations(evaluator, combination_set)
+        combination = analyze_combinations(
+            evaluator, combination_set, lattice=lattice
+        )
         permutation: Optional[PermutationInsights] = None
         if permutation_set is not None:
             permutation = analyze_permutations(evaluator, permutation_set)
@@ -395,18 +456,14 @@ class Rage:
             permutation_budget = self.config.max_evaluations
         else:
             permutation_budget = min(wide_permutation_budget, self.config.max_evaluations)
-        permutation_cf = self.permutation_counterfactual(
-            query,
-            context=context,
+        permutation_cf = search_permutation_counterfactual(
+            evaluator,
             max_evaluations=permutation_budget,
-            evaluator=evaluator,
+            batch_size=self.config.search_batch_size,
+            lattice=lattice,
+            adaptive=self.config.adaptive_search_batching,
         )
-        # Score once and share: with attention-based relevance each
-        # scores() call is a fresh full-context generation outside the
-        # shared evaluator, so per-search recomputation would both
-        # duplicate prompts and escape report.llm_calls.
-        scores = self.relevance_scores(context)
-        return RageReport(
+        report = RageReport(
             query=query,
             answer=answered.answer,
             context=context,
@@ -418,6 +475,8 @@ class Rage:
                 direction=SearchDirection.TOP_DOWN,
                 max_evaluations=self.config.max_evaluations,
                 batch_size=self.config.search_batch_size,
+                lattice=lattice,
+                adaptive=self.config.adaptive_search_batching,
             ),
             bottom_up=search_combination_counterfactual(
                 evaluator,
@@ -425,6 +484,8 @@ class Rage:
                 direction=SearchDirection.BOTTOM_UP,
                 max_evaluations=self.config.max_evaluations,
                 batch_size=self.config.search_batch_size,
+                lattice=lattice,
+                adaptive=self.config.adaptive_search_batching,
             ),
             permutation_counterfactual=permutation_cf,
             optimal=optimal_permutations(
@@ -436,7 +497,12 @@ class Rage:
             ),
             stability=compute_order_stability(evaluator, stability_set),
             llm_calls=evaluator.llm_calls,
+            plan_stats=plan_stats,
         )
+        if lattice is not None:
+            report.implied = lattice.stats.implied
+            report.pruned = plan_stats.pruned
+        return report
 
     # -- internals ---------------------------------------------------------
 

@@ -174,12 +174,21 @@ class ContextEvaluator:
         return self.evaluate(())
 
 
+#: Ceiling for the adaptive chunk policy (see :func:`scan_candidates`).
+MAX_ADAPTIVE_BATCH = 64
+
+
 def scan_candidates(
     evaluator: ContextEvaluator,
     candidates: Iterable[Tuple[Tuple[str, ...], Any]],
     match: Callable[[Any, Evaluation], Optional[Any]],
     max_evaluations: int,
     batch_size: int = 1,
+    *,
+    lattice: Optional["AnswerLattice"] = None,
+    flips: Optional[Callable[[str], bool]] = None,
+    near: Optional[Callable[[Evaluation], bool]] = None,
+    adaptive: bool = False,
 ) -> Tuple[Optional[Any], int, bool]:
     """Budgeted, batched, in-order scan over evaluation candidates.
 
@@ -198,6 +207,24 @@ def scan_candidates(
     exact sequential stopping).  With larger chunks, members evaluated
     after an in-chunk hit are still charged.
 
+    Lattice pruning: with an active
+    :class:`~repro.core.lattice.AnswerLattice` and a ``flips``
+    predicate over normalized answers, un-memoized combination
+    candidates whose known (implied) answer cannot flip are skipped for
+    free, and an *implied flip* is never trusted — the candidate is
+    evaluated for real (verify-on-hit), so a found counterfactual is
+    always backed by a genuine LLM answer and stays exactly minimal
+    wherever implication is sound.  Full-context candidates additionally
+    feed the lattice's order-stability evidence.
+
+    Adaptive chunking (``adaptive=True``): the chunk grows
+    geometrically from ``batch_size`` up to :data:`MAX_ADAPTIVE_BATCH`
+    while flushes stay cold, and resets to ``batch_size`` on a
+    *near-hit* — a failed implied-flip verification, or any evaluation
+    the optional ``near`` predicate flags (e.g. an answer change that
+    missed the target) — so batched backends see few large batches far
+    from the flip and precise small ones close to it.
+
     Returns ``(hit, real_llm_calls, budget_exhausted)`` where
     ``budget_exhausted`` is only set when a fresh candidate was left
     unevaluated and nothing pending matched.
@@ -211,21 +238,52 @@ def scan_candidates(
     pending_fresh = 0
     hit: Optional[Any] = None
     budget_exhausted = False
+    chunk_size = batch_size
+    verifying: set = set()
 
     def flush() -> Optional[Any]:
-        nonlocal pending, pending_fresh
+        nonlocal pending, pending_fresh, chunk_size
         batch, pending, pending_fresh = pending, [], 0
         if not batch:
             return None
         evaluations = evaluator.evaluate_many([ordering for ordering, _ in batch])
-        for (_, payload), evaluation in zip(batch, evaluations):
-            found = match(payload, evaluation)
-            if found is not None:
-                return found
-        return None
+        near_hit = False
+        found: Optional[Any] = None
+        for (ordering, payload), evaluation in zip(batch, evaluations):
+            if lattice is not None:
+                lattice.record(ordering, evaluation.answer, evaluation.normalized_answer)
+                if ordering in verifying:
+                    if flips is not None and flips(evaluation.normalized_answer):
+                        lattice.stats.verified += 1
+                    else:
+                        near_hit = True  # implication promised a flip; it lied
+            if found is None:
+                found = match(payload, evaluation)
+            if near is not None and near(evaluation):
+                near_hit = True
+        if adaptive:
+            chunk_size = (
+                batch_size
+                if near_hit
+                else min(max(chunk_size * 2, batch_size), MAX_ADAPTIVE_BATCH)
+            )
+        return found
 
     for ordering, payload in candidates:
         fresh = not evaluator.is_memoized(ordering)
+        verify_now = False
+        if fresh and lattice is not None and flips is not None:
+            mask = lattice.mask_for(ordering)
+            entry = lattice.lookup(mask) if mask is not None else None
+            if entry is not None:
+                if not flips(entry.normalized_answer):
+                    # Implied (or lattice-recorded) answer cannot flip:
+                    # skip without spending budget.
+                    lattice.stats.skipped_candidates += 1
+                    continue
+                if entry.inferred:
+                    verifying.add(tuple(ordering))  # verify-on-hit
+                    verify_now = True
         if fresh and spent() + pending_fresh >= max_evaluations:
             hit = flush()
             if hit is None:
@@ -235,8 +293,15 @@ def scan_candidates(
         if fresh:
             pending_fresh += 1
         # Flush when the chunk is full — or for free when everything
-        # pending is memoized, preserving exact sequential stopping.
-        if pending_fresh >= batch_size or (not fresh and pending_fresh == 0):
+        # pending is memoized, preserving exact sequential stopping —
+        # or immediately on an implied flip, so verify-on-hit costs the
+        # one real call it promises instead of waiting out a grown
+        # adaptive chunk.
+        if (
+            pending_fresh >= chunk_size
+            or (not fresh and pending_fresh == 0)
+            or verify_now
+        ):
             hit = flush()
             if hit is not None:
                 break

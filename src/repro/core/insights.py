@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .context import CombinationPerturbation, Context, PermutationPerturbation
 from .evaluate import ContextEvaluator
+from .lattice import AnswerLattice
 
 
 @dataclass(frozen=True)
@@ -166,46 +167,106 @@ class PermutationInsights:
         return len(self.groups) <= 1
 
 
-def analyze_combinations(
-    evaluator: ContextEvaluator,
-    perturbations: Sequence[CombinationPerturbation],
-) -> CombinationInsights:
-    """Evaluate the combinations and build distribution + rules."""
-    groups: Dict[str, List[CombinationPerturbation]] = {}
-    display: Dict[str, str] = {}
-    before = evaluator.llm_calls
-    evaluations = evaluator.evaluate_many(
-        [perturbation.apply(evaluator.context) for perturbation in perturbations]
-    )
-    for perturbation, evaluation in zip(perturbations, evaluations):
-        key = evaluation.normalized_answer
-        groups.setdefault(key, []).append(perturbation)
-        display.setdefault(key, evaluation.answer)
-    rules: List[CombinationRule] = []
-    context_ids = evaluator.context.doc_ids()
-    for key, combos in groups.items():
-        required = set(combos[0].kept)
+def derive_combination_rules(
+    context_ids: Sequence[str],
+    groups: Dict[str, Sequence[Tuple[str, ...]]],
+    display_answers: Dict[str, str],
+) -> List[CombinationRule]:
+    """Presence/absence rules from kept-sets grouped by answer.
+
+    Shared by :func:`analyze_combinations` and the staged
+    :meth:`~repro.core.plan.EvaluationPlan.execute` pruning (which
+    derives rules from the seed round to pick implication intervals).
+
+    Per-group unions are precomputed once, so the absence rule costs
+    O(groups · combos) rather than re-unioning every other group per
+    group (O(groups² · combos)): a source absent from this group's
+    union is "kept elsewhere" exactly when it appears in the union of
+    *all* groups.
+    """
+    unions: Dict[str, set] = {}
+    union_all: set = set()
+    required_by_key: Dict[str, set] = {}
+    for key, kept_sets in groups.items():
         union: set = set()
-        for combo in combos:
-            required &= set(combo.kept)
-            union |= set(combo.kept)
+        required = set(kept_sets[0]) if kept_sets else set()
+        for kept in kept_sets:
+            members = set(kept)
+            required &= members
+            union |= members
+        unions[key] = union
+        required_by_key[key] = required
+        union_all |= union
+    rules: List[CombinationRule] = []
+    for key in groups:
+        required = required_by_key[key]
         # Absence rule: never kept for this answer, but kept somewhere
         # else in the analysis (otherwise absence carries no signal).
-        kept_elsewhere: set = set()
-        for other_key, other_combos in groups.items():
-            if other_key == key:
-                continue
-            for combo in other_combos:
-                kept_elsewhere |= set(combo.kept)
-        excluded = (set(context_ids) - union) & kept_elsewhere
+        excluded = (set(context_ids) - unions[key]) & union_all
         if required or excluded:
             rules.append(
                 CombinationRule(
-                    answer=display[key],
+                    answer=display_answers[key],
                     required_sources=tuple(d for d in context_ids if d in required),
                     excluded_sources=tuple(d for d in context_ids if d in excluded),
                 )
             )
+    return rules
+
+
+def analyze_combinations(
+    evaluator: ContextEvaluator,
+    perturbations: Sequence[CombinationPerturbation],
+    lattice: Optional[AnswerLattice] = None,
+) -> CombinationInsights:
+    """Evaluate the combinations and build distribution + rules.
+
+    When an :class:`~repro.core.lattice.AnswerLattice` is supplied (the
+    pruned ``explain()`` path), combinations whose answers the lattice
+    already knows — evaluated earlier, or *implied* by the staged plan —
+    are grouped without touching the LLM, and fresh evaluations are
+    recorded back so later searches can reuse them.
+    ``num_evaluations`` keeps counting real LLM calls only.
+    """
+    groups: Dict[str, List[CombinationPerturbation]] = {}
+    display: Dict[str, str] = {}
+    before = evaluator.llm_calls
+    orderings = [
+        perturbation.apply(evaluator.context) for perturbation in perturbations
+    ]
+    answers: List[Optional[Tuple[str, str]]] = [None] * len(orderings)
+    misses: List[int] = []
+    if lattice is not None:
+        for index, ordering in enumerate(orderings):
+            if evaluator.is_memoized(ordering):
+                misses.append(index)  # free memo hit; resolve via evaluator
+                continue
+            mask = lattice.mask_for(ordering)
+            entry = lattice.lookup(mask) if mask is not None else None
+            if entry is not None:
+                answers[index] = (entry.answer, entry.normalized_answer)
+            else:
+                misses.append(index)
+    else:
+        misses = list(range(len(orderings)))
+    if misses:
+        evaluations = evaluator.evaluate_many([orderings[i] for i in misses])
+        for index, evaluation in zip(misses, evaluations):
+            answers[index] = (evaluation.answer, evaluation.normalized_answer)
+            if lattice is not None:
+                lattice.record(
+                    orderings[index], evaluation.answer, evaluation.normalized_answer
+                )
+    for perturbation, resolved in zip(perturbations, answers):
+        assert resolved is not None
+        answer, key = resolved
+        groups.setdefault(key, []).append(perturbation)
+        display.setdefault(key, answer)
+    rules = derive_combination_rules(
+        evaluator.context.doc_ids(),
+        {key: [combo.kept for combo in combos] for key, combos in groups.items()},
+        display,
+    )
     return CombinationInsights(
         query=evaluator.context.query,
         groups=groups,

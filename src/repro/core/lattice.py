@@ -1,0 +1,411 @@
+"""Answer-implication lattice: infer perturbation answers without the LLM.
+
+The paper's contribution #2 is "inference pruning strategies to reduce
+the space of possible counterfactual explanations".  PR 1's
+:class:`~repro.core.plan.EvaluationPlan` made every enumerable
+perturbation *cheap to batch*, but still paid one real LLM call per
+distinct combination — the full ``2^k`` even when already-evaluated
+combinations logically determine most remaining answers.
+
+This module closes that gap with an :class:`AnswerLattice`: a
+bitmask-indexed record of every *evaluated* combination of one context
+(subsets encoded with the helpers shared with
+:func:`repro.combinatorics.combinations.sample_combinations`) that can
+*imply* answers for unevaluated combinations via monotone sandwich
+bounds:
+
+    A candidate kept-set ``S`` takes answer ``x`` when evaluated
+    kept-sets ``A ⊆ S ⊆ B`` both answered ``x`` and no evaluated
+    kept-set inside the interval ``[A, B]`` answered anything else.
+
+Confirmed :class:`~repro.core.insights.CombinationRule` intervals
+(required sources present, excluded sources absent) are the same
+mechanism from the other direction: evaluating a rule interval's bottom
+(``kept = required``) and top (``kept = context − excluded``) plants
+exactly the sandwich witnesses that unlock every combination between
+them.
+
+Soundness
+---------
+Sandwich implication is *exact* whenever the model's answer is a
+monotone function of the evidence set — order-insensitive aggregation
+such as the paper's counting questions (Use Case 3), where adding a
+source can only add evidence.  Position-weighted voting (superlative
+questions under a V-shaped attention prior) is **not** monotone: the
+same sources reweighted by a different subset size can flip the vote.
+The lattice therefore guards itself instead of trusting the caller:
+
+* **Order-stability gate** — implication stays disabled until at least
+  :data:`MIN_ORDER_EVIDENCE` distinct full-context orderings have been
+  observed to produce one single answer.  Position-sensitive contexts
+  (whose sampled permutations disagree) never activate implication.
+* **Empty-set exclusion** — the empty combination answers from
+  parametric knowledge, not from context evidence, so it is never used
+  as a sandwich witness (it is the one provably non-monotone point even
+  for counting models).
+* **Interval contradiction check** — a witness pair is rejected when
+  any evaluated combination inside its interval produced a different
+  answer, and ambiguous candidates (witness pairs for two different
+  answers) are never implied.
+* **Conflict tracking** — a real evaluation that contradicts a
+  committed implication increments ``stats.conflicts``, permanently
+  disables further implication for the context, and lets the caller
+  (:meth:`EvaluationPlan.execute's <repro.core.plan.EvaluationPlan>`
+  probe round) roll every uncommitted implication back.
+
+Callers that know their model is monotone (or are running a benchmark
+against one) can pass ``assume_order_insensitive=True`` to skip the
+stability gate; the contradiction machinery stays active regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..combinatorics.combinations import mask_combination
+from ..errors import ConfigError
+from .context import Context
+
+#: Distinct full-context orderings that must agree before the
+#: order-stability gate opens (identity included).
+MIN_ORDER_EVIDENCE = 2
+
+
+@dataclass(frozen=True)
+class LatticeEntry:
+    """One known (evaluated or implied) combination answer."""
+
+    mask: int
+    answer: str
+    normalized_answer: str
+    inferred: bool
+
+    @property
+    def size(self) -> int:
+        """Number of kept sources."""
+        return bin(self.mask).count("1")
+
+
+@dataclass
+class LatticeStats:
+    """Implication accounting for reports and benchmarks.
+
+    Attributes
+    ----------
+    recorded:
+        Real evaluations recorded.
+    implied:
+        Implications committed (answers produced without an LLM call).
+    verified:
+        Implied flips confirmed by a real evaluation (verify-on-hit).
+    conflicts:
+        Real evaluations that contradicted a committed implication.
+    skipped_candidates:
+        Search candidates skipped because their implied answer could
+        not flip the baseline.
+    """
+
+    recorded: int = 0
+    implied: int = 0
+    verified: int = 0
+    conflicts: int = 0
+    skipped_candidates: int = 0
+
+
+class AnswerLattice:
+    """Bitmask-indexed answers over one context's combination lattice.
+
+    The lattice only understands *combination-like* orderings: ordered
+    doc-id sequences that keep a subset of the context in context order
+    (exactly what :class:`~repro.core.context.CombinationPerturbation`
+    renders).  Permutations hash to the same kept-set but answer
+    differently, so :meth:`mask_for` refuses them and full-context
+    orderings instead feed the order-stability gate via
+    :meth:`observe_order`.
+    """
+
+    def __init__(
+        self, context: Context, assume_order_insensitive: bool = False
+    ) -> None:
+        self.context = context
+        self.doc_ids: Tuple[str, ...] = context.doc_ids()
+        self.k = len(self.doc_ids)
+        self.full_mask = (1 << self.k) - 1
+        self.assume_order_insensitive = assume_order_insensitive
+        self.stats = LatticeStats()
+        self._positions: Dict[str, int] = {
+            doc_id: index for index, doc_id in enumerate(self.doc_ids)
+        }
+        self._recorded: Dict[int, LatticeEntry] = {}
+        self._inferred: Dict[int, LatticeEntry] = {}
+        self._by_answer: Dict[str, List[int]] = {}
+        self._order_answers: set = set()
+        self._orders_observed: set = set()
+        self._coherent = True
+        self._check_consistency = False
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, kept: Sequence[str]) -> int:
+        """Bitmask for a kept-set (membership-checked)."""
+        mask = 0
+        for doc_id in kept:
+            position = self._positions.get(doc_id)
+            if position is None:
+                raise ConfigError(f"{doc_id!r} is not in the context")
+            mask |= 1 << position
+        return mask
+
+    def decode(self, mask: int) -> Tuple[str, ...]:
+        """Kept doc ids for a mask, in context order."""
+        return mask_combination(self.doc_ids, mask)
+
+    def mask_for(self, ordering: Sequence[str]) -> Optional[int]:
+        """Mask of an ordering, or ``None`` when it is not a
+        combination (out-of-context ids, duplicates, or sources not in
+        context-relative order)."""
+        mask = 0
+        last = -1
+        for doc_id in ordering:
+            position = self._positions.get(doc_id)
+            if position is None or position <= last:
+                return None
+            last = position
+            mask |= 1 << position
+        return mask
+
+    # -- evidence ---------------------------------------------------------
+
+    def record(self, ordering: Sequence[str], answer: str, normalized: str) -> None:
+        """Record a real evaluation (no-op for non-combination orders).
+
+        Full-context orderings — the identity combination included —
+        also count as order-stability evidence.  A real answer that
+        contradicts a committed implication replaces it, bumps
+        ``stats.conflicts`` and permanently disables implication.
+        """
+        if len(ordering) == self.k:
+            self.observe_order(ordering, normalized)
+        mask = self.mask_for(ordering)
+        if mask is None:
+            return
+        known = self._recorded.get(mask)
+        if known is not None:
+            return
+        committed = self._inferred.pop(mask, None)
+        if committed is not None and committed.normalized_answer != normalized:
+            self.stats.conflicts += 1
+            self._coherent = False
+        elif self._check_consistency and self.inference_active:
+            # Once implications have been committed, every real answer
+            # doubles as a consistency probe: if the lattice would have
+            # implied something else for this mask, the model is not
+            # monotone here and every implication is suspect.
+            would_imply = self.implied(mask)
+            if (
+                would_imply is not None
+                and would_imply.normalized_answer != normalized
+            ):
+                self.stats.conflicts += 1
+                self._coherent = False
+        entry = LatticeEntry(
+            mask=mask, answer=answer, normalized_answer=normalized, inferred=False
+        )
+        self._recorded[mask] = entry
+        self._by_answer.setdefault(normalized, []).append(mask)
+        self.stats.recorded += 1
+
+    def observe_order(self, ordering: Sequence[str], normalized: str) -> None:
+        """Feed one full-context ordering's answer to the stability gate."""
+        if len(ordering) != self.k or set(ordering) != set(self.doc_ids):
+            return
+        self._orders_observed.add(tuple(ordering))
+        self._order_answers.add(normalized)
+
+    # -- implication ------------------------------------------------------
+
+    @property
+    def coherent(self) -> bool:
+        """False once any real evaluation contradicted an implication."""
+        return self._coherent
+
+    @property
+    def order_sensitive(self) -> Optional[bool]:
+        """Observed order sensitivity (``None`` before any evidence)."""
+        if not self._order_answers:
+            return None
+        return len(self._order_answers) > 1
+
+    @property
+    def inference_active(self) -> bool:
+        """True when the lattice is currently willing to imply answers."""
+        if not self._coherent:
+            return False
+        if self.assume_order_insensitive:
+            return True
+        return (
+            len(self._orders_observed) >= MIN_ORDER_EVIDENCE
+            and len(self._order_answers) == 1
+        )
+
+    def known(self, mask: int) -> Optional[LatticeEntry]:
+        """The recorded or committed entry for a mask, if any.
+
+        Committed implications are only served while the lattice is
+        still willing to infer: once a conflict proved the model
+        non-monotone (or late order evidence closed the stability
+        gate), stale implications stop being consumed — a search must
+        not keep free-skipping on answers the lattice has already
+        learned to distrust.
+        """
+        entry = self._recorded.get(mask)
+        if entry is not None:
+            return entry
+        if not self.inference_active:
+            return None
+        return self._inferred.get(mask)
+
+    def evaluated(self, mask: int) -> bool:
+        """True when the mask has a *real* (non-implied) answer."""
+        return mask in self._recorded
+
+    def implied(self, mask: int) -> Optional[LatticeEntry]:
+        """Sandwich-implied entry for an unevaluated mask, or ``None``.
+
+        Requires an evaluated non-empty subset witness and an evaluated
+        superset witness sharing one answer, with no contradicting
+        evaluation inside the tightest such interval, and no witness
+        pair for any other answer.  Does not commit; see :meth:`lookup`.
+        """
+        if not self.inference_active:
+            return None
+        if mask in self._recorded:
+            return self._recorded[mask]
+        if mask == 0:
+            return None
+        winner: Optional[str] = None
+        witnesses: Optional[Tuple[int, int]] = None
+        for normalized, masks in self._by_answer.items():
+            low = high = None
+            for m in masks:
+                if m == mask:
+                    continue
+                if m and m & mask == m:
+                    if low is None or bin(m).count("1") > bin(low).count("1"):
+                        low = m
+                elif m | mask == m:
+                    if high is None or bin(m).count("1") < bin(high).count("1"):
+                        high = m
+            if low is not None and high is not None:
+                if winner is not None:
+                    return None  # ambiguous: two answers both sandwich S
+                winner = normalized
+                witnesses = (low, high)
+        if winner is None or witnesses is None:
+            return None
+        low, high = witnesses
+        for m, entry in self._recorded.items():
+            if (
+                entry.normalized_answer != winner
+                and m
+                and low & m == low
+                and m & high == m
+            ):
+                return None  # a contradicting evaluation sits inside [low, high]
+        # Implication guarantees the *normalized* answer; the display
+        # surface is the low witness's (a model whose surface forms vary
+        # within one normalized answer would need a real call to know
+        # the exact string it would have produced).
+        display = self._recorded[low].answer
+        return LatticeEntry(
+            mask=mask, answer=display, normalized_answer=winner, inferred=True
+        )
+
+    def conflicting_recorded_face(self, mask: int, normalized: str) -> bool:
+        """True when an evaluated immediate face of ``mask`` (drop one
+        member) answered something other than ``normalized``.
+
+        Used by the plan's probe round to spot *suspicious* small
+        implications.  A non-monotone model that slipped past the
+        stability gate typically betrays itself one step below the
+        implied set — one strong source flipping a pair or triple —
+        whereas for monotone aggregation a *distant* subset answering
+        differently (less evidence, smaller answer) is perfectly
+        normal, so only faces are checked.
+        """
+        bits = mask
+        while bits:
+            bit = bits & -bits
+            bits ^= bit
+            face = self._recorded.get(mask & ~bit)
+            if (
+                face is not None
+                and face.mask != 0
+                and face.normalized_answer != normalized
+            ):
+                return True
+        return False
+
+    def lookup(self, mask: int, commit: bool = True) -> Optional[LatticeEntry]:
+        """Known entry, or a fresh implication (committed by default)."""
+        entry = self.known(mask)
+        if entry is not None:
+            return entry
+        entry = self.implied(mask)
+        if entry is not None and commit:
+            self.commit(entry)
+        return entry
+
+    def commit(self, entry: LatticeEntry) -> None:
+        """Commit an implied entry so later lookups reuse it.
+
+        The first commit arms record-time consistency checking: from
+        here on, real evaluations that disagree with what the lattice
+        would imply count as conflicts.
+        """
+        if entry.mask in self._recorded or entry.mask in self._inferred:
+            return
+        self._inferred[entry.mask] = entry
+        self.stats.implied += 1
+        self._check_consistency = True
+
+    def uncommit_inferred(self) -> List[int]:
+        """Drop every committed implication (conflict rollback).
+
+        Returns the dropped masks so the caller can evaluate them for
+        real; used by the plan's probe round when a probe contradicts.
+        """
+        dropped = sorted(self._inferred)
+        self._inferred.clear()
+        return dropped
+
+    # -- group views ------------------------------------------------------
+
+    @property
+    def recorded_count(self) -> int:
+        """Number of real evaluations recorded."""
+        return len(self._recorded)
+
+    @property
+    def inferred_count(self) -> int:
+        """Number of currently committed implications."""
+        return len(self._inferred)
+
+    def answer_groups(self) -> Tuple[Dict[str, List[Tuple[str, ...]]], Dict[str, str]]:
+        """Evaluated non-empty kept-sets grouped by normalized answer.
+
+        Returns ``(groups, display_answers)`` in the shape
+        :func:`repro.core.insights.derive_combination_rules` consumes;
+        the empty combination is excluded (its answer is parametric, not
+        combination evidence).
+        """
+        groups: Dict[str, List[Tuple[str, ...]]] = {}
+        display: Dict[str, str] = {}
+        for mask in sorted(self._recorded):
+            if mask == 0:
+                continue
+            entry = self._recorded[mask]
+            groups.setdefault(entry.normalized_answer, []).append(self.decode(mask))
+            display.setdefault(entry.normalized_answer, entry.answer)
+        return groups, display

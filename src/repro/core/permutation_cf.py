@@ -25,6 +25,7 @@ from ..errors import SearchBudgetError
 from ..textproc import normalize_answer
 from .context import Context, PermutationPerturbation
 from .evaluate import ContextEvaluator, scan_candidates
+from .lattice import AnswerLattice
 
 #: Enumerating k! permutations is the paper's algorithm; above this k we
 #: refuse and ask the caller to sample instead (8! = 40320 evaluations).
@@ -99,6 +100,8 @@ def search_permutation_counterfactual(
     keep_trail: bool = False,
     lazy: Optional[bool] = None,
     batch_size: int = 1,
+    lattice: Optional[AnswerLattice] = None,
+    adaptive: bool = False,
 ) -> PermutationSearchResult:
     """Find the most-similar answer-changing permutation.
 
@@ -113,7 +116,12 @@ def search_permutation_counterfactual(
     paper's LLM-call semantics.  ``batch_size`` chunks un-memoized
     candidates into batched LLM calls (default 1 = the paper's strictly
     sequential evaluation; larger values may charge a few evaluations
-    past the flip in exchange for batched-backend throughput).
+    past the flip in exchange for batched-backend throughput), and
+    ``adaptive=True`` grows the chunk geometrically while no flip
+    appears (reset on a near-hit) for batched backends.  A ``lattice``
+    cannot imply permutation answers (orderings beyond context-order
+    subsets are outside the combination lattice) but every evaluated
+    permutation feeds its order-stability evidence.
 
     Raises
     ------
@@ -174,6 +182,19 @@ def search_permutation_counterfactual(
             match,
             max_evaluations,
             batch_size,
+            lattice=lattice,
+            # Near-hit (adaptive chunk reset): an answer change that
+            # missed the target answer.
+            near=(
+                (
+                    lambda evaluation: evaluation.normalized_answer
+                    != baseline.normalized_answer
+                    and evaluation.normalized_answer != target_norm
+                )
+                if target_norm is not None
+                else None
+            ),
+            adaptive=adaptive,
         )
     )
     return result

@@ -19,24 +19,64 @@ sequential searches run.  The searches then walk their candidate lists
 almost entirely through memo hits, and only genuinely novel orderings
 (e.g. deep subsets beyond a sampled insight set) reach the LLM.
 
+Staged pruning
+--------------
+With an :class:`~repro.core.lattice.AnswerLattice` attached, ``execute``
+goes further than batching: it runs *staged*.  A relevance-ordered seed
+round (order evidence plus the pending structural anchors — the empty
+set, the full set, singletons and co-singletons) is evaluated first;
+answer rules are derived from the seed via the
+:func:`~repro.core.insights.derive_combination_rules` machinery and
+their pending interval boundaries confirmed; then implication rounds
+alternate with survivor flushes drawn from both ends of the size order
+(small subsets for cheap safety evidence, maximal subsets as the high
+witnesses that unlock the middle), pruning every combination the
+lattice can imply — with a deterministic probe round guarding against
+non-monotone models — until only genuine survivors remain.
+``PlanStats`` reports the ``pruned`` count alongside the usual dedup
+savings.
+
 The plan is deliberately dumb about *what* to evaluate — callers decide;
-it owns deduplication, batching, and accounting.  Typical use::
+it owns deduplication, batching, staging, and accounting.  Typical use::
 
     evaluator = ContextEvaluator(llm, context)
-    plan = EvaluationPlan(evaluator)
+    plan = EvaluationPlan(evaluator, lattice=AnswerLattice(context))
     plan.add([context.doc_ids(), ()])          # both baselines
     plan.add_perturbations(combination_set)    # insight analyses
     plan.add_perturbations(permutation_set)
-    stats = plan.execute()                     # one batch to the LLM
+    stats = plan.execute()                     # staged batches + pruning
     # ... run analyses/searches against the shared, warm evaluator
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .evaluate import ContextEvaluator
+from .insights import derive_combination_rules
+from .lattice import AnswerLattice
+
+#: Below this many pending combinations, staged pruning is not worth its
+#: structural-anchor overhead and execute() falls back to one flat batch.
+MIN_PRUNE_PENDING = 32
+
+#: Maximum prune/flush rounds: each round implies what it can, then
+#: flushes a chunk of survivors whose answers seed the next round.
+PRUNE_ROUNDS = 4
+
+#: One probe per this many implications is re-evaluated for real to
+#: catch non-monotone models that slipped past the order-stability gate.
+PROBE_STRIDE = 16
+
+#: Implications for kept-sets this small are *all* probed: when a
+#: non-monotone model slips past the stability gate, its wrong
+#: implications concentrate at small subset sizes (one strong source
+#: overriding a sandwich), so small sizes get exhaustive verification.
+#: Size-major survivor flushing already evaluates most small subsets
+#: for real — their answers poison bad implication intervals before
+#: larger wrong implications can form — so this is a backstop.
+PROBE_EXHAUSTIVE_SIZE = 3
 
 
 @dataclass(frozen=True)
@@ -50,14 +90,22 @@ class PlanStats:
         included — what naive per-analysis evaluation would have paid).
     dispatched:
         Distinct, un-memoized orderings actually sent to the LLM.
+    implied:
+        Pending combinations whose answers the lattice implied at some
+        point during the flush (probed ones included).
+    pruned:
+        Pending combinations that never reached the LLM at all — the
+        implication savings net of verification probes.
     """
 
     requested: int
     dispatched: int
+    implied: int = 0
+    pruned: int = 0
 
     @property
     def saved(self) -> int:
-        """Evaluations avoided by deduplication and the shared memo."""
+        """Evaluations avoided by dedup, the shared memo, and pruning."""
         return self.requested - self.dispatched
 
 
@@ -69,10 +117,19 @@ class EvaluationPlan:
     everything the plan evaluated is visible through the evaluator's
     memo.  ``add``/``add_perturbations`` are cheap (set insertion);
     nothing reaches the LLM until :meth:`execute`.
+
+    Pass an :class:`~repro.core.lattice.AnswerLattice` to enable staged
+    pruning (see the module docstring); without one, ``execute`` is the
+    single flat deduplicated batch of PR 1.
     """
 
-    def __init__(self, evaluator: ContextEvaluator) -> None:
+    def __init__(
+        self,
+        evaluator: ContextEvaluator,
+        lattice: Optional[AnswerLattice] = None,
+    ) -> None:
         self.evaluator = evaluator
+        self.lattice = lattice
         self._pending: List[Tuple[str, ...]] = []
         self._pending_keys: set = set()
         self._requested = 0
@@ -103,17 +160,199 @@ class EvaluationPlan:
         """Register the full-context and empty-context evaluations."""
         return self.add([self.evaluator.context.doc_ids(), ()])
 
-    def execute(self) -> PlanStats:
-        """Evaluate every pending ordering as one deduplicated batch."""
+    def execute(
+        self, relevance_scores: Optional[Dict[str, float]] = None
+    ) -> PlanStats:
+        """Evaluate every pending ordering, pruning implied answers.
+
+        Without a lattice this is one deduplicated batch.  With one, the
+        staged flow described in the module docstring runs; pruned
+        combinations end up *committed* in the lattice (so
+        :func:`~repro.core.insights.analyze_combinations` and the
+        counterfactual searches can consume their implied answers)
+        while everything evaluated for real lands in the evaluator's
+        memo as before.  ``relevance_scores`` orders the seed round and
+        survivor flushes (most relevant first); ``None`` falls back to
+        a deterministic size-major order.
+        """
         requested = self._requested
         pending = self._pending
         self._pending = []
         self._pending_keys = set()
         self._requested = 0
         before = self.evaluator.llm_calls
+        implied = pruned = 0
         if pending:
-            self.evaluator.evaluate_many(pending)
+            if self.lattice is None:
+                self.evaluator.evaluate_many(pending)
+            else:
+                implied, pruned = self._execute_staged(pending, relevance_scores)
         return PlanStats(
             requested=requested,
             dispatched=self.evaluator.llm_calls - before,
+            implied=implied,
+            pruned=pruned,
         )
+
+    # -- staged execution --------------------------------------------------
+
+    def _evaluate_round(self, keys: Sequence[Tuple[str, ...]]) -> None:
+        """Evaluate one batch and feed every result to the lattice."""
+        if not keys:
+            return
+        assert self.lattice is not None
+        evaluations = self.evaluator.evaluate_many(keys)
+        for key, evaluation in zip(keys, evaluations):
+            self.lattice.record(key, evaluation.answer, evaluation.normalized_answer)
+
+    def _execute_staged(
+        self,
+        pending: List[Tuple[str, ...]],
+        relevance_scores: Optional[Dict[str, float]],
+    ) -> Tuple[int, int]:
+        """Seed round → rules → implication rounds → survivor flushes.
+
+        Returns ``(implied, pruned)``.  Exactness posture: answers are
+        only implied while the lattice's order-stability gate holds,
+        every implication is interval-checked, a deterministic probe
+        round re-evaluates a slice of the implied set, and any conflict
+        rolls *all* implications back to real evaluations — so a
+        non-monotone model degrades to the unpruned flat batch instead
+        of producing wrong groups.
+        """
+        lattice = self.lattice
+        assert lattice is not None
+        maskable: Dict[int, Tuple[str, ...]] = {}
+        rest: List[Tuple[str, ...]] = []
+        for key in pending:
+            mask = lattice.mask_for(key)
+            if mask is None or mask in maskable:
+                rest.append(key)
+            else:
+                maskable[mask] = key
+        if len(maskable) < MIN_PRUNE_PENDING:
+            self._evaluate_round(pending)
+            return 0, 0
+
+        def relevance(mask: int) -> float:
+            if relevance_scores is None:
+                return 0.0
+            return sum(
+                relevance_scores.get(doc_id, 0.0)
+                for doc_id in lattice.decode(mask)
+            )
+
+        # Round 1 — order evidence (permutations and baselines) plus the
+        # structural anchors already pending: empty, full, singletons,
+        # co-singletons.  Anchors are what give later sandwich
+        # implications their witnesses; order evidence opens (or keeps
+        # shut) the lattice's stability gate.
+        anchors = {0, lattice.full_mask}
+        for position in range(lattice.k):
+            anchors.add(1 << position)
+            anchors.add(lattice.full_mask & ~(1 << position))
+        seed = [mask for mask in maskable if mask in anchors]
+        seed.sort(key=lambda mask: (bin(mask).count("1"), -relevance(mask), mask))
+        self._evaluate_round(rest + [maskable[mask] for mask in seed])
+        # Survivors flush smallest-first: small subsets are cheap to
+        # evaluate, are exactly where non-monotone models deviate from
+        # the sandwich (one strong source dominating a pair), and their
+        # real answers both poison bad implication intervals and serve
+        # as the low witnesses that unlock the large combinations —
+        # which fat rule intervals then imply wholesale.
+        remaining = sorted(
+            (mask for mask in maskable if not lattice.evaluated(mask)),
+            key=lambda mask: (bin(mask).count("1"), -relevance(mask), mask),
+        )
+
+        if not lattice.inference_active:
+            self._evaluate_round([maskable[mask] for mask in remaining])
+            return 0, 0
+
+        # Confirm rule intervals: evaluating an interval's bottom
+        # (kept = required) and top (kept = context − excluded) plants
+        # the sandwich witnesses that unlock everything between them.
+        # Only *pending* boundaries are bought — every staged
+        # evaluation then stays inside the pending set, which makes
+        # "a pruned run never costs more calls than the unpruned one"
+        # structural, even when a conflict rolls every implication back.
+        groups, display = lattice.answer_groups()
+        boundary: List[int] = []
+        for rule in derive_combination_rules(lattice.doc_ids, groups, display):
+            bottom = lattice.encode(rule.required_sources)
+            top = lattice.full_mask & ~lattice.encode(rule.excluded_sources)
+            for end in (bottom, top):
+                if (
+                    end != 0
+                    and end in maskable
+                    and not lattice.evaluated(end)
+                    and end not in boundary
+                ):
+                    boundary.append(end)
+        self._evaluate_round([maskable[mask] for mask in boundary])
+        remaining = [mask for mask in remaining if not lattice.evaluated(mask)]
+
+        # Implication rounds: imply what the evidence covers, flush a
+        # size-major chunk of survivors, let the fresh answers widen the
+        # next round's coverage.
+        implied_masks: List[int] = []
+        conflicts_before = lattice.stats.conflicts
+        for round_index in range(PRUNE_ROUNDS):
+            survivors: List[int] = []
+            for mask in remaining:
+                entry = lattice.implied(mask)
+                if entry is not None:
+                    lattice.commit(entry)
+                    implied_masks.append(mask)
+                else:
+                    survivors.append(mask)
+            if not survivors and round_index < PRUNE_ROUNDS - 1:
+                break
+            if round_index == PRUNE_ROUNDS - 1:
+                chunk, remaining = survivors, []
+            else:
+                # Half the chunk from the small end (cheap safety
+                # evidence), half from the large end: maximal survivors
+                # are the missing *high* witnesses — once evaluated,
+                # they unlock sandwich implications for the middle of
+                # their answer's interval in the next round.
+                size = max(2 * lattice.k, len(survivors) // 4)
+                low = (size + 1) // 2
+                high = size - low
+                chunk = survivors[:low] + (survivors[-high:] if high else [])
+                remaining = survivors[low : len(survivors) - high]
+            self._evaluate_round([maskable[mask] for mask in chunk])
+            if not remaining:
+                break
+
+        # Probe round: deterministically re-evaluate a slice of the
+        # implied set — every *suspicious* small implication (one whose
+        # recorded subsets do not unanimously support the implied
+        # answer: the signature of a non-monotone model slipping past
+        # the stability gate), plus one in PROBE_STRIDE of the rest.
+        # On a monotone model probes simply confirm; any conflict rolls
+        # every implication back to a real evaluation.
+        suspicious = []
+        trusted = []
+        for mask in implied_masks:
+            entry = lattice.known(mask)
+            if (
+                entry is not None
+                and entry.inferred
+                and bin(mask).count("1") <= PROBE_EXHAUSTIVE_SIZE
+                and lattice.conflicting_recorded_face(
+                    mask, entry.normalized_answer
+                )
+            ):
+                suspicious.append(mask)
+            else:
+                trusted.append(mask)
+        probes = suspicious + trusted[::PROBE_STRIDE]
+        self._evaluate_round([maskable[mask] for mask in probes])
+        if lattice.stats.conflicts > conflicts_before:
+            rolled_back = lattice.uncommit_inferred()
+            self._evaluate_round(
+                [maskable[mask] for mask in rolled_back if mask in maskable]
+            )
+            return len(implied_masks), 0
+        return len(implied_masks), len(implied_masks) - len(probes)

@@ -115,3 +115,37 @@ def test_k_override(capsys):
     assert main(["ask", "--use-case", "big_three", "--k", "2"]) == 0
     out = capsys.readouterr().out
     assert out.count("bigthree-") == 2
+
+
+def test_report_stats_prints_plan_line(capsys):
+    code = main(["report", "--use-case", "big_three", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Evaluation stats:" in out
+    assert "Plan:" in out
+    assert "implied" in out and "pruned" in out and "dispatched" in out
+
+
+def test_no_prune_flag_round_trips_through_config(capsys, monkeypatch):
+    from repro.app import cli as cli_module
+
+    captured = {}
+    original = cli_module.RageSession.for_use_case
+
+    def spy(case, config=None, llm=None):
+        captured["config"] = config
+        return original(case, config=config, llm=llm)
+
+    monkeypatch.setattr(cli_module.RageSession, "for_use_case", staticmethod(spy))
+    assert main(["report", "--use-case", "big_three", "--no-prune", "--stats"]) == 0
+    assert captured["config"].plan_pruning is False
+    out = capsys.readouterr().out
+    assert "0 implied, 0 pruned" in out
+
+    assert main(["report", "--use-case", "big_three"]) == 0
+    assert captured["config"].plan_pruning is True
+
+
+def test_no_prune_accepted_by_other_commands(capsys):
+    assert main(["ask", "--use-case", "big_three", "--no-prune"]) == 0
+    assert "Answer:" in capsys.readouterr().out

@@ -120,3 +120,44 @@ def test_complement():
     assert complement(ITEMS, ("b", "d")) == ("a", "c")
     assert complement(ITEMS, ()) == tuple(ITEMS)
     assert complement(ITEMS, ITEMS) == ()
+
+
+def test_combination_mask_round_trip():
+    from repro.combinatorics import combination_mask, mask_combination
+
+    for combo in itertools.chain.from_iterable(
+        itertools.combinations(ITEMS, size) for size in range(len(ITEMS) + 1)
+    ):
+        mask = combination_mask(ITEMS, combo)
+        assert mask_combination(ITEMS, mask) == combo
+    assert combination_mask(ITEMS, ()) == 0
+    assert combination_mask(ITEMS, ITEMS) == (1 << len(ITEMS)) - 1
+
+
+def test_combination_mask_rejects_unknown_member():
+    from repro.combinatorics import combination_mask
+
+    with pytest.raises(ConfigError):
+        combination_mask(ITEMS, ("a", "zz"))
+
+
+def test_mask_combination_rejects_out_of_range():
+    from repro.combinatorics import mask_combination
+
+    with pytest.raises(ConfigError):
+        mask_combination(ITEMS, 1 << len(ITEMS))
+    with pytest.raises(ConfigError):
+        mask_combination(ITEMS, -1)
+
+
+def test_sample_combinations_empty_items_returns_early():
+    # Regression: rng.getrandbits(0) raises ValueError on Python < 3.11;
+    # the degenerate universe must never reach the sampling loop.
+    rng = random.Random(0)
+    assert sample_combinations([], 3, rng) == []
+    assert sample_combinations([], 3, rng, include_empty=True) == [()]
+    # The empty combination is also the full one: excluding either
+    # excludes it (mirrors all_combinations' flag semantics).
+    assert sample_combinations([], 3, rng, include_empty=True, include_full=False) == []
+    with pytest.raises(ConfigError):
+        sample_combinations([], 0, rng)

@@ -1,0 +1,202 @@
+"""AnswerLattice tests: encoding, sandwich implication, gates, conflicts."""
+
+import pytest
+
+from repro.core import AnswerLattice
+from repro.core.context import Context
+from repro.core.lattice import MIN_ORDER_EVIDENCE
+from repro.errors import ConfigError
+from repro.retrieval import Document
+
+
+def _context(k=4):
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    return Context.from_documents("q?", docs)
+
+
+def _lattice(k=4, assume=True):
+    return AnswerLattice(_context(k), assume_order_insensitive=assume)
+
+
+def _rec(lattice, kept, answer):
+    lattice.record(tuple(kept), answer, answer)
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        lattice = _lattice()
+        for kept in ((), ("d0",), ("d1", "d3"), ("d0", "d1", "d2", "d3")):
+            mask = lattice.encode(kept)
+            assert lattice.decode(mask) == kept
+
+    def test_encode_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            _lattice().encode(("nope",))
+
+    def test_decode_rejects_out_of_range_mask(self):
+        with pytest.raises(ConfigError):
+            _lattice().decode(1 << 5)
+
+    def test_mask_for_combination_orderings(self):
+        lattice = _lattice()
+        assert lattice.mask_for(("d0", "d2")) == 0b0101
+        assert lattice.mask_for(()) == 0
+        assert lattice.mask_for(("d0", "d1", "d2", "d3")) == 0b1111
+
+    def test_mask_for_rejects_non_combinations(self):
+        lattice = _lattice()
+        assert lattice.mask_for(("d2", "d0")) is None  # out of context order
+        assert lattice.mask_for(("d0", "d0")) is None  # duplicate
+        assert lattice.mask_for(("d0", "zz")) is None  # unknown id
+        assert lattice.mask_for(("d1", "d0", "d2", "d3")) is None  # permutation
+
+
+class TestImplication:
+    def test_sandwich_implies_between_witnesses(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        entry = lattice.implied(lattice.encode(("d0", "d1")))
+        assert entry is not None
+        assert entry.normalized_answer == "x"
+        assert entry.inferred
+
+    def test_no_implication_without_both_witnesses(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")  # subset witness only
+        assert lattice.implied(lattice.encode(("d0", "d1"))) is None
+
+    def test_no_implication_when_witness_answers_differ(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "y")
+        assert lattice.implied(lattice.encode(("d0", "d1"))) is None
+
+    def test_contradiction_inside_interval_blocks_implication(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2", "d3"), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "y")  # inside [d0, full], different
+        assert lattice.implied(lattice.encode(("d0", "d1"))) is None
+
+    def test_ambiguous_witness_pairs_block_implication(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        _rec(lattice, ("d1",), "y")
+        _rec(lattice, ("d0", "d1", "d3"), "y")
+        # ("d0", "d1") sandwiches under both answers: refuse to guess.
+        assert lattice.implied(lattice.encode(("d0", "d1"))) is None
+
+    def test_empty_set_is_never_a_witness(self):
+        lattice = _lattice()
+        _rec(lattice, (), "x")  # parametric answer, not evidence
+        _rec(lattice, ("d0", "d1", "d2", "d3"), "x")
+        assert lattice.implied(lattice.encode(("d0",))) is None
+
+    def test_empty_set_is_never_implied(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        assert lattice.implied(0) is None
+
+    def test_recorded_mask_returned_verbatim(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0", "d1"), "x")
+        entry = lattice.implied(lattice.encode(("d0", "d1")))
+        assert entry is not None and not entry.inferred
+
+    def test_lookup_commits_and_counts(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        mask = lattice.encode(("d0", "d2"))
+        entry = lattice.lookup(mask)
+        assert entry is not None and entry.inferred
+        assert lattice.stats.implied == 1
+        assert lattice.known(mask) is entry  # committed for reuse
+
+
+class TestGates:
+    def test_inference_inactive_without_order_evidence(self):
+        lattice = _lattice(assume=False)
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        assert not lattice.inference_active
+        assert lattice.implied(lattice.encode(("d0", "d1"))) is None
+
+    def test_order_stability_opens_gate(self):
+        lattice = _lattice(assume=False)
+        ids = lattice.doc_ids
+        lattice.observe_order(ids, "x")
+        swapped = (ids[1], ids[0]) + ids[2:]
+        lattice.observe_order(swapped, "x")
+        assert len({ids, swapped}) == MIN_ORDER_EVIDENCE
+        assert lattice.inference_active
+        assert lattice.order_sensitive is False
+
+    def test_order_sensitivity_keeps_gate_shut(self):
+        lattice = _lattice(assume=False)
+        ids = lattice.doc_ids
+        lattice.observe_order(ids, "x")
+        lattice.observe_order((ids[1], ids[0]) + ids[2:], "y")
+        assert lattice.order_sensitive is True
+        assert not lattice.inference_active
+
+    def test_full_context_record_counts_as_order_evidence(self):
+        lattice = _lattice(assume=False)
+        _rec(lattice, lattice.doc_ids, "x")
+        assert lattice.order_sensitive is False
+        assert not lattice.inference_active  # one ordering is not enough
+
+    def test_conflict_disables_inference_and_rolls_back(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        mask = lattice.encode(("d0", "d1"))
+        entry = lattice.lookup(mask)
+        assert entry is not None and entry.inferred
+        # The real model disagrees with the committed implication.
+        _rec(lattice, ("d0", "d1"), "y")
+        assert lattice.stats.conflicts == 1
+        assert not lattice.coherent
+        assert not lattice.inference_active
+        known = lattice.known(mask)
+        assert known is not None and not known.inferred
+        assert known.normalized_answer == "y"
+
+    def test_consistency_check_flags_disagreeing_reality(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        # Commit any implication to arm record-time checking.
+        assert lattice.lookup(lattice.encode(("d0", "d2"))) is not None
+        # A *different* mask arrives whose real answer contradicts what
+        # the lattice would have implied for it.
+        _rec(lattice, ("d0", "d1"), "y")
+        assert lattice.stats.conflicts == 1
+        assert not lattice.inference_active
+
+    def test_uncommit_inferred_returns_masks(self):
+        lattice = _lattice()
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        m1 = lattice.encode(("d0", "d1"))
+        m2 = lattice.encode(("d0", "d2"))
+        lattice.lookup(m1)
+        lattice.lookup(m2)
+        assert lattice.uncommit_inferred() == sorted((m1, m2))
+        assert lattice.known(m1) is None
+        assert lattice.inferred_count == 0
+
+
+class TestGroups:
+    def test_answer_groups_exclude_empty_and_inferred(self):
+        lattice = _lattice()
+        _rec(lattice, (), "parametric")
+        _rec(lattice, ("d0",), "x")
+        _rec(lattice, ("d1",), "y")
+        _rec(lattice, ("d0", "d1", "d2"), "x")
+        lattice.lookup(lattice.encode(("d0", "d2")))  # inferred, not grouped
+        groups, display = lattice.answer_groups()
+        assert groups == {"x": [("d0",), ("d0", "d1", "d2")], "y": [("d1",)]}
+        assert display == {"x": "x", "y": "y"}

@@ -158,3 +158,140 @@ def test_explain_report_carries_stability_and_call_count():
     assert report.stability.num_permutations > 0
     assert 0.0 <= report.stability.stable_fraction <= 1.0
     assert report.llm_calls > 0
+
+
+# -- staged pruning (answer-implication lattice) -----------------------------
+
+
+from repro.core import AnswerLattice
+from repro.core.plan import MIN_PRUNE_PENDING
+from repro.core.sampling import select_permutations
+
+
+def _monotone_world(k=6):
+    """Answer counts how many of the first two sources are kept —
+    monotone over the subset lattice (a counting model)."""
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q?", docs)
+
+    def answer_fn(question, texts):
+        return f"{sum(1 for t in ('text 0', 'text 1') if t in texts)} hits"
+
+    return context, ScriptedLLM(answer_fn=answer_fn)
+
+
+def _parity_world(k=6):
+    """Answer flips with subset-size parity — maximally non-monotone."""
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(k)]
+    context = Context.from_documents("q?", docs)
+    return context, ScriptedLLM(
+        answer_fn=lambda q, texts: "even" if len(texts) % 2 == 0 else "odd"
+    )
+
+
+def _full_plan(context, llm, lattice=None):
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator, lattice=lattice)
+    plan.add_baselines()
+    plan.add_perturbations(select_combinations(context))
+    plan.add_perturbations(select_permutations(context, sample_size=20))
+    return evaluator, plan
+
+
+def test_staged_execute_prunes_monotone_world():
+    context, llm = _monotone_world(6)
+    baseline_evaluator, baseline_plan = _full_plan(context, llm)
+    baseline_stats = baseline_plan.execute()
+
+    context2, llm2 = _monotone_world(6)
+    lattice = AnswerLattice(context2)
+    evaluator, plan = _full_plan(context2, llm2, lattice=lattice)
+    stats = plan.execute()
+
+    assert stats.pruned > 0
+    assert stats.implied >= stats.pruned
+    assert stats.requested == baseline_stats.requested
+    assert stats.dispatched < baseline_stats.dispatched
+    assert evaluator.llm_calls + stats.pruned == baseline_evaluator.llm_calls
+
+
+def test_staged_execute_implied_answers_are_exact():
+    context, llm = _monotone_world(6)
+    lattice = AnswerLattice(context)
+    evaluator, plan = _full_plan(context, llm, lattice=lattice)
+    plan.execute()
+    truth_evaluator = ContextEvaluator(_monotone_world(6)[1], context)
+    for mask in range(1, 1 << 6):
+        entry = lattice.known(mask)
+        if entry is not None and entry.inferred:
+            real = truth_evaluator.evaluate(lattice.decode(mask))
+            assert entry.normalized_answer == real.normalized_answer
+
+
+def test_staged_execute_gate_blocks_order_sensitive_world():
+    docs = [Document(doc_id=f"d{i}", text=f"text {i}") for i in range(6)]
+    context = Context.from_documents("q?", docs)
+    # Order-sensitive: the first rendered source decides the answer.
+    llm = ScriptedLLM(answer_fn=lambda q, texts: texts[0] if texts else "none")
+    lattice = AnswerLattice(context)
+    evaluator, plan = _full_plan(context, llm, lattice=lattice)
+    stats = plan.execute()
+    assert lattice.order_sensitive is True
+    assert stats.pruned == 0
+    assert stats.implied == 0
+    # Everything pending was evaluated for real.
+    assert evaluator.memo_size >= 2 ** 6
+
+
+def test_staged_execute_probes_roll_back_non_monotone_world():
+    """The parity model defeats sandwich implication; the probe round
+    must catch the lie and re-evaluate everything for real."""
+    context, llm = _parity_world(6)
+    lattice = AnswerLattice(context, assume_order_insensitive=True)
+    evaluator, plan = _full_plan(context, llm, lattice=lattice)
+    stats = plan.execute()
+    assert lattice.stats.conflicts > 0
+    assert stats.pruned == 0
+    # After rollback every combination answer is real and exact.
+    for mask in range(1, 1 << 6):
+        entry = lattice.known(mask)
+        if entry is not None:
+            assert not entry.inferred
+    truth = ContextEvaluator(_parity_world(6)[1], context)
+    for mask in (0b000111, 0b011110, 0b101010):
+        assert (
+            evaluator.evaluate(lattice.decode(mask)).normalized_answer
+            == truth.evaluate(lattice.decode(mask)).normalized_answer
+        )
+
+
+def test_staged_execute_skips_small_plans():
+    context, llm = _monotone_world(4)  # 15 combos < MIN_PRUNE_PENDING
+    assert 2 ** 4 - 1 < MIN_PRUNE_PENDING
+    lattice = AnswerLattice(context, assume_order_insensitive=True)
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator, lattice=lattice)
+    plan.add_perturbations(select_combinations(context))
+    stats = plan.execute()
+    assert stats.pruned == 0
+    assert stats.dispatched == 2 ** 4 - 1
+
+
+def test_staged_execute_records_plain_batches_into_lattice():
+    context, llm = _monotone_world(4)
+    lattice = AnswerLattice(context, assume_order_insensitive=True)
+    evaluator = ContextEvaluator(llm, context)
+    plan = EvaluationPlan(evaluator, lattice=lattice)
+    plan.add([("d0",), ("d0", "d1")])
+    plan.execute()
+    assert lattice.evaluated(lattice.encode(("d0",)))
+    assert lattice.evaluated(lattice.encode(("d0", "d1")))
+
+
+def test_plan_stats_saved_includes_pruning():
+    context, llm = _monotone_world(6)
+    lattice = AnswerLattice(context)
+    evaluator, plan = _full_plan(context, llm, lattice=lattice)
+    stats = plan.execute()
+    assert stats.saved == stats.requested - stats.dispatched
+    assert stats.saved >= stats.pruned

@@ -126,3 +126,140 @@ def test_answer_distribution_complete(seed, k):
         for perturbation in group:
             assert perturbation.kept not in seen
             seen.add(perturbation.kept)
+
+
+# -- answer-implication pruning (PR 2) ---------------------------------------
+
+
+
+
+class _CallCountingLLM:
+    """Counts prompts reaching the model, single or batched."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    @property
+    def name(self):
+        return f"counting({self.inner.name})"
+
+    def generate(self, prompt):
+        self.calls += 1
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        self.calls += len(prompts)
+        return self.inner.generate_batch(prompts)
+
+
+def _explain_with(world, k, plan_pruning, **kwargs):
+    llm = _CallCountingLLM(SimulatedLLM(knowledge=world.knowledge))
+    rage = Rage.from_corpus(
+        world.corpus,
+        llm,
+        config=RageConfig(
+            k=k, cache=False, max_evaluations=60, plan_pruning=plan_pruning
+        ),
+    )
+    return rage.explain(world.query, **kwargs), llm
+
+
+def _groups_signature(insights):
+    return {
+        key: sorted(combo.kept for combo in combos)
+        for key, combos in insights.groups.items()
+    }
+
+
+def _counterfactual_signature(result):
+    cf = result.counterfactual
+    return (
+        result.found,
+        None if cf is None else (cf.changed_sources, cf.new_answer, cf.size),
+        result.baseline_answer,
+    )
+
+
+def _assert_pruned_matches_unpruned(world, k, **kwargs):
+    pruned_report, pruned_llm = _explain_with(world, k, True, **kwargs)
+    plain_report, plain_llm = _explain_with(world, k, False, **kwargs)
+    assert pruned_report.answer == plain_report.answer
+    assert _groups_signature(pruned_report.combination_insights) == _groups_signature(
+        plain_report.combination_insights
+    )
+    assert (
+        pruned_report.combination_insights.display_answers
+        == plain_report.combination_insights.display_answers
+    )
+    assert (
+        pruned_report.combination_insights.rules
+        == plain_report.combination_insights.rules
+    )
+    assert _counterfactual_signature(pruned_report.top_down) == (
+        _counterfactual_signature(plain_report.top_down)
+    )
+    assert _counterfactual_signature(pruned_report.bottom_up) == (
+        _counterfactual_signature(plain_report.bottom_up)
+    )
+    # Pruning must never cost extra LLM calls.
+    assert pruned_llm.calls <= plain_llm.calls
+    return pruned_report, pruned_llm, plain_llm
+
+
+@given(st.integers(min_value=0, max_value=100), st.integers(min_value=6, max_value=8))
+@settings(max_examples=10, deadline=None)
+def test_pruned_explain_exact_on_counting_worlds(seed, k):
+    """Monotone (counting) worlds: implication is sound, so the pruned
+    report is answer-for-answer identical while making fewer calls."""
+    from repro.datasets import make_timeline_world
+
+    world = make_timeline_world(k, seed=seed)
+    _assert_pruned_matches_unpruned(
+        world, k, permutation_sample=30, stability_sample=30
+    )
+
+
+@given(st.integers(min_value=0, max_value=150), st.integers(min_value=5, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_pruned_explain_exact_on_superlative_worlds(seed, k):
+    """Position-weighted (non-monotone) worlds: the order-stability
+    gate, probes and conflict rollback must keep the pruned report
+    identical — usually by refusing to imply anything at all."""
+    world = make_superlative_world(k, seed=seed)
+    _assert_pruned_matches_unpruned(
+        world, k, permutation_sample=30, stability_sample=30
+    )
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=4, max_value=8),
+    st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_lattice_sandwich_sound_for_monotone_functions(seed, k, recorded):
+    """Core soundness: for any monotone answer function, any implication
+    the lattice commits equals the true answer."""
+    from repro.core import AnswerLattice
+    from repro.core.context import Context
+    from repro.retrieval import Document
+
+    rng = random.Random(seed)
+    docs = [Document(doc_id=f"d{i}", text=f"t{i}") for i in range(k)]
+    context = Context.from_documents("q", docs)
+    relevant = rng.sample(range(k), rng.randint(1, k))
+    threshold = rng.randint(1, len(relevant))
+
+    def truth(mask):
+        hits = sum(1 for i in relevant if mask >> i & 1)
+        return "yes" if hits >= threshold else "no"
+
+    lattice = AnswerLattice(context, assume_order_insensitive=True)
+    masks = rng.sample(range(1, 1 << k), min(recorded, (1 << k) - 1))
+    for mask in masks:
+        lattice.record(lattice.decode(mask), truth(mask), truth(mask))
+    for mask in range(1, 1 << k):
+        entry = lattice.implied(mask)
+        if entry is not None:
+            assert entry.normalized_answer == truth(mask), (mask, masks)
