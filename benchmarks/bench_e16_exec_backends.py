@@ -1,0 +1,291 @@
+"""E16 — Execution backends and the persistent generation store.
+
+PR 3 replaced ad-hoc dispatch with an execution layer: every evaluation
+batch is submitted through an :class:`~repro.exec.ExecutionBackend`,
+and the prompt cache gains a content-addressed disk tier
+(:class:`~repro.llm.store.PromptStore`).  Shapes asserted here:
+
+1. On a latency-simulating model (each call waits like a remote API),
+   the asyncio backend beats the serial loop by overlapping waits, and
+   the threaded backend sits in between (bounded by its pool width).
+2. ``explain()`` output is byte-identical across serial / threaded /
+   asyncio backends — backends change *how* calls run, never answers.
+3. A warm disk cache answers a repeated report with **zero** real LLM
+   calls, and the warm report renders byte-identically to the cold one.
+
+Run with ``--benchmark-disable`` for the shape checks only; set
+``BENCH_E16_OUT`` to also write the wall-clock table as JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.core.evaluate import ContextEvaluator
+from repro.datasets import load_use_case
+from repro.exec import AsyncioBackend, SerialBackend, ThreadedBackend, make_backend
+from repro.viz.ascii import (
+    render_combination_counterfactual,
+    render_combination_insights,
+    render_optimal_permutations,
+    render_permutation_counterfactual,
+    render_permutation_insights,
+)
+
+#: Per-call simulated network latency.  Large enough that scheduling
+#: noise cannot blur the shapes (serial pays it ~30x sequentially).
+LATENCY = 0.01
+BACKEND_SPECS = ("serial", "threaded:8", "asyncio")
+
+
+class LatencyLLM:
+    """A remote-API stand-in: deterministic answers behind a wait.
+
+    Deliberately exposes *only* per-prompt entry points (``generate`` /
+    ``agenerate``) so the execution backends are what differentiates a
+    batch: serial pays every wait in sequence, threads overlap up to
+    the pool width, and the event loop overlaps everything in flight.
+    """
+
+    def __init__(self, knowledge, latency: float = LATENCY) -> None:
+        self.inner = SimulatedLLM(knowledge=knowledge)
+        self.latency = latency
+        self.calls = 0
+        self.inflight = 0
+        self.max_inflight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"latency({self.inner.name})"
+
+    def _enter(self) -> None:
+        with self._lock:
+            self.calls += 1
+            self.inflight += 1
+            self.max_inflight = max(self.max_inflight, self.inflight)
+
+    def _exit(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    def generate(self, prompt):
+        self._enter()
+        try:
+            time.sleep(self.latency)
+            return self.inner.generate(prompt)
+        finally:
+            self._exit()
+
+    async def agenerate(self, prompt):
+        self._enter()
+        try:
+            await asyncio.sleep(self.latency)
+            return self.inner.generate(prompt)
+        finally:
+            self._exit()
+
+
+class CountingLLM:
+    """Counts every prompt that reaches the wrapped model."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    @property
+    def name(self):
+        # Mirror the inner identity (name AND cache_params below): the
+        # disk store keys on both, so the counting shim must be
+        # invisible to content addressing.
+        return self.inner.name
+
+    @property
+    def cache_params(self):
+        return getattr(self.inner, "cache_params", None)
+
+    def generate(self, prompt):
+        self.calls += 1
+        return self.inner.generate(prompt)
+
+    def generate_batch(self, prompts):
+        self.calls += len(prompts)
+        return self.inner.generate_batch(prompts)
+
+
+def _render_report(report) -> str:
+    """Full textual rendering — the byte-identity unit of comparison."""
+    parts = [f"answer={report.answer}"]
+    parts.append(render_combination_insights(report.combination_insights))
+    if report.permutation_insights is not None:
+        parts.append(render_permutation_insights(report.permutation_insights))
+    parts.append(render_combination_counterfactual(report.top_down))
+    parts.append(render_combination_counterfactual(report.bottom_up))
+    if report.permutation_counterfactual is not None:
+        parts.append(
+            render_permutation_counterfactual(report.permutation_counterfactual)
+        )
+    if report.stability is not None:
+        parts.append(
+            f"stability={report.stability.stable_fraction:.6f}"
+            f"/{report.stability.num_permutations}"
+            f"/{report.stability.flip_tau}"
+        )
+    parts.append(render_optimal_permutations(report.optimal))
+    parts.append(f"llm_calls={report.llm_calls}")
+    return "\n".join(parts)
+
+
+def _latency_evaluation(backend, case, orderings):
+    """Wall-clock one batched evaluation round through ``backend``."""
+    llm = LatencyLLM(case.knowledge)
+    probe = Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(k=case.k),
+    )
+    context = probe.retrieve(case.query)
+    evaluator = ContextEvaluator(llm, context, backend=backend)
+    started = time.perf_counter()
+    evaluations = evaluator.evaluate_many(orderings)
+    elapsed = time.perf_counter() - started
+    return evaluations, elapsed, llm
+
+
+def _subset_orderings(case) -> list:
+    probe = Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(k=case.k),
+    )
+    context = probe.retrieve(case.query)
+    ids = context.doc_ids()
+    orderings = []
+    for mask in range(1, 2 ** len(ids)):
+        orderings.append(
+            tuple(doc for position, doc in enumerate(ids) if mask & (1 << position))
+        )
+    return orderings
+
+
+def test_e16_asyncio_beats_serial_on_latency_model():
+    """Acceptance shape: asyncio < serial wall-clock; answers identical."""
+    case = load_use_case("big_three")
+    orderings = _subset_orderings(case)  # 15 distinct subsets at k=4
+    rows = []
+    answers = {}
+    for spec in BACKEND_SPECS:
+        backend = make_backend(spec)
+        evaluations, elapsed, llm = _latency_evaluation(backend, case, orderings)
+        answers[spec] = [e.normalized_answer for e in evaluations]
+        rows.append(
+            {
+                "backend": spec,
+                "seconds": round(elapsed, 4),
+                "calls": llm.calls,
+                "max_inflight": llm.max_inflight,
+            }
+        )
+    print("\nE16 one evaluation round, latency-simulating model "
+          f"({len(orderings)} prompts x {LATENCY * 1000:.0f}ms):")
+    for row in rows:
+        print(
+            f"  {row['backend']:>10}  {row['seconds'] * 1000:>8.1f}ms  "
+            f"max_inflight={row['max_inflight']}"
+        )
+    by_spec = {row["backend"]: row for row in rows}
+    # Every backend evaluated the same prompts to the same answers.
+    assert answers["serial"] == answers["threaded:8"] == answers["asyncio"]
+    assert all(row["calls"] == len(orderings) for row in rows)
+    # Serial pays every wait sequentially; asyncio overlaps them all.
+    assert by_spec["asyncio"]["seconds"] < by_spec["serial"]["seconds"] / 2
+    assert by_spec["asyncio"]["max_inflight"] > 1
+    assert by_spec["serial"]["max_inflight"] == 1
+    # The thread pool overlaps up to its width.
+    assert by_spec["threaded:8"]["seconds"] < by_spec["serial"]["seconds"]
+    assert 1 < by_spec["threaded:8"]["max_inflight"] <= 8
+    out_path = os.environ.get("BENCH_E16_OUT")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump({"bench": "e16_exec_backends", "rows": rows}, handle, indent=2)
+
+
+def test_e16_asyncio_capacity_bounds_inflight():
+    """``asyncio:N`` keeps at most N calls in flight."""
+    case = load_use_case("big_three")
+    orderings = _subset_orderings(case)
+    _, _, llm = _latency_evaluation(AsyncioBackend(max_inflight=3), case, orderings)
+    assert 1 < llm.max_inflight <= 3
+
+
+def _engine(case, **config_kwargs):
+    defaults = dict(k=case.k, max_evaluations=4000)
+    defaults.update(config_kwargs)
+    return Rage.from_corpus(
+        case.corpus,
+        SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(**defaults),
+    )
+
+
+def test_e16_report_byte_identical_across_backends():
+    """Backends change execution only: explain() renders identically."""
+    case = load_use_case("big_three")
+    rendered = {}
+    for spec in BACKEND_SPECS:
+        rage = _engine(case, backend=spec)
+        rendered[spec] = _render_report(rage.explain(case.query))
+    assert rendered["serial"] == rendered["threaded:8"] == rendered["asyncio"]
+
+
+def test_e16_warm_disk_cache_zero_real_calls(tmp_path):
+    """A second process pays zero real LLM calls, byte-identical report."""
+    case = load_use_case("big_three")
+    cache_dir = str(tmp_path / "store")
+
+    def run_once():
+        counter = CountingLLM(SimulatedLLM(knowledge=case.knowledge))
+        rage = Rage.from_corpus(
+            case.corpus,
+            counter,
+            config=RageConfig(k=case.k, max_evaluations=4000, cache_dir=cache_dir),
+        )
+        report = rage.explain(case.query)
+        return _render_report(report), counter, rage
+
+    cold_text, cold_counter, cold_rage = run_once()
+    assert cold_counter.calls > 0
+    assert cold_rage.store.stats.writes == cold_counter.calls
+
+    warm_text, warm_counter, warm_rage = run_once()
+    print(
+        f"\nE16 disk store: cold={cold_counter.calls} real calls, "
+        f"warm={warm_counter.calls}, "
+        f"{warm_rage.store.stats.hits} disk hits"
+    )
+    assert warm_counter.calls == 0
+    assert warm_rage.store.stats.hits > 0
+    assert warm_text == cold_text
+
+
+def test_e16_wallclock_serial(benchmark):
+    case = load_use_case("big_three")
+    orderings = _subset_orderings(case)
+    benchmark(lambda: _latency_evaluation(SerialBackend(), case, orderings))
+
+
+def test_e16_wallclock_threaded(benchmark):
+    case = load_use_case("big_three")
+    orderings = _subset_orderings(case)
+    benchmark(lambda: _latency_evaluation(ThreadedBackend(8), case, orderings))
+
+
+def test_e16_wallclock_asyncio(benchmark):
+    case = load_use_case("big_three")
+    orderings = _subset_orderings(case)
+    benchmark(lambda: _latency_evaluation(AsyncioBackend(), case, orderings))

@@ -1,5 +1,13 @@
 """Setup shim: enables legacy editable installs in offline environments
 (no `wheel` package available for PEP 517 builds)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-rage",
+    version="1.0.0",
+    description="Reproduction of RAGE: Retrieval-Augmented LLM Explanations (ICDE 2024)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["rage=repro.app.cli:main"]},
+)

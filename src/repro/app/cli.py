@@ -66,6 +66,22 @@ def _build_parser() -> argparse.ArgumentParser:
             help="disable answer-implication plan pruning (evaluate every "
             "perturbation with a real LLM call)",
         )
+        p.add_argument(
+            "--backend",
+            default=None,
+            metavar="SPEC",
+            help="execution backend for evaluation batches: serial, "
+            "threaded[:N] (thread pool) or asyncio[:N] (event loop, "
+            "at most N calls in flight)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent generation store: content-addressed disk cache "
+            "shared across runs (a repeated report answers warm with zero "
+            "real LLM calls)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -120,6 +136,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print LLM-call and prompt-cache statistics after the report",
     )
 
+    p_cache = sub.add_parser(
+        "cache", help="administer a persistent generation store"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "clear", "path"),
+        help="stats: entries, bytes and lifetime hit rate; "
+        "clear: delete every entry; path: print the store directory",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the store directory (same value as report --cache-dir)",
+    )
+
     sub.add_parser("list", help="list the built-in use cases")
     sub.add_parser(
         "verify", help="re-check every paper narrative claim (PASS/FAIL table)"
@@ -138,11 +170,51 @@ def _session(args: argparse.Namespace) -> RageSession:
         overrides["batch_workers"] = args.workers
     if getattr(args, "no_prune", False):
         overrides["plan_pruning"] = False
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["cache_dir"] = args.cache_dir
     config: Optional[RageConfig] = RageConfig(**overrides)
     session = RageSession.for_use_case(case, config=config)
     if args.query:
         session.pose(args.query)
     return session
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``rage cache {stats,clear,path} --cache-dir DIR``."""
+    from pathlib import Path
+
+    from ..llm.store import PromptStore
+
+    root = Path(args.cache_dir).expanduser()
+    if args.action == "path":
+        print(root)
+        return 0
+    # Inspection must not create the directory it was asked to inspect
+    # (a typo'd --cache-dir should be flagged, not materialized).
+    if not root.is_dir():
+        print(f"error: no store directory at {root}", file=sys.stderr)
+        return 2
+    store = PromptStore(root)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    meta = store.read_meta()
+    lookups = meta.get("hits", 0) + meta.get("misses", 0)
+    hit_rate = meta.get("hits", 0) / lookups if lookups else 0.0
+    entries, nbytes = store.usage()
+    print(f"Store:    {store.root}")
+    print(f"Entries:  {entries}")
+    print(f"Bytes:    {nbytes}")
+    print(
+        f"Lifetime: {meta.get('hits', 0)} hits / {meta.get('misses', 0)} misses "
+        f"(hit rate {hit_rate:.2f}), {meta.get('writes', 0)} writes, "
+        f"{meta.get('evictions', 0)} evictions, "
+        f"{meta.get('corrupt', 0)} corrupt entries dropped"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -151,6 +223,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(args)
     except RageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Filesystem failures (an unwritable --cache-dir, a vanished
+        # store) follow the same exit-2 contract as config errors.
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -168,7 +245,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_checks(checks))
         return 0 if all(check.passed for check in checks) else 1
 
+    if args.command == "cache":
+        return _cache_command(args)
+
     session = _session(args)
+    try:
+        return _session_dispatch(args, session)
+    finally:
+        # Whatever the command, fold this session's disk-store traffic
+        # into the lifetime counters `rage cache stats` reports.
+        if session.rage.store is not None:
+            session.rage.store.persist_stats()
+
+
+def _session_dispatch(args: argparse.Namespace, session: RageSession) -> int:
     assert session.context is not None
 
     if args.command == "ask":
@@ -282,6 +372,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             from ..llm.cache import CachingLLM
 
             print(f"\nEvaluation stats: {report.llm_calls} LLM calls")
+            print(f"Backend: {session.rage.backend.name}")
             if report.plan_stats is not None:
                 stats = report.plan_stats
                 print(
@@ -297,6 +388,22 @@ def _dispatch(args: argparse.Namespace) -> int:
                     f"(hit rate {stats.hit_rate:.2f}); "
                     f"{stats.batches} batches covering {stats.batched_prompts} "
                     f"prompts, {stats.batched_misses} reached the model"
+                )
+            store = session.rage.store
+            if store is not None:
+                cold = store.stats.writes
+                warm = store.stats.hits
+                if warm and cold:
+                    run = "mixed"
+                elif warm:
+                    run = "warm"
+                else:
+                    run = "cold"
+                entries, nbytes = store.usage()
+                print(
+                    f"Disk store ({run} run): {store.stats.hits} hits served "
+                    f"from {store.root}, {cold} entries written; "
+                    f"{entries} entries, {nbytes} bytes on disk"
                 )
         return 0
 

@@ -26,8 +26,16 @@ from typing import Dict, List, Optional, Sequence
 
 from ..attention.positional import PositionPrior
 from ..errors import ConfigError
+from ..exec import (
+    DEFAULT_THREAD_WORKERS,
+    AsyncioBackend,
+    ExecutionBackend,
+    ThreadedBackend,
+    make_backend,
+)
 from ..llm.base import GenerationResult, LanguageModel
 from ..llm.cache import CachingLLM
+from ..llm.store import PromptStore
 from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
 from ..retrieval.bm25 import Scorer
 from ..retrieval.document import Corpus, Document
@@ -82,7 +90,21 @@ class RageConfig:
     batch_workers:
         Thread-pool width for batched evaluation when the LLM has no
         native ``generate_batch`` (useful for I/O-bound remote
-        backends); ``None`` keeps batch misses sequential.
+        backends); ``None`` keeps batch misses sequential.  Shorthand
+        for ``backend="threaded:N"``.
+    backend:
+        Execution-backend spec for every evaluation batch: ``serial``
+        (default), ``threaded[:N]`` (thread pool) or ``asyncio[:N]``
+        (event loop driving the LLM's async contract, at most ``N``
+        calls in flight).  See :mod:`repro.exec`.
+    cache_dir:
+        Directory for the content-addressed persistent generation
+        store (:class:`~repro.llm.store.PromptStore`).  The prompt
+        cache gains a write-through disk tier shared across processes:
+        a re-run report answers warm with zero real LLM calls.
+        Requires ``cache=True``.
+    cache_max_bytes:
+        LRU size cap for the persistent store; ``None`` = unbounded.
     search_batch_size:
         Un-memoized candidates per LLM batch inside the sequential
         counterfactual searches.  1 (default) is the paper's strictly
@@ -119,6 +141,9 @@ class RageConfig:
     expected_depth: float = 0.8
     cache: bool = True
     batch_workers: Optional[int] = None
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
     search_batch_size: int = 1
     plan_pruning: bool = True
     adaptive_search_batching: bool = False
@@ -132,6 +157,12 @@ class RageConfig:
             raise ConfigError("batch_workers must be >= 1 (or None)")
         if self.search_batch_size < 1:
             raise ConfigError("search_batch_size must be >= 1")
+        if self.cache_dir is not None and not self.cache:
+            raise ConfigError("cache_dir requires cache=True (the disk store "
+                              "is a tier of the prompt cache)")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ConfigError("cache_max_bytes must be >= 1 (or None)")
+        make_backend(self.backend, batch_workers=self.batch_workers)  # validate spec
 
 
 @dataclass
@@ -185,11 +216,37 @@ class Rage:
         self.config = config or RageConfig()
         self.index = index
         self.searcher = Searcher(index, scorer=retrieval_scorer)
-        self.llm: LanguageModel = (
-            CachingLLM(llm, batch_workers=self.config.batch_workers)
-            if self.config.cache
-            else llm
+        self.backend: ExecutionBackend = make_backend(
+            self.config.backend, batch_workers=self.config.batch_workers
         )
+        self.store: Optional[PromptStore] = (
+            PromptStore(self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
+            if self.config.cache_dir is not None
+            else None
+        )
+        if self.config.cache:
+            # The backend's capacity must survive the cache boundary:
+            # CachingLLM forwards only *misses* to the inner model, so
+            # the backend's concurrency bound is handed to the wrapper —
+            # threaded width as the pool size, and `capacity` as the
+            # in-flight bound for async-capable inner models (serial
+            # stays serial: capacity 1).  Explicit batch_workers wins.
+            inner_workers = self.config.batch_workers
+            if inner_workers is None and isinstance(self.backend, ThreadedBackend):
+                inner_workers = self.backend.max_workers
+            elif inner_workers is None and isinstance(self.backend, AsyncioBackend):
+                # Sync-only inner models still deserve the requested
+                # concurrency: the in-flight bound doubles as the
+                # thread-pool width for the miss batch.
+                inner_workers = self.backend.max_inflight or DEFAULT_THREAD_WORKERS
+            self.llm: LanguageModel = CachingLLM(
+                llm,
+                batch_workers=inner_workers,
+                max_inflight=self.backend.capacity,
+                store=self.store,
+            )
+        else:
+            self.llm = llm
         self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
 
     @classmethod
@@ -512,4 +569,5 @@ class Rage:
             context,
             self.prompt_builder,
             batch_workers=self.config.batch_workers,
+            backend=self.backend,
         )

@@ -7,12 +7,14 @@ unit the pruning benchmarks measure), and memoizes by ordered id tuple
 so re-visited perturbations are free.
 
 :meth:`ContextEvaluator.evaluate_many` is the batched entry point: it
-deduplicates the requested orderings, consults the memo, and dispatches
-only the misses — as a single batch — through
-:func:`repro.llm.base.batched_generate`, so backends with native batch
-inference see one call instead of hundreds.  ``llm_calls`` counts
-*misses only*, whichever entry point triggered them, making it the
-paper's LLM-call metric.
+deduplicates the requested orderings, consults the memo, and submits
+only the misses — as a single batch — through an
+:class:`~repro.exec.ExecutionBackend`, so batch execution policy
+(native batching, thread pools, asyncio) is decided in one place and
+every caller — evaluation plans, lattice probe rounds, candidate
+scans, counterfactual searches — inherits it without knowing.
+``llm_calls`` counts *misses only*, whichever entry point triggered
+them, making it the paper's LLM-call metric.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from typing import (
     Tuple,
 )
 
-from ..llm.base import GenerationResult, LanguageModel, batched_generate
+from ..exec import ExecutionBackend, make_backend
+from ..llm.base import GenerationResult, LanguageModel
 from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
 from ..textproc import normalize_answer
 from .context import Context
@@ -59,6 +62,12 @@ class ContextEvaluator:
         Optional thread-pool width for :meth:`evaluate_many` when the
         model has no native ``generate_batch`` — useful for I/O-bound
         backends (remote APIs), pointless for compute-bound ones.
+        Shorthand for ``backend=ThreadedBackend(batch_workers)``;
+        ignored when ``backend`` is given explicitly.
+    backend:
+        The :class:`~repro.exec.ExecutionBackend` every miss batch is
+        submitted through; ``None`` resolves the historical default
+        (threaded when ``batch_workers`` is set, else serial).
     """
 
     def __init__(
@@ -67,11 +76,15 @@ class ContextEvaluator:
         context: Context,
         prompt_builder: Optional[PromptBuilder] = None,
         batch_workers: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.llm = llm
         self.context = context
         self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
         self.batch_workers = batch_workers
+        self.backend = backend if backend is not None else make_backend(
+            None, batch_workers=batch_workers
+        )
         self._memo: Dict[Tuple[str, ...], Evaluation] = {}
         self._llm_calls = 0
 
@@ -104,10 +117,11 @@ class ContextEvaluator:
         """Evaluate many orderings, batching the memo misses.
 
         Duplicate orderings and memo hits cost nothing; the distinct
-        misses are rendered into prompts and dispatched as one batch.
-        Results align with ``orderings`` (one evaluation per entry, in
-        input order), and every result is memoized for later single
-        :meth:`evaluate` calls.
+        misses are rendered into prompts and submitted as one batch
+        through the execution backend.  Results align with
+        ``orderings`` (one evaluation per entry, in input order), and
+        every result is memoized for later single :meth:`evaluate`
+        calls.
         """
         keys = [tuple(ordering) for ordering in orderings]
         miss_order: List[Tuple[str, ...]] = []
@@ -124,9 +138,7 @@ class ContextEvaluator:
                 for key in miss_order
             ]
             self._llm_calls += len(miss_order)
-            results = batched_generate(
-                self.llm, prompts, max_workers=self.batch_workers
-            )
+            results = self.backend.run(self.llm, prompts)
             for key, result in zip(miss_order, results):
                 self._memoize(key, result)
         return [self._memo[key] for key in keys]

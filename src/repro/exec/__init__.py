@@ -1,0 +1,25 @@
+"""Execution layer: pluggable backends for running LLM call batches.
+
+See :mod:`repro.exec.backend` for the strategy catalogue; the
+evaluator (:class:`repro.core.evaluate.ContextEvaluator`) submits every
+batch through one of these, so explanation algorithms stay oblivious to
+how calls are executed.
+"""
+
+from .backend import (
+    DEFAULT_THREAD_WORKERS,
+    AsyncioBackend,
+    ExecutionBackend,
+    SerialBackend,
+    ThreadedBackend,
+    make_backend,
+)
+
+__all__ = [
+    "DEFAULT_THREAD_WORKERS",
+    "AsyncioBackend",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "make_backend",
+]

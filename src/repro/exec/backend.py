@@ -1,0 +1,242 @@
+"""Execution backends: *how* a batch of LLM calls runs.
+
+:func:`repro.llm.base.batched_generate` answers the per-call question —
+which entry point of one model to use.  An :class:`ExecutionBackend`
+answers the policy question one level up: given the misses of one
+evaluation round, run them serially, across a thread pool, or on an
+asyncio event loop, with an explicit capacity (maximum in-flight LLM
+calls).  :class:`~repro.core.evaluate.ContextEvaluator.evaluate_many`
+is the single choke point that submits through a backend, so every
+explanation algorithm — evaluation plans, lattice probe rounds,
+candidate scans, both counterfactual searches — inherits the chosen
+execution strategy without knowing it exists.
+
+Backends never change *what* is computed: answers are byte-identical
+across all of them (the models are deterministic and results realign
+with the input order); only wall-clock and resource usage differ.
+
+Choosing a backend
+------------------
+``serial``
+    One dispatch, no added concurrency.  The right default for
+    compute-bound in-process models (the simulated LLM, a local
+    transformer) whose native ``generate_batch`` already is the fastest
+    path.
+``threaded[:N]``
+    Up to ``N`` (default 8) concurrent ``generate`` calls on a thread
+    pool.  Wins only when the model
+    releases the GIL or waits on I/O (remote HTTP APIs); a native batch
+    entry point still takes precedence because it cannot be beaten by
+    re-slicing the same compute.
+``asyncio[:N]``
+    Drives the model's async contract (``agenerate_batch`` /
+    ``agenerate``) on an event loop, at most ``N`` calls in flight
+    (the :data:`~repro.llm.base.DEFAULT_MAX_INFLIGHT` safety cap when
+    omitted).  The scalable choice for async remote backends —
+    in-flight calls cost coroutines, not threads.
+
+:func:`make_backend` parses exactly those specs (CLI ``--backend`` and
+:class:`~repro.core.engine.RageConfig.backend` use it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..llm.base import (
+    DEFAULT_MAX_INFLIGHT,
+    GenerationResult,
+    LanguageModel,
+    abatched_generate,
+    batched_generate,
+    pooled_generate,
+    run_coroutine,
+)
+
+#: Thread-pool width when ``threaded`` is requested without a count.
+DEFAULT_THREAD_WORKERS = 8
+
+
+def _has_native_batch(model: LanguageModel) -> bool:
+    return callable(getattr(model, "generate_batch", None)) or callable(
+        getattr(model, "agenerate_batch", None)
+    )
+
+
+class ExecutionBackend:
+    """Strategy for executing one batch of prompts against one model.
+
+    Subclasses implement :meth:`run` (synchronous callers — the
+    evaluator) and may override :meth:`arun` (async callers — a future
+    serving layer); the default ``arun`` simply awaits nothing and
+    delegates, which is correct for backends that block anyway.
+
+    Attributes
+    ----------
+    name:
+        Spec-style identifier (``serial``, ``threaded:8``, ...).
+    capacity:
+        Maximum concurrent in-flight LLM calls this backend adds on top
+        of the model's own dispatch; ``None`` defers to the dispatch
+        layer's :data:`~repro.llm.base.DEFAULT_MAX_INFLIGHT` cap (and
+        is model-defined for native batches).
+    """
+
+    name: str = "abstract"
+    capacity: Optional[int] = 1
+
+    def run(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        """Execute ``prompts`` against ``model``; aligned results."""
+        raise NotImplementedError
+
+    async def arun(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        """Async entry point; defaults to the blocking :meth:`run`."""
+        return self.run(model, prompts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SerialBackend(ExecutionBackend):
+    """One dispatch, no added concurrency — the library's default.
+
+    A native (sync or async) batch entry point counts as the one
+    dispatch; otherwise prompts run strictly one ``generate`` at a
+    time.  Unlike bare :func:`~repro.llm.base.batched_generate` —
+    whose ladder happily fans per-prompt ``agenerate`` calls out on an
+    event loop — this backend *pins* capacity to 1, which is what makes
+    it the honest baseline the E16 benchmark compares against.
+    """
+
+    name = "serial"
+    capacity = 1
+
+    def run(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        if _has_native_batch(model):
+            return batched_generate(model, prompts)
+        return [model.generate(prompt) for prompt in prompts]
+
+
+class ThreadedBackend(ExecutionBackend):
+    """A thread pool of concurrent ``generate`` calls.
+
+    A native batch entry point still takes precedence (re-slicing the
+    same compute across threads cannot beat it, and for padded
+    transformer batches would regress); the pool engages exactly when
+    the model exposes only per-prompt calls, and is clamped to the
+    batch size so small batches stop spawning idle threads.
+    """
+
+    def __init__(self, max_workers: int = DEFAULT_THREAD_WORKERS) -> None:
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.name = f"threaded:{max_workers}"
+        self.capacity = max_workers
+
+    def run(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        if _has_native_batch(model):
+            return batched_generate(model, prompts, max_workers=self.max_workers)
+        return pooled_generate(model, prompts, self.max_workers)
+
+
+class AsyncioBackend(ExecutionBackend):
+    """Event-loop execution of the model's async contract.
+
+    Runs :func:`repro.llm.base.abatched_generate` (async-first dispatch:
+    native async batch, then sync batch off-loop, then an ``agenerate``
+    task group) with at most ``max_inflight`` calls in flight —
+    ``None`` applies the library's
+    :data:`~repro.llm.base.DEFAULT_MAX_INFLIGHT` safety cap rather
+    than unbounded fan-out.  A model exposing only sync ``generate``
+    still gets its concurrency: the bound doubles as the thread-pool
+    width, so ``asyncio:8`` never silently degrades to a sequential
+    loop.  Synchronous callers get a private event loop per batch via
+    :func:`repro.llm.base.run_coroutine`; async callers should use
+    :meth:`arun`, which awaits on *their* loop.
+    """
+
+    def __init__(self, max_inflight: Optional[int] = None) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1 (or None for the default cap), "
+                f"got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.name = "asyncio" if max_inflight is None else f"asyncio:{max_inflight}"
+        self.capacity = max_inflight
+
+    def _workers(self) -> int:
+        return self.max_inflight or DEFAULT_THREAD_WORKERS
+
+    def run(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        return list(
+            run_coroutine(
+                abatched_generate(
+                    model,
+                    prompts,
+                    max_workers=self._workers(),
+                    max_inflight=self.max_inflight,
+                )
+            )
+        )
+
+    async def arun(
+        self, model: LanguageModel, prompts: Sequence[str]
+    ) -> List[GenerationResult]:
+        return await abatched_generate(
+            model,
+            prompts,
+            max_workers=self._workers(),
+            max_inflight=self.max_inflight,
+        )
+
+
+def make_backend(
+    spec: Optional[str],
+    batch_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Build a backend from a spec string.
+
+    Specs: ``serial``, ``threaded``, ``threaded:N``, ``asyncio``,
+    ``asyncio:N``.  ``None`` resolves to the historical default —
+    :class:`ThreadedBackend` when ``batch_workers`` is set (the PR 1
+    ``--workers`` behavior), else :class:`SerialBackend`.
+    """
+    if spec is None:
+        if batch_workers is not None and batch_workers > 1:
+            return ThreadedBackend(batch_workers)
+        return SerialBackend()
+    head, sep, tail = spec.strip().partition(":")
+    count: Optional[int] = None
+    if sep and not tail:
+        raise ConfigError(f"invalid backend spec {spec!r}: empty count after ':'")
+    if tail:
+        try:
+            count = int(tail)
+        except ValueError:
+            raise ConfigError(f"invalid backend spec {spec!r}: {tail!r} is not an int")
+    if head == "serial":
+        if tail:
+            raise ConfigError(f"backend 'serial' takes no count, got {spec!r}")
+        return SerialBackend()
+    if head == "threaded":
+        return ThreadedBackend(
+            count if count is not None else (batch_workers or DEFAULT_THREAD_WORKERS)
+        )
+    if head == "asyncio":
+        return AsyncioBackend(max_inflight=count)
+    raise ConfigError(
+        f"unknown backend {spec!r} (expected serial, threaded[:N] or asyncio[:N])"
+    )

@@ -2,8 +2,18 @@
 and the deterministic simulated model (Llama-2-7B-chat substitute).
 """
 
-from .base import GenerationResult, LanguageModel, TokenUsage, batched_generate
+from .base import (
+    DispatchPath,
+    GenerationResult,
+    LanguageModel,
+    TokenUsage,
+    abatched_generate,
+    batched_generate,
+    resolve_dispatch,
+    run_coroutine,
+)
 from .cache import CacheStats, CachingLLM
+from .store import PromptStore, StoreStats, store_key
 from .extraction import Claim, ClaimExtractor, ClaimKind, split_sentences
 from .intents import (
     ENTITY_PATTERN,
@@ -18,12 +28,19 @@ from .scripted import ScriptedLLM
 from .simulated import SimulatedLLM, SimulatedLLMConfig
 
 __all__ = [
+    "DispatchPath",
     "GenerationResult",
     "LanguageModel",
     "TokenUsage",
+    "abatched_generate",
     "batched_generate",
+    "resolve_dispatch",
+    "run_coroutine",
     "CacheStats",
     "CachingLLM",
+    "PromptStore",
+    "StoreStats",
+    "store_key",
     "Claim",
     "ClaimExtractor",
     "ClaimKind",

@@ -11,36 +11,68 @@ be slotted in without touching the explanation code.
 The batching contract
 ---------------------
 Every RAGE explanation reduces to evaluating *many* prompts against the
-same model, so backends may additionally implement::
+same model, so backends may additionally implement any of::
 
     generate_batch(prompts: Sequence[str]) -> List[GenerationResult]
+    agenerate(prompt: str) -> Awaitable[GenerationResult]
+    agenerate_batch(prompts: Sequence[str]) -> Awaitable[List[GenerationResult]]
 
 with these guarantees, which all callers rely on:
 
 * **Alignment** — exactly one result per input prompt, in input order.
 * **Equivalence** — ``generate_batch(ps)[i].answer`` equals
-  ``generate(ps[i]).answer`` for deterministic models.  Auxiliary
+  ``generate(ps[i]).answer`` for deterministic models, and the async
+  entry points answer exactly as their sync counterparts.  Auxiliary
   fields are best-effort: a backend may omit per-token attention in
   batch mode when materializing it per prompt would negate the batching
   win (answers, usage and diagnostics must still be populated).
 * **No partial failure** — a backend either answers every prompt or
   raises; callers never receive a short list.
 
-``generate_batch`` is *optional*: :func:`batched_generate` is the
-single dispatch point that prefers a native batch implementation, falls
-back to an optional thread pool for backends that can overlap I/O
-(remote APIs), and otherwise degrades to a sequential loop.  Callers
-(e.g. :meth:`repro.core.evaluate.ContextEvaluator.evaluate_many`)
-should never probe for ``generate_batch`` themselves.
+All four non-``generate`` entry points are *optional*:
+:func:`resolve_dispatch` is the single resolver that inspects a model
+and picks the best execution strategy, in this canonical order:
+
+1. ``agenerate_batch`` — native async batch (remote APIs with their own
+   batching endpoint, async-aware caches).
+2. ``generate_batch`` — native sync batch (vectorized simulation,
+   padded transformer batches, cache partitioning).
+3. ``agenerate`` — an asyncio task group of per-prompt calls, bounded
+   by ``max_inflight``.
+4. A thread pool of concurrent ``generate`` calls — only useful for
+   backends that release the GIL or wait on I/O.
+5. A plain sequential loop.
+
+:func:`batched_generate` (sync callers) and :func:`abatched_generate`
+(async callers) both execute whatever the resolver picks; sync callers
+prefer a native sync batch over spinning an event loop when both exist
+(``prefer_sync=True``), which changes nothing observable — answers are
+identical either way.  Callers (e.g.
+:meth:`repro.core.evaluate.ContextEvaluator.evaluate_many`) should
+never probe for these methods themselves; execution-policy decisions
+beyond per-call dispatch (parallelism, capacity) belong to
+:mod:`repro.exec`.
 """
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from enum import Enum
+from typing import (
+    Coroutine,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..attention.model import AttentionTrace
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -98,38 +130,209 @@ class LanguageModel(Protocol):
         ...
 
 
+#: Concurrency cap applied to the per-prompt async task group when the
+#: caller does not pick its own ``max_inflight``.  Unbounded fan-out is
+#: never the default: a 4000-prompt plan batch against a remote API
+#: must not open 4000 simultaneous requests because nobody chose a
+#: bound.  Pick a larger (or smaller) bound explicitly where it
+#: matters — e.g. ``asyncio:1000``.
+DEFAULT_MAX_INFLIGHT = 64
+
+
+class DispatchPath(Enum):
+    """How a batch of prompts will be executed against a model.
+
+    Values order from most to least capable; :func:`resolve_dispatch`
+    picks the first one the model supports.
+    """
+
+    ASYNC_BATCH = "async-batch"
+    SYNC_BATCH = "sync-batch"
+    ASYNC_SINGLE = "async-single"
+    THREAD_POOL = "thread-pool"
+    SEQUENTIAL = "sequential"
+
+
+def resolve_dispatch(
+    model: LanguageModel,
+    max_workers: Optional[int] = None,
+    *,
+    prefer_sync: bool = False,
+) -> DispatchPath:
+    """Pick the execution strategy for batches against ``model``.
+
+    The canonical order is async-first (see the module docstring):
+    native async batch, native sync batch, per-prompt async task group,
+    thread pool (when ``max_workers > 1``), sequential loop.
+
+    ``prefer_sync=True`` — used by :func:`batched_generate`, whose
+    caller is synchronous anyway — swaps the first two rungs so a model
+    offering both batch entry points is driven without the overhead of
+    standing up an event loop.  Answers are identical on every path;
+    only the execution vehicle changes.
+    """
+    has_async_batch = callable(getattr(model, "agenerate_batch", None))
+    has_sync_batch = callable(getattr(model, "generate_batch", None))
+    if prefer_sync and has_sync_batch:
+        return DispatchPath.SYNC_BATCH
+    if has_async_batch:
+        return DispatchPath.ASYNC_BATCH
+    if has_sync_batch:
+        return DispatchPath.SYNC_BATCH
+    if callable(getattr(model, "agenerate", None)):
+        return DispatchPath.ASYNC_SINGLE
+    if max_workers is not None and max_workers > 1:
+        return DispatchPath.THREAD_POOL
+    return DispatchPath.SEQUENTIAL
+
+
+def run_coroutine(coroutine: Coroutine) -> object:
+    """Run a coroutine to completion from synchronous code.
+
+    ``asyncio.run`` refuses to nest inside a running event loop, so when
+    one is already running in this thread (a sync call made from inside
+    an async backend's worker) the coroutine is executed on a fresh loop
+    in a short-lived helper thread instead.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coroutine)
+    box: Dict[str, object] = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = asyncio.run(coroutine)
+        except BaseException as error:  # propagate to the caller's thread
+            box["error"] = error
+
+    thread = threading.Thread(target=runner, name="repro-run-coroutine")
+    thread.start()
+    thread.join()
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]
+
+
+def _check_alignment(
+    model: LanguageModel, prompts: Sequence[str], results: List[GenerationResult]
+) -> List[GenerationResult]:
+    if len(results) != len(prompts):
+        raise RuntimeError(
+            f"{model.name}: batch returned {len(results)} "
+            f"results for {len(prompts)} prompts"
+        )
+    return results
+
+
+def pooled_generate(
+    model: LanguageModel, prompts: Sequence[str], max_workers: int
+) -> List[GenerationResult]:
+    """Thread-pool map of ``generate`` over ``prompts``.
+
+    The one implementation of the thread-pool rung (the dispatch
+    ladder and :class:`repro.exec.ThreadedBackend` both call it): the
+    pool is clamped to ``min(max_workers, len(prompts))`` so small
+    batches stop spawning idle threads, and a single prompt (or width
+    1) never builds a pool at all.
+    """
+    workers = min(max_workers, len(prompts))
+    if workers <= 1:
+        return [model.generate(prompt) for prompt in prompts]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(model.generate, prompts))
+
+
+def _check_inflight(max_inflight: Optional[int]) -> int:
+    """Resolve the caller's bound: ``None`` = the safety cap, and a
+    nonsensical bound is an error — never silent unbounded fan-out."""
+    if max_inflight is None:
+        return DEFAULT_MAX_INFLIGHT
+    if max_inflight < 1:
+        raise ConfigError(
+            f"max_inflight must be >= 1 (or None for the default cap), "
+            f"got {max_inflight}"
+        )
+    return max_inflight
+
+
+async def abatched_generate(
+    model: LanguageModel,
+    prompts: Sequence[str],
+    max_workers: Optional[int] = None,
+    max_inflight: Optional[int] = None,
+) -> List[GenerationResult]:
+    """Async twin of :func:`batched_generate`.
+
+    Executes whatever :func:`resolve_dispatch` picks (async-first):
+    a native async batch is awaited directly; a native sync batch or a
+    sequential loop runs in a worker thread so the event loop stays
+    responsive; per-prompt ``agenerate`` calls run as one task group
+    bounded by ``max_inflight`` concurrent awaits (``None`` = the
+    :data:`DEFAULT_MAX_INFLIGHT` safety cap); the thread-pool rung
+    spreads ``generate`` calls over ``max_workers`` threads.  Results
+    are always aligned with ``prompts``.
+    """
+    if not prompts:
+        return []
+    max_inflight = _check_inflight(max_inflight)
+    path = resolve_dispatch(model, max_workers)
+    if path is DispatchPath.ASYNC_BATCH:
+        results = list(await model.agenerate_batch(prompts))  # type: ignore[attr-defined]
+        return _check_alignment(model, prompts, results)
+    if path is DispatchPath.SYNC_BATCH:
+        results = list(
+            await asyncio.to_thread(model.generate_batch, prompts)  # type: ignore[attr-defined]
+        )
+        return _check_alignment(model, prompts, results)
+    if path is DispatchPath.ASYNC_SINGLE:
+        gate = asyncio.Semaphore(max_inflight)
+
+        async def bounded(prompt: str) -> GenerationResult:
+            async with gate:
+                return await model.agenerate(prompt)  # type: ignore[attr-defined]
+
+        return list(await asyncio.gather(*(bounded(p) for p in prompts)))
+    if path is DispatchPath.THREAD_POOL:
+        assert max_workers is not None
+        return await asyncio.to_thread(pooled_generate, model, prompts, max_workers)
+    return await asyncio.to_thread(
+        lambda: [model.generate(prompt) for prompt in prompts]
+    )
+
+
 def batched_generate(
     model: LanguageModel,
     prompts: Sequence[str],
     max_workers: Optional[int] = None,
+    max_inflight: Optional[int] = None,
 ) -> List[GenerationResult]:
     """Evaluate ``prompts`` against ``model``, batching when possible.
 
-    Dispatch order (see the module docstring for the full contract):
-
-    1. The model's own ``generate_batch`` — true batched inference
-       (vectorized simulation, padded transformer batches, cache
-       partitioning).
-    2. A thread pool of ``max_workers`` concurrent ``generate`` calls —
-       only useful for backends that release the GIL or wait on I/O
-       (remote APIs); pass ``None``/``1`` for compute-bound models.
-    3. A plain sequential loop.
+    Synchronous entry point over the :func:`resolve_dispatch` ladder
+    (``prefer_sync=True``: a native sync batch wins over standing up an
+    event loop).  Async-only models are driven through
+    :func:`run_coroutine` with at most ``max_inflight`` concurrent
+    calls; the thread pool is clamped to ``min(max_workers,
+    len(prompts))`` so small batches stop spawning idle threads.
 
     Results are always aligned with ``prompts`` (one per prompt, input
     order), whatever the dispatch path.
     """
     if not prompts:
         return []
-    native = getattr(model, "generate_batch", None)
-    if callable(native):
-        results = list(native(prompts))
-        if len(results) != len(prompts):
-            raise RuntimeError(
-                f"{model.name}: generate_batch returned {len(results)} "
-                f"results for {len(prompts)} prompts"
+    path = resolve_dispatch(model, max_workers, prefer_sync=True)
+    if path is DispatchPath.SYNC_BATCH:
+        results = list(model.generate_batch(prompts))  # type: ignore[attr-defined]
+        return _check_alignment(model, prompts, results)
+    if path in (DispatchPath.ASYNC_BATCH, DispatchPath.ASYNC_SINGLE):
+        results = run_coroutine(
+            abatched_generate(
+                model, prompts, max_workers=max_workers, max_inflight=max_inflight
             )
-        return results
-    if max_workers is not None and max_workers > 1 and len(prompts) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(model.generate, prompts))
+        )
+        return _check_alignment(model, prompts, list(results))  # type: ignore[arg-type]
+    if path is DispatchPath.THREAD_POOL:
+        assert max_workers is not None
+        return pooled_generate(model, prompts, max_workers)
     return [model.generate(prompt) for prompt in prompts]

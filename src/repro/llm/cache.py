@@ -12,15 +12,42 @@ so an inner model's native batching is preserved), and reassembles the
 results in prompt order.  :class:`CacheStats` counts both the per-prompt
 hit/miss totals and the batch-level traffic, so benchmarks can report
 how much batching actually reached the model.
+
+Two tiers
+---------
+The in-memory dict is tier one.  Pass a
+:class:`~repro.llm.store.PromptStore` and it becomes the write-through
+second tier: every generated result is persisted, and a memory miss
+consults the disk before paying a real LLM call (a disk hit is promoted
+into memory and counted in ``stats.disk_hits`` as well as ``hits``).
+The store is keyed by the *inner* model's name, its optional
+``cache_params`` mapping (generation settings and other behavioural
+knobs the name does not encode — see
+:func:`repro.llm.store.store_key`), and the prompt, so any process
+pointed at the same directory shares the cache — repeated reports and
+benchmark reruns answer warm with zero real calls, while
+differently-configured models never serve each other's entries.
+
+The wrapper is also async-aware: :meth:`CachingLLM.agenerate` /
+:meth:`CachingLLM.agenerate_batch` run the identical hit/miss logic but
+await the wrapped model through
+:func:`repro.llm.base.abatched_generate`, so an async execution backend
+never blocks its event loop on the inner model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
-from .base import GenerationResult, LanguageModel, batched_generate
+from .base import (
+    GenerationResult,
+    LanguageModel,
+    abatched_generate,
+    batched_generate,
+)
+from .store import PromptStore
 
 
 @dataclass
@@ -28,7 +55,9 @@ class CacheStats:
     """Hit/miss counters for one :class:`CachingLLM` instance.
 
     ``hits``/``misses`` count individual prompts whichever entry point
-    served them; ``batches`` and ``batched_prompts`` additionally track
+    served them; ``disk_hits`` the subset of hits answered by the
+    persistent store rather than memory; ``batches`` and
+    ``batched_prompts`` additionally track
     :meth:`CachingLLM.generate_batch` traffic, and ``batched_misses``
     the prompts within those batches that actually reached the wrapped
     model (after deduplication).
@@ -36,6 +65,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
     batches: int = 0
     batched_prompts: int = 0
     batched_misses: int = 0
@@ -58,6 +88,25 @@ class CachingLLM:
 
     The wrapped model must be deterministic (the simulated model is);
     caching a sampling model would freeze one sample per prompt.
+
+    Parameters
+    ----------
+    model:
+        The wrapped model.
+    max_entries:
+        In-memory entry cap (FIFO eviction); ``None`` = unbounded.
+    batch_workers:
+        Forwarded to the dispatch of miss batches, so a non-batchable
+        I/O-bound backend still gets its thread pool behind the cache.
+    max_inflight:
+        Concurrency bound forwarded to miss dispatch whenever it lands
+        on an async rung (from either the sync or the async entry
+        points), so an execution backend's capacity survives the cache
+        boundary — a serial backend stays serial and an asyncio bound
+        stays bounded even when the *inner* model is async-capable;
+        ``None`` = unbounded.
+    store:
+        Optional persistent second tier (see the module docstring).
     """
 
     def __init__(
@@ -65,6 +114,8 @@ class CachingLLM:
         model: LanguageModel,
         max_entries: Optional[int] = None,
         batch_workers: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        store: Optional[PromptStore] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ConfigError(
@@ -74,12 +125,15 @@ class CachingLLM:
             raise ConfigError(
                 f"batch_workers must be >= 1 (or None), got {batch_workers}"
             )
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1 (or None), got {max_inflight}"
+            )
         self._model = model
         self._max_entries = max_entries
-        # Forwarded to batched_generate for the miss batch, so a
-        # non-batchable I/O-bound backend still gets its thread pool
-        # even behind the cache.
         self.batch_workers = batch_workers
+        self.max_inflight = max_inflight
+        self.store = store
         self._cache: Dict[str, GenerationResult] = {}
         self.stats = CacheStats()
 
@@ -94,23 +148,73 @@ class CachingLLM:
         return self._model
 
     def generate(self, prompt: str) -> GenerationResult:
-        """Serve from cache when possible, else delegate and remember."""
-        cached = self._cache.get(prompt)
+        """Serve from memory, then disk, else delegate and remember."""
+        params = self._store_params()
+        cached = self._lookup(prompt, params)
         if cached is not None:
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
         result = self._model.generate(prompt)
-        self._store(prompt, result)
+        self._store(prompt, result, params=params)
         return result
 
+    async def agenerate(self, prompt: str) -> GenerationResult:
+        """Async :meth:`generate` (identical tiers and accounting)."""
+        params = self._store_params()
+        cached = self._lookup(prompt, params)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        results = await abatched_generate(
+            self._model,
+            [prompt],
+            max_workers=self.batch_workers,
+            max_inflight=self.max_inflight,
+        )
+        self._store(prompt, results[0], params=params)
+        return results[0]
+
     def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
-        """Serve hits from cache, delegate distinct misses as one batch.
+        """Serve hits from the tiers, delegate distinct misses as one batch.
 
         Duplicate prompts within the batch reach the model once; the
         repeats are served from the freshly-filled cache and counted as
         hits, exactly as a second sequential call would be.
         """
+        params = self._store_params()
+        resolved, misses, miss_order = self._partition(prompts, params)
+        if miss_order:
+            generated = batched_generate(
+                self._model,
+                miss_order,
+                max_workers=self.batch_workers,
+                max_inflight=self.max_inflight,
+            )
+            self._absorb(resolved, miss_order, generated, params)
+        return self._assemble(prompts, resolved, misses)
+
+    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Async :meth:`generate_batch`: same partition, awaited misses."""
+        params = self._store_params()
+        resolved, misses, miss_order = self._partition(prompts, params)
+        if miss_order:
+            generated = await abatched_generate(
+                self._model,
+                miss_order,
+                max_workers=self.batch_workers,
+                max_inflight=self.max_inflight,
+            )
+            self._absorb(resolved, miss_order, generated, params)
+        return self._assemble(prompts, resolved, misses)
+
+    # -- the batch pipeline, shared by both entry points -------------------
+
+    def _partition(
+        self, prompts: Sequence[str], params: Optional[Dict[str, object]]
+    ) -> Tuple[Dict[str, GenerationResult], set, List[str]]:
+        """Split a batch into resolved hits and ordered distinct misses."""
         self.stats.batches += 1
         self.stats.batched_prompts += len(prompts)
         # Resolve eagerly: under a bounded cache the miss inserts below
@@ -121,20 +225,32 @@ class CachingLLM:
         for prompt in prompts:
             if prompt in resolved or prompt in misses:
                 continue
-            cached = self._cache.get(prompt)
+            cached = self._lookup(prompt, params)
             if cached is not None:
                 resolved[prompt] = cached
             else:
                 misses.add(prompt)
                 miss_order.append(prompt)
-        if miss_order:
-            generated = batched_generate(
-                self._model, miss_order, max_workers=self.batch_workers
-            )
-            self.stats.batched_misses += len(miss_order)
-            for prompt, result in zip(miss_order, generated):
-                self._store(prompt, result)
-                resolved[prompt] = result
+        return resolved, misses, miss_order
+
+    def _absorb(
+        self,
+        resolved: Dict[str, GenerationResult],
+        miss_order: List[str],
+        generated: Sequence[GenerationResult],
+        params: Optional[Dict[str, object]],
+    ) -> None:
+        self.stats.batched_misses += len(miss_order)
+        for prompt, result in zip(miss_order, generated):
+            self._store(prompt, result, params=params)
+            resolved[prompt] = result
+
+    def _assemble(
+        self,
+        prompts: Sequence[str],
+        resolved: Dict[str, GenerationResult],
+        misses: set,
+    ) -> List[GenerationResult]:
         charged: set = set()
         results: List[GenerationResult] = []
         for prompt in prompts:
@@ -146,7 +262,45 @@ class CachingLLM:
             results.append(resolved[prompt])
         return results
 
-    def _store(self, prompt: str, result: GenerationResult) -> None:
+    # -- tiers -------------------------------------------------------------
+
+    def _store_params(self) -> Optional[Dict[str, object]]:
+        """The inner model's persistent-cache identity, if it has one.
+
+        Re-read once per entry-point call (not per prompt): a model's
+        ``cache_params`` may legitimately change *between* calls (e.g.
+        :meth:`repro.llm.scripted.ScriptedLLM.record` grows the
+        script) and a stale identity would serve stale answers, but
+        within one batch it is frozen.
+        """
+        if self.store is None:
+            return None
+        raw = getattr(self._model, "cache_params", None)
+        return dict(raw) if raw else None
+
+    def _lookup(
+        self, prompt: str, params: Optional[Dict[str, object]]
+    ) -> Optional[GenerationResult]:
+        """Memory first, then the persistent tier (promoting its hits)."""
+        cached = self._cache.get(prompt)
+        if cached is not None:
+            return cached
+        if self.store is None:
+            return None
+        persisted = self.store.get(self._model.name, prompt, params)
+        if persisted is None:
+            return None
+        self.stats.disk_hits += 1
+        self._store(prompt, persisted, persist=False)
+        return persisted
+
+    def _store(
+        self,
+        prompt: str,
+        result: GenerationResult,
+        persist: bool = True,
+        params: Optional[Dict[str, object]] = None,
+    ) -> None:
         if (
             self._max_entries is not None
             and len(self._cache) >= self._max_entries
@@ -158,9 +312,11 @@ class CachingLLM:
             oldest = next(iter(self._cache))
             del self._cache[oldest]
         self._cache[prompt] = result
+        if persist and self.store is not None:
+            self.store.put(self._model.name, prompt, result, params)
 
     def clear(self) -> None:
-        """Empty the cache (stats are kept)."""
+        """Empty the in-memory tier (stats and the disk tier are kept)."""
         self._cache.clear()
 
     def __len__(self) -> int:

@@ -16,6 +16,8 @@ parametric and retrieved knowledge is exactly what the use cases probe.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional
 
@@ -65,14 +67,51 @@ class KnowledgeBase:
         facts: Optional[Iterable[KBFact]] = None,
         min_coverage: float = 0.5,
     ) -> None:
-        if not 0.0 < min_coverage <= 1.0:
-            raise ConfigError(f"min_coverage must be in (0, 1], got {min_coverage}")
-        self.min_coverage = min_coverage
         self._facts: List[KBFact] = list(facts or ())
+        self._fingerprint: Optional[str] = None
+        self.min_coverage = min_coverage  # via the validating setter
+
+    @property
+    def min_coverage(self) -> float:
+        """Coverage threshold a fact must reach to answer a question."""
+        return self._min_coverage
+
+    @min_coverage.setter
+    def min_coverage(self, value: float) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ConfigError(f"min_coverage must be in (0, 1], got {value}")
+        self._min_coverage = value
+        # The threshold is part of the persistent-cache identity.
+        self._fingerprint = None
 
     def add(self, fact: KBFact) -> None:
         """Register a fact."""
         self._facts.append(fact)
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Stable content digest of every fact plus the threshold.
+
+        Two knowledge bases answer identically iff their facts and
+        ``min_coverage`` match, so this is the knowledge component of a
+        model's persistent-cache identity
+        (:attr:`repro.llm.simulated.SimulatedLLM.cache_params`).
+        Insertion order is irrelevant.  Memoized — the disk-cache hot
+        path reads it per batch — and invalidated by :meth:`add`.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        facts = sorted(
+            (fact.intent.value, sorted(fact.topic_terms), fact.answer, fact.confidence)
+            for fact in self._facts
+        )
+        payload = json.dumps(
+            {"min_coverage": self.min_coverage, "facts": facts},
+            sort_keys=True,
+            ensure_ascii=False,
+        )
+        self._fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return self._fingerprint
 
     def add_fact(
         self,

@@ -17,6 +17,7 @@ unscripted.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .base import GenerationResult, TokenUsage
@@ -56,6 +57,31 @@ class ScriptedLLM:
         """Identifier for reports and cache keys."""
         return f"scripted-llm/{len(self.script)}-entries"
 
+    @property
+    def cache_params(self) -> Dict[str, object]:
+        """Persistent-cache identity: a digest of the script contents.
+
+        Two scripts of equal length answer differently, and ``name``
+        only carries the length.  ``answer_fn`` is arbitrary code and
+        contributes only its qualified name — replays that rely on an
+        ``answer_fn`` closure should not share one store directory
+        across differing closures.
+        """
+        digest = hashlib.sha256()
+        for key in sorted(self.script):
+            digest.update("\x1f".join(key).encode("utf-8"))
+            digest.update(b"\x1e")
+            digest.update(self.script[key].encode("utf-8"))
+        params: Dict[str, object] = {
+            "script": digest.hexdigest()[:16],
+            "default": self.default,
+        }
+        if self.answer_fn is not None:
+            params["answer_fn"] = getattr(
+                self.answer_fn, "__qualname__", repr(self.answer_fn)
+            )
+        return params
+
     def generate(self, prompt: str) -> GenerationResult:
         """Look the parsed context up in the script."""
         self.calls += 1
@@ -87,6 +113,14 @@ class ScriptedLLM:
         directly.
         """
         return [self.generate(prompt) for prompt in prompts]
+
+    async def agenerate(self, prompt: str) -> GenerationResult:
+        """Async :meth:`generate`: the script lookup is pure compute."""
+        return self.generate(prompt)
+
+    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Async :meth:`generate_batch` (call counting stays identical)."""
+        return self.generate_batch(prompts)
 
     def record(self, source_texts: Sequence[str], answer: str) -> None:
         """Add one (context -> answer) pair to the script."""

@@ -157,6 +157,23 @@ class SimulatedLLM:
         """Model identifier used in reports and cache keys."""
         return f"simulated-llm/{self.config.prior.value}-d{self.config.prior_depth}-s{self.seed}"
 
+    @property
+    def cache_params(self) -> Dict[str, object]:
+        """Persistent-cache identity beyond :attr:`name`.
+
+        ``name`` encodes prior/depth/seed only; every other behavioural
+        knob — the remaining config fields and the knowledge base —
+        also changes answers, so they must split the content-addressed
+        store (:mod:`repro.llm.store`) or differently-configured runs
+        would serve each other's entries.
+        """
+        params: Dict[str, object] = {
+            field_name: str(value)
+            for field_name, value in vars(self.config).items()
+        }
+        params["knowledge"] = self.knowledge.fingerprint()
+        return params
+
     # -- LanguageModel protocol -----------------------------------------
 
     def generate(self, prompt: str) -> GenerationResult:
@@ -184,6 +201,20 @@ class SimulatedLLM:
                 questions[parsed.question] = question
             results.append(self._answer_one(prompt, parsed, question))
         return results
+
+    async def agenerate(self, prompt: str) -> GenerationResult:
+        """Async :meth:`generate`.
+
+        The simulation is pure CPU-bound Python with no I/O to overlap,
+        so this answers inline — it exists so async callers (the
+        asyncio execution backend, async caching tiers) can drive the
+        simulated model through one uniform await-based contract.
+        """
+        return self.generate(prompt)
+
+    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Async :meth:`generate_batch` (same inline-compute rationale)."""
+        return self.generate_batch(prompts)
 
     def _answer_one(self, prompt: str, parsed, question: ParsedQuestion) -> GenerationResult:
         """Shared result construction for both generation entry points."""

@@ -1,0 +1,420 @@
+"""Content-addressed persistent store for LLM generations.
+
+:class:`~repro.llm.cache.CachingLLM` memoizes in memory only, so every
+process re-pays every LLM call: repeated reports, benchmark reruns and
+multi-process serving all start cold.  :class:`PromptStore` is the disk
+tier underneath it — a content-addressed map from
+
+    SHA-256(model name + prompt + generation params)
+
+to a serialized :class:`~repro.llm.base.GenerationResult`, designed so
+several processes can share one directory safely:
+
+* **Sharded layout** — entries live at ``<root>/<key[:2]>/<key>.json``
+  (256 shards), keeping directories small at millions of entries.
+* **Atomic writes** — each entry is written to a temporary file in its
+  shard and ``os.replace``-d into place, so readers never observe a
+  half-written entry and the last concurrent writer simply wins (both
+  wrote identical content: the key is the content address).
+* **Corruption tolerance** — a truncated, garbled or schema-mismatched
+  entry reads as a *miss* (and is deleted best-effort), never an
+  exception; a cache must degrade, not fail the explanation.
+* **LRU size cap** — with ``max_bytes`` set, reads refresh an entry's
+  mtime and writes evict least-recently-used entries until the store
+  fits.
+
+The store never talks to a model; :class:`CachingLLM` composes it as a
+write-through second tier, and the ``rage cache`` CLI administers it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..attention.model import AttentionTrace, TokenAttention
+from ..errors import ConfigError
+from .base import GenerationResult, TokenUsage
+
+#: Serialization schema version; bump on incompatible layout changes so
+#: old entries read as misses instead of mis-parsing.
+SCHEMA_VERSION = 1
+
+_META_NAME = "_meta.json"
+
+
+def store_key(
+    model_name: str,
+    prompt: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Content address: SHA-256 over model name, prompt and params.
+
+    ``params`` captures generation settings that change the answer for
+    the same prompt (temperature, max tokens, ...); backends whose
+    ``name`` already encodes their configuration — the simulated model
+    does — can leave it empty.  Keys are canonical: params are sorted,
+    so dict ordering never splits the cache.
+    """
+    payload = json.dumps(
+        {
+            "model": model_name,
+            "prompt": prompt,
+            "params": dict(sorted((params or {}).items(), key=lambda kv: kv[0])),
+        },
+        sort_keys=True,
+        ensure_ascii=False,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _encode_attention(trace: Optional[AttentionTrace]) -> Optional[Dict[str, object]]:
+    if trace is None:
+        return None
+    return {
+        "num_layers": trace.num_layers,
+        "num_heads": trace.num_heads,
+        "tokens": [
+            {
+                "token": entry.token,
+                "source_index": entry.source_index,
+                "values": [list(layer) for layer in entry.values],
+            }
+            for entry in trace.tokens
+        ],
+    }
+
+
+def _decode_attention(payload: Optional[Dict]) -> Optional[AttentionTrace]:
+    if payload is None:
+        return None
+    trace = AttentionTrace(
+        num_layers=int(payload["num_layers"]),
+        num_heads=int(payload["num_heads"]),
+    )
+    for entry in payload["tokens"]:
+        trace.tokens.append(
+            TokenAttention(
+                token=str(entry["token"]),
+                source_index=int(entry["source_index"]),
+                values=tuple(
+                    tuple(float(v) for v in layer) for layer in entry["values"]
+                ),
+            )
+        )
+    return trace
+
+
+def encode_result(result: GenerationResult) -> Dict[str, object]:
+    """JSON-safe payload for one generation (see :func:`decode_result`)."""
+    # Diagnostics are model-specific and informational; round-trip them
+    # through JSON with a string fallback so exotic values degrade to
+    # their repr instead of poisoning the entry.
+    diagnostics = json.loads(
+        json.dumps(result.diagnostics, ensure_ascii=False, default=str)
+    )
+    return {
+        "version": SCHEMA_VERSION,
+        "answer": result.answer,
+        "prompt": result.prompt,
+        "usage": asdict(result.usage),
+        "diagnostics": diagnostics,
+        "attention": _encode_attention(result.attention),
+    }
+
+
+def decode_result(payload: Dict) -> GenerationResult:
+    """Inverse of :func:`encode_result`; raises on any schema mismatch
+    (the store turns that into a miss)."""
+    if payload.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported store schema: {payload.get('version')!r}")
+    usage = payload["usage"]
+    return GenerationResult(
+        answer=str(payload["answer"]),
+        prompt=str(payload["prompt"]),
+        attention=_decode_attention(payload.get("attention")),
+        usage=TokenUsage(
+            prompt_tokens=int(usage["prompt_tokens"]),
+            completion_tokens=int(usage["completion_tokens"]),
+        ),
+        diagnostics=dict(payload.get("diagnostics") or {}),
+    )
+
+
+@dataclass
+class StoreStats:
+    """Session counters for one :class:`PromptStore` instance.
+
+    ``hits``/``misses`` count :meth:`PromptStore.get` outcomes;
+    ``corrupt`` the subset of misses caused by unreadable entries;
+    ``writes`` successful :meth:`PromptStore.put` calls and
+    ``write_errors`` the best-effort puts the filesystem refused;
+    ``evictions`` entries removed by the LRU size cap.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PromptStore:
+    """Content-addressed on-disk generation store (see module docstring).
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).
+    max_bytes:
+        LRU size cap over entry bytes; ``None`` = unbounded.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigError(
+                f"max_bytes must be >= 1 (or None for unbounded), got {max_bytes}"
+            )
+        self.root = Path(root).expanduser()
+        self.max_bytes = max_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+        self._persisted = StoreStats()
+        # Running byte estimate for the LRU cap: initialized by the
+        # first full walk, bumped per put, trued up on every eviction
+        # pass.  Overwrites of existing keys over-count, which at worst
+        # triggers an eviction scan early — never a wrong eviction.
+        self._approx_bytes: Optional[int] = None
+
+    # -- keyed access ------------------------------------------------------
+
+    def path_for(
+        self,
+        model_name: str,
+        prompt: str,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Where the entry for this (model, prompt, params) lives."""
+        key = store_key(model_name, prompt, params)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self,
+        model_name: str,
+        prompt: str,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> Optional[GenerationResult]:
+        """The stored generation, or ``None`` on miss/corruption."""
+        path = self.path_for(model_name, prompt, params)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = decode_result(json.loads(raw.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, AttributeError, UnicodeDecodeError):
+            # Truncated/garbled entry: a miss, not an error.  Drop it so
+            # the rewrite below heals the store.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # refresh recency for LRU eviction
+            except OSError:
+                pass
+        return result
+
+    def put(
+        self,
+        model_name: str,
+        prompt: str,
+        result: GenerationResult,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Write one generation atomically (idempotent: same key, same
+        content — concurrent writers race harmlessly).
+
+        Best-effort, like every other store operation: a full disk or a
+        read-only directory costs the entry (counted in
+        ``stats.write_errors``), never the explanation that produced
+        it.
+        """
+        path = self.path_for(model_name, prompt, params)
+        payload = json.dumps(
+            encode_result(result), ensure_ascii=False, sort_keys=True
+        ).encode("utf-8")
+        tmp_name: Optional[str] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=path.parent
+            )
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            self.stats.write_errors += 1
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return
+        self.stats.writes += 1
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes
+            else:
+                self._approx_bytes += len(payload)
+            if self._approx_bytes > self.max_bytes:
+                self._evict_to_cap()
+
+    # -- inventory ---------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Every committed entry file (tmp files and meta excluded)."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                if not path.name.startswith("."):
+                    yield path
+
+    def usage(self) -> tuple:
+        """``(entry_count, total_bytes)`` in a single walk."""
+        count = 0
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
+    @property
+    def entry_count(self) -> int:
+        """Number of committed entries on disk."""
+        return self.usage()[0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of committed entries on disk."""
+        return self.usage()[1]
+
+    def clear(self) -> int:
+        """Delete every entry (and the persisted meta); returns the
+        number of entries removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        try:
+            (self.root / _META_NAME).unlink()
+        except OSError:
+            pass
+        self._approx_bytes = 0
+        return removed
+
+    # -- LRU size cap ------------------------------------------------------
+
+    def _evict_to_cap(self) -> None:
+        """One full walk (only run when the running estimate crosses
+        the cap), evicting least-recently-used entries; the walk also
+        trues the estimate up, so overwrite over-counting self-heals."""
+        assert self.max_bytes is not None
+        sized: List[tuple] = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            sized.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        sized.sort()  # oldest mtime first = least recently used
+        for _, size, path in sized:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
+        self._approx_bytes = total
+
+    # -- cross-process stats -----------------------------------------------
+
+    def persist_stats(self) -> Dict[str, int]:
+        """Merge this session's lookup counters into ``<root>/_meta.json``.
+
+        The merged lifetime totals are returned (and are what ``rage
+        cache stats`` reports as the hit rate).  Deltas are tracked so
+        repeated calls never double-count; persistence is best-effort —
+        a read-modify-replace race with another process loses at most
+        the other session's delta, never corrupts the file.
+        """
+        meta = self.read_meta()
+        for field_name in (
+            "hits", "misses", "writes", "write_errors", "evictions", "corrupt"
+        ):
+            delta = getattr(self.stats, field_name) - getattr(
+                self._persisted, field_name
+            )
+            meta[field_name] = int(meta.get(field_name, 0)) + delta
+            setattr(self._persisted, field_name, getattr(self.stats, field_name))
+        path = self.root / _META_NAME
+        try:
+            descriptor, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=self.root
+            )
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except OSError:
+            pass
+        return meta
+
+    def read_meta(self) -> Dict[str, int]:
+        """Lifetime counters persisted by previous sessions (may be {})."""
+        try:
+            payload = json.loads((self.root / _META_NAME).read_text("utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        return {
+            key: int(value)
+            for key, value in payload.items()
+            if isinstance(value, (int, float))
+        }

@@ -17,6 +17,7 @@ exact calls a real model would receive.
 
 from __future__ import annotations
 
+import asyncio
 from typing import List, Optional, Sequence
 
 from ..attention.model import AttentionTrace, TokenAttention
@@ -122,6 +123,12 @@ class TransformersLLM:
         """Checkpoint identifier."""
         return f"transformers/{self.model_name}"
 
+    @property
+    def cache_params(self) -> dict:
+        """Persistent-cache identity: generation settings that change
+        the answer for the same checkpoint and prompt."""
+        return {"max_new_tokens": self.max_new_tokens}
+
     def generate(self, prompt: str) -> GenerationResult:
         """Tokenize, generate, decode, and expose per-source attention."""
         parsed = parse_prompt(prompt)  # validates the prompt contract
@@ -222,6 +229,16 @@ class TransformersLLM:
                 )
             )
         return results
+
+    async def agenerate(self, prompt: str) -> GenerationResult:
+        """Async :meth:`generate`: model inference runs in a worker
+        thread so an event loop driving many backends stays responsive
+        (HF generation holds the GIL only between kernel launches)."""
+        return await asyncio.to_thread(self.generate, prompt)
+
+    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Async :meth:`generate_batch`, off-loop for the same reason."""
+        return await asyncio.to_thread(self.generate_batch, list(prompts))
 
     def _attention_trace(self, parsed, prompt: str, output) -> Optional[AttentionTrace]:
         """Fold HF attention tensors into the library's trace structure.

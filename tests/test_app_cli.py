@@ -149,3 +149,106 @@ def test_no_prune_flag_round_trips_through_config(capsys, monkeypatch):
 def test_no_prune_accepted_by_other_commands(capsys):
     assert main(["ask", "--use-case", "big_three", "--no-prune"]) == 0
     assert "Answer:" in capsys.readouterr().out
+
+
+# -- execution backends and the persistent store ---------------------------
+
+
+def test_backend_flag_round_trips_through_config(capsys):
+    assert main(
+        ["report", "--use-case", "big_three", "--backend", "asyncio:8", "--stats"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Backend: asyncio:8" in out
+
+
+def test_backend_flag_rejects_bad_spec(capsys):
+    assert main(["ask", "--use-case", "big_three", "--backend", "warp"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_stats_cold_then_warm_store(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    assert main(
+        ["report", "--use-case", "big_three", "--cache-dir", cache_dir, "--stats"]
+    ) == 0
+    cold = capsys.readouterr().out
+    assert "Disk store (cold run):" in cold
+    assert "0 hits" in cold
+
+    assert main(
+        ["report", "--use-case", "big_three", "--cache-dir", cache_dir, "--stats"]
+    ) == 0
+    warm = capsys.readouterr().out
+    assert "Disk store (warm run):" in warm
+    assert "0 entries written" in warm
+
+    # The two runs must render the same explanation artifacts: strip the
+    # stats tail (cold/warm traffic legitimately differs) and compare.
+    strip = lambda text: text.split("\nEvaluation stats:")[0]
+    assert strip(cold) == strip(warm)
+
+
+def test_cache_path_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    assert main(["cache", "path", "--cache-dir", cache_dir]) == 0
+    assert cache_dir in capsys.readouterr().out
+
+    assert main(
+        ["report", "--use-case", "big_three", "--cache-dir", cache_dir]
+    ) == 0
+    capsys.readouterr()
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "cleared" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "Entries:  0" in capsys.readouterr().out
+
+
+def test_cache_stats_reports_lifetime_hit_rate(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    for _ in range(2):
+        assert main(
+            ["report", "--use-case", "big_three", "--cache-dir", cache_dir,
+             "--stats"]
+        ) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Store:" in out and "Bytes:" in out
+    assert "hit rate 0.50" in out  # cold run all misses, warm run all hits
+
+
+def test_lifetime_counters_persist_without_stats_flag(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    for _ in range(2):
+        assert main(
+            ["report", "--use-case", "big_three", "--cache-dir", cache_dir]
+        ) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate 0.50" in out  # stats persisted even without --stats
+
+
+def test_cache_stats_on_missing_dir_is_an_error(tmp_path, capsys):
+    missing = tmp_path / "nope"
+    assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert not missing.exists()  # inspection must not create the store
+
+
+def test_cache_clear_on_missing_dir_is_an_error(tmp_path, capsys):
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_store_oserror_follows_exit2_contract(monkeypatch, capsys):
+    import repro.core.engine as engine_mod
+
+    def refuse(*args, **kwargs):
+        raise PermissionError("read-only filesystem")
+
+    monkeypatch.setattr(engine_mod, "PromptStore", refuse)
+    code = main(["ask", "--use-case", "big_three", "--cache-dir", "/x"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

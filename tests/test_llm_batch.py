@@ -112,3 +112,39 @@ def test_scripted_batch_matches_sequential_and_counts_calls():
     batched = llm.generate_batch(prompts)
     assert [r.answer for r in batched] == [f"{i} sources" for i in range(4)]
     assert llm.calls == 4
+
+
+def test_thread_pool_clamped_to_batch_size(monkeypatch):
+    """Small batches must not spawn idle threads: the pool width is
+    min(max_workers, len(prompts))."""
+    import repro.llm.base as base
+
+    captured = []
+    real_pool = base.ThreadPoolExecutor
+
+    class SpyPool(real_pool):
+        def __init__(self, max_workers=None, **kwargs):
+            captured.append(max_workers)
+            super().__init__(max_workers=max_workers, **kwargs)
+
+    monkeypatch.setattr(base, "ThreadPoolExecutor", SpyPool)
+    model = LoopOnlyModel()
+    results = batched_generate(model, _prompts(2), max_workers=8)
+    assert len(results) == 2
+    assert captured == [2]
+
+    captured.clear()
+    batched_generate(LoopOnlyModel(), _prompts(6), max_workers=4)
+    assert captured == [4]
+
+
+def test_single_prompt_never_builds_a_pool(monkeypatch):
+    import repro.llm.base as base
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not be reached
+        raise AssertionError("no pool for a single prompt")
+
+    monkeypatch.setattr(base, "ThreadPoolExecutor", explode)
+    model = LoopOnlyModel()
+    results = batched_generate(model, _prompts(1), max_workers=8)
+    assert len(results) == 1

@@ -188,3 +188,130 @@ def test_cache_wraps_simulated_llm_transparently():
         ["Sam Baker won the pie contest trophy in 2015."],
     )
     assert cached.generate(prompt).answer == raw.generate(prompt).answer
+
+
+# -- the persistent second tier -------------------------------------------
+
+
+def test_disk_tier_write_through_and_promotion(tmp_path):
+    from repro.llm import PromptStore
+
+    store = PromptStore(tmp_path)
+    inner = CountingModel()
+    cached = CachingLLM(inner, store=store)
+    result = cached.generate("prompt one")
+    assert inner.calls == 1
+    assert store.stats.writes == 1  # write-through on the miss
+
+    # A fresh wrapper on the same store: the disk answers, the model
+    # is never touched, and the entry is promoted into memory.
+    revived = CachingLLM(CountingModel(), store=store)
+    warm = revived.generate("prompt one")
+    assert warm.answer == result.answer
+    assert revived.inner.calls == 0
+    assert revived.stats.disk_hits == 1
+    assert revived.stats.hits == 1
+    assert len(revived) == 1
+    # Second lookup is a pure memory hit — no further disk traffic.
+    lookups_before = store.stats.lookups
+    revived.generate("prompt one")
+    assert store.stats.lookups == lookups_before
+    assert revived.stats.disk_hits == 1
+
+
+def test_disk_tier_serves_batches(tmp_path):
+    from repro.llm import PromptStore
+
+    store = PromptStore(tmp_path)
+    first = CachingLLM(CountingModel(), store=store)
+    prompts = [f"prompt {i}" for i in range(4)]
+    expected = [r.answer for r in first.generate_batch(prompts)]
+    assert first.inner.calls == 4
+
+    second = CachingLLM(CountingModel(), store=store)
+    answers = [r.answer for r in second.generate_batch(prompts + prompts[:2])]
+    assert answers[:4] == expected
+    assert second.inner.calls == 0
+    assert second.stats.disk_hits == 4  # distinct prompts hit disk once each
+    assert second.stats.misses == 0
+
+
+def test_disk_tier_keys_on_inner_model_name(tmp_path):
+    from repro.llm import GenerationResult, PromptStore
+
+    class NamedModel(CountingModel):
+        def __init__(self, name):
+            super().__init__()
+            self._name = name
+
+        @property
+        def name(self):
+            return self._name
+
+        def generate(self, prompt):
+            self.calls += 1
+            return GenerationResult(answer=self._name, prompt=prompt)
+
+    store = PromptStore(tmp_path)
+    CachingLLM(NamedModel("model-a"), store=store).generate("p")
+    other = CachingLLM(NamedModel("model-b"), store=store)
+    assert other.generate("p").answer == "model-b"  # no cross-model bleed
+    assert other.inner.calls == 1
+
+
+def test_no_store_keeps_memory_only_behavior():
+    cached = CachingLLM(CountingModel())
+    cached.generate("p")
+    assert cached.store is None
+    assert cached.stats.disk_hits == 0
+
+
+def test_invalid_max_inflight_rejected():
+    from repro.errors import ConfigError as CE
+
+    with pytest.raises(CE):
+        CachingLLM(CountingModel(), max_inflight=0)
+
+
+def test_disk_tier_splits_on_cache_params(tmp_path):
+    """Models whose `name` hides behavioural knobs must not share
+    persistent entries: cache_params is part of the content address."""
+    from repro.llm import PromptStore, SimulatedLLM
+    from repro.llm.simulated import SimulatedLLMConfig
+
+    store = PromptStore(tmp_path)
+    mild = SimulatedLLM(config=SimulatedLLMConfig(recency_decay=0.8))
+    sharp = SimulatedLLM(config=SimulatedLLMConfig(recency_decay=0.2))
+    assert mild.name == sharp.name  # the name alone cannot tell them apart
+    assert mild.cache_params != sharp.cache_params
+
+    prompt = (
+        "Answer the question using only the numbered sources.\n\n"
+        "Sources:\n1. Roger Federer is widely considered the best player.\n\n"
+        "Question: Who is the best tennis player?\n\nAnswer:"
+    )
+    CachingLLM(mild, store=store).generate(prompt)
+    other = CachingLLM(sharp, store=store)
+    other.generate(prompt)
+    assert other.stats.disk_hits == 0  # no cross-configuration bleed
+    assert store.entry_count == 2
+
+
+def test_scripted_cache_params_track_recorded_answers():
+    from repro.llm import ScriptedLLM
+
+    llm = ScriptedLLM(script={("a",): "one"})
+    before = llm.cache_params
+    llm.record(["a"], "two")
+    assert llm.cache_params != before  # stale identity would serve stale answers
+
+
+def test_transformers_cache_params_include_generation_settings():
+    from repro.llm.transformers_adapter import TransformersLLM
+
+    def loader(model_name, device):
+        return object(), object()
+
+    short = TransformersLLM(max_new_tokens=8, loader=loader)
+    long = TransformersLLM(max_new_tokens=64, loader=loader)
+    assert short.cache_params != long.cache_params

@@ -91,3 +91,22 @@ def test_len_and_iter():
     kb.add_fact(QuestionIntent.FACTOID, "topic two", "b")
     assert len(kb) == 2
     assert {fact.answer for fact in kb} == {"a", "b"}
+
+
+def test_fingerprint_is_stable_memoized_and_invalidated():
+    from repro.llm import KBFact, KnowledgeBase, QuestionIntent
+
+    fact_a = KBFact(QuestionIntent.SUPERLATIVE, frozenset({"tennis"}), "Federer")
+    fact_b = KBFact(QuestionIntent.COUNT, frozenset({"titles"}), "4")
+    assert (
+        KnowledgeBase([fact_a, fact_b]).fingerprint()
+        == KnowledgeBase([fact_b, fact_a]).fingerprint()  # order-insensitive
+    )
+    kb = KnowledgeBase([fact_a])
+    first = kb.fingerprint()
+    assert kb.fingerprint() == first  # memoized
+    kb.add(fact_b)
+    assert kb.fingerprint() != first  # add() invalidates
+    changed = kb.fingerprint()
+    kb.min_coverage = 0.9
+    assert kb.fingerprint() != changed  # threshold is part of the identity
