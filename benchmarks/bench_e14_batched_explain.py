@@ -8,31 +8,11 @@ perturbation sets turns hundreds of one-prompt calls into a handful of
 batches; (3) wall-clock for the full report drops accordingly.
 """
 
+from fakes import CountingLLM
+
 from repro import Rage, RageConfig, SimulatedLLM
 from repro.datasets import load_use_case
 from repro.datasets.synthetic import make_superlative_world
-
-
-class CountingLLM:
-    """Counts every prompt that reaches the wrapped model."""
-
-    def __init__(self, inner):
-        self.inner = inner
-        self.calls = 0
-        self.batches = 0
-
-    @property
-    def name(self):
-        return f"counting({self.inner.name})"
-
-    def generate(self, prompt):
-        self.calls += 1
-        return self.inner.generate(prompt)
-
-    def generate_batch(self, prompts):
-        self.calls += len(prompts)
-        self.batches += 1
-        return self.inner.generate_batch(prompts)
 
 
 def _counting_engine(case, k, **kwargs):

@@ -30,6 +30,8 @@ import os
 
 import pytest
 
+from fakes import CountingLLM
+
 from repro import Rage, RageConfig, SimulatedLLM
 from repro.datasets import load_use_case
 from repro.datasets.synthetic import make_superlative_world, make_timeline_world
@@ -41,28 +43,6 @@ WORLD_SEED = 1
 #: the (flipless) permutation search costs both modes the same.
 EXPLAIN_KWARGS = dict(permutation_sample=40, stability_sample=40)
 MAX_EVALUATIONS = 48
-
-
-class CountingLLM:
-    """Counts every prompt that reaches the wrapped model."""
-
-    def __init__(self, inner):
-        self.inner = inner
-        self.calls = 0
-        self.batches = 0
-
-    @property
-    def name(self):
-        return f"counting({self.inner.name})"
-
-    def generate(self, prompt):
-        self.calls += 1
-        return self.inner.generate(prompt)
-
-    def generate_batch(self, prompts):
-        self.calls += len(prompts)
-        self.batches += 1
-        return self.inner.generate_batch(prompts)
 
 
 def _explain(world, k, plan_pruning, **overrides):

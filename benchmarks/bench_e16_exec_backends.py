@@ -19,11 +19,11 @@ Run with ``--benchmark-disable`` for the shape checks only; set
 
 from __future__ import annotations
 
-import asyncio
 import json
 import os
-import threading
 import time
+
+from fakes import CountingLLM, LatencyLLM
 
 from repro import Rage, RageConfig, SimulatedLLM
 from repro.core.evaluate import ContextEvaluator
@@ -41,81 +41,6 @@ from repro.viz.ascii import (
 #: noise cannot blur the shapes (serial pays it ~30x sequentially).
 LATENCY = 0.01
 BACKEND_SPECS = ("serial", "threaded:8", "asyncio")
-
-
-class LatencyLLM:
-    """A remote-API stand-in: deterministic answers behind a wait.
-
-    Deliberately exposes *only* per-prompt entry points (``generate`` /
-    ``agenerate``) so the execution backends are what differentiates a
-    batch: serial pays every wait in sequence, threads overlap up to
-    the pool width, and the event loop overlaps everything in flight.
-    """
-
-    def __init__(self, knowledge, latency: float = LATENCY) -> None:
-        self.inner = SimulatedLLM(knowledge=knowledge)
-        self.latency = latency
-        self.calls = 0
-        self.inflight = 0
-        self.max_inflight = 0
-        self._lock = threading.Lock()
-
-    @property
-    def name(self) -> str:
-        return f"latency({self.inner.name})"
-
-    def _enter(self) -> None:
-        with self._lock:
-            self.calls += 1
-            self.inflight += 1
-            self.max_inflight = max(self.max_inflight, self.inflight)
-
-    def _exit(self) -> None:
-        with self._lock:
-            self.inflight -= 1
-
-    def generate(self, prompt):
-        self._enter()
-        try:
-            time.sleep(self.latency)
-            return self.inner.generate(prompt)
-        finally:
-            self._exit()
-
-    async def agenerate(self, prompt):
-        self._enter()
-        try:
-            await asyncio.sleep(self.latency)
-            return self.inner.generate(prompt)
-        finally:
-            self._exit()
-
-
-class CountingLLM:
-    """Counts every prompt that reaches the wrapped model."""
-
-    def __init__(self, inner):
-        self.inner = inner
-        self.calls = 0
-
-    @property
-    def name(self):
-        # Mirror the inner identity (name AND cache_params below): the
-        # disk store keys on both, so the counting shim must be
-        # invisible to content addressing.
-        return self.inner.name
-
-    @property
-    def cache_params(self):
-        return getattr(self.inner, "cache_params", None)
-
-    def generate(self, prompt):
-        self.calls += 1
-        return self.inner.generate(prompt)
-
-    def generate_batch(self, prompts):
-        self.calls += len(prompts)
-        return self.inner.generate_batch(prompts)
 
 
 def _render_report(report) -> str:
@@ -143,7 +68,7 @@ def _render_report(report) -> str:
 
 def _latency_evaluation(backend, case, orderings):
     """Wall-clock one batched evaluation round through ``backend``."""
-    llm = LatencyLLM(case.knowledge)
+    llm = LatencyLLM(SimulatedLLM(knowledge=case.knowledge), latency=LATENCY)
     probe = Rage.from_corpus(
         case.corpus,
         SimulatedLLM(knowledge=case.knowledge),

@@ -8,10 +8,24 @@ asserted; wall-clock numbers come from pytest-benchmark.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro import Rage, RageConfig, SimulatedLLM
-from repro.datasets import load_use_case
+# The shared test doubles (fake HTTP server, counting/latency shims)
+# live under tests/fakes; make them importable as ``fakes`` here too.
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent / "tests")
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
+
+from fakes import network_guard  # noqa: E402
+
+from repro import Rage, RageConfig, SimulatedLLM  # noqa: E402
+from repro.datasets import load_use_case  # noqa: E402
+
+# Benchmarks are as hermetic as the tests: loopback only.
+network_guard.install()
 
 
 def engine_for(name: str, **config_kwargs) -> tuple:

@@ -27,6 +27,7 @@ from .core.engine import AskResult, Rage, RageConfig, RageReport
 from .core.scoring import RelevanceMethod
 from .errors import RageError
 from .llm.knowledge import KBFact, KnowledgeBase
+from .llm.remote import RemoteLLM
 from .llm.simulated import SimulatedLLM, SimulatedLLMConfig
 from .retrieval.document import Corpus, Document
 
@@ -46,6 +47,7 @@ __all__ = [
     "RageError",
     "KBFact",
     "KnowledgeBase",
+    "RemoteLLM",
     "SimulatedLLM",
     "SimulatedLLMConfig",
     "Corpus",

@@ -82,6 +82,52 @@ def _build_parser() -> argparse.ArgumentParser:
             "shared across runs (a repeated report answers warm with zero "
             "real LLM calls)",
         )
+        p.add_argument(
+            "--model",
+            default=None,
+            metavar="SPEC",
+            help="model to explain: 'simulated' (default; the deterministic "
+            "demo model) or 'remote:<provider>:<model>' for an HTTP "
+            "chat-completions endpoint (providers: openai, anthropic)",
+        )
+        p.add_argument(
+            "--base-url",
+            default=None,
+            metavar="URL",
+            help="remote endpoint root (default: the provider's public API); "
+            "point at a local gateway or fake server for hermetic runs",
+        )
+        p.add_argument(
+            "--api-key-env",
+            default=None,
+            metavar="VAR",
+            help="name of the environment variable holding the remote API key "
+            "(the key itself never appears on the command line)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-call deadline: a hung prompt fails that prompt instead "
+            "of stalling the batch (also the remote HTTP request timeout)",
+        )
+        p.add_argument(
+            "--rate",
+            type=float,
+            default=None,
+            metavar="RPS",
+            help="remote rate limit in requests/second (token bucket shared "
+            "across all concurrent calls)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="additional attempts after a retryable remote fault "
+            "(429/5xx/timeout/malformed body); default 3",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -174,6 +220,19 @@ def _session(args: argparse.Namespace) -> RageSession:
         overrides["backend"] = args.backend
     if getattr(args, "cache_dir", None) is not None:
         overrides["cache_dir"] = args.cache_dir
+    model_spec = getattr(args, "model", None)
+    if model_spec is not None and model_spec != "simulated":
+        overrides["model"] = model_spec
+    if getattr(args, "base_url", None) is not None:
+        overrides["base_url"] = args.base_url
+    if getattr(args, "api_key_env", None) is not None:
+        overrides["api_key_env"] = args.api_key_env
+    if getattr(args, "timeout", None) is not None:
+        overrides["request_timeout"] = args.timeout
+    if getattr(args, "rate", None) is not None:
+        overrides["rate_limit"] = args.rate
+    if getattr(args, "retries", None) is not None:
+        overrides["retries"] = args.retries
     config: Optional[RageConfig] = RageConfig(**overrides)
     session = RageSession.for_use_case(case, config=config)
     if args.query:
@@ -389,6 +448,12 @@ def _session_dispatch(args: argparse.Namespace, session: RageSession) -> int:
                     f"{stats.batches} batches covering {stats.batched_prompts} "
                     f"prompts, {stats.batched_misses} reached the model"
                 )
+            inner = llm.inner if isinstance(llm, CachingLLM) else llm
+            from ..llm.remote import RemoteLLM
+
+            if isinstance(inner, RemoteLLM):
+                for line in inner.usage_lines():
+                    print(line)
             store = session.rage.store
             if store is not None:
                 cold = store.stats.writes

@@ -45,8 +45,12 @@ class RageSession:
             if isinstance(name_or_case, str)
             else name_or_case
         )
-        llm = llm or SimulatedLLM(knowledge=case.knowledge)
         config = config or RageConfig(k=case.k)
+        if llm is None and config.model is None:
+            # No explicit model anywhere: the deterministic simulated
+            # LLM is the demo default.  With a remote spec in the
+            # config, llm stays None and the engine builds the adapter.
+            llm = SimulatedLLM(knowledge=case.knowledge)
         session = cls(Rage.from_corpus(case.corpus, llm, config=config))
         session.pose(case.query)
         return session

@@ -35,8 +35,10 @@ from ..exec import (
 )
 from ..llm.base import GenerationResult, LanguageModel
 from ..llm.cache import CachingLLM
+from ..llm.remote import RemoteLLM, parse_model_spec
 from ..llm.store import PromptStore
 from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
+from ..llm.transport import DEFAULT_TIMEOUT, RetryPolicy
 from ..retrieval.bm25 import Scorer
 from ..retrieval.document import Corpus, Document
 from ..retrieval.index import InvertedIndex
@@ -130,6 +132,44 @@ class RageConfig:
         transformer backends.  Off by default: the paper's search is
         strictly sequential and adaptive chunks may charge a few extra
         evaluations past the flip.
+    model:
+        Optional model spec for engine-built models.  ``None`` (the
+        default) means the caller hands :class:`Rage` an LLM instance;
+        ``"remote:<provider>:<model>"`` (e.g.
+        ``remote:openai:gpt-4o-mini``) makes the engine construct a
+        :class:`~repro.llm.remote.RemoteLLM` from the transport fields
+        below when no LLM is passed.
+    base_url:
+        Endpoint root for the remote model; ``None`` = the provider's
+        public API.  Point it at a local gateway or fake server for
+        hermetic runs.
+    api_key_env:
+        *Name* of the environment variable holding the API key (the
+        key itself never lives in a config); unset variable =
+        :class:`ConfigError` at engine construction.
+    request_timeout:
+        Per-call deadline in seconds, enforced at the innermost
+        dispatch layer only (never stacked): for an engine-built
+        remote model it is the per-HTTP-request timeout — each retry
+        attempt gets its own deadline, so the retry policy stays
+        reachable and total time is bounded by roughly
+        ``(retries + 1) * request_timeout + retry_budget``; for local
+        models it deadlines each dispatched call (through the cache
+        wrapper when ``cache=True``, else at the backend) — note a
+        model exposing only a native batch entry point is one call, so
+        the bound covers its whole miss batch.  ``None`` keeps the
+        historical wait-forever behavior for local models; remote
+        models then use the transport default.
+    rate_limit / rate_burst:
+        Token-bucket throttle for the remote model (requests/second and
+        burst), shared across all concurrent calls; ``None`` =
+        unthrottled.
+    retries:
+        Additional attempts after a failed remote request (429,
+        transient 5xx, timeout, malformed body); 0 = fail on first
+        fault.
+    retry_budget:
+        Cap on cumulative backoff sleep per request, seconds.
     """
 
     k: int = 10
@@ -147,6 +187,14 @@ class RageConfig:
     search_batch_size: int = 1
     plan_pruning: bool = True
     adaptive_search_batching: bool = False
+    model: Optional[str] = None
+    base_url: Optional[str] = None
+    api_key_env: Optional[str] = None
+    request_timeout: Optional[float] = None
+    rate_limit: Optional[float] = None
+    rate_burst: Optional[int] = None
+    retries: int = 3
+    retry_budget: float = 30.0
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -162,7 +210,77 @@ class RageConfig:
                               "is a tier of the prompt cache)")
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
             raise ConfigError("cache_max_bytes must be >= 1 (or None)")
-        make_backend(self.backend, batch_workers=self.batch_workers)  # validate spec
+        if self.model is not None:
+            parse_model_spec(self.model)  # validate the spec shape
+        else:
+            inert = [
+                name
+                for name, value in (
+                    ("base_url", self.base_url),
+                    ("api_key_env", self.api_key_env),
+                    ("rate_limit", self.rate_limit),
+                    ("rate_burst", self.rate_burst),
+                )
+                if value is not None
+            ]
+            if inert:
+                # Silently ignoring these would let a mistyped CLI run
+                # "succeed" against the simulated model while the user
+                # believes their endpoint was exercised.
+                raise ConfigError(
+                    f"{', '.join(inert)} only affect remote models; set "
+                    "model='remote:<provider>:<model>' (or drop them)"
+                )
+        if self.base_url is not None and not self.base_url.startswith(
+            ("http://", "https://")
+        ):
+            raise ConfigError(f"base_url must be http(s), got {self.base_url!r}")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ConfigError("request_timeout must be > 0 seconds (or None)")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ConfigError("rate_limit must be > 0 requests/sec (or None)")
+        if self.rate_burst is not None and self.rate_burst < 1:
+            raise ConfigError("rate_burst must be >= 1 (or None)")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_budget < 0:
+            raise ConfigError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        make_backend(
+            self.backend,
+            batch_workers=self.batch_workers,
+            timeout=self.request_timeout,
+        )  # validate spec
+
+
+def build_remote_llm(config: RageConfig) -> RemoteLLM:
+    """Construct the :class:`~repro.llm.remote.RemoteLLM` a config names.
+
+    Used by :class:`Rage` when no LLM instance is handed in; also the
+    one place the config's transport fields (timeout, rate, retries)
+    become a live policy stack.
+    """
+    if config.model is None:
+        raise ConfigError(
+            "no model to build: pass an LLM instance or set "
+            "RageConfig.model to a remote:<provider>:<model> spec"
+        )
+    provider, model_id = parse_model_spec(config.model)
+    return RemoteLLM(
+        provider,
+        model_id,
+        base_url=config.base_url,
+        api_key_env=config.api_key_env,
+        timeout=(
+            config.request_timeout
+            if config.request_timeout is not None
+            else DEFAULT_TIMEOUT
+        ),
+        rate_limit=config.rate_limit,
+        rate_burst=config.rate_burst,
+        retry=RetryPolicy(
+            max_attempts=config.retries + 1, budget=config.retry_budget
+        ),
+    )
 
 
 @dataclass
@@ -208,16 +326,38 @@ class Rage:
     def __init__(
         self,
         index: InvertedIndex,
-        llm: LanguageModel,
+        llm: Optional[LanguageModel] = None,
         config: Optional[RageConfig] = None,
         retrieval_scorer: Optional[Scorer] = None,
         prompt_builder: Optional[PromptBuilder] = None,
     ) -> None:
         self.config = config or RageConfig()
+        # The per-call deadline is enforced at exactly ONE layer — the
+        # innermost dispatch that still sees individual prompts:
+        #
+        # * engine-built remote models enforce it inside the transport
+        #   (per HTTP request, so retries/throttling stay reachable);
+        #   no dispatch-level deadline on top, or the first hung
+        #   request would consume the whole budget and the configured
+        #   retries could never run;
+        # * with the cache on, CachingLLM deadlines its *miss*
+        #   dispatch per-call; the backend must not re-apply the bound
+        #   or it would treat the wrapper's batch entry point as one
+        #   call and deadline the whole (healthy) batch;
+        # * only a cache-less local model leaves enforcement to the
+        #   backend itself.
+        dispatch_timeout = self.config.request_timeout
+        if llm is None:
+            # ``config.model`` names a remote endpoint the engine can
+            # build itself; every other model kind needs an instance.
+            llm = build_remote_llm(self.config)
+            dispatch_timeout = None
         self.index = index
         self.searcher = Searcher(index, scorer=retrieval_scorer)
         self.backend: ExecutionBackend = make_backend(
-            self.config.backend, batch_workers=self.config.batch_workers
+            self.config.backend,
+            batch_workers=self.config.batch_workers,
+            timeout=None if self.config.cache else dispatch_timeout,
         )
         self.store: Optional[PromptStore] = (
             PromptStore(self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
@@ -243,6 +383,7 @@ class Rage:
                 llm,
                 batch_workers=inner_workers,
                 max_inflight=self.backend.capacity,
+                timeout=dispatch_timeout,
                 store=self.store,
             )
         else:
@@ -253,11 +394,15 @@ class Rage:
     def from_corpus(
         cls,
         corpus: Corpus | Sequence[Document],
-        llm: LanguageModel,
+        llm: Optional[LanguageModel] = None,
         config: Optional[RageConfig] = None,
         retrieval_scorer: Optional[Scorer] = None,
     ) -> "Rage":
-        """Index a corpus and build the engine in one step."""
+        """Index a corpus and build the engine in one step.
+
+        ``llm=None`` builds the model from ``config.model`` (remote
+        specs only — see :func:`build_remote_llm`).
+        """
         index = InvertedIndex.build(corpus)
         return cls(index, llm, config=config, retrieval_scorer=retrieval_scorer)
 

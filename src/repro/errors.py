@@ -36,6 +36,45 @@ class GenerationError(RageError):
     """The language model failed to produce an answer."""
 
 
+class GenerationTimeoutError(GenerationError):
+    """A per-call deadline expired before the model answered.
+
+    ``prompts`` holds the prompt(s) that timed out; sibling calls in the
+    same batch are always driven to completion first, so the error
+    identifies exactly the hung work, never the whole batch.
+    """
+
+    def __init__(self, prompts, timeout: float) -> None:
+        self.prompts = tuple(prompts)
+        self.timeout = timeout
+        shown = self.prompts[0] if self.prompts else "?"
+        extra = f" (+{len(self.prompts) - 1} more)" if len(self.prompts) > 1 else ""
+        super().__init__(
+            f"generation exceeded {timeout}s for prompt {shown[:80]!r}{extra}"
+        )
+
+
+class TransportError(GenerationError):
+    """An HTTP transport failure the remote adapter could not recover."""
+
+
+class TransportTimeoutError(TransportError):
+    """A remote request exceeded its per-request timeout."""
+
+
+class HttpStatusError(TransportError):
+    """The remote endpoint answered with a non-success status."""
+
+    def __init__(self, status: int, message: str, retry_after=None) -> None:
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class MalformedResponseError(TransportError):
+    """The remote endpoint's body could not be parsed as a completion."""
+
+
 class SearchBudgetError(RageError):
     """A perturbation search was configured with a non-positive budget."""
 

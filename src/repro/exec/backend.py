@@ -52,10 +52,19 @@ from ..llm.base import (
     batched_generate,
     pooled_generate,
     run_coroutine,
+    sequential_generate,
 )
 
 #: Thread-pool width when ``threaded`` is requested without a count.
 DEFAULT_THREAD_WORKERS = 8
+
+
+def _check_timeout(timeout: Optional[float]) -> Optional[float]:
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(
+            f"timeout must be > 0 seconds (or None for no deadline), got {timeout}"
+        )
+    return timeout
 
 
 def _has_native_batch(model: LanguageModel) -> bool:
@@ -81,10 +90,17 @@ class ExecutionBackend:
         of the model's own dispatch; ``None`` defers to the dispatch
         layer's :data:`~repro.llm.base.DEFAULT_MAX_INFLIGHT` cap (and
         is model-defined for native batches).
+    timeout:
+        Optional per-call deadline (seconds) applied to every dispatch
+        this backend runs; a hung prompt fails *that prompt* (raised as
+        :class:`~repro.errors.GenerationTimeoutError` after its
+        siblings complete), never silently stalls the batch.  ``None``
+        (the default) preserves the historical wait-forever behavior.
     """
 
     name: str = "abstract"
     capacity: Optional[int] = 1
+    timeout: Optional[float] = None
 
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
@@ -116,12 +132,15 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
     capacity = 1
 
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.timeout = _check_timeout(timeout)
+
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
         if _has_native_batch(model):
-            return batched_generate(model, prompts)
-        return [model.generate(prompt) for prompt in prompts]
+            return batched_generate(model, prompts, timeout=self.timeout)
+        return sequential_generate(model, prompts, timeout=self.timeout)
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -134,19 +153,26 @@ class ThreadedBackend(ExecutionBackend):
     batch size so small batches stop spawning idle threads.
     """
 
-    def __init__(self, max_workers: int = DEFAULT_THREAD_WORKERS) -> None:
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_THREAD_WORKERS,
+        timeout: Optional[float] = None,
+    ) -> None:
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self.name = f"threaded:{max_workers}"
         self.capacity = max_workers
+        self.timeout = _check_timeout(timeout)
 
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
         if _has_native_batch(model):
-            return batched_generate(model, prompts, max_workers=self.max_workers)
-        return pooled_generate(model, prompts, self.max_workers)
+            return batched_generate(
+                model, prompts, max_workers=self.max_workers, timeout=self.timeout
+            )
+        return pooled_generate(model, prompts, self.max_workers, timeout=self.timeout)
 
 
 class AsyncioBackend(ExecutionBackend):
@@ -165,7 +191,11 @@ class AsyncioBackend(ExecutionBackend):
     :meth:`arun`, which awaits on *their* loop.
     """
 
-    def __init__(self, max_inflight: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ConfigError(
                 f"max_inflight must be >= 1 (or None for the default cap), "
@@ -174,6 +204,7 @@ class AsyncioBackend(ExecutionBackend):
         self.max_inflight = max_inflight
         self.name = "asyncio" if max_inflight is None else f"asyncio:{max_inflight}"
         self.capacity = max_inflight
+        self.timeout = _check_timeout(timeout)
 
     def _workers(self) -> int:
         return self.max_inflight or DEFAULT_THREAD_WORKERS
@@ -188,6 +219,7 @@ class AsyncioBackend(ExecutionBackend):
                     prompts,
                     max_workers=self._workers(),
                     max_inflight=self.max_inflight,
+                    timeout=self.timeout,
                 )
             )
         )
@@ -200,24 +232,27 @@ class AsyncioBackend(ExecutionBackend):
             prompts,
             max_workers=self._workers(),
             max_inflight=self.max_inflight,
+            timeout=self.timeout,
         )
 
 
 def make_backend(
     spec: Optional[str],
     batch_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> ExecutionBackend:
     """Build a backend from a spec string.
 
     Specs: ``serial``, ``threaded``, ``threaded:N``, ``asyncio``,
     ``asyncio:N``.  ``None`` resolves to the historical default —
     :class:`ThreadedBackend` when ``batch_workers`` is set (the PR 1
-    ``--workers`` behavior), else :class:`SerialBackend`.
+    ``--workers`` behavior), else :class:`SerialBackend`.  ``timeout``
+    is the per-call deadline applied to whichever backend results.
     """
     if spec is None:
         if batch_workers is not None and batch_workers > 1:
-            return ThreadedBackend(batch_workers)
-        return SerialBackend()
+            return ThreadedBackend(batch_workers, timeout=timeout)
+        return SerialBackend(timeout=timeout)
     head, sep, tail = spec.strip().partition(":")
     count: Optional[int] = None
     if sep and not tail:
@@ -230,13 +265,14 @@ def make_backend(
     if head == "serial":
         if tail:
             raise ConfigError(f"backend 'serial' takes no count, got {spec!r}")
-        return SerialBackend()
+        return SerialBackend(timeout=timeout)
     if head == "threaded":
         return ThreadedBackend(
-            count if count is not None else (batch_workers or DEFAULT_THREAD_WORKERS)
+            count if count is not None else (batch_workers or DEFAULT_THREAD_WORKERS),
+            timeout=timeout,
         )
     if head == "asyncio":
-        return AsyncioBackend(max_inflight=count)
+        return AsyncioBackend(max_inflight=count, timeout=timeout)
     raise ConfigError(
         f"unknown backend {spec!r} (expected serial, threaded[:N] or asyncio[:N])"
     )

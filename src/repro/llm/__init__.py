@@ -13,7 +13,17 @@ from .base import (
     run_coroutine,
 )
 from .cache import CacheStats, CachingLLM
+from .remote import RemoteLLM, UsageStats, parse_model_spec
 from .store import PromptStore, StoreStats, store_key
+from .transport import (
+    HttpClient,
+    HttpResponse,
+    HttpTransport,
+    RetryPolicy,
+    TokenBucket,
+    TransportStats,
+    UrllibTransport,
+)
 from .extraction import Claim, ClaimExtractor, ClaimKind, split_sentences
 from .intents import (
     ENTITY_PATTERN,
@@ -38,9 +48,19 @@ __all__ = [
     "run_coroutine",
     "CacheStats",
     "CachingLLM",
+    "RemoteLLM",
+    "UsageStats",
+    "parse_model_spec",
     "PromptStore",
     "StoreStats",
     "store_key",
+    "HttpClient",
+    "HttpResponse",
+    "HttpTransport",
+    "RetryPolicy",
+    "TokenBucket",
+    "TransportStats",
+    "UrllibTransport",
     "Claim",
     "ClaimExtractor",
     "ClaimKind",

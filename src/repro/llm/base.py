@@ -72,7 +72,7 @@ from typing import (
 )
 
 from ..attention.model import AttentionTrace
-from ..errors import ConfigError
+from ..errors import ConfigError, GenerationTimeoutError
 
 
 @dataclass(frozen=True)
@@ -225,8 +225,74 @@ def _check_alignment(
     return results
 
 
+def _run_with_deadline(thunk, prompts: Sequence[str], timeout: float):
+    """Run a blocking ``thunk`` with a hard deadline.
+
+    Python cannot kill a thread, so the call runs in a *daemon* helper
+    joined for ``timeout`` seconds: on expiry the caller gets
+    :class:`~repro.errors.GenerationTimeoutError` (naming ``prompts``)
+    immediately and the hung call is abandoned — being a daemon, it can
+    no longer block anything the caller waits on, including event-loop
+    shutdown.  This is the sync-model safety net; async models get
+    real cancellation via ``asyncio.wait_for`` instead.
+    """
+    box: Dict[str, object] = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = thunk()
+        except BaseException as error:  # surfaced in the caller's thread
+            box["error"] = error
+
+    thread = threading.Thread(target=runner, name="repro-deadline", daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise GenerationTimeoutError(prompts, timeout)
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]
+
+
+def _timed_generate(
+    model: LanguageModel, prompt: str, timeout: float
+) -> GenerationResult:
+    """One ``generate`` call under a per-call deadline."""
+    return _run_with_deadline(lambda: model.generate(prompt), [prompt], timeout)
+
+
+def sequential_generate(
+    model: LanguageModel,
+    prompts: Sequence[str],
+    timeout: Optional[float] = None,
+) -> List[GenerationResult]:
+    """Strictly sequential ``generate`` loop, optionally deadlined.
+
+    With a ``timeout``, each call gets its own deadline; a hung prompt
+    is recorded and the loop *keeps going*, so one stuck call fails
+    that prompt — raised as one
+    :class:`~repro.errors.GenerationTimeoutError` naming every expired
+    prompt after the rest of the batch completed — never the siblings.
+    """
+    if timeout is None:
+        return [model.generate(prompt) for prompt in prompts]
+    results: List[GenerationResult] = []
+    hung: List[str] = []
+    for prompt in prompts:
+        try:
+            results.append(_timed_generate(model, prompt, timeout))
+        except GenerationTimeoutError:
+            hung.append(prompt)
+    if hung:
+        raise GenerationTimeoutError(hung, timeout)
+    return results
+
+
 def pooled_generate(
-    model: LanguageModel, prompts: Sequence[str], max_workers: int
+    model: LanguageModel,
+    prompts: Sequence[str],
+    max_workers: int,
+    timeout: Optional[float] = None,
 ) -> List[GenerationResult]:
     """Thread-pool map of ``generate`` over ``prompts``.
 
@@ -235,12 +301,34 @@ def pooled_generate(
     pool is clamped to ``min(max_workers, len(prompts))`` so small
     batches stop spawning idle threads, and a single prompt (or width
     1) never builds a pool at all.
+
+    With a ``timeout``, each call gets its own deadline (measured from
+    its start, not from batch submission): expired prompts are
+    collected while their siblings run to completion, then raised as
+    one :class:`~repro.errors.GenerationTimeoutError`.
     """
     workers = min(max_workers, len(prompts))
     if workers <= 1:
-        return [model.generate(prompt) for prompt in prompts]
+        return sequential_generate(model, prompts, timeout=timeout)
+    if timeout is None:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(model.generate, prompts))
+    hung: List[str] = []
+    lock = threading.Lock()
+
+    def guarded(prompt: str) -> Optional[GenerationResult]:
+        try:
+            return _timed_generate(model, prompt, timeout)
+        except GenerationTimeoutError:
+            with lock:
+                hung.append(prompt)
+            return None
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(model.generate, prompts))
+        results = list(pool.map(guarded, prompts))
+    if hung:
+        raise GenerationTimeoutError(hung, timeout)
+    return [result for result in results if result is not None]
 
 
 def _check_inflight(max_inflight: Optional[int]) -> int:
@@ -261,6 +349,7 @@ async def abatched_generate(
     prompts: Sequence[str],
     max_workers: Optional[int] = None,
     max_inflight: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[GenerationResult]:
     """Async twin of :func:`batched_generate`.
 
@@ -272,33 +361,80 @@ async def abatched_generate(
     :data:`DEFAULT_MAX_INFLIGHT` safety cap); the thread-pool rung
     spreads ``generate`` calls over ``max_workers`` threads.  Results
     are always aligned with ``prompts``.
+
+    ``timeout`` is a **per-call** deadline (seconds): on the per-prompt
+    rungs a hung prompt is cancelled (async) or abandoned (sync) while
+    its siblings run to completion, then surfaced as one
+    :class:`~repro.errors.GenerationTimeoutError` naming exactly the
+    expired prompts.  A native batch entry point is a single call and
+    gets the deadline as a whole-batch bound — per-prompt enforcement
+    requires per-prompt dispatch.
     """
     if not prompts:
         return []
     max_inflight = _check_inflight(max_inflight)
     path = resolve_dispatch(model, max_workers)
     if path is DispatchPath.ASYNC_BATCH:
-        results = list(await model.agenerate_batch(prompts))  # type: ignore[attr-defined]
+        call = model.agenerate_batch(prompts)  # type: ignore[attr-defined]
+        if timeout is not None:
+            try:
+                results = list(await asyncio.wait_for(call, timeout))
+            except asyncio.TimeoutError:
+                raise GenerationTimeoutError(prompts, timeout) from None
+        else:
+            results = list(await call)
         return _check_alignment(model, prompts, results)
     if path is DispatchPath.SYNC_BATCH:
-        results = list(
-            await asyncio.to_thread(model.generate_batch, prompts)  # type: ignore[attr-defined]
-        )
+        if timeout is not None:
+            # Not wait_for(to_thread(...)): abandoning a to_thread call
+            # leaves its worker blocked in the loop's default executor,
+            # and loop shutdown joins those workers — the "timed out"
+            # caller would hang on exit anyway.  _timed_batch parks the
+            # hung call on a disposable daemon thread instead, so the
+            # executor worker is released within the deadline.
+            results = list(
+                await asyncio.to_thread(_timed_batch, model, prompts, timeout)
+            )
+        else:
+            results = list(
+                await asyncio.to_thread(model.generate_batch, prompts)  # type: ignore[attr-defined]
+            )
         return _check_alignment(model, prompts, results)
     if path is DispatchPath.ASYNC_SINGLE:
         gate = asyncio.Semaphore(max_inflight)
 
         async def bounded(prompt: str) -> GenerationResult:
             async with gate:
-                return await model.agenerate(prompt)  # type: ignore[attr-defined]
+                call = model.agenerate(prompt)  # type: ignore[attr-defined]
+                if timeout is None:
+                    return await call
+                return await asyncio.wait_for(call, timeout)
 
-        return list(await asyncio.gather(*(bounded(p) for p in prompts)))
+        if timeout is None:
+            return list(await asyncio.gather(*(bounded(p) for p in prompts)))
+        # Siblings always finish: gather with exceptions captured, then
+        # fold the timeouts into one error naming the hung prompts.
+        outcomes = await asyncio.gather(
+            *(bounded(p) for p in prompts), return_exceptions=True
+        )
+        hung: List[str] = []
+        results = []
+        for prompt, outcome in zip(prompts, outcomes):
+            if isinstance(outcome, asyncio.TimeoutError):
+                hung.append(prompt)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                results.append(outcome)
+        if hung:
+            raise GenerationTimeoutError(hung, timeout)
+        return results
     if path is DispatchPath.THREAD_POOL:
         assert max_workers is not None
-        return await asyncio.to_thread(pooled_generate, model, prompts, max_workers)
-    return await asyncio.to_thread(
-        lambda: [model.generate(prompt) for prompt in prompts]
-    )
+        return await asyncio.to_thread(
+            pooled_generate, model, prompts, max_workers, timeout
+        )
+    return await asyncio.to_thread(sequential_generate, model, prompts, timeout)
 
 
 def batched_generate(
@@ -306,6 +442,7 @@ def batched_generate(
     prompts: Sequence[str],
     max_workers: Optional[int] = None,
     max_inflight: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[GenerationResult]:
     """Evaluate ``prompts`` against ``model``, batching when possible.
 
@@ -317,22 +454,43 @@ def batched_generate(
     len(prompts))`` so small batches stop spawning idle threads.
 
     Results are always aligned with ``prompts`` (one per prompt, input
-    order), whatever the dispatch path.
+    order), whatever the dispatch path.  ``timeout`` deadlines each
+    call (see :func:`abatched_generate` for the exact per-rung
+    semantics; a native sync batch is one call and gets it as a
+    whole-batch bound).
     """
     if not prompts:
         return []
     path = resolve_dispatch(model, max_workers, prefer_sync=True)
     if path is DispatchPath.SYNC_BATCH:
-        results = list(model.generate_batch(prompts))  # type: ignore[attr-defined]
-        return _check_alignment(model, prompts, results)
+        if timeout is not None:
+            batch = _timed_batch(model, prompts, timeout)
+        else:
+            batch = list(model.generate_batch(prompts))  # type: ignore[attr-defined]
+        return _check_alignment(model, prompts, batch)
     if path in (DispatchPath.ASYNC_BATCH, DispatchPath.ASYNC_SINGLE):
         results = run_coroutine(
             abatched_generate(
-                model, prompts, max_workers=max_workers, max_inflight=max_inflight
+                model,
+                prompts,
+                max_workers=max_workers,
+                max_inflight=max_inflight,
+                timeout=timeout,
             )
         )
         return _check_alignment(model, prompts, list(results))  # type: ignore[arg-type]
     if path is DispatchPath.THREAD_POOL:
         assert max_workers is not None
-        return pooled_generate(model, prompts, max_workers)
-    return [model.generate(prompt) for prompt in prompts]
+        return pooled_generate(model, prompts, max_workers, timeout=timeout)
+    return sequential_generate(model, prompts, timeout=timeout)
+
+
+def _timed_batch(
+    model: LanguageModel, prompts: Sequence[str], timeout: float
+) -> List[GenerationResult]:
+    """One native sync-batch call under a whole-batch deadline."""
+    return _run_with_deadline(
+        lambda: list(model.generate_batch(prompts)),  # type: ignore[attr-defined]
+        prompts,
+        timeout,
+    )

@@ -46,6 +46,7 @@ from .base import (
     LanguageModel,
     abatched_generate,
     batched_generate,
+    sequential_generate,
 )
 from .store import PromptStore
 
@@ -105,6 +106,10 @@ class CachingLLM:
         boundary — a serial backend stays serial and an asyncio bound
         stays bounded even when the *inner* model is async-capable;
         ``None`` = unbounded.
+    timeout:
+        Per-call deadline (seconds) forwarded to miss dispatch, so an
+        execution backend's timeout also survives the cache boundary
+        (hits are free and never deadlined); ``None`` = no deadline.
     store:
         Optional persistent second tier (see the module docstring).
     """
@@ -115,6 +120,7 @@ class CachingLLM:
         max_entries: Optional[int] = None,
         batch_workers: Optional[int] = None,
         max_inflight: Optional[int] = None,
+        timeout: Optional[float] = None,
         store: Optional[PromptStore] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
@@ -129,10 +135,15 @@ class CachingLLM:
             raise ConfigError(
                 f"max_inflight must be >= 1 (or None), got {max_inflight}"
             )
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(
+                f"timeout must be > 0 seconds (or None), got {timeout}"
+            )
         self._model = model
         self._max_entries = max_entries
         self.batch_workers = batch_workers
         self.max_inflight = max_inflight
+        self.timeout = timeout
         self.store = store
         self._cache: Dict[str, GenerationResult] = {}
         self.stats = CacheStats()
@@ -155,7 +166,12 @@ class CachingLLM:
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
-        result = self._model.generate(prompt)
+        if self.timeout is not None:
+            result = sequential_generate(
+                self._model, [prompt], timeout=self.timeout
+            )[0]
+        else:
+            result = self._model.generate(prompt)
         self._store(prompt, result, params=params)
         return result
 
@@ -172,6 +188,7 @@ class CachingLLM:
             [prompt],
             max_workers=self.batch_workers,
             max_inflight=self.max_inflight,
+            timeout=self.timeout,
         )
         self._store(prompt, results[0], params=params)
         return results[0]
@@ -191,6 +208,7 @@ class CachingLLM:
                 miss_order,
                 max_workers=self.batch_workers,
                 max_inflight=self.max_inflight,
+                timeout=self.timeout,
             )
             self._absorb(resolved, miss_order, generated, params)
         return self._assemble(prompts, resolved, misses)
@@ -205,6 +223,7 @@ class CachingLLM:
                 miss_order,
                 max_workers=self.batch_workers,
                 max_inflight=self.max_inflight,
+                timeout=self.timeout,
             )
             self._absorb(resolved, miss_order, generated, params)
         return self._assemble(prompts, resolved, misses)

@@ -1,0 +1,487 @@
+"""HTTP transport for remote LLM adapters: the part that can fail.
+
+:class:`~repro.llm.remote.RemoteLLM` turns prompts into provider
+payloads; everything below that — sockets, timeouts, throttling,
+retries — lives here, behind :class:`HttpClient`, so the adapter stays
+a pure payload builder/parser and every transport policy is testable
+against an in-process fake server without a network.
+
+The pieces compose bottom-up:
+
+:class:`HttpTransport` / :class:`UrllibTransport`
+    One HTTP exchange.  The stdlib implementation drives
+    ``urllib.request`` with a **per-request timeout** (connect and
+    socket reads); the async entry point off-loads the blocking call to
+    a worker thread so an event loop multiplexes many requests without
+    a third-party client.  Non-2xx responses are returned (not raised)
+    so the retry layer can read status and ``Retry-After``; only
+    socket-level failures raise (:class:`~repro.errors.TransportError`
+    and its :class:`~repro.errors.TransportTimeoutError` subclass).
+
+:class:`TokenBucket`
+    A fair rate limiter shared across concurrent calls — threads and
+    event-loop tasks alike.  Arrivals *reserve* their slot under one
+    lock (the bucket may go negative, which is exactly what makes the
+    queue FIFO: later arrivals compute strictly later slots), then
+    sleep outside it, so admissions never exceed
+    ``burst + rate * window`` in any window.
+
+:class:`RetryPolicy`
+    Exponential backoff with bounded multiplicative growth, a hard
+    per-delay cap, uniform jitter, a cumulative **sleep budget**, and
+    ``Retry-After`` compliance (the server's number wins over the
+    schedule, but never the budget).  429 and transient 5xx statuses
+    retry; other 4xx fail immediately.
+
+:class:`HttpClient`
+    The retry loop over all of the above: throttle, exchange, classify,
+    back off, repeat — returning parsed JSON.  Invalid JSON and
+    truncated bodies count as transient transport faults (a glitch, not
+    a contract violation) and retry like a 503; a schema-valid body
+    with unexpected *content* is the adapter's problem, not ours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Mapping, Optional
+
+from ..errors import (
+    ConfigError,
+    HttpStatusError,
+    MalformedResponseError,
+    TransportError,
+    TransportTimeoutError,
+)
+
+#: Default per-request timeout (seconds) when the caller picks none.
+DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP exchange's outcome (any status; headers lower-cased)."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def json(self) -> Dict[str, object]:
+        """The body parsed as a JSON object.
+
+        Raises :class:`~repro.errors.MalformedResponseError` on invalid
+        or truncated JSON, and on valid JSON that is not an object —
+        the only body shape a chat-completions endpoint may answer.
+        """
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise MalformedResponseError(
+                f"unparseable response body ({error}): {self.body[:120]!r}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise MalformedResponseError(
+                f"expected a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    def retry_after(self) -> Optional[float]:
+        """The ``Retry-After`` header in seconds, if present and sane.
+
+        Only the delta-seconds form is honored; an HTTP-date (or
+        garbage) reads as ``None`` so the backoff schedule applies.
+        """
+        raw = self.headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            value = float(raw.strip())
+        except ValueError:
+            return None
+        return value if value >= 0 else None
+
+
+class HttpTransport:
+    """One HTTP exchange; subclasses supply the actual I/O.
+
+    ``request`` returns an :class:`HttpResponse` for *every* status the
+    server produced (the retry layer decides what a 429 means) and
+    raises :class:`~repro.errors.TransportError` /
+    :class:`~repro.errors.TransportTimeoutError` only when no response
+    exists at all.
+    """
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str],
+        body: Optional[bytes],
+        timeout: float,
+    ) -> HttpResponse:
+        raise NotImplementedError
+
+    async def arequest(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str],
+        body: Optional[bytes],
+        timeout: float,
+    ) -> HttpResponse:
+        """Async exchange; default off-loads :meth:`request` to a thread.
+
+        The blocking call enforces its own socket timeout, so the
+        worker thread is released within ``timeout`` whatever the
+        server does — the event loop never waits on a hung socket.
+        """
+        return await asyncio.to_thread(
+            self.request, method, url, headers, body, timeout
+        )
+
+
+class UrllibTransport(HttpTransport):
+    """Stdlib transport: ``urllib.request`` with per-request timeouts."""
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str],
+        body: Optional[bytes],
+        timeout: float,
+    ) -> HttpResponse:
+        req = urllib.request.Request(
+            url, data=body, headers=dict(headers), method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                return HttpResponse(
+                    status=response.status,
+                    headers={k.lower(): v for k, v in response.headers.items()},
+                    body=response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            # A non-2xx *is* a response; hand it to the retry layer.
+            try:
+                data = error.read()
+            except (OSError, http.client.HTTPException):
+                data = b""
+            return HttpResponse(
+                status=error.code,
+                headers={k.lower(): v for k, v in (error.headers or {}).items()},
+                body=data,
+            )
+        except TimeoutError as error:  # socket.timeout is an alias
+            raise TransportTimeoutError(
+                f"request to {url} exceeded {timeout}s"
+            ) from error
+        except urllib.error.URLError as error:
+            if isinstance(error.reason, TimeoutError):
+                raise TransportTimeoutError(
+                    f"request to {url} exceeded {timeout}s"
+                ) from error
+            raise TransportError(f"request to {url} failed: {error.reason}") from error
+        except http.client.HTTPException as error:
+            # IncompleteRead (truncated body), RemoteDisconnected, ...
+            raise TransportError(
+                f"request to {url} failed mid-exchange: {error!r}"
+            ) from error
+        except OSError as error:
+            raise TransportError(f"request to {url} failed: {error}") from error
+
+
+class TokenBucket:
+    """Fair token-bucket rate limiter shared across threads and tasks.
+
+    ``rate`` tokens refill per second up to ``burst``.  Callers
+    *reserve* a slot under the lock — the token count may go negative,
+    each arrival paying for everything reserved before it — then sleep
+    out their wait outside the lock, which makes admission FIFO in
+    arrival order (no starvation under concurrency) and bounds
+    admissions in any window ``W`` by ``burst + rate * W``.
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests;
+    :meth:`aacquire` always awaits ``asyncio.sleep`` so an event loop
+    keeps multiplexing while a task waits its turn.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be > 0 requests/sec, got {rate}")
+        if burst is not None and burst < 1:
+            raise ConfigError(f"burst must be >= 1 (or None), got {burst}")
+        self.rate = float(rate)
+        self.burst = burst if burst is not None else max(1, int(rate))
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = float(self.burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def reserve(self) -> float:
+        """Claim the next slot; returns how long to wait for it."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            self._tokens -= 1.0
+            if self._tokens >= 0.0:
+                return 0.0
+            return -self._tokens / self.rate
+
+    def acquire(self) -> float:
+        """Block until admitted; returns the seconds waited."""
+        wait = self.reserve()
+        if wait > 0.0:
+            self._sleep(wait)
+        return wait
+
+    async def aacquire(self) -> float:
+        """Async :meth:`acquire` (waits on the event loop, not a thread)."""
+        wait = self.reserve()
+        if wait > 0.0:
+            await asyncio.sleep(wait)
+        return wait
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, caps, and a sleep budget.
+
+    ``max_attempts`` counts every try including the first (1 = never
+    retry).  The delay before retry *n* (1-based) is::
+
+        min(base_delay * multiplier ** (n - 1), max_delay) * (1 + U[0, jitter))
+
+    except when the server sent ``Retry-After`` — its value replaces
+    the schedule (compliance beats impatience).  Either way the
+    cumulative sleep never exceeds ``budget``: a delay that would cross
+    it fails fast with the last fault instead of sleeping.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    budget: float = 30.0
+    retry_statuses: FrozenSet[int] = frozenset({429, 500, 502, 503, 504})
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.budget < 0:
+            raise ConfigError("retry delays and budget must be >= 0")
+        if self.multiplier < 1:
+            raise ConfigError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before retry ``attempt`` (1-based)."""
+        base = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def retryable(self, status: int) -> bool:
+        """Whether this HTTP status is worth another attempt."""
+        return status in self.retry_statuses
+
+
+@dataclass
+class TransportStats:
+    """Session counters for one :class:`HttpClient`.
+
+    ``requests`` counts attempts put on the wire (retries included);
+    ``retries`` the re-attempts among them; ``throttle_waits`` the
+    acquisitions that actually waited on the rate limiter;
+    ``backoff_seconds`` cumulative retry sleep (throttle waits are the
+    limiter's business and excluded).
+    """
+
+    requests: int = 0
+    retries: int = 0
+    throttle_waits: int = 0
+    backoff_seconds: float = 0.0
+
+
+class HttpClient:
+    """Throttled, retrying JSON-over-HTTP client (see module docstring).
+
+    One instance is meant to be shared by every concurrent call of one
+    adapter: the limiter and stats are lock-protected, and the async
+    entry point awaits its sleeps so event-loop concurrency keeps
+    paying off while individual calls back off.
+    """
+
+    def __init__(
+        self,
+        transport: Optional[HttpTransport] = None,
+        rate_limiter: Optional[TokenBucket] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        seed: int = 0,
+    ) -> None:
+        if timeout <= 0:
+            raise ConfigError(f"timeout must be > 0 seconds, got {timeout}")
+        self.transport = transport if transport is not None else UrllibTransport()
+        self.rate_limiter = rate_limiter
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.stats = TransportStats()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    # -- retry decision (shared by the sync and async loops) ---------------
+
+    def _classify(
+        self, response: HttpResponse, url: str
+    ) -> "tuple[Optional[Dict[str, object]], Optional[TransportError], Optional[float]]":
+        """``(payload, fault, retry_after)`` for one exchange's response."""
+        if response.ok:
+            try:
+                return response.json(), None, None
+            except MalformedResponseError as error:
+                return None, error, None  # transient glitch: retry
+        fault = HttpStatusError(
+            response.status,
+            f"{url} answered {response.body[:120]!r}",
+            retry_after=response.retry_after(),
+        )
+        if self.retry.retryable(response.status):
+            return None, fault, response.retry_after()
+        raise fault  # 4xx contract violations never improve with retries
+
+    def _next_delay(
+        self, attempt: int, retry_after: Optional[float], slept: float
+    ) -> Optional[float]:
+        """Delay before the next attempt, or ``None`` to give up."""
+        if attempt >= self.retry.max_attempts:
+            return None
+        if retry_after is not None:
+            delay = retry_after
+        else:
+            with self._lock:
+                delay = self.retry.backoff(attempt, self._rng)
+        if slept + delay > self.retry.budget:
+            return None
+        return delay
+
+    def _record(self, waited: float, attempt: int) -> None:
+        with self._lock:
+            self.stats.requests += 1
+            if waited > 0:
+                self.stats.throttle_waits += 1
+            if attempt > 1:
+                self.stats.retries += 1
+
+    # -- entry points ------------------------------------------------------
+
+    def post_json(
+        self,
+        url: str,
+        payload: Mapping[str, object],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Dict[str, object]:
+        """POST ``payload`` as JSON; returns the parsed JSON answer.
+
+        Applies the full policy stack: rate limiting, per-request
+        timeouts, and backoff retries over 429/5xx, timeouts,
+        connection failures and malformed bodies.  Exhausted retries
+        re-raise the *last* fault (a subclass of
+        :class:`~repro.errors.TransportError`).
+        """
+        body, all_headers = self._encode(payload, headers)
+        attempt, slept = 1, 0.0
+        while True:
+            waited = self.rate_limiter.acquire() if self.rate_limiter else 0.0
+            self._record(waited, attempt)
+            fault: TransportError
+            retry_after: Optional[float] = None
+            try:
+                response = self.transport.request(
+                    "POST", url, all_headers, body, self.timeout
+                )
+            except TransportError as error:
+                fault = error
+            else:
+                parsed, maybe_fault, retry_after = self._classify(response, url)
+                if parsed is not None:
+                    return parsed
+                assert maybe_fault is not None
+                fault = maybe_fault
+            delay = self._next_delay(attempt, retry_after, slept)
+            if delay is None:
+                raise fault
+            with self._lock:
+                self.stats.backoff_seconds += delay
+            time.sleep(delay)
+            slept += delay
+            attempt += 1
+
+    async def apost_json(
+        self,
+        url: str,
+        payload: Mapping[str, object],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> Dict[str, object]:
+        """Async :meth:`post_json`: identical policy, awaited sleeps."""
+        body, all_headers = self._encode(payload, headers)
+        attempt, slept = 1, 0.0
+        while True:
+            waited = (
+                await self.rate_limiter.aacquire() if self.rate_limiter else 0.0
+            )
+            self._record(waited, attempt)
+            fault: TransportError
+            retry_after: Optional[float] = None
+            try:
+                response = await self.transport.arequest(
+                    "POST", url, all_headers, body, self.timeout
+                )
+            except TransportError as error:
+                fault = error
+            else:
+                parsed, maybe_fault, retry_after = self._classify(response, url)
+                if parsed is not None:
+                    return parsed
+                assert maybe_fault is not None
+                fault = maybe_fault
+            delay = self._next_delay(attempt, retry_after, slept)
+            if delay is None:
+                raise fault
+            with self._lock:
+                self.stats.backoff_seconds += delay
+            await asyncio.sleep(delay)
+            slept += delay
+            attempt += 1
+
+    @staticmethod
+    def _encode(
+        payload: Mapping[str, object], headers: Optional[Mapping[str, str]]
+    ) -> "tuple[bytes, Dict[str, str]]":
+        body = json.dumps(dict(payload), ensure_ascii=False).encode("utf-8")
+        all_headers = {"Content-Type": "application/json"}
+        all_headers.update(headers or {})
+        return body, all_headers

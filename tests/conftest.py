@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from fakes import network_guard
+
 from repro import Rage, RageConfig, SimulatedLLM
+
+# Hermeticity tripwire: no test may open a socket off loopback.  The
+# remote-LLM suites drive everything through the in-process fake
+# server; anything else reaching for a real endpoint fails loudly.
+network_guard.install()
 from repro.core.context import Context
 from repro.core.evaluate import ContextEvaluator
 from repro.datasets import load_use_case

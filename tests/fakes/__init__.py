@@ -1,0 +1,29 @@
+"""Shared test doubles for the repro suites and benchmarks.
+
+One home for the shims that used to be copy-pasted across
+``bench_e14``–``bench_e16`` and several test modules:
+
+* :mod:`~fakes.models` — in-process :class:`LanguageModel` wrappers
+  (call counting, simulated latency, scriptable hangs).
+* :mod:`~fakes.fake_llm_server` — a deterministic in-process HTTP
+  server speaking the OpenAI/Anthropic chat dialects, with scriptable
+  answers, injectable transport faults and a request journal.
+* :mod:`~fakes.network_guard` — the no-real-network tripwire installed
+  by the test and benchmark conftests.
+
+Everything here is import-light (stdlib + repro only) so benchmarks
+can use it without pulling test-only dependencies.
+"""
+
+from .fake_llm_server import FakeLLMServer, Fault, JournalEntry, simulated_answer_fn
+from .models import CountingLLM, LatencyLLM, SlowPromptLLM
+
+__all__ = [
+    "FakeLLMServer",
+    "Fault",
+    "JournalEntry",
+    "simulated_answer_fn",
+    "CountingLLM",
+    "LatencyLLM",
+    "SlowPromptLLM",
+]

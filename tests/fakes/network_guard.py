@@ -1,0 +1,78 @@
+"""No-real-network tripwire for the test and benchmark suites.
+
+The remote-adapter suites must be hermetic: every HTTP request lands on
+the in-process :class:`~fakes.fake_llm_server.FakeLLMServer` bound to
+loopback.  :func:`install` patches ``socket.socket.connect`` (and
+``connect_ex``) so any attempt to reach a non-loopback address fails
+loudly with :class:`NetworkGuardViolation` instead of silently leaving
+the sandbox — a test that would have talked to a real endpoint fails,
+it does not flake on DNS.
+
+Unix-domain sockets and loopback (``127.0.0.0/8``, ``::1``,
+``localhost``) stay allowed; multiprocessing, pytest internals and the
+fake server all live there.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import socket
+
+_LOOPBACK_NAMES = {"localhost", "localhost.localdomain", ""}
+
+_REAL_CONNECT = socket.socket.connect
+_REAL_CONNECT_EX = socket.socket.connect_ex
+
+
+class NetworkGuardViolation(RuntimeError):
+    """A test tried to open a socket to a non-loopback address."""
+
+
+def _address_allowed(address) -> bool:
+    # AF_UNIX (str/bytes paths) and already-paired sockets are local.
+    if isinstance(address, (str, bytes)):
+        return True
+    if not isinstance(address, tuple) or not address:
+        return True
+    host = address[0]
+    if not isinstance(host, str):
+        return True
+    host = host.strip("[]").split("%", 1)[0]
+    if host.lower() in _LOOPBACK_NAMES:
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        # An unresolved hostname reaching connect() means someone did a
+        # DNS-less connect to a name we do not recognize: block it.
+        return False
+
+
+def _guarded_connect(self, address):
+    if not _address_allowed(address):
+        raise NetworkGuardViolation(
+            f"test tried to open a real network connection to {address!r}; "
+            "all suite traffic must stay on loopback (use FakeLLMServer)"
+        )
+    return _REAL_CONNECT(self, address)
+
+
+def _guarded_connect_ex(self, address):
+    if not _address_allowed(address):
+        raise NetworkGuardViolation(
+            f"test tried to open a real network connection to {address!r}; "
+            "all suite traffic must stay on loopback (use FakeLLMServer)"
+        )
+    return _REAL_CONNECT_EX(self, address)
+
+
+def install() -> None:
+    """Activate the guard (idempotent)."""
+    socket.socket.connect = _guarded_connect  # type: ignore[method-assign]
+    socket.socket.connect_ex = _guarded_connect_ex  # type: ignore[method-assign]
+
+
+def uninstall() -> None:
+    """Restore the real socket methods (for guard self-tests)."""
+    socket.socket.connect = _REAL_CONNECT  # type: ignore[method-assign]
+    socket.socket.connect_ex = _REAL_CONNECT_EX  # type: ignore[method-assign]

@@ -1,0 +1,437 @@
+"""Transport-layer suites: token bucket, backoff policy, retry loop.
+
+Everything here is hermetic: either pure (injected clocks, scripted
+transports) or loopback-only (the in-process fake server).  The
+network guard in ``conftest`` guarantees the latter stays true.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import time
+
+import pytest
+
+from fakes import FakeLLMServer, Fault
+from fakes.network_guard import NetworkGuardViolation
+
+from repro.errors import (
+    ConfigError,
+    HttpStatusError,
+    MalformedResponseError,
+    TransportError,
+    TransportTimeoutError,
+)
+from repro.llm.transport import (
+    HttpClient,
+    HttpResponse,
+    HttpTransport,
+    RetryPolicy,
+    TokenBucket,
+    UrllibTransport,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for bucket tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket
+
+
+def test_bucket_burst_then_spacing():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+    assert [bucket.reserve() for _ in range(3)] == [0.0, 0.0, 0.0]
+    # Exhausted: the next arrivals are scheduled 1/rate apart, FIFO.
+    assert bucket.reserve() == pytest.approx(0.1)
+    assert bucket.reserve() == pytest.approx(0.2)
+
+
+def test_bucket_refills_with_time():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=5.0, burst=2, clock=clock)
+    bucket.reserve(), bucket.reserve()
+    clock.advance(1.0)  # refills 5, capped at burst=2
+    assert bucket.reserve() == 0.0
+    assert bucket.reserve() == 0.0
+    assert bucket.reserve() == pytest.approx(0.2)
+
+
+def test_bucket_never_exceeds_rate_property():
+    """Admissions in any window W never exceed burst + rate * W."""
+    rng = random.Random(7)
+    for trial in range(20):
+        rate = rng.choice([1.0, 3.0, 10.0, 50.0])
+        burst = rng.randint(1, 8)
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        admissions = []
+        for _ in range(60):
+            clock.advance(rng.random() * (2.0 / rate))
+            arrival = clock.now
+            admissions.append(arrival + bucket.reserve())
+        admissions.sort()
+        for window in (0.5, 1.0, 3.0):
+            for i, start in enumerate(admissions):
+                inside = sum(1 for t in admissions if start <= t <= start + window)
+                assert inside <= burst + rate * window + 1e-6, (
+                    f"trial {trial}: {inside} admissions in {window}s "
+                    f"window at rate {rate}, burst {burst}"
+                )
+
+
+def test_bucket_fifo_fairness():
+    """Arrival order is admission order — no caller can be starved."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+    waits = [bucket.reserve() for _ in range(10)]
+    admissions = [clock.now + wait for wait in waits]
+    assert admissions == sorted(admissions)
+    # Strictly increasing past the burst: every later arrival is
+    # admitted strictly after every earlier one.
+    spaced = admissions[1:]
+    assert all(b > a for a, b in zip(spaced, spaced[1:]))
+
+
+def test_bucket_fairness_under_async_concurrency():
+    """N concurrent tasks all complete, in arrival order, rate-bounded."""
+    bucket = TokenBucket(rate=200.0, burst=2)
+    order = []
+
+    async def worker(index: int) -> None:
+        await bucket.aacquire()
+        order.append((time.monotonic(), index))
+
+    async def main() -> None:
+        await asyncio.gather(*(worker(i) for i in range(12)))
+
+    asyncio.run(main())
+    assert sorted(i for _, i in order) == list(range(12))
+    stamps = sorted(t for t, _ in order)
+    # 12 admissions at 200 rps with burst 2 need >= 10/200 s of spacing.
+    assert stamps[-1] - stamps[0] >= 10 / 200.0 * 0.5  # generous margin
+
+
+def test_bucket_validation():
+    with pytest.raises(ConfigError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ConfigError):
+        TokenBucket(rate=1.0, burst=0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy schedule properties
+
+
+def test_backoff_bounded_and_jittered():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.25)
+    rng = random.Random(3)
+    for attempt in range(1, 30):
+        delay = policy.backoff(attempt, rng)
+        base = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+        assert base <= delay <= base * 1.25 + 1e-12
+        assert delay <= 1.0 * 1.25 + 1e-12  # global cap
+
+
+def test_backoff_monotone_up_to_cap_without_jitter():
+    policy = RetryPolicy(base_delay=0.05, multiplier=3.0, max_delay=0.9, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.backoff(n, rng) for n in range(1, 12)]
+    assert delays == sorted(delays)
+    assert delays[-1] == pytest.approx(0.9)  # capped, stays capped
+    assert delays[-1] == delays[-2]
+
+
+def test_backoff_jitter_distribution_property():
+    """Jitter stays within its band across seeds and attempts."""
+    rng = random.Random(99)
+    for _ in range(200):
+        base_delay = rng.uniform(0.01, 0.5)
+        jitter = rng.uniform(0.0, 1.0)
+        policy = RetryPolicy(base_delay=base_delay, jitter=jitter, max_delay=5.0)
+        attempt = rng.randint(1, 6)
+        base = min(base_delay * 2.0 ** (attempt - 1), 5.0)
+        delay = policy.backoff(attempt, rng)
+        assert base <= delay <= base * (1 + jitter) + 1e-12
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ConfigError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# HttpClient retry loop (scripted transport, no sockets)
+
+
+class ScriptedTransport(HttpTransport):
+    """Replays a list of responses/exceptions; records every request."""
+
+    def __init__(self, outcomes) -> None:
+        self.outcomes = list(outcomes)
+        self.requests = []
+
+    def request(self, method, url, headers, body, timeout):
+        self.requests.append(
+            {"method": method, "url": url, "headers": dict(headers),
+             "body": body, "timeout": timeout}
+        )
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _ok(payload: bytes = b'{"answer": 1}') -> HttpResponse:
+    return HttpResponse(200, {}, payload)
+
+
+def _status(code: int, retry_after=None) -> HttpResponse:
+    headers = {"retry-after": str(retry_after)} if retry_after is not None else {}
+    return HttpResponse(code, headers, b'{"error": "x"}')
+
+
+def _sleepless(monkeypatch):
+    """Record sleeps instead of paying them."""
+    slept = []
+    monkeypatch.setattr(time, "sleep", lambda s: slept.append(s))
+    return slept
+
+
+def test_client_retries_5xx_then_succeeds(monkeypatch):
+    slept = _sleepless(monkeypatch)
+    transport = ScriptedTransport([_status(503), _status(500), _ok()])
+    client = HttpClient(transport=transport, retry=RetryPolicy(jitter=0.0))
+    assert client.post_json("http://x/y", {}) == {"answer": 1}
+    assert len(transport.requests) == 3
+    assert client.stats.retries == 2
+    assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+def test_client_honors_retry_after(monkeypatch):
+    slept = _sleepless(monkeypatch)
+    transport = ScriptedTransport([_status(429, retry_after=0.7), _ok()])
+    client = HttpClient(
+        transport=transport, retry=RetryPolicy(base_delay=0.01, jitter=0.0)
+    )
+    client.post_json("http://x/y", {})
+    # The server's number replaces the (much smaller) schedule.
+    assert slept == [pytest.approx(0.7)]
+
+
+def test_client_retry_after_respects_budget():
+    transport = ScriptedTransport([_status(429, retry_after=99.0), _ok()])
+    client = HttpClient(
+        transport=transport, retry=RetryPolicy(budget=1.0, jitter=0.0)
+    )
+    started = time.monotonic()
+    with pytest.raises(HttpStatusError) as err:
+        client.post_json("http://x/y", {})
+    assert err.value.status == 429
+    assert time.monotonic() - started < 1.0  # failed fast, never slept 99s
+    assert len(transport.requests) == 1
+
+
+def test_client_exhausts_max_attempts(monkeypatch):
+    _sleepless(monkeypatch)
+    transport = ScriptedTransport([_status(500)] * 4)
+    client = HttpClient(transport=transport, retry=RetryPolicy(max_attempts=4))
+    with pytest.raises(HttpStatusError) as err:
+        client.post_json("http://x/y", {})
+    assert err.value.status == 500
+    assert len(transport.requests) == 4
+
+
+def test_client_4xx_never_retries():
+    transport = ScriptedTransport([_status(400), _ok()])
+    client = HttpClient(transport=transport)
+    with pytest.raises(HttpStatusError) as err:
+        client.post_json("http://x/y", {})
+    assert err.value.status == 400
+    assert len(transport.requests) == 1  # the 200 was never requested
+
+
+def test_client_retries_malformed_and_timeouts(monkeypatch):
+    _sleepless(monkeypatch)
+    transport = ScriptedTransport(
+        [
+            HttpResponse(200, {}, b"{this is not json"),
+            TransportTimeoutError("slow"),
+            _ok(),
+        ]
+    )
+    client = HttpClient(transport=transport, retry=RetryPolicy())
+    assert client.post_json("http://x/y", {}) == {"answer": 1}
+    assert len(transport.requests) == 3
+
+
+def test_client_surfaces_last_fault_when_exhausted(monkeypatch):
+    _sleepless(monkeypatch)
+    transport = ScriptedTransport(
+        [TransportTimeoutError("t"), HttpResponse(200, {}, b"garbage")]
+    )
+    client = HttpClient(transport=transport, retry=RetryPolicy(max_attempts=2))
+    with pytest.raises(MalformedResponseError):
+        client.post_json("http://x/y", {})
+
+
+def test_client_async_parity_with_retries():
+    transport = ScriptedTransport([_status(503), _ok()])
+    client = HttpClient(
+        transport=transport, retry=RetryPolicy(base_delay=0.001, jitter=0.0)
+    )
+    result = asyncio.run(client.apost_json("http://x/y", {"q": 1}))
+    assert result == {"answer": 1}
+    assert len(transport.requests) == 2
+    assert client.stats.retries == 1
+
+
+def test_client_validation():
+    with pytest.raises(ConfigError):
+        HttpClient(timeout=0)
+
+
+def test_http_response_helpers():
+    assert HttpResponse(204, {}, b"").ok
+    assert not HttpResponse(404, {}, b"").ok
+    assert HttpResponse(429, {"retry-after": "2.5"}, b"").retry_after() == 2.5
+    assert HttpResponse(429, {"retry-after": "soon"}, b"").retry_after() is None
+    assert HttpResponse(429, {"retry-after": "-3"}, b"").retry_after() is None
+    assert HttpResponse(200, {}, b"").retry_after() is None
+    with pytest.raises(MalformedResponseError):
+        HttpResponse(200, {}, b"[1, 2]").json()  # array, not an object
+
+
+# ---------------------------------------------------------------------------
+# UrllibTransport against the real (loopback) fake server
+
+
+def test_urllib_roundtrip_and_error_statuses():
+    with FakeLLMServer() as server:
+        transport = UrllibTransport()
+        response = transport.request(
+            "POST",
+            server.base_url + "/chat/completions",
+            {"Content-Type": "application/json"},
+            b'{"messages": [{"role": "user", "content": "hi"}]}',
+            5.0,
+        )
+        assert response.ok
+        assert "choices" in response.json()
+        # Non-2xx comes back as a response, never an exception.
+        server.add_fault(Fault(kind="status", status=503))
+        degraded = transport.request(
+            "POST",
+            server.base_url + "/chat/completions",
+            {},
+            b'{"messages": [{"role": "user", "content": "hi"}]}',
+            5.0,
+        )
+        assert degraded.status == 503
+
+
+def test_urllib_timeout_propagates():
+    """The per-request timeout reaches the socket: a stalled server
+    surfaces TransportTimeoutError in ~timeout seconds, not in
+    fault-delay seconds."""
+    with FakeLLMServer() as server:
+        server.add_fault(Fault(kind="timeout", delay=1.5))
+        transport = UrllibTransport()
+        started = time.monotonic()
+        with pytest.raises(TransportTimeoutError):
+            transport.request(
+                "POST",
+                server.base_url + "/chat/completions",
+                {},
+                b'{"messages": [{"role": "user", "content": "hi"}]}',
+                0.1,
+            )
+        assert time.monotonic() - started < 1.0
+
+
+def test_urllib_truncated_body_is_transport_error():
+    with FakeLLMServer() as server:
+        server.add_fault(Fault(kind="truncated"))
+        transport = UrllibTransport()
+        with pytest.raises(TransportError):
+            transport.request(
+                "POST",
+                server.base_url + "/chat/completions",
+                {},
+                b'{"messages": [{"role": "user", "content": "hi"}]}',
+                5.0,
+            )
+
+
+def test_urllib_connection_refused_is_transport_error():
+    transport = UrllibTransport()
+    # Bind-then-close: the port is ours, and now nothing listens on it.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    with pytest.raises(TransportError):
+        transport.request("POST", f"http://127.0.0.1:{port}/x", {}, b"{}", 1.0)
+
+
+def test_client_recovers_faults_against_real_server(monkeypatch):
+    _sleepless(monkeypatch)
+    with FakeLLMServer() as server:
+        client = HttpClient(retry=RetryPolicy(jitter=0.0))
+        server.add_faults(
+            Fault(kind="status", status=429, retry_after=0.01),
+            Fault(kind="malformed"),
+            Fault(kind="truncated"),
+        )
+        payload = {"messages": [{"role": "user", "content": "resilient"}]}
+        result = client.post_json(server.base_url + "/chat/completions", payload)
+        assert result["choices"][0]["message"]["content"].startswith("echo:")
+        assert server.request_count == 4  # 3 faulted + 1 clean
+        assert [e.fault for e in server.journal] == [
+            "status", "malformed", "truncated", None
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The no-network guard itself
+
+
+def test_network_guard_blocks_non_loopback():
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        with pytest.raises(NetworkGuardViolation):
+            sock.connect(("203.0.113.7", 80))  # TEST-NET-3: never routable
+    finally:
+        sock.close()
+
+
+def test_network_guard_allows_loopback():
+    with FakeLLMServer() as server:
+        transport = UrllibTransport()
+        response = transport.request(
+            "POST",
+            server.base_url + "/chat/completions",
+            {},
+            b'{"messages": [{"role": "user", "content": "local"}]}',
+            5.0,
+        )
+        assert response.ok
