@@ -1,0 +1,216 @@
+"""E18 — The multi-tenant HTTP serving layer under concurrent load.
+
+The serving PR turns the library into the paper's web service:
+:class:`~repro.app.server.RageServer` answers ``/ask`` and ``/explain``
+for a pool of tenants over one shared engine (one prompt cache, one
+persistent store, one execution backend).  This benchmark is the first
+time the whole stack — threaded HTTP handlers, atomic sessions, the
+shared cache and the disk store — carries live concurrent traffic from
+one process.  Shapes asserted:
+
+1. **Concurrent tenants beat serial** — N tenants issuing their
+   request streams simultaneously finish at least 2x faster than the
+   same requests issued one after another (the model simulates remote
+   latency; the server's request threads overlap it), with identical
+   answers.
+2. **Concurrency never changes bytes** — every tenant's ``/explain``
+   under concurrent load is byte-identical to the in-process engine's
+   report for the same question.
+3. **Warm store absorbs repeat reports** — a second server lifetime
+   sharing the first's ``cache_dir`` replays ask+explain with **zero**
+   real LLM calls and byte-identical bodies, and both lifetimes'
+   store counters survive into the merged lifetime meta (the
+   lost-update bugfix).
+
+Everything stays on loopback under the network guard.  Set
+``BENCH_E18_OUT`` to write the wall-clock table as JSON (uploaded as a
+CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from fakes import CountingLLM, LatencyLLM, http_json
+
+from repro import Rage, RageConfig, SimulatedLLM
+from repro.app import RageSession
+from repro.app.server import RageServer, encode_json, report_payload
+from repro.datasets import load_use_case
+
+#: Simulated per-call model latency (the remote-API stand-in).  High
+#: enough that waiting clearly dominates the GIL-bound per-request CPU
+#: (which does not parallelize), so the asserted speedup ratio is
+#: robust to slow or noisy CI hosts.
+LATENCY = 0.05
+
+TENANTS = ["t0", "t1", "t2", "t3"]
+ASKS_PER_TENANT = 6
+
+
+def _queries_for(case, tenant: str):
+    """A tenant-private query stream (distinct prompts, no cache overlap)."""
+    return [
+        f"{case.query} (client {tenant} request {i})"
+        for i in range(ASKS_PER_TENANT)
+    ]
+
+
+def _latency_server(case):
+    llm = LatencyLLM(SimulatedLLM(knowledge=case.knowledge), latency=LATENCY)
+    rage = Rage.from_corpus(case.corpus, llm, config=RageConfig(k=case.k))
+    return RageServer(rage, TENANTS, default_query=case.query)
+
+
+def _drive_tenant(base_url, tenant, queries, answers):
+    for query in queries:
+        status, _, body = http_json.post_json(
+            base_url + "/ask", {"tenant": tenant, "query": query}
+        )
+        assert status == 200
+        answers.append((tenant, query, http_json.body_json(body)["answer"]))
+
+
+def test_e18_concurrent_tenants_beat_serial():
+    """Acceptance: N tenants in parallel >= 2x faster than serially,
+    same answers, every request admitted."""
+    case = load_use_case("big_three")
+    streams = {tenant: _queries_for(case, tenant) for tenant in TENANTS}
+
+    serial_answers = []
+    with _latency_server(case) as server:
+        started = time.perf_counter()
+        for tenant in TENANTS:
+            _drive_tenant(server.base_url, tenant, streams[tenant], serial_answers)
+        serial_seconds = time.perf_counter() - started
+        assert server.request_count() == len(TENANTS) * ASKS_PER_TENANT
+
+    concurrent_answers = []
+    with _latency_server(case) as server:
+        threads = [
+            threading.Thread(
+                target=_drive_tenant,
+                args=(server.base_url, tenant, streams[tenant], concurrent_answers),
+            )
+            for tenant in TENANTS
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        concurrent_seconds = time.perf_counter() - started
+        assert server.request_count() == len(TENANTS) * ASKS_PER_TENANT
+        assert all(status == 200 for status in server.statuses())
+
+    rows = [
+        {
+            "mode": "serial",
+            "seconds": round(serial_seconds, 4),
+            "requests": len(serial_answers),
+        },
+        {
+            "mode": f"concurrent:{len(TENANTS)}",
+            "seconds": round(concurrent_seconds, 4),
+            "requests": len(concurrent_answers),
+        },
+    ]
+    print(
+        f"\nE18 {len(TENANTS)} tenants x {ASKS_PER_TENANT} asks at "
+        f"{LATENCY * 1000:.0f}ms/model-call:"
+    )
+    for row in rows:
+        print(f"  {row['mode']:>12}  {row['seconds'] * 1000:>8.1f}ms")
+    # Identical work, identical answers — order aside.
+    assert sorted(serial_answers) == sorted(concurrent_answers)
+    # The acceptance ratio: four tenants overlapping their latency.
+    assert concurrent_seconds * 2 <= serial_seconds
+    out_path = os.environ.get("BENCH_E18_OUT")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump({"bench": "e18_serving", "rows": rows}, handle, indent=2)
+
+
+def test_e18_concurrent_explains_byte_identical_to_in_process():
+    """Concurrency must never change the computation: each tenant's
+    served report equals the in-process engine's, byte for byte."""
+    case = load_use_case("big_three")
+    queries = {
+        "t0": case.query,
+        "t1": "Who is the best tennis player by head to head record?",
+        "t2": "Who won the most weeks at number one?",
+    }
+    expected = {}
+    for tenant, query in queries.items():
+        reference = RageSession.for_use_case(case, config=RageConfig(k=case.k))
+        reference.pose(query)
+        expected[tenant] = encode_json(report_payload(reference.report()))
+
+    served = {}
+
+    def drive(base_url, tenant, query):
+        http_json.post_json(base_url + "/ask", {"tenant": tenant, "query": query})
+        status, _, body = http_json.post_json(
+            base_url + "/explain", {"tenant": tenant}
+        )
+        assert status == 200
+        served[tenant] = body
+
+    with RageServer.for_use_case("big_three", tenants=list(queries)) as server:
+        threads = [
+            threading.Thread(target=drive, args=(server.base_url, tenant, query))
+            for tenant, query in queries.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        overlapped = server.rage.backend.stats.max_active
+
+    assert served == expected
+    print(f"\nE18 concurrent explains: max overlapping batches = {overlapped}")
+
+
+def test_e18_warm_store_repeat_reports_zero_llm_calls(tmp_path):
+    """Acceptance: a restarted server sharing the store answers the
+    same traffic with zero real LLM calls and identical bytes."""
+    case = load_use_case("big_three")
+    store_dir = str(tmp_path / "store")
+
+    def lifetime():
+        counting = CountingLLM(SimulatedLLM(knowledge=case.knowledge))
+        rage = Rage.from_corpus(
+            case.corpus,
+            counting,
+            config=RageConfig(k=case.k, cache_dir=store_dir),
+        )
+        server = RageServer(rage, ["a", "b"], default_query=case.query)
+        bodies = {}
+        with server:
+            for tenant in ("a", "b"):
+                http_json.post_json(
+                    server.base_url + "/ask", {"tenant": tenant}
+                )
+                bodies[tenant] = http_json.post_json(
+                    server.base_url + "/explain", {"tenant": tenant}
+                )[2]
+        return counting.calls, bodies
+
+    cold_calls, cold_bodies = lifetime()
+    warm_calls, warm_bodies = lifetime()
+    print(
+        f"\nE18 store across lifetimes: cold={cold_calls} real calls, "
+        f"warm={warm_calls}"
+    )
+    assert cold_calls > 0
+    assert warm_calls == 0
+    assert warm_bodies == cold_bodies
+    # Both lifetimes' counters landed in the merged meta (no clobber).
+    from repro.llm.store import PromptStore
+
+    merged = PromptStore(store_dir).read_meta()
+    assert merged["writes"] == cold_calls
+    assert merged["hits"] > 0

@@ -1,5 +1,17 @@
-"""Application layer: the ``rage`` CLI and the interactive session."""
+"""Application layer: the ``rage`` CLI, the interactive session, and
+the multi-tenant HTTP serving layer."""
 
 from .session import RageSession
 
-__all__ = ["RageSession"]
+__all__ = ["RageSession", "RageServer", "report_payload"]
+
+
+def __getattr__(name: str):
+    # Lazy server exports (PEP 562): `import repro.app` must not drag
+    # in http.server + the remote/transport chain for CLI commands and
+    # sessions that never serve.
+    if name in ("RageServer", "report_payload"):
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

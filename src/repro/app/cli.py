@@ -182,6 +182,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print LLM-call and prompt-cache statistics after the report",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="serve ask/explain over HTTP for multiple tenants"
+    )
+    add_common(p_serve)
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        default="default",
+        metavar="NAMES",
+        help="comma-separated tenant names; each gets a private session "
+        "and admission bucket over the shared engine",
+    )
+    p_serve.add_argument(
+        "--admit-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-tenant admission rate (requests/second); exhausted "
+        "tenants get 429 + Retry-After (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--admit-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant admission burst (requires --admit-rate)",
+    )
+
     p_cache = sub.add_parser(
         "cache", help="administer a persistent generation store"
     )
@@ -205,10 +243,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _session(args: argparse.Namespace) -> RageSession:
-    from ..datasets.base import load_use_case
-
-    case = load_use_case(args.use_case)
+def _config_overrides(args: argparse.Namespace, case) -> dict:
+    """Translate common CLI flags into :class:`RageConfig` overrides."""
     overrides = dict(k=case.k)
     if args.k is not None:
         overrides["k"] = args.k
@@ -233,11 +269,55 @@ def _session(args: argparse.Namespace) -> RageSession:
         overrides["rate_limit"] = args.rate
     if getattr(args, "retries", None) is not None:
         overrides["retries"] = args.retries
-    config: Optional[RageConfig] = RageConfig(**overrides)
+    return overrides
+
+
+def _session(args: argparse.Namespace) -> RageSession:
+    from ..datasets.base import load_use_case
+
+    case = load_use_case(args.use_case)
+    config = RageConfig(**_config_overrides(args, case))
     session = RageSession.for_use_case(case, config=config)
     if args.query:
         session.pose(args.query)
     return session
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """``rage serve``: the multi-tenant ask/explain HTTP service."""
+    from ..datasets.base import load_use_case
+    from .server import RageServer
+
+    case = load_use_case(args.use_case)
+    config = RageConfig(**_config_overrides(args, case))
+    tenants = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    server = RageServer.for_use_case(
+        case,
+        tenants,
+        config=config,
+        admit_rate=args.admit_rate,
+        admit_burst=args.admit_burst,
+        default_query=args.query or case.query,
+        host=args.host,
+        port=args.port,
+    )
+    server.start()
+    try:
+        admission = (
+            f"{args.admit_rate}/s burst {server.admit_burst}"
+            if args.admit_rate is not None
+            else "unlimited"
+        )
+        print(f"rage serve: {server.base_url}")
+        print(f"tenants:    {', '.join(server.tenant_names())} ({admission})")
+        print("endpoints:  POST /ask  POST /explain  GET /metrics  GET /healthz")
+        sys.stdout.flush()
+        server.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
 
 
 def _cache_command(args: argparse.Namespace) -> int:
@@ -306,6 +386,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "cache":
         return _cache_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     session = _session(args)
     try:

@@ -9,7 +9,8 @@ cached context without re-retrieving.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import threading
+from typing import List, Optional, Tuple
 
 from ..core.context import Context
 from ..core.counterfactual import CombinationSearchResult, SearchDirection
@@ -28,6 +29,12 @@ class RageSession:
 
     def __init__(self, rage: Rage) -> None:
         self.rage = rage
+        # (query, context, answer) always change together: every write
+        # happens under this lock as one all-or-nothing assignment, and
+        # every consumer snapshots under it, so two interleaved pose()
+        # calls (concurrent server requests on one session) can never
+        # pair one question with another question's context.
+        self._lock = threading.Lock()
         self.query: Optional[str] = None
         self.context: Optional[Context] = None
         self.answer: Optional[str] = None
@@ -58,34 +65,61 @@ class RageSession:
     # -- the interaction flow ---------------------------------------------
 
     def pose(self, query: str) -> str:
-        """Pose a question: retrieve the context and answer it."""
-        self.query = query
-        self.context = self.rage.retrieve(query)
-        result = self.rage.ask(query, context=self.context)
-        self.answer = result.answer
-        return result.answer
+        """Pose a question: retrieve the context and answer it.
 
-    def _require_question(self) -> str:
-        if self.query is None or self.context is None:
-            raise ConfigError("pose a question first (RageSession.pose)")
-        return self.query
+        The retrieval and the answer are computed *before* any session
+        state changes, then committed atomically: a failed ``ask``
+        leaves the previous question fully intact (never a new query
+        with a stale answer), and concurrent poses each install a
+        consistent (query, context, answer) triple — last writer wins
+        wholesale.
+        """
+        return self.pose_state(query)[2]
+
+    def pose_state(self, query: str) -> Tuple[str, Context, str]:
+        """:meth:`pose`, returning *this* pose's committed triple.
+
+        Under concurrent poses the session's current :meth:`state` may
+        already belong to a later writer by the time this call returns;
+        callers answering a specific request (the HTTP server) need the
+        triple their own pose produced, not whatever is newest.
+        """
+        context = self.rage.retrieve(query)
+        result = self.rage.ask(query, context=context)
+        with self._lock:
+            self.query = query
+            self.context = context
+            self.answer = result.answer
+        return query, context, result.answer
+
+    def state(self) -> Tuple[Optional[str], Optional[Context], Optional[str]]:
+        """A consistent ``(query, context, answer)`` snapshot."""
+        with self._lock:
+            return self.query, self.context, self.answer
+
+    def _require_question(self) -> Tuple[str, Context]:
+        """Snapshot the posed (query, context) pair, atomically."""
+        with self._lock:
+            if self.query is None or self.context is None:
+                raise ConfigError("pose a question first (RageSession.pose)")
+            return self.query, self.context
 
     def combination_insights(
         self, sample_size: Optional[int] = None
     ) -> CombinationInsights:
         """Combination insights for the posed question."""
-        query = self._require_question()
+        query, context = self._require_question()
         return self.rage.combination_insights(
-            query, context=self.context, sample_size=sample_size
+            query, context=context, sample_size=sample_size
         )
 
     def permutation_insights(
         self, sample_size: Optional[int] = None
     ) -> PermutationInsights:
         """Permutation insights for the posed question."""
-        query = self._require_question()
+        query, context = self._require_question()
         return self.rage.permutation_insights(
-            query, context=self.context, sample_size=sample_size
+            query, context=context, sample_size=sample_size
         )
 
     def combination_counterfactual(
@@ -94,26 +128,26 @@ class RageSession:
         target_answer: Optional[str] = None,
     ) -> CombinationSearchResult:
         """Combination counterfactual for the posed question."""
-        query = self._require_question()
+        query, context = self._require_question()
         return self.rage.combination_counterfactual(
-            query, context=self.context, direction=direction, target_answer=target_answer
+            query, context=context, direction=direction, target_answer=target_answer
         )
 
     def permutation_counterfactual(
         self, target_answer: Optional[str] = None
     ) -> PermutationSearchResult:
         """Permutation counterfactual for the posed question."""
-        query = self._require_question()
+        query, context = self._require_question()
         return self.rage.permutation_counterfactual(
-            query, context=self.context, target_answer=target_answer
+            query, context=context, target_answer=target_answer
         )
 
     def optimal_permutations(self, s: int = 5) -> List[OptimalPermutation]:
         """Optimal placements for the posed question."""
-        query = self._require_question()
-        return self.rage.optimal_permutations(query, context=self.context, s=s)
+        query, context = self._require_question()
+        return self.rage.optimal_permutations(query, context=context, s=s)
 
     def report(self, sample_size: Optional[int] = None) -> RageReport:
         """Full explanation bundle for the posed question."""
-        query = self._require_question()
-        return self.rage.explain(query, context=self.context, sample_size=sample_size)
+        query, context = self._require_question()
+        return self.rage.explain(query, context=context, sample_size=sample_size)

@@ -9,6 +9,7 @@ how calls are executed.
 from .backend import (
     DEFAULT_THREAD_WORKERS,
     AsyncioBackend,
+    BackendStats,
     ExecutionBackend,
     SerialBackend,
     ThreadedBackend,
@@ -18,6 +19,7 @@ from .backend import (
 __all__ = [
     "DEFAULT_THREAD_WORKERS",
     "AsyncioBackend",
+    "BackendStats",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadedBackend",

@@ -41,7 +41,10 @@ Choosing a backend
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
 
 from ..errors import ConfigError
 from ..llm.base import (
@@ -73,6 +76,26 @@ def _has_native_batch(model: LanguageModel) -> bool:
     )
 
 
+@dataclass
+class BackendStats:
+    """Submission counters for one :class:`ExecutionBackend` instance.
+
+    One backend is shared by every consumer of one engine — all
+    evaluators, and all request threads of a serving process — so these
+    counters describe the engine's whole evaluation traffic.
+    ``batches``/``prompts`` count submissions through
+    :meth:`ExecutionBackend.run` / :meth:`ExecutionBackend.arun`;
+    ``active`` the batches executing right now and ``max_active`` their
+    high-water mark, which exceeds 1 exactly when concurrent callers
+    (server request handlers) actually overlapped on the backend.
+    """
+
+    batches: int = 0
+    prompts: int = 0
+    active: int = 0
+    max_active: int = 0
+
+
 class ExecutionBackend:
     """Strategy for executing one batch of prompts against one model.
 
@@ -80,6 +103,8 @@ class ExecutionBackend:
     evaluator) and may override :meth:`arun` (async callers — a future
     serving layer); the default ``arun`` simply awaits nothing and
     delegates, which is correct for backends that block anyway.
+    Subclass entry points wrap their body in :meth:`_track` so the
+    shared :class:`BackendStats` stay truthful whoever calls.
 
     Attributes
     ----------
@@ -101,6 +126,24 @@ class ExecutionBackend:
     name: str = "abstract"
     capacity: Optional[int] = 1
     timeout: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        self._stats_lock = threading.Lock()
+
+    @contextmanager
+    def _track(self, num_prompts: int) -> Iterator[None]:
+        """Account one batch submission for the lifetime of its run."""
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.prompts += num_prompts
+            self.stats.active += 1
+            self.stats.max_active = max(self.stats.max_active, self.stats.active)
+        try:
+            yield
+        finally:
+            with self._stats_lock:
+                self.stats.active -= 1
 
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
@@ -133,14 +176,16 @@ class SerialBackend(ExecutionBackend):
     capacity = 1
 
     def __init__(self, timeout: Optional[float] = None) -> None:
+        super().__init__()
         self.timeout = _check_timeout(timeout)
 
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
-        if _has_native_batch(model):
-            return batched_generate(model, prompts, timeout=self.timeout)
-        return sequential_generate(model, prompts, timeout=self.timeout)
+        with self._track(len(prompts)):
+            if _has_native_batch(model):
+                return batched_generate(model, prompts, timeout=self.timeout)
+            return sequential_generate(model, prompts, timeout=self.timeout)
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -160,6 +205,7 @@ class ThreadedBackend(ExecutionBackend):
     ) -> None:
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        super().__init__()
         self.max_workers = max_workers
         self.name = f"threaded:{max_workers}"
         self.capacity = max_workers
@@ -168,11 +214,14 @@ class ThreadedBackend(ExecutionBackend):
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
-        if _has_native_batch(model):
-            return batched_generate(
-                model, prompts, max_workers=self.max_workers, timeout=self.timeout
+        with self._track(len(prompts)):
+            if _has_native_batch(model):
+                return batched_generate(
+                    model, prompts, max_workers=self.max_workers, timeout=self.timeout
+                )
+            return pooled_generate(
+                model, prompts, self.max_workers, timeout=self.timeout
             )
-        return pooled_generate(model, prompts, self.max_workers, timeout=self.timeout)
 
 
 class AsyncioBackend(ExecutionBackend):
@@ -201,6 +250,7 @@ class AsyncioBackend(ExecutionBackend):
                 f"max_inflight must be >= 1 (or None for the default cap), "
                 f"got {max_inflight}"
             )
+        super().__init__()
         self.max_inflight = max_inflight
         self.name = "asyncio" if max_inflight is None else f"asyncio:{max_inflight}"
         self.capacity = max_inflight
@@ -212,28 +262,30 @@ class AsyncioBackend(ExecutionBackend):
     def run(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
-        return list(
-            run_coroutine(
-                abatched_generate(
-                    model,
-                    prompts,
-                    max_workers=self._workers(),
-                    max_inflight=self.max_inflight,
-                    timeout=self.timeout,
+        with self._track(len(prompts)):
+            return list(
+                run_coroutine(
+                    abatched_generate(
+                        model,
+                        prompts,
+                        max_workers=self._workers(),
+                        max_inflight=self.max_inflight,
+                        timeout=self.timeout,
+                    )
                 )
             )
-        )
 
     async def arun(
         self, model: LanguageModel, prompts: Sequence[str]
     ) -> List[GenerationResult]:
-        return await abatched_generate(
-            model,
-            prompts,
-            max_workers=self._workers(),
-            max_inflight=self.max_inflight,
-            timeout=self.timeout,
-        )
+        with self._track(len(prompts)):
+            return await abatched_generate(
+                model,
+                prompts,
+                max_workers=self._workers(),
+                max_inflight=self.max_inflight,
+                timeout=self.timeout,
+            )
 
 
 def make_backend(

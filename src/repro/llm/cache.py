@@ -37,6 +37,7 @@ never blocks its event loop on the inner model.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -147,6 +148,12 @@ class CachingLLM:
         self.store = store
         self._cache: Dict[str, GenerationResult] = {}
         self.stats = CacheStats()
+        # Counter updates and the eviction-then-insert pair happen
+        # under this lock: the serving layer shares one wrapper across
+        # request threads, where bare `+=` loses increments and two
+        # racing evictions can pick the same victim.  Model calls
+        # themselves never run under it.
+        self._stats_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -163,9 +170,11 @@ class CachingLLM:
         params = self._store_params()
         cached = self._lookup(prompt, params)
         if cached is not None:
-            self.stats.hits += 1
+            with self._stats_lock:
+                self.stats.hits += 1
             return cached
-        self.stats.misses += 1
+        with self._stats_lock:
+            self.stats.misses += 1
         if self.timeout is not None:
             result = sequential_generate(
                 self._model, [prompt], timeout=self.timeout
@@ -180,9 +189,11 @@ class CachingLLM:
         params = self._store_params()
         cached = self._lookup(prompt, params)
         if cached is not None:
-            self.stats.hits += 1
+            with self._stats_lock:
+                self.stats.hits += 1
             return cached
-        self.stats.misses += 1
+        with self._stats_lock:
+            self.stats.misses += 1
         results = await abatched_generate(
             self._model,
             [prompt],
@@ -234,8 +245,9 @@ class CachingLLM:
         self, prompts: Sequence[str], params: Optional[Dict[str, object]]
     ) -> Tuple[Dict[str, GenerationResult], set, List[str]]:
         """Split a batch into resolved hits and ordered distinct misses."""
-        self.stats.batches += 1
-        self.stats.batched_prompts += len(prompts)
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.batched_prompts += len(prompts)
         # Resolve eagerly: under a bounded cache the miss inserts below
         # may evict entries this very batch still needs.
         resolved: Dict[str, GenerationResult] = {}
@@ -259,7 +271,8 @@ class CachingLLM:
         generated: Sequence[GenerationResult],
         params: Optional[Dict[str, object]],
     ) -> None:
-        self.stats.batched_misses += len(miss_order)
+        with self._stats_lock:
+            self.stats.batched_misses += len(miss_order)
         for prompt, result in zip(miss_order, generated):
             self._store(prompt, result, params=params)
             resolved[prompt] = result
@@ -272,13 +285,18 @@ class CachingLLM:
     ) -> List[GenerationResult]:
         charged: set = set()
         results: List[GenerationResult] = []
+        new_misses = 0
+        new_hits = 0
         for prompt in prompts:
             if prompt in misses and prompt not in charged:
                 charged.add(prompt)
-                self.stats.misses += 1
+                new_misses += 1
             else:
-                self.stats.hits += 1
+                new_hits += 1
             results.append(resolved[prompt])
+        with self._stats_lock:
+            self.stats.misses += new_misses
+            self.stats.hits += new_hits
         return results
 
     # -- tiers -------------------------------------------------------------
@@ -309,7 +327,8 @@ class CachingLLM:
         persisted = self.store.get(self._model.name, prompt, params)
         if persisted is None:
             return None
-        self.stats.disk_hits += 1
+        with self._stats_lock:
+            self.stats.disk_hits += 1
         self._store(prompt, persisted, persist=False)
         return persisted
 
@@ -320,17 +339,20 @@ class CachingLLM:
         persist: bool = True,
         params: Optional[Dict[str, object]] = None,
     ) -> None:
-        if (
-            self._max_entries is not None
-            and len(self._cache) >= self._max_entries
-            and self._cache
-        ):
-            # FIFO eviction: drop the oldest inserted entry.  The
-            # emptiness guard keeps a cleared (or externally drained)
-            # cache from raising StopIteration on the next insert.
-            oldest = next(iter(self._cache))
-            del self._cache[oldest]
-        self._cache[prompt] = result
+        with self._stats_lock:
+            if (
+                self._max_entries is not None
+                and len(self._cache) >= self._max_entries
+                and self._cache
+            ):
+                # FIFO eviction: drop the oldest inserted entry.  The
+                # emptiness guard keeps a cleared (or externally
+                # drained) cache from raising StopIteration on the next
+                # insert; the lock keeps two racing inserts from
+                # deleting the same victim.
+                oldest = next(iter(self._cache))
+                del self._cache[oldest]
+            self._cache[prompt] = result
         if persist and self.store is not None:
             self.store.put(self._model.name, prompt, result, params)
 

@@ -33,6 +33,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
+import uuid
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional
@@ -46,6 +49,19 @@ from .base import GenerationResult, TokenUsage
 SCHEMA_VERSION = 1
 
 _META_NAME = "_meta.json"
+_META_LOCK_NAME = "_meta.lock"
+
+#: Counter fields persisted per session (mirror of :class:`StoreStats`).
+_META_FIELDS = ("hits", "misses", "writes", "write_errors", "evictions", "corrupt")
+
+#: Compaction policy for per-session meta files: once more than
+#: ``_COMPACT_THRESHOLD`` session files exist, those untouched for
+#: ``_COMPACT_AGE`` seconds are folded into the aggregate ``_meta.json``
+#: (under an exclusive lock; locks older than ``_COMPACT_LOCK_STALE``
+#: are considered abandoned).
+_COMPACT_THRESHOLD = 16
+_COMPACT_AGE = 3600.0
+_COMPACT_LOCK_STALE = 600.0
 
 
 def store_key(
@@ -198,7 +214,27 @@ class PromptStore:
         self.max_bytes = max_bytes
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
-        self._persisted = StoreStats()
+        # Lifetime counters are persisted per *session*: each instance
+        # owns one _meta-<pid>-<uid>.json it alone rewrites, so two
+        # serving processes sharing the directory can never
+        # read-modify-write the same file (the classic lost-update
+        # clobber); read_meta() merges every session file, and old
+        # session files are compacted into the aggregate (see
+        # persist_stats).  _baseline holds counters already represented
+        # elsewhere (compacted away from under us) and is subtracted
+        # from every persisted payload; _last_persisted snapshots what
+        # the current session file contains.
+        self._session_id = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        self._baseline = StoreStats()
+        self._last_persisted = StoreStats()
+        # Counter updates happen under _stats_lock: the serving layer
+        # drives one store from many request threads, and
+        # unsynchronized `+=` would lose increments.  The byte estimate
+        # and the (rare, whole-directory) eviction walk serialize on
+        # their own lock so an evicting writer never stalls other
+        # threads' counter bumps.
+        self._stats_lock = threading.Lock()
+        self._evict_lock = threading.Lock()
         # Running byte estimate for the LRU cap: initialized by the
         # first full walk, bumped per put, trued up on every eviction
         # pass.  Overwrites of existing keys over-count, which at worst
@@ -228,21 +264,24 @@ class PromptStore:
         try:
             raw = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
         try:
             result = decode_result(json.loads(raw.decode("utf-8")))
         except (ValueError, KeyError, TypeError, AttributeError, UnicodeDecodeError):
             # Truncated/garbled entry: a miss, not an error.  Drop it so
             # the rewrite below heals the store.
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            with self._stats_lock:
+                self.stats.misses += 1
+                self.stats.corrupt += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         if self.max_bytes is not None:
             try:
                 os.utime(path)  # refresh recency for LRU eviction
@@ -279,21 +318,28 @@ class PromptStore:
                 handle.write(payload)
             os.replace(tmp_name, path)
         except OSError:
-            self.stats.write_errors += 1
+            with self._stats_lock:
+                self.stats.write_errors += 1
             if tmp_name is not None:
                 try:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
             return
-        self.stats.writes += 1
+        with self._stats_lock:
+            self.stats.writes += 1
         if self.max_bytes is not None:
-            if self._approx_bytes is None:
-                self._approx_bytes = self.total_bytes
-            else:
-                self._approx_bytes += len(payload)
-            if self._approx_bytes > self.max_bytes:
-                self._evict_to_cap()
+            # One writer at a time updates the estimate and (rarely)
+            # walks for eviction; racing writers would both undercount
+            # the estimate and double-evict.
+            with self._evict_lock:
+                if self._approx_bytes is None:
+                    over = True  # initialize via the eviction walk
+                else:
+                    self._approx_bytes += len(payload)
+                    over = self._approx_bytes > self.max_bytes
+                if over:
+                    self._evict_to_cap()
 
     # -- inventory ---------------------------------------------------------
 
@@ -330,7 +376,12 @@ class PromptStore:
 
     def clear(self) -> int:
         """Delete every entry (and the persisted meta); returns the
-        number of entries removed."""
+        number of entries removed.
+
+        Also resets this instance's session counters: a later
+        :meth:`persist_stats` must not resurrect lifetime totals the
+        clear just erased from disk.
+        """
         removed = 0
         for path in list(self.entries()):
             try:
@@ -338,11 +389,19 @@ class PromptStore:
                 removed += 1
             except OSError:
                 continue
-        try:
-            (self.root / _META_NAME).unlink()
-        except OSError:
-            pass
-        self._approx_bytes = 0
+        for meta_path in self._meta_paths():
+            try:
+                meta_path.unlink()
+            except OSError:
+                pass
+        with self._stats_lock:
+            self.stats = StoreStats()
+            self._baseline = StoreStats()
+            self._last_persisted = StoreStats()
+        # Taken separately, never nested inside _stats_lock: put()
+        # acquires these in the opposite order (evict, then stats).
+        with self._evict_lock:
+            self._approx_bytes = 0
         return removed
 
     # -- LRU size cap ------------------------------------------------------
@@ -370,51 +429,195 @@ class PromptStore:
             except OSError:
                 continue
             total -= size
-            self.stats.evictions += 1
+            with self._stats_lock:
+                self.stats.evictions += 1
         self._approx_bytes = total
 
     # -- cross-process stats -----------------------------------------------
 
-    def persist_stats(self) -> Dict[str, int]:
-        """Merge this session's lookup counters into ``<root>/_meta.json``.
+    def _meta_paths(self) -> List[Path]:
+        """Every persisted counter file: legacy aggregate + session files."""
+        paths = [self.root / _META_NAME]
+        try:
+            paths.extend(sorted(self.root.glob("_meta-*.json")))
+        except OSError:
+            pass
+        return paths
 
-        The merged lifetime totals are returned (and are what ``rage
-        cache stats`` reports as the hit rate).  Deltas are tracked so
-        repeated calls never double-count; persistence is best-effort —
-        a read-modify-replace race with another process loses at most
-        the other session's delta, never corrupts the file.
+    def persist_stats(self) -> Dict[str, int]:
+        """Persist this session's counters; returns merged lifetime totals.
+
+        Each store instance atomically rewrites only its *own*
+        ``_meta-<pid>-<uid>.json`` — idempotent, so repeated calls
+        never double-count, and free of cross-process lost updates: two
+        serving processes sharing one cache directory each own a
+        different file, and :meth:`read_meta` sums them all plus the
+        aggregate ``_meta.json``.  Persistence stays best-effort: a
+        refusing filesystem costs this session's contribution, never
+        the caller.
+
+        Session files are bounded two ways: idle sessions write nothing
+        at all, and once enough files accumulate (every CLI run with a
+        ``--cache-dir`` leaves one) the ones untouched for an hour are
+        *compacted* into the aggregate under an exclusive lock.  An
+        owner whose file was compacted away re-baselines — its next
+        persist records only the still-unaggregated remainder under a
+        fresh session id — so compaction never double-counts a live
+        session.
         """
-        meta = self.read_meta()
-        for field_name in (
-            "hits", "misses", "writes", "write_errors", "evictions", "corrupt"
-        ):
-            delta = getattr(self.stats, field_name) - getattr(
-                self._persisted, field_name
+        path = self.root / f"_meta-{self._session_id}.json"
+        if any(
+            getattr(self._last_persisted, field_name)
+            for field_name in _META_FIELDS
+        ) and not path.exists():
+            # Our previous session file is gone (compacted into the
+            # aggregate, or an external clear): what it held is already
+            # represented — or deliberately erased — elsewhere.  Record
+            # only the remainder, under a name no compactor is racing.
+            self._baseline = StoreStats(
+                **{
+                    field_name: getattr(self._last_persisted, field_name)
+                    for field_name in _META_FIELDS
+                }
             )
-            meta[field_name] = int(meta.get(field_name, 0)) + delta
-            setattr(self._persisted, field_name, getattr(self.stats, field_name))
-        path = self.root / _META_NAME
+            self._session_id = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+            path = self.root / f"_meta-{self._session_id}.json"
+        payload = {
+            field_name: getattr(self.stats, field_name)
+            - getattr(self._baseline, field_name)
+            for field_name in _META_FIELDS
+        }
+        if not any(payload.values()):
+            return self.read_meta()  # nothing to record: mint no file
         try:
             descriptor, tmp_name = tempfile.mkstemp(
                 prefix=".tmp-", suffix=".json", dir=self.root
             )
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(meta, handle, sort_keys=True)
+                json.dump(payload, handle, sort_keys=True)
             os.replace(tmp_name, path)
         except OSError:
             pass
-        return meta
+        else:
+            self._last_persisted = StoreStats(
+                **{
+                    field_name: getattr(self.stats, field_name)
+                    for field_name in _META_FIELDS
+                }
+            )
+            self._compact_meta(keep=path)
+        return self.read_meta()
 
-    def read_meta(self) -> Dict[str, int]:
-        """Lifetime counters persisted by previous sessions (may be {})."""
+    def _compact_meta(self, keep: Path) -> None:
+        """Fold old session files into the aggregate ``_meta.json``.
+
+        Best-effort and rare: runs only when more than
+        ``_COMPACT_THRESHOLD`` session files exist, touches only files
+        idle for ``_COMPACT_AGE`` seconds (a session that old persists
+        again only in pathological schedules — and then re-baselines,
+        see :meth:`persist_stats`), and serializes compactors through
+        an ``O_EXCL`` lock file so two of them never fold the same
+        counters twice.
+        """
         try:
-            payload = json.loads((self.root / _META_NAME).read_text("utf-8"))
+            candidates = [
+                p for p in self.root.glob("_meta-*.json") if p != keep
+            ]
+            if len(candidates) <= _COMPACT_THRESHOLD:
+                return
+            now = time.time()
+            eligible = []
+            for p in candidates:
+                try:
+                    if now - p.stat().st_mtime >= _COMPACT_AGE:
+                        eligible.append(p)
+                except OSError:
+                    continue
+            if not eligible:
+                return
+            lock_path = self.root / _META_LOCK_NAME
+            try:
+                descriptor = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                # Another compactor holds it — unless it crashed long
+                # ago, in which case break the lock for the next pass.
+                # Rename-then-verify: only one breaker wins the rename,
+                # and a lock that turns out fresh is put straight back,
+                # so two breakers can never free the path twice and let
+                # concurrent compactors fold the same files.
+                try:
+                    if now - lock_path.stat().st_mtime >= _COMPACT_LOCK_STALE:
+                        claimed = (
+                            self.root / f".tmp-lock-{uuid.uuid4().hex[:8]}"
+                        )
+                        os.replace(lock_path, claimed)
+                        if time.time() - claimed.stat().st_mtime >= (
+                            _COMPACT_LOCK_STALE
+                        ):
+                            os.unlink(claimed)
+                        else:  # raced a live holder's brand-new lock
+                            os.replace(claimed, lock_path)
+                except OSError:
+                    pass
+                return
+            except OSError:
+                return
+            os.close(descriptor)
+            try:
+                merged = self._read_counter_file(self.root / _META_NAME) or {}
+                folded: List[Path] = []
+                for p in eligible:
+                    counters = self._read_counter_file(p)
+                    if counters is None:
+                        continue
+                    for key, value in counters.items():
+                        merged[key] = merged.get(key, 0) + value
+                    folded.append(p)
+                descriptor, tmp_name = tempfile.mkstemp(
+                    prefix=".tmp-", suffix=".json", dir=self.root
+                )
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(merged or {}, handle, sort_keys=True)
+                os.replace(tmp_name, self.root / _META_NAME)
+                for p in folded:  # only what the new aggregate contains
+                    try:
+                        p.unlink()
+                    except OSError:
+                        pass
+            finally:
+                try:
+                    lock_path.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
+    @staticmethod
+    def _read_counter_file(path: Path) -> Optional[Dict[str, int]]:
+        """Integer counters from one meta file; ``None`` if unreadable
+        (an unreadable file must not be deleted as 'folded')."""
+        try:
+            payload = json.loads(path.read_text("utf-8"))
         except (OSError, ValueError):
-            return {}
+            return None
         if not isinstance(payload, dict):
-            return {}
+            return None
         return {
             key: int(value)
             for key, value in payload.items()
             if isinstance(value, (int, float))
         }
+
+    def read_meta(self) -> Dict[str, int]:
+        """Lifetime counters summed across every persisted session
+        (and the compacted aggregate); ``{}`` when none."""
+        merged: Dict[str, int] = {}
+        for path in self._meta_paths():
+            counters = self._read_counter_file(path)
+            if counters is None:
+                continue
+            for key, value in counters.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged

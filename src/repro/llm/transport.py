@@ -44,6 +44,7 @@ The pieces compose bottom-up:
 from __future__ import annotations
 
 import asyncio
+import email.utils
 import http.client
 import json
 import random
@@ -52,7 +53,8 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Mapping, Optional
+from datetime import datetime, timezone
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..errors import (
     ConfigError,
@@ -101,17 +103,42 @@ class HttpResponse:
     def retry_after(self) -> Optional[float]:
         """The ``Retry-After`` header in seconds, if present and sane.
 
-        Only the delta-seconds form is honored; an HTTP-date (or
-        garbage) reads as ``None`` so the backoff schedule applies.
+        RFC 7231 allows two forms: delta-seconds and an HTTP-date.
+        Both are honored — a date resolves to the seconds remaining
+        until it (clamped at 0 for dates already in the past); garbage
+        reads as ``None`` so the backoff schedule applies.
         """
         raw = self.headers.get("retry-after")
         if raw is None:
             return None
+        raw = raw.strip()
         try:
-            value = float(raw.strip())
+            value = float(raw)
         except ValueError:
-            return None
+            return _retry_after_date_seconds(raw)
         return value if value >= 0 else None
+
+
+def _retry_after_date_seconds(raw: str) -> Optional[float]:
+    """Seconds until an RFC 7231 HTTP-date ``Retry-After`` value.
+
+    A server that answers ``Retry-After: Wed, 21 Oct 2026 07:28:00
+    GMT`` means "come back at that instant"; the schedule wants a
+    delay.  Dates in the past clamp to 0 (retry immediately) and
+    unparseable values read as ``None`` — never negative, which the
+    retry loop would feed to ``time.sleep``.
+    """
+    try:
+        when = email.utils.parsedate_to_datetime(raw)
+    except (TypeError, ValueError):
+        return None
+    if when is None:  # pre-3.10 pythons return None on garbage
+        return None
+    if when.tzinfo is None:
+        # parsedate_to_datetime yields a naive datetime for "-0000";
+        # RFC 7231 dates are GMT, so pin UTC rather than guessing local.
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
 
 
 class HttpTransport:
@@ -251,6 +278,38 @@ class TokenBucket:
                 return 0.0
             return -self._tokens / self.rate
 
+    def cancel(self) -> None:
+        """Refund one reserved slot that will never be used.
+
+        The inverse of :meth:`reserve`, for callers that claimed a slot
+        and then did not proceed — a rejected admission, a cancelled
+        task, an encode failure, a disconnected client.  Without the
+        refund every abandoned reservation permanently shrinks the
+        bucket: N cancelled waiters would starve the N+1th arrival
+        forever.  Refunds clamp at ``burst`` (a slot returned after its
+        wait elapsed has already been replaced by refill).
+        """
+        with self._lock:
+            self._tokens = min(float(self.burst), self._tokens + 1.0)
+
+    def try_acquire(self, max_wait: float = 0.0) -> "Tuple[bool, float]":
+        """Admit without queueing: ``(admitted, wait)``.
+
+        Reserves a slot; if its wait exceeds ``max_wait`` the
+        reservation is refunded immediately and the caller gets
+        ``(False, wait)`` — ``wait`` being the ``Retry-After`` a server
+        should advertise.  Admission-control callers (HTTP 429) use
+        this instead of :meth:`acquire` so rejected requests never
+        consume capacity.
+        """
+        wait = self.reserve()
+        if wait > max_wait:
+            self.cancel()
+            return False, wait
+        if wait > 0.0:
+            self._sleep(wait)
+        return True, wait
+
     def acquire(self) -> float:
         """Block until admitted; returns the seconds waited."""
         wait = self.reserve()
@@ -259,10 +318,19 @@ class TokenBucket:
         return wait
 
     async def aacquire(self) -> float:
-        """Async :meth:`acquire` (waits on the event loop, not a thread)."""
+        """Async :meth:`acquire` (waits on the event loop, not a thread).
+
+        Cancellation-safe: a task cancelled while sleeping out its wait
+        refunds the reservation, so abandoned waiters do not bleed the
+        bucket dry.
+        """
         wait = self.reserve()
         if wait > 0.0:
-            await asyncio.sleep(wait)
+            try:
+                await asyncio.sleep(wait)
+            except asyncio.CancelledError:
+                self.cancel()
+                raise
         return wait
 
 

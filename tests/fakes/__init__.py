@@ -10,11 +10,14 @@ One home for the shims that used to be copy-pasted across
   answers, injectable transport faults and a request journal.
 * :mod:`~fakes.network_guard` — the no-real-network tripwire installed
   by the test and benchmark conftests.
+* :mod:`~fakes.http_json` — a stdlib JSON-over-HTTP client for driving
+  loopback servers (non-2xx statuses return instead of raising).
 
 Everything here is import-light (stdlib + repro only) so benchmarks
 can use it without pulling test-only dependencies.
 """
 
+from . import http_json
 from .fake_llm_server import FakeLLMServer, Fault, JournalEntry, simulated_answer_fn
 from .models import CountingLLM, LatencyLLM, SlowPromptLLM
 
@@ -26,4 +29,5 @@ __all__ = [
     "CountingLLM",
     "LatencyLLM",
     "SlowPromptLLM",
+    "http_json",
 ]

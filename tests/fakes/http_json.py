@@ -1,0 +1,60 @@
+"""Tiny stdlib JSON-over-HTTP client for exercising loopback servers.
+
+The server suites and the E18 benchmark talk to
+:class:`repro.app.server.RageServer` the way a real client would — over
+a socket — but the repo forbids third-party HTTP clients, and
+``urllib`` turns every non-2xx into an exception.  The exchange itself
+is delegated to the library's own
+:class:`~repro.llm.transport.UrllibTransport` (one home for the
+non-2xx-is-a-response flattening); these helpers only shape it into
+``(status, headers, body)`` tuples with JSON conveniences.  Loopback
+only, of course: the network guard is active.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.llm.transport import UrllibTransport
+
+#: (status, lower-cased headers, raw body bytes)
+Exchange = Tuple[int, Dict[str, str], bytes]
+
+_TRANSPORT = UrllibTransport()
+
+
+def _exchange(
+    method: str, url: str, body: Optional[bytes], timeout: float
+) -> Exchange:
+    headers = {"Content-Type": "application/json"} if body is not None else {}
+    response = _TRANSPORT.request(method, url, headers, body, timeout)
+    return response.status, response.headers, response.body
+
+
+def get(url: str, timeout: float = 10.0) -> Exchange:
+    """GET ``url``; non-2xx statuses return, they do not raise."""
+    return _exchange("GET", url, None, timeout)
+
+
+def post_json(
+    url: str, payload: Mapping[str, object], timeout: float = 30.0
+) -> Exchange:
+    """POST ``payload`` as a JSON body; non-2xx statuses return."""
+    return _exchange(
+        "POST", url, json.dumps(dict(payload)).encode("utf-8"), timeout
+    )
+
+
+def post_raw(url: str, body: bytes, timeout: float = 10.0) -> Exchange:
+    """POST arbitrary bytes (malformed-body tests)."""
+    return _exchange("POST", url, body, timeout)
+
+
+def body_json(body: bytes) -> Optional[Dict[str, object]]:
+    """The body parsed as a JSON object, or ``None`` when it is not one."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None

@@ -252,3 +252,43 @@ def test_store_oserror_follows_exit2_contract(monkeypatch, capsys):
     code = main(["ask", "--use-case", "big_three", "--cache-dir", "/x"])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_serve_wires_config_end_to_end(monkeypatch, capsys):
+    """`rage serve` builds the server from the CLI flags, binds, and
+    prints the live URL; join() is stubbed so the test returns."""
+    from repro.app.server import RageServer
+
+    built = {}
+
+    def fake_join(self, timeout=None):
+        built["server"] = self
+
+    monkeypatch.setattr(RageServer, "join", fake_join)
+    code = main(
+        [
+            "serve",
+            "--use-case", "big_three",
+            "--port", "0",
+            "--tenants", "alice, bob",
+            "--admit-rate", "5",
+            "--admit-burst", "2",
+            "--backend", "threaded:2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rage serve: http://127.0.0.1:" in out
+    assert "alice, bob" in out
+    server = built["server"]
+    assert server.tenant_names() == ["alice", "bob"]
+    assert server.admit_rate == 5.0 and server.admit_burst == 2
+    assert server.rage.backend.name == "threaded:2"
+    assert server.default_query is not None
+    assert server._httpd is None  # closed on the way out
+
+
+def test_serve_rejects_bad_admission_config(capsys):
+    code = main(["serve", "--port", "0", "--admit-burst", "3"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

@@ -62,6 +62,110 @@ def test_report(session):
     assert report.top_down.found
 
 
+def test_failed_ask_leaves_session_state_intact(session):
+    """Regression: a failing pose() must be all-or-nothing.
+
+    Before the fix, pose() wrote `query` (and `context`) before asking,
+    so a failed ask left a new question paired with the previous
+    answer.
+    """
+    before = session.state()
+
+    def exploding_ask(query, context=None, evaluator=None):
+        raise RuntimeError("model fell over")
+
+    session.rage.ask = exploding_ask
+    with pytest.raises(RuntimeError):
+        session.pose("Who won the most grand slams?")
+    assert session.state() == before
+
+
+def test_interleaved_poses_never_mix_state(session):
+    """Regression: two interleaved poses on one session must each
+    commit a consistent (query, context, answer) triple.
+
+    The schedule below reproduces the serving-layer race: thread A
+    starts posing query A, thread B completes a full pose of query B
+    in the middle, then A finishes.  With the old field-by-field
+    writes the final state was query B paired with query A's context
+    and answer; atomic assignment leaves whole-triple A (the last
+    writer) in place.
+    """
+    import threading
+
+    query_a = session.query
+    query_b = "Who is the best tennis player by head to head record?"
+    rage = session.rage
+    real_retrieve = rage.retrieve
+    a_entered = threading.Event()
+    b_done = threading.Event()
+
+    def gated_retrieve(query, k=None):
+        if query == query_a:
+            a_entered.set()
+            assert b_done.wait(timeout=10.0)
+        return real_retrieve(query, k=k)
+
+    rage.retrieve = gated_retrieve
+    thread_a = threading.Thread(target=session.pose, args=(query_a,))
+    thread_a.start()
+    assert a_entered.wait(timeout=10.0)
+    session.pose(query_b)  # completes while A is mid-pose
+    b_done.set()
+    thread_a.join(timeout=10.0)
+    assert not thread_a.is_alive()
+
+    rage.retrieve = real_retrieve
+    query, context, answer = session.state()
+    # Whichever pose committed last, the triple must be internally
+    # consistent: the context is the query's own retrieval and the
+    # answer is the engine's answer for exactly that pair.
+    assert query in (query_a, query_b)
+    assert context is not None
+    assert context.doc_ids() == rage.retrieve(query).doc_ids()
+    assert answer == rage.ask(query, context=context).answer
+
+
+def test_state_snapshot_is_consistent_under_hammering(session):
+    """Concurrent poses + readers: every snapshot is a committed triple."""
+    import threading
+
+    queries = {
+        session.query: session.answer,
+        "Who is the best tennis player by head to head record?": None,
+    }
+    rage = session.rage
+    expected = {}
+    for query in queries:
+        context = rage.retrieve(query)
+        expected[query] = (
+            context.doc_ids(),
+            rage.ask(query, context=context).answer,
+        )
+    errors = []
+
+    def poser(query):
+        for _ in range(10):
+            session.pose(query)
+
+    def reader():
+        for _ in range(200):
+            query, context, answer = session.state()
+            if query is None:
+                continue
+            want_ids, want_answer = expected[query]
+            if context.doc_ids() != want_ids or answer != want_answer:
+                errors.append((query, context.doc_ids(), answer))
+
+    threads = [threading.Thread(target=poser, args=(q,)) for q in queries]
+    threads.append(threading.Thread(target=reader))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors
+
+
 def test_repose_changes_context(session):
     original_ids = session.context.doc_ids()
     session.pose("Who is the best tennis player by head to head record?")

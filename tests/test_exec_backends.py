@@ -344,3 +344,62 @@ def test_asyncio_backend_threads_sync_only_models():
     results = AsyncioBackend(max_inflight=4).run(model, _prompts(8))
     assert len(results) == 8
     assert len(model.threads) == 4
+
+
+# ---------------------------------------------------------------------------
+# BackendStats: submission accounting for the serving layer's /metrics
+
+
+def test_backend_stats_count_batches_and_prompts():
+    backend = SerialBackend()
+    model = Instrumented()
+    backend.run(model, _prompts(4))
+    backend.run(model, _prompts(2))
+    assert backend.stats.batches == 2
+    assert backend.stats.prompts == 6
+    assert backend.stats.active == 0
+    assert backend.stats.max_active == 1
+
+
+def test_backend_stats_track_overlapping_submitters():
+    """max_active > 1 exactly when concurrent callers (server request
+    threads) overlap on one shared backend."""
+    import time
+
+    backend = ThreadedBackend(2)
+
+    class Slow:
+        name = "slow"
+
+        def generate(self, prompt):
+            time.sleep(0.05)
+            return GenerationResult(answer="ok", prompt=prompt)
+
+    barrier = threading.Barrier(2)
+
+    def submit():
+        barrier.wait(timeout=5.0)
+        backend.run(Slow(), _prompts(2))
+
+    threads = [threading.Thread(target=submit) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert backend.stats.batches == 2
+    assert backend.stats.max_active == 2
+    assert backend.stats.active == 0
+
+
+def test_backend_stats_cover_async_entry_point():
+    backend = AsyncioBackend(max_inflight=4)
+    model = Instrumented()
+
+    async def drive():
+        return await backend.arun(model, _prompts(3))
+
+    results = asyncio.run(drive())
+    assert len(results) == 3
+    assert backend.stats.batches == 1
+    assert backend.stats.prompts == 3
+    assert backend.stats.active == 0

@@ -283,6 +283,119 @@ def test_persist_stats_accumulates_across_sessions(tmp_path):
     assert second.persist_stats()["hits"] == 2
 
 
+def test_two_concurrent_writers_never_lose_updates(tmp_path):
+    """Regression: two serving processes sharing one cache dir used to
+    clobber each other's lifetime counters.
+
+    The old layout read-modify-wrote one ``_meta.json``; with writer A
+    persisting after writer B, B's delta vanished.  Each session now
+    owns a private delta file merged on read, so interleaved persists
+    in *any* order must sum exactly.
+    """
+    writer_a = PromptStore(tmp_path)
+    writer_b = PromptStore(tmp_path)
+    # The worst-case interleaving for read-modify-write: both read the
+    # same baseline, then persist one after the other, repeatedly.
+    for round_number in range(3):
+        writer_a.put("model", f"a-{round_number}", _result(prompt=f"a-{round_number}"))
+        writer_b.put("model", f"b-{round_number}", _result(prompt=f"b-{round_number}"))
+        writer_a.get("model", f"a-{round_number}")
+        writer_b.get("model", "never-written")
+        writer_a.persist_stats()
+        writer_b.persist_stats()
+    merged = PromptStore(tmp_path).read_meta()
+    assert merged["writes"] == 6  # 3 each — nothing clobbered
+    assert merged["hits"] == 3  # all of A's
+    assert merged["misses"] == 3  # all of B's
+
+
+def test_meta_merges_legacy_single_file_aggregate(tmp_path):
+    """Counters persisted by the old single-file layout still count."""
+    (tmp_path / "_meta.json").write_text(
+        json.dumps({"hits": 40, "misses": 2}), encoding="utf-8"
+    )
+    store = PromptStore(tmp_path)
+    store.put("model", "p", _result(prompt="p"))
+    store.get("model", "p")
+    meta = store.persist_stats()
+    assert meta["hits"] == 41 and meta["misses"] == 2 and meta["writes"] == 1
+
+
+def test_clear_removes_session_meta_files(tmp_path):
+    store = PromptStore(tmp_path)
+    store.put("model", "p", _result(prompt="p"))
+    store.persist_stats()
+    assert store.read_meta()["writes"] == 1
+    store.clear()
+    assert store.read_meta() == {}
+    assert store.entry_count == 0
+
+
+def test_persist_after_clear_does_not_resurrect_counters(tmp_path):
+    """Regression: clear() wipes the on-disk lifetime counters, so a
+    later persist (e.g. server shutdown) must not write the pre-clear
+    session totals back."""
+    store = PromptStore(tmp_path)
+    store.put("model", "p", _result(prompt="p"))
+    store.get("model", "p")
+    store.persist_stats()
+    store.clear()
+    assert store.persist_stats() == {}  # nothing to resurrect
+    # Post-clear traffic starts a fresh count.
+    store.put("model", "q", _result(prompt="q"))
+    assert store.persist_stats()["writes"] == 1
+
+
+def test_idle_session_persists_no_meta_file(tmp_path):
+    store = PromptStore(tmp_path)
+    assert store.persist_stats() == {}
+    assert list(tmp_path.glob("_meta*")) == []
+
+
+def test_old_session_meta_files_compact_into_aggregate(tmp_path):
+    """Session files do not accumulate forever: once enough exist, the
+    hour-old ones fold into _meta.json with totals preserved."""
+    import json as json_mod
+    import os as os_mod
+    import time as time_mod
+
+    # Simulate many finished CLI runs: one session file each, all old.
+    stale = time_mod.time() - 7200
+    for i in range(25):
+        path = tmp_path / f"_meta-dead-{i:04d}.json"
+        path.write_text(json_mod.dumps({"hits": 1, "writes": 2}), "utf-8")
+        os_mod.utime(path, (stale, stale))
+    store = PromptStore(tmp_path)
+    store.put("model", "p", _result(prompt="p"))
+    merged = store.persist_stats()  # triggers the compaction pass
+    assert merged["hits"] == 25 and merged["writes"] == 51
+    remaining = list(tmp_path.glob("_meta-*.json"))
+    assert len(remaining) == 1  # only this session's live file
+    aggregate = json_mod.loads((tmp_path / "_meta.json").read_text("utf-8"))
+    assert aggregate == {"hits": 25, "writes": 50}
+    # Totals survive the fold for every reader.
+    assert PromptStore(tmp_path).read_meta() == merged
+
+
+def test_owner_rebaselines_after_its_file_is_compacted(tmp_path):
+    """An owner whose session file was folded away must persist only
+    the not-yet-aggregated remainder — never its full cumulative
+    counters again (that would double-count the folded part)."""
+    store = PromptStore(tmp_path)
+    store.put("model", "p", _result(prompt="p"))
+    store.persist_stats()
+    # Simulate a compactor folding this session's file into the base.
+    session_file = next(tmp_path.glob("_meta-*.json"))
+    (tmp_path / "_meta.json").write_text(session_file.read_text("utf-8"), "utf-8")
+    session_file.unlink()
+    # More traffic, then persist again: totals must not double.
+    store.put("model", "q", _result(prompt="q"))
+    merged = store.persist_stats()
+    assert merged["writes"] == 2
+    # And idempotence still holds under the new session file.
+    assert store.persist_stats()["writes"] == 2
+
+
 def test_read_meta_tolerates_garbage(tmp_path):
     store = PromptStore(tmp_path)
     (store.root / "_meta.json").write_text("{broken", encoding="utf-8")

@@ -11,6 +11,7 @@ import asyncio
 import random
 import socket
 import time
+from datetime import datetime, timedelta, timezone
 
 import pytest
 
@@ -130,6 +131,75 @@ def test_bucket_validation():
         TokenBucket(rate=0.0)
     with pytest.raises(ConfigError):
         TokenBucket(rate=1.0, burst=0)
+
+
+def test_bucket_cancel_refunds_reservation():
+    """Regression: a reserved-but-abandoned slot must be refunded.
+
+    Before the fix, reserve() permanently consumed the slot even when
+    the caller never proceeded, so N abandoned reservations starved
+    the N+1th arrival forever.
+    """
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+    # N waiters reserve past the burst, then all abandon their slot.
+    waits = [bucket.reserve() for _ in range(8)]
+    assert waits[2] > 0.0  # the bucket really was exhausted
+    for _ in range(8):
+        bucket.cancel()
+    # The N+1th arrival is admitted immediately: nothing leaked.
+    assert bucket.reserve() == 0.0
+    assert bucket.reserve() == 0.0
+    assert bucket.reserve() == pytest.approx(1.0)
+
+
+def test_bucket_cancel_clamps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+    bucket.reserve()
+    clock.advance(10.0)  # refill replaces the slot before the refund
+    bucket.cancel()
+    bucket.cancel()  # spurious extra refunds must not mint capacity
+    assert [bucket.reserve() for _ in range(2)] == [0.0, 0.0]
+    assert bucket.reserve() > 0.0
+
+
+def test_bucket_try_acquire_admits_then_rejects_with_retry_after():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    assert bucket.try_acquire() == (True, 0.0)
+    assert bucket.try_acquire() == (True, 0.0)
+    admitted, wait = bucket.try_acquire()
+    assert not admitted and wait == pytest.approx(0.5)
+    # Rejections are refunded: the advertised wait must not grow with
+    # every rejected probe (the reservation-leak symptom), and waiting
+    # out the advertised delay really buys admission.
+    admitted, wait2 = bucket.try_acquire()
+    assert not admitted and wait2 == pytest.approx(wait)
+    clock.advance(wait)
+    assert bucket.try_acquire() == (True, 0.0)
+
+
+def test_bucket_async_cancellation_refunds():
+    """A task cancelled while sleeping out its wait refunds its slot."""
+
+    async def main() -> None:
+        bucket = TokenBucket(rate=5.0, burst=1)
+        await bucket.aacquire()  # drain the burst
+        waiters = [asyncio.create_task(bucket.aacquire()) for _ in range(6)]
+        await asyncio.sleep(0)  # let every waiter reserve its slot
+        for task in waiters:
+            task.cancel()
+        for task in waiters:
+            with pytest.raises(asyncio.CancelledError):
+                await task
+        # All six abandoned reservations were refunded: the next
+        # arrival waits only for the one slot actually consumed.
+        wait = bucket.reserve()
+        assert wait <= 1 / 5.0 + 0.05
+        bucket.cancel()
+
+    asyncio.run(main())
 
 
 # ---------------------------------------------------------------------------
@@ -319,6 +389,35 @@ def test_http_response_helpers():
     assert HttpResponse(200, {}, b"").retry_after() is None
     with pytest.raises(MalformedResponseError):
         HttpResponse(200, {}, b"[1, 2]").json()  # array, not an object
+
+
+def _http_date(offset_seconds: float) -> str:
+    from email.utils import format_datetime
+
+    when = datetime.now(timezone.utc) + timedelta(seconds=offset_seconds)
+    return format_datetime(when, usegmt=True)
+
+
+def test_retry_after_http_date_form():
+    """Regression: RFC 7231 allows an HTTP-date; it used to silently
+    fall back to the backoff schedule."""
+    future = HttpResponse(
+        429, {"retry-after": _http_date(120)}, b""
+    ).retry_after()
+    assert future is not None
+    assert 110.0 <= future <= 120.0  # seconds-until, not a timestamp
+
+
+def test_retry_after_http_date_in_past_clamps_to_zero():
+    past = HttpResponse(
+        429, {"retry-after": _http_date(-3600)}, b""
+    ).retry_after()
+    assert past == 0.0  # retry immediately, never sleep(-n)
+
+
+def test_retry_after_garbage_still_reads_none():
+    for raw in ("soon", "Wed, 99 Zzz 2099 99:99:99 GMT", "", "   "):
+        assert HttpResponse(429, {"retry-after": raw}, b"").retry_after() is None
 
 
 # ---------------------------------------------------------------------------
