@@ -1,0 +1,41 @@
+"""Project-native static analysis for the repro codebase.
+
+A stdlib-``ast`` lint engine encoding the invariants this project
+learned the hard way (see each checker's docstring for the bug that
+motivated it):
+
+========================  ==================================================
+rule                      invariant
+========================  ==================================================
+``lock-discipline``       counter mutation in lock-owning classes happens
+                          under the lock
+``acquire-release``       ``reserve()`` refunds via ``cancel()`` on
+                          exception paths; ``open()`` lives in ``with``
+``async-hygiene``         no blocking primitives inside ``async def``
+``error-taxonomy``        library failures derive from ``repro.errors``
+``test-network-isolation``  suites import no socket machinery outside
+                          ``tests/fakes/``
+``determinism``           no ambient randomness/clocks in ``core/`` and
+                          ``combinatorics/``
+========================  ==================================================
+
+Run it with ``rage lint [paths]`` or ``python -m repro.analysis``;
+suppress a deliberate exception inline with ``# repro: disable=RULE --
+why``; ratchet legacy debt with a baseline file (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from .engine import AnalysisResult, analyze_paths, analyze_source
+from .model import Checker, Finding, all_checkers, register
+
+__all__ = [
+    "AnalysisResult",
+    "Checker",
+    "Finding",
+    "all_checkers",
+    "analyze_paths",
+    "analyze_source",
+    "register",
+]

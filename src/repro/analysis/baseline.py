@@ -1,0 +1,86 @@
+"""Baseline files: ratchet legacy findings down instead of blocking.
+
+A baseline waives a *count* of findings per ``(path, rule)`` — never
+specific lines, which drift on every edit.  Running with a baseline:
+
+* up to the baselined count of findings in each ``(path, rule)`` group
+  is waived (earliest lines first);
+* every finding beyond the count is reported — new violations in an
+  old file still fail;
+* a file that gets *cleaner* does not bank credit: rewrite the
+  baseline (``--write-baseline``) to ratchet the allowance down.
+
+The file is deterministic JSON (sorted keys) so diffs review cleanly::
+
+    {"version": 1, "counts": {"src/repro/llm/x.py": {"lock-discipline": 2}}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from .model import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, int]]:
+    """Parse a baseline file into ``{path: {rule: count}}``."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigError(f"cannot read baseline {path}: {error}") from error
+    except ValueError as error:
+        raise ConfigError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ConfigError(
+            f"baseline {path} has unsupported schema "
+            f"(want {{'version': {_VERSION}, 'counts': ...}})"
+        )
+    counts = payload.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ConfigError(f"baseline {path}: 'counts' must be an object")
+    result: Dict[str, Dict[str, int]] = {}
+    for rel, rules in counts.items():
+        if not isinstance(rules, dict):
+            raise ConfigError(f"baseline {path}: entry {rel!r} must be an object")
+        result[rel] = {
+            str(rule): int(count) for rule, count in rules.items() if int(count) > 0
+        }
+    return result
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the baseline that waives exactly ``findings``."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for finding in findings:
+        per_file = counts.setdefault(finding.path, {})
+        per_file[finding.rule] = per_file.get(finding.rule, 0) + 1
+    payload = {"version": _VERSION, "counts": counts}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, Dict[str, int]]
+) -> Tuple[List[Finding], int]:
+    """``(reported, waived_count)`` after waiving baselined findings."""
+    budget = {
+        (rel, rule): count
+        for rel, rules in baseline.items()
+        for rule, count in rules.items()
+    }
+    reported: List[Finding] = []
+    waived = 0
+    for finding in sorted(findings):
+        key = (finding.path, finding.rule)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            waived += 1
+        else:
+            reported.append(finding)
+    return reported, waived

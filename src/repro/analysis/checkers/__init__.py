@@ -1,0 +1,12 @@
+"""Built-in checkers; importing this package registers them all."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import-for-registration)
+    acquire_release,
+    async_hygiene,
+    determinism,
+    error_taxonomy,
+    lock_discipline,
+    network_isolation,
+)

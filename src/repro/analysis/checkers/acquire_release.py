@@ -1,0 +1,148 @@
+"""``acquire-release``: paired resource claims must survive exceptions.
+
+Two project-bitten patterns:
+
+* ``TokenBucket.reserve()`` claims a rate-limiter slot.  If anything
+  after the claim raises (even the injected ``sleep``), the slot must
+  be refunded with ``cancel()`` — the PR 5 reservation-leak bug let N
+  abandoned waiters starve the N+1th arrival forever.  The rule: a
+  function that calls ``.reserve()`` and then does more work must also
+  call ``.cancel()`` from an ``except`` handler or ``finally`` block.
+
+* ``open()`` (and ``Path.open`` / ``os.fdopen``) outside a ``with``
+  leaks the descriptor on any exception before ``close()``.
+
+Scoped to library code: tests deliberately poke ``reserve()`` bare to
+measure refill behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+from .common import (
+    FunctionNode,
+    find_enclosing_statement,
+    is_trivial_tail,
+    iter_functions,
+)
+
+_OPEN_CALLS = frozenset({"open", "fdopen"})
+
+
+def _is_reserve_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "reserve"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _cancel_on_exception_path(func: FunctionNode) -> bool:
+    """Whether any except handler or finally in ``func`` refunds."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            cleanup_bodies: List[ast.stmt] = list(node.finalbody)
+            for handler in node.handlers:
+                cleanup_bodies.extend(handler.body)
+            for stmt in cleanup_bodies:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "cancel"
+                    ):
+                        return True
+    return False
+
+
+def _open_call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name) and node.func.id in _OPEN_CALLS:
+        return node.func.id
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _OPEN_CALLS:
+        # os.open returns a raw fd, not a context manager — it *cannot*
+        # appear in a `with`, so flagging it is noise.  os.fdopen (the
+        # wrapper that turns that fd into a file object) stays covered.
+        value = node.func.value
+        if node.func.attr == "open" and isinstance(value, ast.Name):
+            if value.id == "os":
+                return ""
+        return node.func.attr
+    return ""
+
+
+@register
+class AcquireReleaseChecker(Checker):
+    rule = "acquire-release"
+    description = (
+        "reserve() needs cancel() on exception paths; open() belongs "
+        "in a `with` (reservation/descriptor leak bug class)"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.in_library
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        yield from self._check_reserves(source)
+        yield from self._check_opens(source)
+
+    # -- reserve()/cancel() pairing ---------------------------------------
+
+    def _check_reserves(self, source: SourceFile) -> Iterable[Finding]:
+        for func in iter_functions(source.tree):
+            reserves = [
+                node for node in ast.walk(func) if _is_reserve_call(node)
+            ]
+            if not reserves:
+                continue
+            if _cancel_on_exception_path(func):
+                continue
+            for call in reserves:
+                stmt = find_enclosing_statement(func, call)
+                if stmt is not None and self._nothing_left(func, stmt):
+                    continue  # claim-and-return: nothing can raise after
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    f"`{func.name}` reserves a slot but has no "
+                    "`cancel()` on an exception path — an interrupted "
+                    "caller leaks the reservation and starves later "
+                    "arrivals",
+                )
+
+    @staticmethod
+    def _nothing_left(func: FunctionNode, stmt: ast.stmt) -> bool:
+        body = list(func.body)
+        if stmt not in body:
+            return False  # nested inside try/if/loop: be conservative
+        tail = body[body.index(stmt) + 1 :]
+        return all(is_trivial_tail(later) for later in tail)
+
+    # -- open() outside with ----------------------------------------------
+
+    def _check_opens(self, source: SourceFile) -> Iterable[Finding]:
+        managed = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    managed.add(id(expr))
+                    # one wrapper deep: with closing(open(...)) etc.
+                    if isinstance(expr, ast.Call):
+                        for arg in expr.args:
+                            managed.add(id(arg))
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and id(node) not in managed:
+                name = _open_call_name(node)
+                if name:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"`{name}(...)` outside a `with` block leaks the "
+                        "file descriptor on any exception before close()",
+                    )

@@ -1,0 +1,138 @@
+"""Shared AST plumbing for the built-in checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def build_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted module/object it binds.
+
+    ``import random as rnd`` maps ``rnd -> random``; ``from urllib
+    import request`` maps ``request -> urllib.request``; ``from random
+    import sample as s`` maps ``s -> random.sample``.  Only module-level
+    (and class/function-nested) imports are walked — good enough for
+    resolving stdlib call sites.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def resolve_call_target(
+    call: ast.Call, imports: Dict[str, str]
+) -> Optional[str]:
+    """Canonical dotted name a call resolves to, through import aliases.
+
+    ``rnd.sample(...)`` with ``import random as rnd`` resolves to
+    ``random.sample``; ``s(...)`` with ``from random import sample as
+    s`` resolves to ``random.sample``.  Attribute chains rooted at
+    non-import names (``self.generate``) resolve with their literal
+    root (``self.generate``).
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    resolved_root = imports.get(root, root)
+    return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function and method in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def self_attribute_root(node: ast.AST) -> Optional[str]:
+    """For an attribute chain rooted at ``self``, the first attribute.
+
+    ``self.stats.hits`` -> ``stats``; ``self.calls`` -> ``calls``;
+    anything not rooted at ``self`` -> ``None``.
+    """
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and chain:
+        return chain[-1]
+    return None
+
+
+def is_lock_factory(value: ast.AST, imports: Dict[str, str]) -> bool:
+    """Whether ``value`` constructs a mutual-exclusion lock."""
+    if not isinstance(value, ast.Call):
+        return False
+    target = resolve_call_target(value, imports)
+    return target in ("threading.Lock", "threading.RLock", "Lock", "RLock")
+
+
+def statements_after(
+    func: FunctionNode, stmt: ast.stmt
+) -> List[ast.stmt]:
+    """Statements of ``func`` that execute after ``stmt`` finishes.
+
+    Approximated lexically: every statement node in the function whose
+    first line is beyond ``stmt``'s last.  Good enough to decide "is
+    there any code left that could raise".
+    """
+    boundary = getattr(stmt, "end_lineno", stmt.lineno)
+    following: List[ast.stmt] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and node is not stmt:
+            if node.lineno > boundary:
+                following.append(node)
+    return following
+
+
+def is_trivial_tail(stmt: ast.stmt) -> bool:
+    """A statement that cannot raise between a reserve and its use."""
+    if isinstance(stmt, ast.Pass):
+        return True
+    if isinstance(stmt, ast.Return):
+        return stmt.value is None or isinstance(
+            stmt.value, (ast.Name, ast.Constant)
+        )
+    return False
+
+
+def find_enclosing_statement(
+    func: FunctionNode, target: ast.AST
+) -> Optional[ast.stmt]:
+    """The outermost statement of ``func``'s body containing ``target``."""
+
+    def contains(node: ast.AST) -> bool:
+        return any(child is target for child in ast.walk(node))
+
+    stack: List[Tuple[ast.stmt, ...]] = [tuple(func.body)]
+    while stack:
+        for stmt in stack.pop():
+            if contains(stmt):
+                return stmt
+    return None

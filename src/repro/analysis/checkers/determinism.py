@@ -1,0 +1,117 @@
+"""``determinism``: no ambient randomness or clocks in exactness zones.
+
+``core/`` and ``combinatorics/`` are asserted *answer-for-answer
+exact*: the lattice-pruned plan must equal the exhaustive plan bit for
+bit, property tests sweep fixed seed ranges, and benchmark baselines
+diff artifacts across runs.  One ``random.sample(...)`` against the
+unseeded module-level generator — or one wall-clock read folded into
+an output — and none of that holds.
+
+Flagged in those packages:
+
+* module-level ``random.*`` calls (``random.random``, ``.sample``,
+  ``.shuffle``, ...) — thread a seeded ``random.Random(seed)`` through
+  instead (the project idiom; see ``core/sampling.py``);
+* ``random.Random()`` with no arguments — seeded by entropy;
+* wall-clock and entropy reads: ``time.time``/``monotonic``/
+  ``perf_counter``, ``datetime.now``/``utcnow``/``today``,
+  ``uuid.uuid1``/``uuid4``, ``os.urandom``, ``secrets.*``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+from .common import build_import_map, resolve_call_target
+
+#: Module-level `random` functions (the shared, unseeded generator).
+_RANDOM_FUNCTIONS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.getrandbits",
+        "random.betavariate",
+        "random.expovariate",
+        "random.normalvariate",
+        "random.triangular",
+        "random.seed",
+    }
+)
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+    }
+)
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = (
+        "core/ and combinatorics/ are answer-exact: no unseeded random, "
+        "no wall-clock or entropy reads"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.in_exactness_zone
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        imports = build_import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                message = self._violation(node, imports)
+                if message is not None:
+                    yield self.finding(source, node.lineno, message)
+
+    def _violation(
+        self, call: ast.Call, imports: Dict[str, str]
+    ) -> Optional[str]:
+        target = resolve_call_target(call, imports)
+        if target is None:
+            return None
+        if target in _RANDOM_FUNCTIONS:
+            return (
+                f"`{target}(...)` uses the shared unseeded generator — "
+                "thread a seeded `random.Random(seed)` through instead"
+            )
+        if target == "random.Random" and not call.args and not call.keywords:
+            return (
+                "`random.Random()` without a seed draws from entropy — "
+                "pass an explicit seed"
+            )
+        if target in _CLOCK_CALLS or target.startswith("secrets."):
+            return (
+                f"`{target}(...)` reads the clock/entropy in an "
+                "answer-exact zone — inject the value from the caller"
+            )
+        return None

@@ -1,0 +1,75 @@
+"""``error-taxonomy``: library failures derive from ``repro.errors``.
+
+The package promises "catch :class:`~repro.errors.RageError` and you
+have every deliberate failure" — the CLI's exit-2 contract and the
+server's 400/500 mapping both lean on it.  A validation path that
+raises bare ``ValueError`` (or ``Exception``, ``RuntimeError``, ...)
+silently escapes that contract.
+
+The rule: in library code, ``raise`` of a bare builtin exception from
+the flagged set is a finding.  Taxonomy classes may *also* inherit the
+builtin (``class DocumentError(RetrievalError, ValueError)``) so
+existing callers keep working — the point is that the name raised
+belongs to ``repro.errors``.  ``NotImplementedError`` (abstract
+methods), ``AttributeError`` (``__getattr__`` protocol), and
+``SystemExit`` (CLI entry points) stay allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+
+_FLAGGED = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "LookupError",
+    }
+)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+@register
+class ErrorTaxonomyChecker(Checker):
+    rule = "error-taxonomy"
+    description = (
+        "library code raises repro.errors classes, not bare builtins — "
+        "`except RageError` must cover every deliberate failure"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.in_library
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in _FLAGGED:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"`raise {name}` escapes the `except RageError` "
+                        "contract — raise (or subclass into) a "
+                        "`repro.errors` class",
+                    )

@@ -1,0 +1,131 @@
+"""``lock-discipline``: counter mutations need the instance lock.
+
+The exact bug class PR 5 fixed three times over: a class creates
+``self._lock = threading.Lock()`` (or ``_stats_lock``, ``_evict_lock``,
+...) because it is shared across request threads — and then some method
+bumps ``self.stats.hits += 1`` bare.  Augmented assignment is a
+read-modify-write; outside the lock it loses increments under
+concurrency.
+
+The rule: in any class that *owns* a lock attribute, every augmented
+assignment whose target is rooted at ``self`` must be lexically inside
+``with self.<that lock>:`` (any of the class's locks).  ``__init__``
+(and the other construction dunders) are exempt — the instance is not
+shared yet.  Helpers documented as caller-holds-lock take an inline
+``# repro: disable=lock-discipline`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+from .common import (
+    build_import_map,
+    dotted_name,
+    is_lock_factory,
+    self_attribute_root,
+)
+
+#: Methods that run before the instance can be shared across threads.
+_CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+)
+
+
+def _class_lock_attrs(cls: ast.ClassDef, imports) -> Set[str]:
+    """Attribute names the class binds to a freshly-built lock."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and is_lock_factory(node.value, imports):
+            for target in node.targets:
+                attr = self_attribute_root(target)
+                if attr is not None and isinstance(target, ast.Attribute):
+                    locks.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    locks.add(target.id)  # class-level lock attribute
+    return locks
+
+
+def _with_holds_lock(node: ast.AST, locks: Set[str]) -> bool:
+    """Whether a With/AsyncWith acquires one of the class's locks."""
+    for item in getattr(node, "items", ()):
+        name = dotted_name(item.context_expr)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[0] == "self" and parts[1] in locks:
+            return True
+        if len(parts) == 1 and parts[0] in locks:
+            return True
+    return False
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    description = (
+        "augmented assignment to self.* in a lock-owning class must sit "
+        "inside `with <lock>:` (lost-increment bug class from PR 5)"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        imports = build_import_map(source.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                locks = _class_lock_attrs(node, imports)
+                if locks:
+                    findings.extend(self._check_class(source, node, locks))
+        return findings
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef, locks: Set[str]
+    ) -> Iterable[Finding]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _CONSTRUCTION_METHODS:
+                continue
+            yield from self._walk(source, method, locks, held=False)
+
+    def _walk(
+        self, source: SourceFile, node: ast.AST, locks: Set[str], held: bool
+    ) -> Iterable[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                child_held = held or _with_holds_lock(child, locks)
+            if isinstance(child, ast.AugAssign) and not child_held:
+                attr = self_attribute_root(child.target)
+                if attr is not None:
+                    target = dotted_name(child.target) or f"self.{attr}"
+                    shown = sorted(locks)[0]
+                    yield self.finding(
+                        source,
+                        child.lineno,
+                        f"`{target} {_op(child)}= ...` outside `with "
+                        f"self.{shown}:` in a lock-owning class — "
+                        "read-modify-write races lose updates",
+                    )
+            yield from self._walk(source, child, locks, child_held)
+
+
+def _op(node: ast.AugAssign) -> str:
+    return {
+        ast.Add: "+",
+        ast.Sub: "-",
+        ast.Mult: "*",
+        ast.Div: "/",
+        ast.FloorDiv: "//",
+        ast.Mod: "%",
+        ast.Pow: "**",
+        ast.BitOr: "|",
+        ast.BitAnd: "&",
+        ast.BitXor: "^",
+        ast.LShift: "<<",
+        ast.RShift: ">>",
+        ast.MatMult: "@",
+    }.get(type(node.op), "?")

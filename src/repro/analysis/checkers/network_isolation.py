@@ -1,0 +1,64 @@
+"""``test-network-isolation``: suites never import socket machinery.
+
+The test and benchmark suites are hermetic: every HTTP exchange lands
+on the in-process fake server over loopback, enforced at runtime by
+the socket guard in ``tests/fakes/network_guard.py``.  This checker is
+the same policy at lint time — a test that *imports*
+``socket``/``urllib.request``/``http.client`` is reaching for a real
+network even if CI never executes that path.
+
+Both layers consume the one allowlist in
+:mod:`repro.analysis.netpolicy`: network modules are importable only
+under ``tests/fakes/`` (the fake server, the JSON client, the loopback
+helpers).  Need a raw port or a stalled listener in a test?  Add a
+helper to the fakes package instead of importing ``socket`` locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from .. import netpolicy
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+
+
+def _imported_modules(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """``(line, dotted module)`` for every import in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue  # relative imports stay inside the suite
+            yield node.lineno, node.module
+            for alias in node.names:
+                if alias.name != "*":
+                    yield node.lineno, f"{node.module}.{alias.name}"
+
+
+@register
+class NetworkIsolationChecker(Checker):
+    rule = "test-network-isolation"
+    description = (
+        "tests/benchmarks outside tests/fakes/ must not import socket/"
+        "HTTP modules — all suite traffic goes through the fakes"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.in_tests and not netpolicy.path_is_exempt(source.rel)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        seen = set()  # one finding per line: `from http.client import X`
+        for line, module in _imported_modules(source.tree):  # matches twice
+            if netpolicy.module_is_network(module) and line not in seen:
+                seen.add(line)
+                yield self.finding(
+                    source,
+                    line,
+                    f"import of network module `{module}` outside "
+                    "tests/fakes/ — route through the fakes package "
+                    "(FakeLLMServer, http_json, loopback helpers)",
+                )

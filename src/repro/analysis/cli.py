@@ -1,0 +1,173 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``rage lint``.
+
+Exit codes follow the CLI contract: 0 clean, 1 findings, 2 usage or
+configuration errors.  ``--json`` emits a machine-readable report (CI
+uploads it as an artifact); ``--write-baseline`` records the current
+findings so legacy debt ratchets down instead of blocking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ConfigError, RageError
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import AnalysisResult, analyze_paths
+from .model import all_checkers, checkers_for_rules
+
+#: Scanned when no paths are given — the self-hosting default.
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+#: Baseline location used when ``--baseline`` is not passed and the
+#: file exists.  Absent file = empty baseline (the healthy state).
+DEFAULT_BASELINE = ".repro-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flag definitions for ``rage lint`` and ``__main__``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit the report as JSON instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report (in the selected format) to FILE — "
+        "CI uploads this as an artifact even when the run fails",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file waiving known legacy findings "
+        f"(default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0 "
+        "(the ratchet: rerun after fixing to shrink it)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE_ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _render_human(
+    result: AnalysisResult, waived: int, reported: List
+) -> str:
+    lines = [finding.render() for finding in reported]
+    summary = (
+        f"{len(reported)} finding{'s' if len(reported) != 1 else ''} "
+        f"across {result.files} files "
+        f"({result.suppressed} inline-suppressed, {waived} baselined)"
+    )
+    if not reported:
+        summary = (
+            f"clean: 0 findings across {result.files} files "
+            f"({result.suppressed} inline-suppressed, {waived} baselined)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(result: AnalysisResult, waived: int, reported: List) -> str:
+    payload = {
+        "version": 1,
+        "files": result.files,
+        "counts": {
+            "reported": len(reported),
+            "suppressed": result.suppressed,
+            "baselined": waived,
+        },
+        "findings": [finding.to_dict() for finding in reported],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit status."""
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule}: {checker.description}")
+        return 0
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    checkers = (
+        checkers_for_rules(args.rule) if args.rule else None
+    )
+    result = analyze_paths(args.paths, root=root, checkers=checkers)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, result.sorted_findings())
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(result.findings)} findings waived)"
+        )
+        return 0
+    if baseline_path.is_file():
+        baseline = load_baseline(baseline_path)
+    elif args.baseline:
+        raise ConfigError(f"no baseline file at {baseline_path}")
+    else:
+        baseline = {}
+    reported, waived = apply_baseline(result.sorted_findings(), baseline)
+
+    rendered = (
+        _render_json(result, waived, reported)
+        if args.json_output
+        else _render_human(result, waived, reported)
+    )
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return 1 if reported else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-native static analysis: concurrency, async "
+        "hygiene, error taxonomy, hermeticity and determinism rules.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except RageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,127 @@
+"""The analysis engine: collect files, run checkers, fold suppressions.
+
+:func:`analyze_paths` is the CLI's workhorse; :func:`analyze_source`
+checks one in-memory snippet (the fixture tests' entry point).  Both
+return findings **after** inline suppressions; the baseline is applied
+by the caller (:mod:`repro.analysis.cli`) because only it knows
+whether this run is writing or enforcing the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .model import Checker, Finding, all_checkers
+from .source import SourceFile
+
+#: Rule id for files the engine cannot parse (not a registered checker:
+#: it has no "check" to run, and suppressing it would hide brokenness).
+PARSE_ERROR_RULE = "parse-error"
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one engine run learned."""
+
+    findings: List[Finding] = field(default_factory=list)  # post-suppression
+    suppressed: int = 0  # waived by inline `# repro: disable=`
+    files: int = 0  # files actually scanned
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings)
+
+
+def iter_python_files(paths: Sequence[Path], root: Path) -> Iterable[Path]:
+    """Every ``.py`` file under ``paths``, deterministic order, deduped."""
+    seen = set()
+    for raw in paths:
+        path = raw if raw.is_absolute() else root / raw
+        if not path.exists():
+            raise ConfigError(f"no such path: {raw}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(
+                    part in _SKIPPED_DIRS or part.startswith(".")
+                    for part in p.relative_to(path).parts
+                )
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_source(
+    source: SourceFile, checkers: Optional[Sequence[Checker]] = None
+) -> AnalysisResult:
+    """Run ``checkers`` over one source file, folding suppressions."""
+    selected = list(checkers) if checkers is not None else all_checkers()
+    result = AnalysisResult(files=1)
+    try:
+        source.tree
+    except SyntaxError as error:
+        line = error.lineno if error.lineno is not None else 1
+        result.findings.append(
+            Finding(
+                path=source.rel,
+                line=line,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return result
+    for checker in selected:
+        if not checker.applies(source):
+            continue
+        for finding in checker.check(source):
+            if source.suppressed(finding.rule, finding.line):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def analyze_source(
+    text: str,
+    rel: str = "src/repro/snippet.py",
+    checkers: Optional[Sequence[Checker]] = None,
+) -> AnalysisResult:
+    """Analyze an in-memory snippet as if it lived at ``rel``."""
+    return check_source(SourceFile(rel, text), checkers)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> AnalysisResult:
+    """Analyze every Python file under ``paths`` (repo-relative)."""
+    base = (root or Path.cwd()).resolve()
+    selected = list(checkers) if checkers is not None else all_checkers()
+    total = AnalysisResult()
+    for path in iter_python_files([Path(p) for p in paths], base):
+        source = SourceFile.read(path, _relative(path, base))
+        result = check_source(source, selected)
+        total.findings.extend(result.findings)
+        total.suppressed += result.suppressed
+        total.files += 1
+    total.findings.sort()
+    return total

@@ -1,0 +1,87 @@
+"""The project's single network-isolation policy.
+
+Tests and benchmarks must be hermetic: all suite traffic stays on
+loopback, served by the in-process fake server.  Two enforcement
+layers consume **this one allowlist**, so they cannot drift:
+
+* the runtime guard (``tests/fakes/network_guard.py``) patches
+  ``socket.socket.connect`` and rejects any address that fails
+  :func:`address_allowed`;
+* the static ``test-network-isolation`` checker
+  (:mod:`repro.analysis.checkers.network_isolation`) rejects imports
+  of :data:`NETWORK_MODULES` in test/benchmark code outside
+  :data:`ALLOWED_TEST_DIRS`.
+
+The policy, in words: **only loopback, and only from tests/fakes/**.
+Raw socket/HTTP machinery belongs in the fakes package (the fake LLM
+server, the JSON test client, the loopback helpers); everything else
+talks through those doubles.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Tuple
+
+#: Hostnames that resolve to loopback without DNS.
+LOOPBACK_NAMES = frozenset({"localhost", "localhost.localdomain", ""})
+
+#: Module prefixes that can open (or serve) real network connections.
+#: Importing any of these — or a submodule — in tests/ or benchmarks/
+#: outside :data:`ALLOWED_TEST_DIRS` is a ``test-network-isolation``
+#: finding.  ``urllib.parse`` stays allowed: it never touches a socket.
+NETWORK_MODULES: Tuple[str, ...] = (
+    "socket",
+    "ssl",
+    "socketserver",
+    "urllib.request",
+    "urllib.error",
+    "http.client",
+    "http.server",
+    "requests",
+    "httpx",
+    "aiohttp",
+    "websockets",
+)
+
+#: Repo-relative directory prefixes exempt from the import ban: the
+#: sanctioned home of socket-touching test infrastructure.
+ALLOWED_TEST_DIRS: Tuple[str, ...] = ("tests/fakes/",)
+
+
+def module_is_network(module: str) -> bool:
+    """Whether importing ``module`` grants real-network capability."""
+    return any(
+        module == banned or module.startswith(banned + ".")
+        for banned in NETWORK_MODULES
+    )
+
+
+def path_is_exempt(rel_path: str) -> bool:
+    """Whether a repo-relative file may import network modules."""
+    normalized = rel_path.replace("\\", "/")
+    return any(normalized.startswith(prefix) for prefix in ALLOWED_TEST_DIRS)
+
+
+def address_allowed(address: object) -> bool:
+    """Whether a ``socket.connect`` address stays inside the sandbox.
+
+    AF_UNIX paths (str/bytes) are local by construction.  For
+    ``(host, port)`` tuples the host must be a loopback name or a
+    loopback IP; an unresolved non-loopback hostname reaching
+    ``connect()`` is blocked rather than trusted.
+    """
+    if isinstance(address, (str, bytes)):
+        return True
+    if not isinstance(address, tuple) or not address:
+        return True
+    host = address[0]
+    if not isinstance(host, str):
+        return True
+    host = host.strip("[]").split("%", 1)[0]
+    if host.lower() in LOOPBACK_NAMES:
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False

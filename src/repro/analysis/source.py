@@ -1,0 +1,162 @@
+"""One scanned file: text, lazily-parsed AST, and inline suppressions.
+
+Suppression syntax
+------------------
+A comment anywhere on a flagged line silences named rules on it::
+
+    self.calls += 1  # repro: disable=lock-discipline -- single-threaded by design
+
+A *standalone* directive comment applies to the next source line (for
+lines with no room left)::
+
+    # repro: disable=async-hygiene -- pure CPU, answers inline
+    return self.generate(prompt)
+
+``disable=all`` silences every rule on the target line.  Everything
+after `` -- `` is a free-form justification; project convention is
+that deliberate suppressions always carry one.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set
+
+_DIRECTIVE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+#: Rule-set value meaning "every rule".
+ALL_RULES = "all"
+
+
+def _parse_directive(comment: str) -> Optional[Set[str]]:
+    """The rule ids named by a ``# repro: disable=`` comment, if any."""
+    match = _DIRECTIVE.search(comment)
+    if match is None:
+        return None
+    return {rule.strip() for rule in match.group(1).split(",") if rule.strip()}
+
+
+class SourceFile:
+    """A file under analysis, with layout-aware scope helpers.
+
+    ``rel`` is the repo-relative POSIX path; checkers scope themselves
+    by it (``in_tests``, ``in_fakes``, ``library_path``).  ``tree``
+    parses on first use and raises ``SyntaxError`` for the engine to
+    convert into a ``parse-error`` finding.
+    """
+
+    def __init__(self, rel: str, text: str, path: Optional[Path] = None) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.text = text
+        self.path = path
+        self._tree: Optional[ast.Module] = None
+        self._suppressions: Optional[Dict[int, FrozenSet[str]]] = None
+
+    @classmethod
+    def read(cls, path: Path, rel: str) -> "SourceFile":
+        """Load a file from disk (invalid UTF-8 bytes are replaced)."""
+        return cls(rel, path.read_text(encoding="utf-8", errors="replace"), path)
+
+    # -- parsing -----------------------------------------------------------
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (cached; ``SyntaxError`` propagates)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.rel)
+        return self._tree
+
+    # -- layout scope ------------------------------------------------------
+
+    @property
+    def parts(self) -> List[str]:
+        return self.rel.split("/")
+
+    @property
+    def in_tests(self) -> bool:
+        """Test or benchmark code (the hermetic zone)."""
+        return bool(self.parts) and self.parts[0] in ("tests", "benchmarks")
+
+    @property
+    def in_fakes(self) -> bool:
+        """The sanctioned test-double package (may touch sockets)."""
+        return self.rel.startswith("tests/fakes/")
+
+    @property
+    def library_path(self) -> Optional[str]:
+        """Path inside the ``repro`` package, or ``None`` outside it.
+
+        Recognizes both the in-repo layout (``src/repro/...``) and a
+        flat checkout (``repro/...``).
+        """
+        for prefix in ("src/repro/", "repro/"):
+            if self.rel.startswith(prefix):
+                return self.rel[len(prefix):]
+        return None
+
+    @property
+    def in_library(self) -> bool:
+        return self.library_path is not None
+
+    @property
+    def in_exactness_zone(self) -> bool:
+        """Modules whose outputs are asserted answer-for-answer exact."""
+        lib = self.library_path
+        return lib is not None and (
+            lib.startswith("core/") or lib.startswith("combinatorics/")
+        )
+
+    # -- suppressions ------------------------------------------------------
+
+    @property
+    def suppressions(self) -> Dict[int, FrozenSet[str]]:
+        """Line number -> rule ids silenced on that line."""
+        if self._suppressions is None:
+            self._suppressions = self._collect_suppressions()
+        return self._suppressions
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced on ``line``."""
+        rules = self.suppressions.get(line)
+        return rules is not None and (rule in rules or ALL_RULES in rules)
+
+    def _collect_suppressions(self) -> Dict[int, FrozenSet[str]]:
+        directives: Dict[int, Set[str]] = {}
+        standalone: List[tuple] = []  # (comment line, rules)
+        code_lines: Set[int] = set()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.text).readline)
+            )
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return {}  # the engine reports the parse failure separately
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                rules = _parse_directive(token.string)
+                if rules is None:
+                    continue
+                line = token.start[0]
+                if line in code_lines:
+                    directives.setdefault(line, set()).update(rules)
+                else:
+                    standalone.append((line, rules))
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+        # A standalone directive guards the next line that holds code.
+        for line, rules in standalone:
+            targets = [code for code in code_lines if code > line]
+            if targets:
+                directives.setdefault(min(targets), set()).update(rules)
+        return {line: frozenset(rules) for line, rules in directives.items()}

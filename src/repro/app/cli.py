@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..analysis.cli import add_lint_arguments, run_lint
 from ..core.counterfactual import SearchDirection
 from ..core.engine import RageConfig
 from ..datasets.base import available_use_cases
@@ -240,6 +241,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "verify", help="re-check every paper narrative claim (PASS/FAIL table)"
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-native static analysis suite",
+    )
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -383,6 +390,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         checks = verify_all()
         print(render_checks(checks))
         return 0 if all(check.passed for check in checks) else 1
+
+    if args.command == "lint":
+        return run_lint(args)
 
     if args.command == "cache":
         return _cache_command(args)

@@ -63,7 +63,7 @@ from ..core.engine import Rage, RageConfig, RageReport
 from ..core.insights import CombinationInsights, PermutationInsights
 from ..core.permutation_cf import PermutationSearchResult
 from ..datasets.base import UseCase, load_use_case
-from ..errors import ConfigError
+from ..errors import ConfigError, ValidationError
 from ..llm.base import LanguageModel
 from ..llm.cache import CachingLLM
 from ..llm.remote import RemoteLLM
@@ -370,9 +370,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            raise ValueError("request body is not valid JSON")
+            raise ValidationError("request body is not valid JSON")
         if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
+            raise ValidationError("request body must be a JSON object")
         return payload
 
     def _respond(

@@ -16,8 +16,24 @@ class ConfigError(RageError):
     """An invalid configuration value was supplied."""
 
 
+class ValidationError(RageError, ValueError):
+    """A caller-supplied argument failed a library precondition.
+
+    Also derives from :class:`ValueError` so pre-taxonomy callers that
+    catch the builtin keep working.
+    """
+
+
 class RetrievalError(RageError):
     """The retrieval substrate could not satisfy a request."""
+
+
+class DocumentError(RetrievalError, ValueError):
+    """A document is malformed or conflicts with the corpus.
+
+    Dual-inherits :class:`ValueError` for backward compatibility with
+    callers written before the taxonomy covered corpus construction.
+    """
 
 
 class EmptyIndexError(RetrievalError):
@@ -52,6 +68,22 @@ class GenerationTimeoutError(GenerationError):
         super().__init__(
             f"generation exceeded {timeout}s for prompt {shown[:80]!r}{extra}"
         )
+
+
+class BatchContractError(GenerationError, RuntimeError):
+    """A batch backend broke the one-result-per-prompt alignment contract.
+
+    Dual-inherits :class:`RuntimeError`: this is a backend programming
+    error, and pre-taxonomy callers trap it as such.
+    """
+
+
+class StoreDecodeError(RageError, ValueError):
+    """A persisted store record could not be decoded.
+
+    Dual-inherits :class:`ValueError` so the store's corruption-as-miss
+    handling (and older callers) keep catching the builtin.
+    """
 
 
 class TransportError(GenerationError):

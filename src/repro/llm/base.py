@@ -72,7 +72,7 @@ from typing import (
 )
 
 from ..attention.model import AttentionTrace
-from ..errors import ConfigError, GenerationTimeoutError
+from ..errors import BatchContractError, ConfigError, GenerationTimeoutError
 
 
 @dataclass(frozen=True)
@@ -218,7 +218,7 @@ def _check_alignment(
     model: LanguageModel, prompts: Sequence[str], results: List[GenerationResult]
 ) -> List[GenerationResult]:
     if len(results) != len(prompts):
-        raise RuntimeError(
+        raise BatchContractError(
             f"{model.name}: batch returned {len(results)} "
             f"results for {len(prompts)} prompts"
         )

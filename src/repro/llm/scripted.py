@@ -116,10 +116,12 @@ class ScriptedLLM:
 
     async def agenerate(self, prompt: str) -> GenerationResult:
         """Async :meth:`generate`: the script lookup is pure compute."""
+        # repro: disable=async-hygiene -- dict lookup, nothing blocks.
         return self.generate(prompt)
 
     async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
         """Async :meth:`generate_batch` (call counting stays identical)."""
+        # repro: disable=async-hygiene -- dict lookup, nothing blocks.
         return self.generate_batch(prompts)
 
     def record(self, source_texts: Sequence[str], answer: str) -> None:

@@ -210,10 +210,13 @@ class SimulatedLLM:
         asyncio execution backend, async caching tiers) can drive the
         simulated model through one uniform await-based contract.
         """
+        # repro: disable=async-hygiene -- pure CPU simulation, no I/O to
+        # overlap; answering inline is the documented contract above.
         return self.generate(prompt)
 
     async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
         """Async :meth:`generate_batch` (same inline-compute rationale)."""
+        # repro: disable=async-hygiene -- pure CPU simulation, no I/O to overlap.
         return self.generate_batch(prompts)
 
     def _answer_one(self, prompt: str, parsed, question: ParsedQuestion) -> GenerationResult:

@@ -41,7 +41,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional
 
 from ..attention.model import AttentionTrace, TokenAttention
-from ..errors import ConfigError
+from ..errors import ConfigError, StoreDecodeError
 from .base import GenerationResult, TokenUsage
 
 #: Serialization schema version; bump on incompatible layout changes so
@@ -149,7 +149,9 @@ def decode_result(payload: Dict) -> GenerationResult:
     """Inverse of :func:`encode_result`; raises on any schema mismatch
     (the store turns that into a miss)."""
     if payload.get("version") != SCHEMA_VERSION:
-        raise ValueError(f"unsupported store schema: {payload.get('version')!r}")
+        raise StoreDecodeError(
+            f"unsupported store schema: {payload.get('version')!r}"
+        )
     usage = payload["usage"]
     return GenerationResult(
         answer=str(payload["answer"]),

@@ -307,14 +307,27 @@ class TokenBucket:
             self.cancel()
             return False, wait
         if wait > 0.0:
-            self._sleep(wait)
+            try:
+                self._sleep(wait)
+            except BaseException:
+                self.cancel()
+                raise
         return True, wait
 
     def acquire(self) -> float:
-        """Block until admitted; returns the seconds waited."""
+        """Block until admitted; returns the seconds waited.
+
+        Interruption-safe: if the sleep raises (KeyboardInterrupt, an
+        injected deadline), the reservation is refunded so the
+        abandoned slot cannot starve later arrivals.
+        """
         wait = self.reserve()
         if wait > 0.0:
-            self._sleep(wait)
+            try:
+                self._sleep(wait)
+            except BaseException:
+                self.cancel()
+                raise
         return wait
 
     async def aacquire(self) -> float:

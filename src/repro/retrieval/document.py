@@ -11,7 +11,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
-from ..errors import UnknownDocumentError
+from ..errors import DocumentError, UnknownDocumentError
 
 
 @dataclass(frozen=True)
@@ -38,9 +38,9 @@ class Document:
 
     def __post_init__(self) -> None:
         if not self.doc_id:
-            raise ValueError("doc_id must be a non-empty string")
+            raise DocumentError("doc_id must be a non-empty string")
         if not self.text:
-            raise ValueError(f"document {self.doc_id!r} has empty text")
+            raise DocumentError(f"document {self.doc_id!r} has empty text")
 
     def display_title(self) -> str:
         """Title if present, else the document id."""
@@ -81,7 +81,7 @@ class Corpus:
     def add(self, doc: Document) -> None:
         """Add a document; duplicate ids are rejected."""
         if doc.doc_id in self._docs:
-            raise ValueError(f"duplicate doc_id {doc.doc_id!r}")
+            raise DocumentError(f"duplicate doc_id {doc.doc_id!r}")
         self._docs[doc.doc_id] = doc
 
     def get(self, doc_id: str) -> Document:

@@ -17,6 +17,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
+from ..errors import ValidationError
 from .normalize import strip_accents
 from .stemmer import PorterStemmer
 from .stopwords import STOPWORDS
@@ -108,7 +109,7 @@ class Tokenizer:
 def ngrams(terms: Sequence[str], n: int) -> Iterable[tuple]:
     """Yield successive n-grams (tuples) over an analyzed term sequence."""
     if n <= 0:
-        raise ValueError("n must be positive")
+        raise ValidationError("n must be positive")
     for i in range(len(terms) - n + 1):
         yield tuple(terms[i : i + n])
 

@@ -1,0 +1,41 @@
+"""Loopback socket helpers for suites that must stay hermetic.
+
+Raw socket machinery is only sanctioned inside ``tests/fakes/`` (see
+:mod:`repro.analysis.netpolicy`); suites that need a refused port or a
+raw connect probe import these helpers instead of ``socket`` directly,
+which keeps them clean under the ``test-network-isolation`` checker.
+"""
+
+from __future__ import annotations
+
+import socket
+
+
+def refused_tcp_port(host: str = "127.0.0.1") -> int:
+    """A loopback port with nothing listening on it.
+
+    Bind-then-close: the kernel hands us a free port, and closing the
+    listener guarantees a subsequent connect is refused (nothing else
+    can have raced onto an ephemeral port we just owned).
+    """
+    probe = socket.socket()
+    try:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def raw_connect(host: str, port: int, timeout: float = 1.0) -> None:
+    """Open (and immediately close) a raw TCP connection.
+
+    Exists so guard self-tests can drive ``socket.socket.connect``
+    directly — exceptions (including ``NetworkGuardViolation``)
+    propagate to the caller; the socket is always closed.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        sock.connect((host, port))
+    finally:
+        sock.close()

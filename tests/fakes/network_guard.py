@@ -8,17 +8,18 @@ loudly with :class:`NetworkGuardViolation` instead of silently leaving
 the sandbox — a test that would have talked to a real endpoint fails,
 it does not flake on DNS.
 
-Unix-domain sockets and loopback (``127.0.0.0/8``, ``::1``,
-``localhost``) stay allowed; multiprocessing, pytest internals and the
-fake server all live there.
+What counts as "allowed" is not decided here: this guard and the static
+``test-network-isolation`` checker both consume the single documented
+allowlist in :mod:`repro.analysis.netpolicy` (loopback addresses, and
+socket machinery only under ``tests/fakes/``), so the runtime and
+static enforcement layers cannot drift apart.
 """
 
 from __future__ import annotations
 
-import ipaddress
 import socket
 
-_LOOPBACK_NAMES = {"localhost", "localhost.localdomain", ""}
+from repro.analysis.netpolicy import address_allowed
 
 _REAL_CONNECT = socket.socket.connect
 _REAL_CONNECT_EX = socket.socket.connect_ex
@@ -28,28 +29,8 @@ class NetworkGuardViolation(RuntimeError):
     """A test tried to open a socket to a non-loopback address."""
 
 
-def _address_allowed(address) -> bool:
-    # AF_UNIX (str/bytes paths) and already-paired sockets are local.
-    if isinstance(address, (str, bytes)):
-        return True
-    if not isinstance(address, tuple) or not address:
-        return True
-    host = address[0]
-    if not isinstance(host, str):
-        return True
-    host = host.strip("[]").split("%", 1)[0]
-    if host.lower() in _LOOPBACK_NAMES:
-        return True
-    try:
-        return ipaddress.ip_address(host).is_loopback
-    except ValueError:
-        # An unresolved hostname reaching connect() means someone did a
-        # DNS-less connect to a name we do not recognize: block it.
-        return False
-
-
 def _guarded_connect(self, address):
-    if not _address_allowed(address):
+    if not address_allowed(address):
         raise NetworkGuardViolation(
             f"test tried to open a real network connection to {address!r}; "
             "all suite traffic must stay on loopback (use FakeLLMServer)"
@@ -58,7 +39,7 @@ def _guarded_connect(self, address):
 
 
 def _guarded_connect_ex(self, address):
-    if not _address_allowed(address):
+    if not address_allowed(address):
         raise NetworkGuardViolation(
             f"test tried to open a real network connection to {address!r}; "
             "all suite traffic must stay on loopback (use FakeLLMServer)"

@@ -1,0 +1,554 @@
+"""Per-rule fixture suites for the static analysis checkers.
+
+Each rule gets: a fixture that fires (asserting rule id and line), the
+matching clean fixture, and a suppression-works case.  Fixtures run
+through :func:`repro.analysis.analyze_source` with a ``rel`` path
+chosen to land in the rule's scope.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+LIB = "src/repro/llm/snippet.py"
+CORE = "src/repro/core/snippet.py"
+TEST = "tests/test_snippet.py"
+
+
+def findings(text, rel=LIB, rule=None):
+    result = analyze_source(textwrap.dedent(text), rel=rel)
+    found = result.findings
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+def rules_of(text, rel=LIB):
+    return {f.rule for f in findings(text, rel=rel)}
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+
+
+LOCKED_CLASS = """
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def bump(self):
+            {body}
+"""
+
+
+def test_lock_discipline_fires_on_bare_augassign():
+    text = LOCKED_CLASS.format(body="self.hits += 1")
+    found = findings(text, rule="lock-discipline")
+    assert len(found) == 1
+    assert found[0].line == 10
+    assert "with" in found[0].message
+
+
+def test_lock_discipline_clean_under_with():
+    text = LOCKED_CLASS.format(body="with self._lock:\n                self.hits += 1")
+    assert findings(text, rule="lock-discipline") == []
+
+
+def test_lock_discipline_ignores_init():
+    # Construction dunders run before the instance is shared.
+    text = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0
+                self.hits += 1
+    """
+    assert findings(text, rule="lock-discipline") == []
+
+
+def test_lock_discipline_ignores_lockless_classes():
+    text = """
+        class Plain:
+            def bump(self):
+                self.hits += 1
+    """
+    assert findings(text, rule="lock-discipline") == []
+
+
+def test_lock_discipline_sees_rlock_and_class_level_locks():
+    text = """
+        import threading
+
+        class Stats:
+            guard = threading.RLock()
+
+            def bump(self):
+                self.hits += 1
+    """
+    assert len(findings(text, rule="lock-discipline")) == 1
+
+
+def test_lock_discipline_suppression():
+    text = LOCKED_CLASS.format(
+        body="self.hits += 1  # repro: disable=lock-discipline -- caller holds lock"
+    )
+    result = analyze_source(textwrap.dedent(text), rel=LIB)
+    assert [f for f in result.findings if f.rule == "lock-discipline"] == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# acquire-release
+
+
+def test_acquire_release_fires_without_cancel_path():
+    text = """
+        class Client:
+            def acquire(self):
+                wait = self.bucket.reserve()
+                self._sleep(wait)
+                return wait
+    """
+    found = findings(text, rule="acquire-release")
+    assert len(found) == 1
+    assert found[0].line == 4
+    assert "cancel" in found[0].message
+
+
+def test_acquire_release_clean_with_refund_in_except():
+    text = """
+        class Client:
+            def acquire(self):
+                wait = self.bucket.reserve()
+                try:
+                    self._sleep(wait)
+                except BaseException:
+                    self.bucket.cancel()
+                    raise
+                return wait
+    """
+    assert findings(text, rule="acquire-release") == []
+
+
+def test_acquire_release_clean_with_refund_in_finally():
+    text = """
+        class Client:
+            def acquire(self):
+                wait = self.bucket.reserve()
+                try:
+                    self._sleep(wait)
+                finally:
+                    self.bucket.cancel()
+    """
+    assert findings(text, rule="acquire-release") == []
+
+
+def test_acquire_release_allows_claim_and_return():
+    # Nothing after the reserve can raise, so nothing can leak.
+    text = """
+        class Client:
+            def reserve_slot(self):
+                wait = self.bucket.reserve()
+                return wait
+    """
+    assert findings(text, rule="acquire-release") == []
+
+
+def test_acquire_release_out_of_scope_in_tests():
+    # Property tests poke reserve() bare on purpose.
+    text = """
+        def test_refill(bucket):
+            wait = bucket.reserve()
+            assert wait >= 0
+    """
+    assert findings(text, rel=TEST, rule="acquire-release") == []
+
+
+def test_open_outside_with_fires():
+    text = """
+        def read(path):
+            handle = open(path)
+            return handle.read()
+    """
+    found = findings(text, rule="acquire-release")
+    assert len(found) == 1
+    assert "open" in found[0].message
+
+
+def test_open_inside_with_is_clean():
+    text = """
+        def read(path):
+            with open(path) as handle:
+                return handle.read()
+    """
+    assert findings(text, rule="acquire-release") == []
+
+
+def test_os_open_raw_fd_is_not_flagged():
+    # os.open returns an int, not a context manager: a lockfile idiom.
+    text = """
+        import os
+
+        def lockfile(path):
+            fd = os.open(path, os.O_CREAT | os.O_EXCL)
+            os.close(fd)
+    """
+    assert findings(text, rule="acquire-release") == []
+
+
+def test_fdopen_outside_with_fires():
+    text = """
+        import os
+
+        def wrap(fd):
+            return os.fdopen(fd)
+    """
+    assert len(findings(text, rule="acquire-release")) == 1
+
+
+def test_acquire_release_suppression():
+    text = """
+        def read(path):
+            handle = open(path)  # repro: disable=acquire-release -- closed by caller
+            return handle
+    """
+    result = analyze_source(textwrap.dedent(text), rel=LIB)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# async-hygiene
+
+
+def test_async_hygiene_flags_time_sleep():
+    text = """
+        import time
+
+        async def slow():
+            time.sleep(0.1)
+    """
+    found = findings(text, rule="async-hygiene")
+    assert len(found) == 1
+    assert found[0].line == 5
+    assert "asyncio.sleep" in found[0].message
+
+
+def test_async_hygiene_resolves_import_aliases():
+    text = """
+        import time as clock
+
+        async def slow():
+            clock.sleep(0.1)
+    """
+    assert len(findings(text, rule="async-hygiene")) == 1
+
+
+def test_async_hygiene_allows_awaited_asyncio_sleep():
+    text = """
+        import asyncio
+
+        async def slow():
+            await asyncio.sleep(0.1)
+    """
+    assert findings(text, rule="async-hygiene") == []
+
+
+def test_async_hygiene_flags_sync_http_and_bare_generate():
+    text = """
+        import urllib.request
+
+        async def fetch(model, prompt):
+            urllib.request.urlopen("http://x")
+            return model.generate(prompt)
+    """
+    found = findings(text, rule="async-hygiene")
+    assert [f.line for f in found] == [5, 6]
+
+
+def test_async_hygiene_flags_blocking_acquire():
+    text = """
+        async def critical(lock):
+            lock.acquire()
+    """
+    assert len(findings(text, rule="async-hygiene")) == 1
+
+
+def test_async_hygiene_allows_nonblocking_acquire():
+    text = """
+        async def critical(lock):
+            if lock.acquire(blocking=False):
+                lock.release()
+    """
+    assert findings(text, rule="async-hygiene") == []
+
+
+def test_async_hygiene_allows_to_thread_method_reference():
+    # Passing the method *reference* is not a call: it runs off-loop.
+    text = """
+        import asyncio
+
+        async def fetch(model, prompt):
+            return await asyncio.to_thread(model.generate, prompt)
+    """
+    assert findings(text, rule="async-hygiene") == []
+
+
+def test_async_hygiene_skips_sync_closures():
+    text = """
+        import time
+
+        async def outer():
+            def worker():
+                time.sleep(1)
+            return worker
+    """
+    assert findings(text, rule="async-hygiene") == []
+
+
+def test_async_hygiene_out_of_scope_in_tests():
+    text = """
+        import time
+
+        async def helper():
+            time.sleep(0.01)
+    """
+    assert findings(text, rel=TEST, rule="async-hygiene") == []
+
+
+def test_async_hygiene_suppression():
+    text = """
+        async def answer(self, prompt):
+            # repro: disable=async-hygiene -- pure CPU, no I/O to overlap
+            return self.generate(prompt)
+    """
+    result = analyze_source(textwrap.dedent(text), rel=LIB)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# error-taxonomy
+
+
+def test_error_taxonomy_flags_bare_builtins():
+    text = """
+        def check(n):
+            if n < 0:
+                raise ValueError("bad n")
+            if n > 10:
+                raise RuntimeError("too big")
+    """
+    found = findings(text, rule="error-taxonomy")
+    assert [f.line for f in found] == [4, 6]
+    assert "RageError" in found[0].message
+
+
+def test_error_taxonomy_allows_taxonomy_classes():
+    text = """
+        from repro.errors import DocumentError
+
+        def check(doc_id):
+            if not doc_id:
+                raise DocumentError("empty doc_id")
+    """
+    assert findings(text, rule="error-taxonomy") == []
+
+
+def test_error_taxonomy_allows_protocol_exceptions():
+    text = """
+        def abstract(self):
+            raise NotImplementedError
+
+        def entry():
+            raise SystemExit(2)
+    """
+    assert findings(text, rule="error-taxonomy") == []
+
+
+def test_error_taxonomy_allows_bare_reraise():
+    text = """
+        def forward(thunk):
+            try:
+                return thunk()
+            except Exception:
+                raise
+    """
+    assert findings(text, rule="error-taxonomy") == []
+
+
+def test_error_taxonomy_out_of_scope_in_tests():
+    text = """
+        def helper():
+            raise ValueError("tests may raise builtins")
+    """
+    assert findings(text, rel=TEST, rule="error-taxonomy") == []
+
+
+def test_error_taxonomy_suppression():
+    text = """
+        def check(n):
+            raise ValueError("x")  # repro: disable=error-taxonomy -- dunder contract
+    """
+    result = analyze_source(textwrap.dedent(text), rel=LIB)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# test-network-isolation
+
+
+def test_network_isolation_flags_socket_import_in_tests():
+    text = """
+        import socket
+    """
+    found = findings(text, rel=TEST, rule="test-network-isolation")
+    assert len(found) == 1
+    assert "socket" in found[0].message
+
+
+def test_network_isolation_flags_from_imports():
+    text = """
+        from urllib import request
+        from http.client import HTTPConnection
+    """
+    found = findings(text, rel=TEST, rule="test-network-isolation")
+    assert [f.line for f in found] == [2, 3]
+
+
+def test_network_isolation_allows_urllib_parse():
+    text = """
+        import urllib.parse
+        from urllib.parse import urlsplit
+    """
+    assert findings(text, rel=TEST, rule="test-network-isolation") == []
+
+
+def test_network_isolation_applies_to_benchmarks():
+    text = """
+        import http.client
+    """
+    found = findings(
+        text, rel="benchmarks/bench_snippet.py", rule="test-network-isolation"
+    )
+    assert len(found) == 1
+
+
+def test_network_isolation_exempts_fakes_package():
+    text = """
+        import socket
+    """
+    assert (
+        findings(text, rel="tests/fakes/helper.py", rule="test-network-isolation")
+        == []
+    )
+
+
+def test_network_isolation_out_of_scope_in_library():
+    # Library transports legitimately speak HTTP; the rule is test-only.
+    text = """
+        import urllib.request
+    """
+    assert findings(text, rel=LIB, rule="test-network-isolation") == []
+
+
+def test_network_isolation_suppression():
+    text = """
+        import socket  # repro: disable=test-network-isolation -- guard self-test
+    """
+    result = analyze_source(textwrap.dedent(text), rel=TEST)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+
+def test_determinism_flags_module_level_random():
+    text = """
+        import random
+
+        def pick(xs):
+            return random.sample(xs, 3)
+    """
+    found = findings(text, rel=CORE, rule="determinism")
+    assert len(found) == 1
+    assert "seeded" in found[0].message
+
+
+def test_determinism_resolves_random_alias():
+    text = """
+        import random as rnd
+
+        def jumble(xs):
+            rnd.shuffle(xs)
+    """
+    assert len(findings(text, rel=CORE, rule="determinism")) == 1
+
+
+def test_determinism_flags_unseeded_random_instance():
+    text = """
+        import random
+
+        def make_rng():
+            return random.Random()
+    """
+    found = findings(text, rel=CORE, rule="determinism")
+    assert len(found) == 1
+    assert "seed" in found[0].message
+
+
+def test_determinism_allows_seeded_random_instance():
+    text = """
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+    """
+    assert findings(text, rel=CORE, rule="determinism") == []
+
+
+def test_determinism_flags_clock_and_entropy_reads():
+    text = """
+        import os
+        import time
+        import uuid
+
+        def stamp():
+            return time.time(), uuid.uuid4(), os.urandom(8)
+    """
+    found = findings(text, rel=CORE, rule="determinism")
+    assert len(found) == 3
+
+
+def test_determinism_out_of_scope_outside_exactness_zone():
+    # transports/benchmark harnesses read clocks legitimately
+    text = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert findings(text, rel=LIB, rule="determinism") == []
+    assert findings(text, rel=TEST, rule="determinism") == []
+
+
+def test_determinism_suppression():
+    text = """
+        import time
+
+        def stamp():
+            return time.time()  # repro: disable=determinism -- display only
+    """
+    result = analyze_source(textwrap.dedent(text), rel=CORE)
+    assert result.findings == []
+    assert result.suppressed == 1

@@ -1,0 +1,266 @@
+"""Engine-level suites: suppressions, baselines, CLI contract, wiring."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source, all_checkers
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import PARSE_ERROR_RULE
+from repro.analysis.model import Finding, checkers_for_rules
+from repro.analysis.source import SourceFile
+from repro.app.cli import main as rage_main
+from repro.errors import ConfigError
+
+LIB = "src/repro/llm/snippet.py"
+
+#: A library fixture that trips error-taxonomy exactly once.
+BAD_SNIPPET = """\
+def check(n):
+    if n < 0:
+        raise ValueError("bad n")
+    return n
+"""
+
+
+def _write_pkg(root, text=BAD_SNIPPET):
+    target = root / "src" / "repro" / "llm"
+    target.mkdir(parents=True)
+    (target / "snippet.py").write_text(text, encoding="utf-8")
+    return target / "snippet.py"
+
+
+# ---------------------------------------------------------------------------
+# Suppression parsing
+
+
+def test_trailing_suppression_silences_only_named_rule():
+    source = SourceFile(
+        LIB,
+        'def f():\n    raise ValueError("x")  # repro: disable=error-taxonomy\n',
+    )
+    assert source.suppressed("error-taxonomy", 2)
+    assert not source.suppressed("lock-discipline", 2)
+    assert not source.suppressed("error-taxonomy", 1)
+
+
+def test_standalone_suppression_guards_next_code_line():
+    source = SourceFile(
+        LIB,
+        textwrap.dedent(
+            """\
+            def f():
+                # repro: disable=error-taxonomy -- spans a comment
+                # (justification continues here)
+                raise ValueError("x")
+            """
+        ),
+    )
+    assert source.suppressed("error-taxonomy", 4)
+    assert not source.suppressed("error-taxonomy", 2)
+
+
+def test_disable_all_and_comma_lists():
+    source = SourceFile(
+        LIB,
+        "x = 1  # repro: disable=all\n"
+        "y = 2  # repro: disable=error-taxonomy, determinism\n",
+    )
+    assert source.suppressed("anything", 1)
+    assert source.suppressed("determinism", 2)
+    assert not source.suppressed("lock-discipline", 2)
+
+
+def test_suppressed_findings_are_counted_not_reported():
+    result = analyze_source(
+        'def f():\n    raise ValueError("x")  # repro: disable=error-taxonomy\n',
+        rel=LIB,
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# Parse failures
+
+
+def test_unparsable_file_yields_parse_error_finding():
+    result = analyze_source("def broken(:\n", rel=LIB)
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.rule == PARSE_ERROR_RULE
+    assert finding.line == 1
+
+
+# ---------------------------------------------------------------------------
+# Baseline round trip
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = [
+        Finding(path="a.py", line=3, rule="error-taxonomy", message="m"),
+        Finding(path="a.py", line=9, rule="error-taxonomy", message="m"),
+        Finding(path="b.py", line=1, rule="determinism", message="m"),
+    ]
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    baseline = load_baseline(path)
+    assert baseline == {
+        "a.py": {"error-taxonomy": 2},
+        "b.py": {"determinism": 1},
+    }
+    reported, waived = apply_baseline(findings, baseline)
+    assert reported == []
+    assert waived == 3
+
+
+def test_baseline_waives_earliest_lines_first():
+    findings = [
+        Finding(path="a.py", line=30, rule="r", message="new"),
+        Finding(path="a.py", line=5, rule="r", message="old"),
+    ]
+    reported, waived = apply_baseline(findings, {"a.py": {"r": 1}})
+    assert waived == 1
+    assert [f.line for f in reported] == [30]
+
+
+def test_baseline_rejects_bad_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99}', encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(path)
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI contract (exit codes: 0 clean, 1 findings, 2 config errors)
+
+
+def test_cli_reports_findings_with_exit_1(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    code = lint_main(["--root", str(tmp_path), "src"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "src/repro/llm/snippet.py:3: [error-taxonomy]" in out
+
+
+def test_cli_clean_run_exits_0(tmp_path, capsys):
+    _write_pkg(tmp_path, text="def fine():\n    return 1\n")
+    code = lint_main(["--root", str(tmp_path), "src"])
+    assert code == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_cli_json_report_schema(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    report_path = tmp_path / "report.json"
+    code = lint_main(
+        ["--root", str(tmp_path), "src", "--json", "--output", str(report_path)]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == json.loads(report_path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["counts"]["reported"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "error-taxonomy"
+    assert finding["path"] == "src/repro/llm/snippet.py"
+    assert finding["line"] == 3
+    assert finding["severity"] == "error"
+
+
+def test_cli_write_baseline_then_rerun_is_clean(tmp_path, capsys):
+    snippet = _write_pkg(tmp_path)
+    assert lint_main(["--root", str(tmp_path), "src", "--write-baseline"]) == 0
+    assert (tmp_path / ".repro-baseline.json").is_file()
+    capsys.readouterr()
+
+    # The ratchet holds: baselined debt no longer blocks...
+    assert lint_main(["--root", str(tmp_path), "src"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...but a *new* finding in the same file still fails the run.
+    snippet.write_text(
+        BAD_SNIPPET + '\n\ndef worse(n):\n    raise RuntimeError("x")\n',
+        encoding="utf-8",
+    )
+    assert lint_main(["--root", str(tmp_path), "src"]) == 1
+    out = capsys.readouterr().out
+    assert "snippet.py:8" in out  # only the new finding is reported
+    assert "snippet.py:3" not in out
+
+
+def test_cli_missing_path_exits_2(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path), "no-such-dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_unknown_rule_exits_2(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    assert lint_main(["--root", str(tmp_path), "src", "--rule", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_explicit_missing_baseline_exits_2(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    code = lint_main(
+        ["--root", str(tmp_path), "src", "--baseline", str(tmp_path / "nope.json")]
+    )
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_cli_rule_selection_limits_checkers(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    code = lint_main(["--root", str(tmp_path), "src", "--rule", "determinism"])
+    assert code == 0  # the taxonomy violation is out of selection
+    capsys.readouterr()
+
+
+def test_cli_list_rules_names_all_six(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "lock-discipline",
+        "acquire-release",
+        "async-hygiene",
+        "error-taxonomy",
+        "test-network-isolation",
+        "determinism",
+    ):
+        assert rule in out
+
+
+# ---------------------------------------------------------------------------
+# Registry and wiring
+
+
+def test_registry_has_six_rules_sorted():
+    rules = [checker.rule for checker in all_checkers()]
+    assert rules == sorted(rules)
+    assert len(rules) == 6
+
+
+def test_checkers_for_rules_rejects_unknown():
+    with pytest.raises(ConfigError):
+        checkers_for_rules(["not-a-rule"])
+
+
+def test_rage_lint_subcommand_is_wired(tmp_path, capsys):
+    _write_pkg(tmp_path)
+    code = rage_main(["lint", "--root", str(tmp_path), "src"])
+    assert code == 1
+    assert "[error-taxonomy]" in capsys.readouterr().out
+
+
+def test_analyze_paths_deduplicates_overlapping_paths(tmp_path):
+    _write_pkg(tmp_path)
+    result = analyze_paths(["src", "src/repro"], root=tmp_path)
+    assert result.files == 1
+    assert len(result.findings) == 1

@@ -5,15 +5,19 @@ import pytest
 from repro import RageError
 from repro.errors import (
     AssignmentError,
+    BatchContractError,
     ConfigError,
     DatasetError,
+    DocumentError,
     EmptyIndexError,
     GenerationError,
     PerturbationError,
     PromptError,
     RetrievalError,
     SearchBudgetError,
+    StoreDecodeError,
     UnknownDocumentError,
+    ValidationError,
 )
 
 ALL_ERRORS = [
@@ -27,6 +31,10 @@ ALL_ERRORS = [
     PerturbationError,
     AssignmentError,
     DatasetError,
+    ValidationError,
+    DocumentError,
+    BatchContractError,
+    StoreDecodeError,
 ]
 
 
@@ -39,6 +47,56 @@ def test_all_derive_from_rage_error(error_cls):
 def test_retrieval_specializations():
     assert issubclass(EmptyIndexError, RetrievalError)
     assert issubclass(UnknownDocumentError, RetrievalError)
+    assert issubclass(DocumentError, RetrievalError)
+
+
+def test_taxonomy_migrations_keep_builtin_compatibility():
+    """Classes that replaced bare-builtin raises dual-inherit the
+    builtin, so pre-taxonomy `except ValueError`/`except RuntimeError`
+    callers keep catching them."""
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(DocumentError, ValueError)
+    assert issubclass(StoreDecodeError, ValueError)
+    assert issubclass(BatchContractError, RuntimeError)
+    assert issubclass(BatchContractError, GenerationError)
+
+
+def test_migrated_raise_sites_use_taxonomy_classes():
+    """Regression for the error-taxonomy lint findings: the library
+    paths that used to raise bare builtins now raise repro.errors
+    classes (catchable as RageError *and* as the old builtin)."""
+    from repro.retrieval.document import Corpus, Document
+    from repro.textproc.tokenizer import ngrams
+
+    with pytest.raises(DocumentError):
+        Document(doc_id="", text="x")
+    with pytest.raises(ValueError):  # old-style callers still work
+        Document(doc_id="d", text="")
+    corpus = Corpus([Document(doc_id="d", text="x")])
+    with pytest.raises(DocumentError):
+        corpus.add(Document(doc_id="d", text="y"))
+    with pytest.raises(ValidationError):
+        list(ngrams(["a", "b"], 0))
+
+
+def test_batch_misalignment_raises_taxonomy_class():
+    from repro.llm.base import _check_alignment
+    from repro.llm.simulated import SimulatedLLM
+
+    model = SimulatedLLM()
+    with pytest.raises(BatchContractError):
+        _check_alignment(model, ["p1", "p2"], [])
+    with pytest.raises(RuntimeError):  # pre-taxonomy callers
+        _check_alignment(model, ["p1", "p2"], [])
+
+
+def test_store_decode_mismatch_raises_taxonomy_class():
+    from repro.llm.store import decode_result
+
+    with pytest.raises(StoreDecodeError):
+        decode_result({"version": -1})
+    with pytest.raises(ValueError):  # the store's corruption-as-miss path
+        decode_result({"version": -1})
 
 
 def test_single_catch_covers_library_failures():

@@ -57,11 +57,13 @@ class Instrumented:
                 self.inflight -= 1
 
     async def agenerate(self, prompt):
-        self.calls += 1
-        self.inflight += 1
-        self.max_inflight = max(self.max_inflight, self.inflight)
+        with self._lock:
+            self.calls += 1
+            self.inflight += 1
+            self.max_inflight = max(self.max_inflight, self.inflight)
         await asyncio.sleep(0.002)
-        self.inflight -= 1
+        with self._lock:
+            self.inflight -= 1
         return self._answer(prompt)
 
 

@@ -9,13 +9,13 @@ from __future__ import annotations
 
 import asyncio
 import random
-import socket
 import time
 from datetime import datetime, timedelta, timezone
 
 import pytest
 
 from fakes import FakeLLMServer, Fault
+from fakes.loopback import raw_connect, refused_tcp_port
 from fakes.network_guard import NetworkGuardViolation
 
 from repro.errors import (
@@ -200,6 +200,44 @@ def test_bucket_async_cancellation_refunds():
         bucket.cancel()
 
     asyncio.run(main())
+
+
+def test_bucket_sync_acquire_refunds_on_interrupted_sleep():
+    """Regression: acquire() leaked its reservation when the sleep
+    raised (KeyboardInterrupt, an injected deadline) — the sync twin of
+    the async cancellation leak.  The slot must be refunded so the
+    interrupted caller does not shrink the bucket forever."""
+
+    class Boom(BaseException):
+        pass
+
+    def exploding_sleep(_seconds):
+        raise Boom
+
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1, clock=clock, sleep=exploding_sleep)
+    assert bucket.acquire() == 0.0  # drain the burst, no sleep needed
+    for _ in range(3):
+        with pytest.raises(Boom):
+            bucket.acquire()
+    # All interrupted reservations were refunded: the next arrival
+    # waits only for the one slot actually consumed, not 1 + 3 leaks.
+    assert bucket.reserve() == pytest.approx(1.0)
+
+
+def test_bucket_try_acquire_refunds_on_interrupted_sleep():
+    class Boom(BaseException):
+        pass
+
+    def exploding_sleep(_seconds):
+        raise Boom
+
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=1, clock=clock, sleep=exploding_sleep)
+    assert bucket.try_acquire() == (True, 0.0)
+    with pytest.raises(Boom):
+        bucket.try_acquire(max_wait=10.0)  # admitted, then sleep raises
+    assert bucket.reserve() == pytest.approx(0.5)
 
 
 # ---------------------------------------------------------------------------
@@ -483,11 +521,7 @@ def test_urllib_truncated_body_is_transport_error():
 
 def test_urllib_connection_refused_is_transport_error():
     transport = UrllibTransport()
-    # Bind-then-close: the port is ours, and now nothing listens on it.
-    probe = socket.socket()
-    probe.bind(("127.0.0.1", 0))
-    port = probe.getsockname()[1]
-    probe.close()
+    port = refused_tcp_port()
     with pytest.raises(TransportError):
         transport.request("POST", f"http://127.0.0.1:{port}/x", {}, b"{}", 1.0)
 
@@ -515,12 +549,8 @@ def test_client_recovers_faults_against_real_server(monkeypatch):
 
 
 def test_network_guard_blocks_non_loopback():
-    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    try:
-        with pytest.raises(NetworkGuardViolation):
-            sock.connect(("203.0.113.7", 80))  # TEST-NET-3: never routable
-    finally:
-        sock.close()
+    with pytest.raises(NetworkGuardViolation):
+        raw_connect("203.0.113.7", 80)  # TEST-NET-3: never routable
 
 
 def test_network_guard_allows_loopback():
