@@ -1,0 +1,260 @@
+"""E19 — RouterLLM resilience: failover, breaker lifecycle, hedging.
+
+The robustness PR puts a :class:`~repro.llm.router.RouterLLM` between
+the engine and its providers: an ordered pool with per-provider circuit
+breakers, priority failover, and optional hedged requests.  This
+benchmark drives the router against scripted provider failures — 5xx
+bursts, mid-body connection resets, stalled responses — and measures
+what resilience buys.  Shapes asserted:
+
+1. **Failover never changes bytes** — a primary scripted with a burst
+   of 5xx / connection-reset / slow-drip faults still yields a report
+   byte-identical to an all-healthy run: every faulted call lands on
+   the backup, and the client cannot tell.
+2. **Breaker counts match the fault script** — with a deterministic
+   fault schedule and an injected clock, the primary's breaker trips
+   and half-open reclosures equal exactly what the script dictates
+   (two bursts past the threshold → two trips, two probe recoveries).
+3. **Hedging cuts tail latency ≥2x** — against a primary with a
+   deterministic slow tail, a hedged router's p99 is at least 2x lower
+   than the unhedged router's, with identical answers.
+
+Everything stays on loopback under the network guard.  Set
+``BENCH_E19_OUT`` to write the results table as JSON (uploaded as a
+CI artifact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from fakes import FakeLLMServer, Fault, simulated_answer_fn
+
+from repro import Rage, RageConfig, RemoteLLM, RouterLLM
+from repro.app.server import encode_json, report_payload
+from repro.datasets import load_use_case
+from repro.llm.base import GenerationResult, TokenUsage
+from repro.llm.router import BreakerState
+from repro.llm.transport import RetryPolicy
+
+#: Router members retry at the router level (failover), not the
+#: transport level — one attempt per provider keeps the schedule exact.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: The deterministic slow tail for the hedging comparison: every
+#: TAIL_EVERY-th primary call stalls TAIL seconds.  TAIL dwarfs the
+#: hedge delay so the asserted p99 ratio is robust on noisy CI hosts.
+TAIL = 0.4
+TAIL_EVERY = 10
+HEDGE_DELAY = 0.02
+HEDGE_REQUESTS = 60
+
+
+class FakeClock:
+    """Injectable monotonic clock; the breaker scenario advances it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TailLatencyLLM:
+    """Async member with a deterministic slow tail (no faults)."""
+
+    def __init__(self, name: str, tail: float = 0.0) -> None:
+        self._name = name
+        self.tail = tail
+        self.calls = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def generate(self, prompt: str) -> GenerationResult:
+        return asyncio.run(self.agenerate(prompt))
+
+    async def agenerate(self, prompt: str) -> GenerationResult:
+        self.calls += 1
+        if self.tail and self.calls % TAIL_EVERY == 0:
+            await asyncio.sleep(self.tail)
+        return GenerationResult(
+            answer=f"echo:{self._name}", prompt=prompt, usage=TokenUsage(1, 1)
+        )
+
+
+def _dead_base_url() -> str:
+    """A loopback URL nothing listens on (connections refused)."""
+    with FakeLLMServer() as probe:
+        url = probe.base_url
+    return url
+
+
+def _remote(model_id: str, base_url: str, **kwargs) -> RemoteLLM:
+    return RemoteLLM(
+        "openai", model_id, base_url=base_url, retry=NO_RETRY, **kwargs
+    )
+
+
+def _report_bytes(case, llm) -> bytes:
+    rage = Rage.from_corpus(case.corpus, llm, config=RageConfig(k=case.k))
+    return encode_json(report_payload(rage.explain(case.query)))
+
+
+def test_e19_faulted_primary_report_is_byte_identical():
+    """Shape 1: a fault burst on the primary is invisible in the bytes."""
+    case = load_use_case("big_three")
+    answers = simulated_answer_fn(case.knowledge)
+    with FakeLLMServer(answer_fn=answers) as server_a:
+        with FakeLLMServer(answer_fn=answers) as server_b:
+            healthy = _report_bytes(
+                case,
+                RouterLLM([
+                    _remote("fake-a", server_a.base_url),
+                    _remote("fake-b", server_b.base_url),
+                ]),
+            )
+            healthy_calls = server_a.request_count
+            assert healthy_calls > 0
+            assert server_b.request_count == 0
+
+    with FakeLLMServer(answer_fn=answers) as server_a:
+        with FakeLLMServer(answer_fn=answers) as server_b:
+            server_a.add_faults(
+                Fault(status=500),
+                Fault(status=503),
+                Fault(kind="connection-reset"),
+                Fault(kind="slow-drip", delay=0.5),
+            )
+            router = RouterLLM([
+                _remote("fake-a", server_a.base_url, timeout=0.1),
+                _remote("fake-b", server_b.base_url),
+            ])
+            degraded = _report_bytes(case, router)
+            faulted = server_b.request_count
+    assert degraded == healthy
+    assert faulted == 4  # exactly the scripted faults failed over
+    assert router.stats.failovers == 4
+    print(
+        f"\nE19 failover: {healthy_calls} calls, 4 scripted faults, "
+        f"bytes identical"
+    )
+
+
+def test_e19_breaker_counts_match_the_fault_script():
+    """Shape 2: two fault bursts -> two trips, two probe reclosures."""
+    clock = FakeClock()
+    with FakeLLMServer() as server_a:
+        with FakeLLMServer() as server_b:
+            router = RouterLLM(
+                [
+                    _remote("fake-a", server_a.base_url),
+                    _remote("fake-b", server_b.base_url),
+                ],
+                breaker_threshold=2,
+                breaker_cooldown=5.0,
+                clock=clock,
+            )
+            primary = router.health["remote:openai/fake-a"]
+
+            for burst in range(2):
+                server_a.add_faults(
+                    Fault(status=500), Fault(kind="connection-reset")
+                )
+                router.generate("q")  # fault 1 of 2, backup serves
+                router.generate("q")  # fault 2 of 2 -> trip, backup serves
+                assert primary.breaker.state is BreakerState.OPEN
+                assert primary.breaker.trips == burst + 1
+                router.generate("q")  # open: primary skipped, no request
+                clock.advance(5.0)
+                router.generate("q")  # half-open probe succeeds -> reclose
+                assert primary.breaker.state is BreakerState.CLOSED
+                assert primary.breaker.reclosures == burst + 1
+
+            # The script's arithmetic, end to end: 2 faults + 1 probe
+            # + 1 recovered call per burst reach the primary; the open
+            # breaker's skipped call and the faulted calls go to B.
+            assert server_a.request_count == 2 * 3
+            assert server_b.request_count == 2 * 3
+            assert router.stats.failovers == 2 * 3
+    print(
+        f"\nE19 breaker: trips={primary.breaker.trips} "
+        f"reclosures={primary.breaker.reclosures} (script said 2/2)"
+    )
+
+
+def _drive_async(router, n: int) -> list[float]:
+    """Per-request latencies for n sequential agenerate calls."""
+
+    async def run() -> list[float]:
+        latencies = []
+        for i in range(n):
+            start = time.perf_counter()
+            result = await router.agenerate(f"q{i}")
+            latencies.append(time.perf_counter() - start)
+            assert result.answer.startswith("echo:")
+        return latencies
+
+    return asyncio.run(run())
+
+
+def _p99(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+def test_e19_hedging_cuts_p99_at_least_2x():
+    """Shape 3: a fast backup hedge absorbs the primary's slow tail."""
+
+    def pool() -> list[TailLatencyLLM]:
+        return [
+            TailLatencyLLM("tail-primary", tail=TAIL),
+            TailLatencyLLM("fast-backup"),
+        ]
+
+    unhedged = RouterLLM(pool())
+    hedged = RouterLLM(pool(), hedge=True, hedge_delay=HEDGE_DELAY)
+
+    plain = _drive_async(unhedged, HEDGE_REQUESTS)
+    hedge = _drive_async(hedged, HEDGE_REQUESTS)
+    plain_p99, hedge_p99 = _p99(plain), _p99(hedge)
+
+    rows = [
+        {"mode": "unhedged", "p99_ms": plain_p99 * 1000},
+        {"mode": "hedged", "p99_ms": hedge_p99 * 1000},
+    ]
+    print(
+        f"\nE19 hedging over {HEDGE_REQUESTS} requests "
+        f"(tail {TAIL * 1000:.0f}ms every {TAIL_EVERY}th call):"
+    )
+    for row in rows:
+        print(f"  {row['mode']:>9}  p99 {row['p99_ms']:>7.1f}ms")
+
+    # The slow tail dominates the unhedged p99; the hedge fires after
+    # HEDGE_DELAY and the fast backup wins those races.
+    assert plain_p99 >= TAIL
+    assert hedged.stats.hedges_fired > 0
+    assert hedged.stats.hedges_won > 0
+    # The acceptance ratio: hedging cuts p99 at least in half.
+    assert hedge_p99 * 2 <= plain_p99
+
+    out_path = os.environ.get("BENCH_E19_OUT")
+    if out_path:
+        rows.append({
+            "mode": "hedge-stats",
+            "hedges_fired": hedged.stats.hedges_fired,
+            "hedges_won": hedged.stats.hedges_won,
+        })
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"bench": "e19_router_resilience", "rows": rows},
+                handle,
+                indent=2,
+            )

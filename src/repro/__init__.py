@@ -28,6 +28,7 @@ from .core.scoring import RelevanceMethod
 from .errors import RageError
 from .llm.knowledge import KBFact, KnowledgeBase
 from .llm.remote import RemoteLLM
+from .llm.router import RouterLLM
 from .llm.simulated import SimulatedLLM, SimulatedLLMConfig
 from .retrieval.document import Corpus, Document
 
@@ -48,6 +49,7 @@ __all__ = [
     "KBFact",
     "KnowledgeBase",
     "RemoteLLM",
+    "RouterLLM",
     "SimulatedLLM",
     "SimulatedLLMConfig",
     "Corpus",

@@ -9,4 +9,5 @@ from . import (  # noqa: F401  (import-for-registration)
     error_taxonomy,
     lock_discipline,
     network_isolation,
+    swallowed_error,
 )

@@ -1,0 +1,119 @@
+"""``swallowed-error``: broad handlers must not discard the failure.
+
+``except Exception:`` (or ``except BaseException:``) in library code is
+sometimes the right tool — a server handler turning any crash into a
+500 body, a cache treating corruption as a miss.  What is never right
+is a broad handler that *swallows* the error: no re-raise, no
+``repro.errors`` translation, and no record of what happened.  Such a
+handler converts every future bug in its body's reach into silent
+wrong behavior.
+
+The rule: a broad ``except`` clause in library code is a finding
+unless its body does at least one of:
+
+* **re-raise** — any ``raise`` statement (bare, the bound name, or a
+  translated exception);
+* **reference the bound name** — ``except Exception as error:`` where
+  ``error`` is read (formatted into a response, attached to a result,
+  passed to a callback);
+* **record** — call something whose name says so (``log``, ``warn``,
+  ``record``, ``journal``, ``append``, ``put``, ...) or mutate a
+  stats-like attribute (``+=`` on ``.stats``/``errors``/counters).
+
+A deliberate discard that satisfies none of these can carry the usual
+``# repro: disable=swallowed-error`` suppression with a comment saying
+why — the point is that silence must be *visible* in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..model import Checker, Finding, register
+from ..source import SourceFile
+
+#: Handler types broad enough to catch programming errors.
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Call-name fragments that count as recording the error somewhere an
+#: operator (or a counter) can see it.
+_RECORDING_FRAGMENTS = (
+    "log",
+    "warn",
+    "record",
+    "journal",
+    "append",
+    "put",
+    "emit",
+    "report",
+    "print",
+)
+
+
+def _handler_types(handler: ast.ExceptHandler) -> Iterable[str]:
+    node = handler.type
+    if node is None:
+        return
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            yield elt.id
+        elif isinstance(elt, ast.Attribute):
+            yield elt.attr
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _body_handles_error(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name  # ``except Exception as error`` binds a name
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node).lower()
+            if any(fragment in name for fragment in _RECORDING_FRAGMENTS):
+                return True
+        if isinstance(node, ast.AugAssign):
+            # ``self.stats.errors += 1`` and friends: a counter mutation
+            # is a record an operator can scrape.
+            return True
+    return False
+
+
+@register
+class SwallowedErrorChecker(Checker):
+    rule = "swallowed-error"
+    description = (
+        "broad `except Exception:` handlers must re-raise, translate to "
+        "a repro.errors type, or record the failure — never discard it"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.in_library
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = [t for t in _handler_types(node) if t in _BROAD]
+            if not broad:
+                continue
+            if _body_handles_error(node):
+                continue
+            yield self.finding(
+                source,
+                node.lineno,
+                f"`except {broad[0]}` swallows the error — re-raise, "
+                "raise a `repro.errors` type, or record it "
+                "(log/journal/counter)",
+            )

@@ -129,6 +129,38 @@ def _build_parser() -> argparse.ArgumentParser:
             help="additional attempts after a retryable remote fault "
             "(429/5xx/timeout/malformed body); default 3",
         )
+        p.add_argument(
+            "--provider",
+            action="append",
+            dest="providers",
+            default=None,
+            metavar="SPEC",
+            help="add a provider to a failover pool (repeatable; order is "
+            "priority): 'remote:<provider>:<model>[@<base_url>]' or "
+            "'fallback:simulated'; mutually exclusive with --model",
+        )
+        p.add_argument(
+            "--hedge",
+            action="store_true",
+            help="fire a hedged backup request on the next healthy provider "
+            "when the primary exceeds the hedge delay (requires --provider)",
+        )
+        p.add_argument(
+            "--hedge-delay",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="hedging trigger delay (default: the primary's observed "
+            "p95 latency; requires --hedge)",
+        )
+        p.add_argument(
+            "--breaker-threshold",
+            type=int,
+            default=None,
+            metavar="N",
+            help="consecutive transport failures before a provider's "
+            "circuit breaker opens (default 5; requires --provider)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -276,6 +308,14 @@ def _config_overrides(args: argparse.Namespace, case) -> dict:
         overrides["rate_limit"] = args.rate
     if getattr(args, "retries", None) is not None:
         overrides["retries"] = args.retries
+    if getattr(args, "providers", None) is not None:
+        overrides["providers"] = tuple(args.providers)
+    if getattr(args, "hedge", False):
+        overrides["hedge"] = True
+    if getattr(args, "hedge_delay", None) is not None:
+        overrides["hedge_delay"] = args.hedge_delay
+    if getattr(args, "breaker_threshold", None) is not None:
+        overrides["breaker_threshold"] = args.breaker_threshold
     return overrides
 
 
@@ -292,6 +332,9 @@ def _session(args: argparse.Namespace) -> RageSession:
 
 def _serve_command(args: argparse.Namespace) -> int:
     """``rage serve``: the multi-tenant ask/explain HTTP service."""
+    import signal
+    import threading
+
     from ..datasets.base import load_use_case
     from .server import RageServer
 
@@ -309,6 +352,19 @@ def _serve_command(args: argparse.Namespace) -> int:
         port=args.port,
     )
     server.start()
+    # SIGTERM (the supervisor's stop signal) takes the same graceful
+    # path as Ctrl-C: raise KeyboardInterrupt in the main thread so the
+    # finally-block drains in-flight requests before the socket closes.
+    # Signals only deliver to the main thread; tests drive this function
+    # from workers, where registration would raise.
+    previous_handler = None
+    in_main_thread = threading.current_thread() is threading.main_thread()
+    if in_main_thread:
+
+        def _on_sigterm(signum, frame):
+            raise KeyboardInterrupt
+
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         admission = (
             f"{args.admit_rate}/s burst {server.admit_burst}"
@@ -321,8 +377,10 @@ def _serve_command(args: argparse.Namespace) -> int:
         sys.stdout.flush()
         server.join()
     except KeyboardInterrupt:
-        print("shutting down")
+        print("shutting down (draining in-flight requests)")
     finally:
+        if in_main_thread:
+            signal.signal(signal.SIGTERM, previous_handler)
         server.close()
     return 0
 
@@ -543,8 +601,9 @@ def _session_dispatch(args: argparse.Namespace, session: RageSession) -> int:
                 )
             inner = llm.inner if isinstance(llm, CachingLLM) else llm
             from ..llm.remote import RemoteLLM
+            from ..llm.router import RouterLLM
 
-            if isinstance(inner, RemoteLLM):
+            if isinstance(inner, (RemoteLLM, RouterLLM)):
                 for line in inner.usage_lines():
                     print(line)
             store = session.rage.store

@@ -37,9 +37,20 @@ Endpoints (all JSON)
     Usage/traffic counters: per-tenant admission, prompt-cache and
     disk-store stats, execution-backend stats, and — for remote models
     — :class:`~repro.llm.remote.RemoteLLM` usage plus
-    :class:`~repro.llm.transport.TransportStats`.
+    :class:`~repro.llm.transport.TransportStats`; behind a
+    :class:`~repro.llm.router.RouterLLM`, per-provider breaker state,
+    trips, hedges and attributed cost.
 ``GET /healthz``
-    Liveness: ``{"status": "ok", ...}``.
+    Readiness, not just liveness: ``ok`` (200) all providers healthy,
+    ``degraded`` (200 + detail) some provider's breaker open,
+    ``unhealthy`` (503) no provider available, ``draining`` (503)
+    shutdown in progress.
+
+Shutdown is a *graceful drain*: :meth:`RageServer.close` (and the CLI's
+SIGTERM/Ctrl-C path) first stops admitting new POSTs — they answer
+``503`` with ``Retry-After`` — then waits up to ``drain_window``
+seconds for in-flight handlers to finish before stopping the listener
+and persisting store counters.
 
 Every payload encoder is a module-level function on purpose: tests and
 clients can render the *same* JSON from an in-process session and
@@ -59,7 +70,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.context import Context
 from ..core.counterfactual import CombinationSearchResult
-from ..core.engine import Rage, RageConfig, RageReport
+from ..core.engine import Rage, RageConfig, RageReport, build_model_chain
 from ..core.insights import CombinationInsights, PermutationInsights
 from ..core.permutation_cf import PermutationSearchResult
 from ..datasets.base import UseCase, load_use_case
@@ -67,6 +78,7 @@ from ..errors import ConfigError, ValidationError
 from ..llm.base import LanguageModel
 from ..llm.cache import CachingLLM
 from ..llm.remote import RemoteLLM
+from ..llm.router import RouterLLM
 from ..llm.simulated import SimulatedLLM
 from ..llm.transport import TokenBucket
 from .session import RageSession
@@ -83,6 +95,11 @@ DEFAULT_JOURNAL_LIMIT = 10_000
 #: re-walking the disk.  Scrapers poll /metrics; a full readdir+stat
 #: sweep per scrape would compete with live request handling.
 STORE_USAGE_TTL = 15.0
+
+#: How long :meth:`RageServer.close` waits for in-flight handlers to
+#: finish once admission has stopped.  Bounded: a hung handler must not
+#: wedge shutdown forever.
+DEFAULT_DRAIN_WINDOW = 5.0
 
 
 # -- payload encoders ------------------------------------------------------
@@ -285,7 +302,13 @@ class _Handler(BaseHTTPRequestHandler):
         srv = self._server
         try:
             if self.path == "/healthz":
-                self._respond(200, srv.health_payload(), tenant=None)
+                payload = srv.health_payload()
+                # Readiness contract: ok/degraded still serve traffic
+                # (200); unhealthy/draining tell load balancers to back
+                # off (503).  GETs stay readable during a drain so
+                # operators can watch it finish.
+                status = 200 if payload["status"] in ("ok", "degraded") else 503
+                self._respond(status, payload, tenant=None)
             elif self.path == "/metrics":
                 self._respond(200, srv.metrics_payload(), tenant=None)
             else:
@@ -307,6 +330,23 @@ class _Handler(BaseHTTPRequestHandler):
                 404, {"error": f"unknown path {self.path}"}, tenant=None
             )
             return
+        if not srv.begin_request():
+            # Draining: admission is closed.  Retry-After advertises the
+            # drain window — by then either the server is gone or (drain
+            # aborted) admitting again.
+            self._respond(
+                503,
+                {"error": "server is draining", "retry_after": srv.drain_window},
+                tenant=None,
+                retry_after=srv.drain_window,
+            )
+            return
+        try:
+            self._do_post(srv)
+        finally:
+            srv.end_request()
+
+    def _do_post(self, srv: "RageServer") -> None:
         try:
             body = self._read_json()
         except ValueError as error:
@@ -444,6 +484,9 @@ class RageServer:
     journal_limit:
         How many recent requests the observability journal retains
         (lifetime totals are counters and never truncate).
+    drain_window:
+        Upper bound, in seconds, on how long :meth:`close` waits for
+        in-flight requests after admission stops.
     """
 
     def __init__(
@@ -456,6 +499,7 @@ class RageServer:
         host: str = "127.0.0.1",
         port: int = 0,
         journal_limit: int = DEFAULT_JOURNAL_LIMIT,
+        drain_window: float = DEFAULT_DRAIN_WINDOW,
     ) -> None:
         if not tenants:
             raise ConfigError("a server needs at least one tenant")
@@ -487,9 +531,19 @@ class RageServer:
         }
         if journal_limit < 1:
             raise ConfigError(f"journal_limit must be >= 1, got {journal_limit}")
+        if drain_window <= 0:
+            raise ConfigError(f"drain_window must be > 0, got {drain_window}")
+        self.drain_window = drain_window
         self._host = host
         self._port = port
         self._lock = threading.Lock()
+        # Drain state: handlers register in-flight work via
+        # begin_request/end_request; close() flips ``_draining`` (new
+        # POSTs answer 503) and waits on ``_idle`` until the in-flight
+        # count hits zero or the window expires.
+        self._draining = False
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
         # Bounded: the journal keeps the most recent requests for tests
         # and operators; lifetime totals live in the counters below so
         # a long-running server never grows without bound.
@@ -521,7 +575,11 @@ class RageServer:
             else name_or_case
         )
         config = config or RageConfig(k=case.k)
-        if llm is None and config.model is None:
+        if llm is None and config.providers is not None:
+            # A pool's simulated fallback member must know this use
+            # case's facts; build the chain here with them in hand.
+            llm = build_model_chain(config, knowledge=case.knowledge)
+        elif llm is None and config.model is None:
             llm = SimulatedLLM(knowledge=case.knowledge)
         rage = Rage.from_corpus(case.corpus, llm, config=config)
         kwargs.setdefault("default_query", case.query)
@@ -556,8 +614,16 @@ class RageServer:
         self._thread.join(timeout)
 
     def close(self) -> None:
-        """Stop serving and flush store counters to disk."""
+        """Gracefully drain, stop serving, and flush store counters.
+
+        Ordering matters: admission stops *first* (new POSTs answer
+        503), in-flight handlers get up to ``drain_window`` seconds to
+        finish, and only then does the listener stop and the store meta
+        hit disk — so counters persisted at shutdown include every
+        request a client saw complete.
+        """
         if self._httpd is not None:
+            self.drain(self.drain_window)
             self._httpd.shutdown()
             if self._thread is not None:
                 self._thread.join(timeout=5.0)
@@ -566,6 +632,43 @@ class RageServer:
             self._thread = None
         if self.rage.store is not None:
             self.rage.store.persist_stats()
+
+    def drain(self, window: Optional[float] = None) -> bool:
+        """Stop admitting POSTs and wait for in-flight work to finish.
+
+        Returns ``True`` when the server went idle within ``window``
+        seconds (default: the configured ``drain_window``), ``False``
+        if the bound expired with handlers still running — shutdown
+        proceeds regardless; the bound exists so a hung model can't
+        wedge it.
+        """
+        bound = window if window is not None else self.drain_window
+        deadline = time.monotonic() + bound
+        # ``_idle`` shares ``_lock``, so holding the lock is holding the
+        # condition; wait() releases it while parked.
+        with self._lock:
+            self._draining = True
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+            return True
+
+    def begin_request(self) -> bool:
+        """Register an in-flight POST; ``False`` once draining."""
+        with self._lock:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        """Unregister an in-flight POST; wakes a waiting :meth:`drain`."""
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
 
     def __enter__(self) -> "RageServer":
         return self.start()
@@ -638,13 +741,53 @@ class RageServer:
 
     # -- observability -----------------------------------------------------
 
+    def _router(self) -> Optional[RouterLLM]:
+        """The engine's router, unwrapped from the cache, or ``None``."""
+        llm = self.rage.llm
+        inner = llm.inner if isinstance(llm, CachingLLM) else llm
+        return inner if isinstance(inner, RouterLLM) else None
+
     def health_payload(self) -> Dict:
-        """The ``GET /healthz`` body."""
-        return {
+        """The ``GET /healthz`` body — readiness, not just liveness.
+
+        ``status`` is one of ``ok`` / ``degraded`` (some provider's
+        breaker open, detail says which) / ``unhealthy`` (no provider
+        available) / ``draining`` (shutdown in progress).  The handler
+        maps the last two to 503.
+        """
+        with self._lock:
+            draining = self._draining
+        payload: Dict[str, object] = {
             "status": "ok",
             "tenants": len(self._tenants),
             "uptime_seconds": round(time.monotonic() - self._started, 3),
         }
+        router = self._router()
+        if router is not None:
+            providers = [
+                {
+                    "name": stats["name"],
+                    "state": stats["state"],
+                    "available": stats["available"],
+                }
+                for stats in router.provider_stats()
+            ]
+            payload["providers"] = providers
+            open_names = [
+                p["name"] for p in providers if p["state"] != "closed"
+            ]
+            if not any(p["available"] for p in providers):
+                payload["status"] = "unhealthy"
+                payload["detail"] = "no provider available"
+            elif open_names:
+                payload["status"] = "degraded"
+                payload["detail"] = (
+                    f"breaker open for {', '.join(open_names)}"
+                )
+        if draining:
+            payload["status"] = "draining"
+            payload["detail"] = "shutting down; not admitting requests"
+        return payload
 
     def metrics_payload(self) -> Dict:
         """The ``GET /metrics`` body (schema is part of the API)."""
@@ -690,6 +833,7 @@ class RageServer:
             ),
             "store": None,
             "remote": None,
+            "router": None,
         }
         if store is not None:
             entries, nbytes = self._store_usage(store)
@@ -720,6 +864,16 @@ class RageServer:
                     "throttle_waits": transport.throttle_waits,
                     "backoff_seconds": transport.backoff_seconds,
                 },
+                "cost": inner.usage_cost(),
+            }
+        if isinstance(inner, RouterLLM):
+            payload["router"] = {
+                "providers": inner.provider_stats(),
+                "requests": inner.stats.requests,
+                "failovers": inner.stats.failovers,
+                "hedges_fired": inner.stats.hedges_fired,
+                "hedges_won": inner.stats.hedges_won,
+                "exhausted": inner.stats.exhausted,
                 "cost": inner.usage_cost(),
             }
         return payload

@@ -22,7 +22,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..attention.positional import PositionPrior
 from ..errors import ConfigError
@@ -36,6 +36,12 @@ from ..exec import (
 from ..llm.base import GenerationResult, LanguageModel
 from ..llm.cache import CachingLLM
 from ..llm.remote import RemoteLLM, parse_model_spec
+from ..llm.router import (
+    DEFAULT_BREAKER_COOLDOWN,
+    DEFAULT_BREAKER_THRESHOLD,
+    RouterLLM,
+)
+from ..llm.simulated import SimulatedLLM
 from ..llm.store import PromptStore
 from ..llm.prompts import DEFAULT_PROMPT_BUILDER, PromptBuilder
 from ..llm.transport import DEFAULT_TIMEOUT, RetryPolicy
@@ -170,6 +176,30 @@ class RageConfig:
         fault.
     retry_budget:
         Cap on cumulative backoff sleep per request, seconds.
+    providers:
+        Ordered provider-pool specs for a
+        :class:`~repro.llm.router.RouterLLM` — each entry is
+        ``remote:<provider>:<model>`` (optionally
+        ``remote:<provider>:<model>@<base_url>`` to pin a
+        per-provider endpoint) or ``fallback:simulated`` (the local
+        deterministic model as a last resort).  Mutually exclusive
+        with ``model``: the pool *is* the model.  Remote members share
+        the transport fields above (``base_url`` is the default for
+        specs without ``@``); every member must answer identically so
+        failover changes who served, never the bytes.
+    breaker_threshold / breaker_cooldown:
+        Per-provider circuit breaker: consecutive transport faults
+        before a breaker opens, and seconds before an open breaker
+        allows its half-open probe.  ``None`` = the router defaults
+        (5 failures, 30 s).  Require ``providers``.
+    hedge:
+        Fire a backup request on the next healthy provider once the
+        primary exceeds the hedge delay (async dispatch only); first
+        response wins, the loser is cancelled and its rate-limit
+        reservation refunded.  Requires ``providers``.
+    hedge_delay:
+        Seconds before the backup fires; ``None`` = the primary's
+        observed p95 latency.  Requires ``hedge=True``.
     """
 
     k: int = 10
@@ -195,6 +225,11 @@ class RageConfig:
     rate_burst: Optional[int] = None
     retries: int = 3
     retry_budget: float = 30.0
+    providers: Optional[Sequence[str]] = None
+    breaker_threshold: Optional[int] = None
+    breaker_cooldown: Optional[float] = None
+    hedge: bool = False
+    hedge_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -210,9 +245,32 @@ class RageConfig:
                               "is a tier of the prompt cache)")
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
             raise ConfigError("cache_max_bytes must be >= 1 (or None)")
+        if self.model is not None and self.providers is not None:
+            raise ConfigError(
+                "model and providers are mutually exclusive: the provider "
+                "pool *is* the model (put the spec in providers instead)"
+            )
         if self.model is not None:
             parse_model_spec(self.model)  # validate the spec shape
-        else:
+        has_remote_provider = False
+        if self.providers is not None:
+            # Normalize to a tuple so the frozen config hashes and the
+            # pool order is pinned.
+            object.__setattr__(self, "providers", tuple(self.providers))
+            if not self.providers:
+                raise ConfigError(
+                    "providers must name at least one spec (or be None)"
+                )
+            if len(set(self.providers)) != len(self.providers):
+                raise ConfigError(
+                    f"duplicate provider specs in {list(self.providers)!r}"
+                )
+            for spec in self.providers:
+                parse_provider_spec(spec)  # validate each entry's shape
+            has_remote_provider = any(
+                spec != FALLBACK_SIMULATED for spec in self.providers
+            )
+        if self.model is None and not has_remote_provider:
             inert = [
                 name
                 for name, value in (
@@ -231,6 +289,38 @@ class RageConfig:
                     f"{', '.join(inert)} only affect remote models; set "
                     "model='remote:<provider>:<model>' (or drop them)"
                 )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1 (or None), "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown is not None and self.breaker_cooldown < 0:
+            raise ConfigError(
+                "breaker_cooldown must be >= 0 seconds (or None)"
+            )
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ConfigError("hedge_delay must be > 0 seconds (or None)")
+        if self.providers is None:
+            inert_router = [
+                name
+                for name, value in (
+                    ("breaker_threshold", self.breaker_threshold),
+                    ("breaker_cooldown", self.breaker_cooldown),
+                    ("hedge_delay", self.hedge_delay),
+                )
+                if value is not None
+            ]
+            if self.hedge:
+                inert_router.append("hedge")
+            if inert_router:
+                raise ConfigError(
+                    f"{', '.join(inert_router)} only affect a provider "
+                    "pool; set providers=[...] (or drop them)"
+                )
+        elif self.hedge_delay is not None and not self.hedge:
+            raise ConfigError(
+                "hedge_delay without hedge=True has no effect"
+            )
         if self.base_url is not None and not self.base_url.startswith(
             ("http://", "https://")
         ):
@@ -252,6 +342,46 @@ class RageConfig:
         )  # validate spec
 
 
+#: Provider spec naming the deterministic simulated model as the last
+#: rung of a failover pool.
+FALLBACK_SIMULATED = "fallback:simulated"
+
+
+def parse_provider_spec(spec: str):
+    """Validate and split one ``RageConfig.providers`` entry.
+
+    Two shapes are accepted:
+
+    * ``remote:<provider>:<model>[@<base_url>]`` — a remote endpoint;
+      the optional ``@<base_url>`` pins that member to its own host
+      (two pool members may run the same model behind different
+      endpoints).  Returns ``("remote", (provider, model, base_url))``
+      with ``base_url`` ``None`` when not pinned.
+    * ``fallback:simulated`` — the deterministic local model.  Returns
+      ``("fallback", None)``.
+    """
+    if not isinstance(spec, str):
+        raise ConfigError(
+            f"provider spec must be a string, got {type(spec).__name__}"
+        )
+    if spec == FALLBACK_SIMULATED:
+        return "fallback", None
+    if spec.startswith("fallback:"):
+        raise ConfigError(
+            f"unknown fallback spec {spec!r}: only "
+            f"{FALLBACK_SIMULATED!r} is supported"
+        )
+    head, _, base_url = spec.partition("@")
+    provider, model_id = parse_model_spec(head)
+    if base_url:
+        if not base_url.startswith(("http://", "https://")):
+            raise ConfigError(
+                f"provider spec {spec!r}: base_url after '@' must start "
+                "with http:// or https://"
+            )
+    return "remote", (provider, model_id, base_url or None)
+
+
 def build_remote_llm(config: RageConfig) -> RemoteLLM:
     """Construct the :class:`~repro.llm.remote.RemoteLLM` a config names.
 
@@ -261,14 +391,25 @@ def build_remote_llm(config: RageConfig) -> RemoteLLM:
     """
     if config.model is None:
         raise ConfigError(
-            "no model to build: pass an LLM instance or set "
-            "RageConfig.model to a remote:<provider>:<model> spec"
+            "no model to build: pass an LLM instance, set "
+            "RageConfig.model to a remote:<provider>:<model> spec, or "
+            "name a provider pool in RageConfig.providers"
         )
     provider, model_id = parse_model_spec(config.model)
+    return _build_remote_member(config, provider, model_id, config.base_url)
+
+
+def _build_remote_member(
+    config: RageConfig,
+    provider: str,
+    model_id: str,
+    base_url: Optional[str],
+) -> RemoteLLM:
+    """One remote endpoint wired with the config's transport policy."""
     return RemoteLLM(
         provider,
         model_id,
-        base_url=config.base_url,
+        base_url=base_url,
         api_key_env=config.api_key_env,
         timeout=(
             config.request_timeout
@@ -280,6 +421,50 @@ def build_remote_llm(config: RageConfig) -> RemoteLLM:
         retry=RetryPolicy(
             max_attempts=config.retries + 1, budget=config.retry_budget
         ),
+    )
+
+
+def build_model_chain(
+    config: RageConfig, knowledge=None
+) -> LanguageModel:
+    """Construct the model a config names: single remote or router pool.
+
+    With ``config.providers`` unset this is :func:`build_remote_llm`.
+    Otherwise each spec becomes a pool member (remote endpoints share
+    the config's transport fields; a ``fallback:simulated`` entry gets
+    a :class:`~repro.llm.simulated.SimulatedLLM` seeded with
+    ``knowledge``) and the pool is wrapped in a
+    :class:`~repro.llm.router.RouterLLM` with the config's breaker and
+    hedging policy.
+    """
+    if config.providers is None:
+        return build_remote_llm(config)
+    members: List[LanguageModel] = []
+    for spec in config.providers:
+        kind, payload = parse_provider_spec(spec)
+        if kind == "fallback":
+            members.append(SimulatedLLM(knowledge=knowledge))
+        else:
+            provider, model_id, base_url = payload
+            members.append(
+                _build_remote_member(
+                    config, provider, model_id, base_url or config.base_url
+                )
+            )
+    return RouterLLM(
+        members,
+        breaker_threshold=(
+            config.breaker_threshold
+            if config.breaker_threshold is not None
+            else DEFAULT_BREAKER_THRESHOLD
+        ),
+        breaker_cooldown=(
+            config.breaker_cooldown
+            if config.breaker_cooldown is not None
+            else DEFAULT_BREAKER_COOLDOWN
+        ),
+        hedge=config.hedge,
+        hedge_delay=config.hedge_delay,
     )
 
 
@@ -348,9 +533,12 @@ class Rage:
         #   backend itself.
         dispatch_timeout = self.config.request_timeout
         if llm is None:
-            # ``config.model`` names a remote endpoint the engine can
-            # build itself; every other model kind needs an instance.
-            llm = build_remote_llm(self.config)
+            # ``config.model`` / ``config.providers`` name endpoints the
+            # engine can build itself; every other model kind needs an
+            # instance.  No dispatch-level deadline on top: each member
+            # enforces its own transport timeout, and a dispatch bound
+            # would kill the router's failover walk mid-pool.
+            llm = build_model_chain(self.config)
             dispatch_timeout = None
         self.index = index
         self.searcher = Searcher(index, scorer=retrieval_scorer)

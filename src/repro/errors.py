@@ -107,6 +107,25 @@ class MalformedResponseError(TransportError):
     """The remote endpoint's body could not be parsed as a completion."""
 
 
+class NoProviderAvailableError(GenerationError):
+    """Every provider in a router pool was unavailable or failed.
+
+    Raised by :class:`~repro.llm.router.RouterLLM` when the failover
+    walk exhausts the pool: each provider either had its circuit
+    breaker open or failed the request.  ``failures`` maps provider
+    name to why, in the order the router walked the pool.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{name}: {why}" for name, why in self.failures.items()
+        )
+        super().__init__(
+            f"no provider available ({detail or 'empty pool'})"
+        )
+
+
 class SearchBudgetError(RageError):
     """A perturbation search was configured with a non-positive budget."""
 

@@ -14,6 +14,13 @@ from .base import (
 )
 from .cache import CacheStats, CachingLLM
 from .remote import RemoteLLM, UsageStats, parse_model_spec
+from .router import (
+    BreakerState,
+    CircuitBreaker,
+    ProviderHealth,
+    RouterLLM,
+    RouterStats,
+)
 from .store import PromptStore, StoreStats, store_key
 from .transport import (
     HttpClient,
@@ -51,6 +58,11 @@ __all__ = [
     "RemoteLLM",
     "UsageStats",
     "parse_model_spec",
+    "BreakerState",
+    "CircuitBreaker",
+    "ProviderHealth",
+    "RouterLLM",
+    "RouterStats",
     "PromptStore",
     "StoreStats",
     "store_key",

@@ -11,8 +11,10 @@ emits — OpenAI (``POST .../chat/completions``) and Anthropic
 * **Fault injection** — queue :class:`Fault` objects and the next
   requests fail in controlled ways: arbitrary statuses (429 with
   ``Retry-After``, 500, ...), a stall longer than the client timeout,
-  malformed JSON, or a truncated body (Content-Length lies, connection
-  closes early).  Each fault is consumed by exactly one request.
+  malformed JSON, a truncated body (Content-Length lies, connection
+  closes early), a mid-body TCP reset, or a slow-drip body that stalls
+  past the read timeout.  Each fault is consumed by exactly one
+  request.
 * **Request journal** — every request that reaches the handler is
   recorded (path, prompt, headers, monotonic timestamp, fault applied),
   so tests can assert *zero HTTP traffic* for warm-cache runs and
@@ -30,6 +32,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import socket
+import struct
 import threading
 import time
 from collections import deque
@@ -55,6 +59,14 @@ class Fault:
     ``"truncated"``
         200 whose ``Content-Length`` promises more bytes than are sent
         before the connection closes.
+    ``"connection-reset"``
+        200 headers, half the body, then a hard TCP reset (``SO_LINGER``
+        zero) — the client sees ``ConnectionResetError`` mid-read, not
+        a clean close.
+    ``"slow-drip"``
+        200 with the full ``Content-Length``, half the body, then a
+        ``delay``-second stall between chunks — longer than the
+        client's read timeout, so the client gives up mid-body.
     """
 
     kind: str = "status"
@@ -160,6 +172,40 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body[: max(1, len(body) // 2)])
             self.wfile.flush()
             self.close_connection = True
+            return
+        if fault is not None and fault.kind == "connection-reset":
+            body = self._completion_body(srv, prompt)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.wfile.flush()
+            # SO_LINGER with a zero timeout turns the upcoming close
+            # into an RST, not a FIN: the client's in-progress read
+            # fails with ECONNRESET instead of a short (clean) read.
+            # The close itself stays with socketserver's close_request
+            # teardown so finish() never writes to a dead socket.
+            self.connection.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            self.close_connection = True
+            return
+        if fault is not None and fault.kind == "slow-drip":
+            body = self._completion_body(srv, prompt)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.wfile.flush()
+            time.sleep(fault.delay)
+            try:
+                self.wfile.write(body[max(1, len(body) // 2):])
+            except OSError:
+                pass  # the client timed out and hung up, as intended
             return
 
         if self.path.endswith("/chat/completions") or self.path.endswith(

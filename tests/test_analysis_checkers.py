@@ -552,3 +552,126 @@ def test_determinism_suppression():
     result = analyze_source(textwrap.dedent(text), rel=CORE)
     assert result.findings == []
     assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# swallowed-error
+
+
+def test_swallowed_error_flags_silent_broad_handler():
+    text = """
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                pass
+    """
+    found = findings(text, rule="swallowed-error")
+    assert len(found) == 1
+    assert found[0].line == 5
+    assert "swallows" in found[0].message
+
+
+def test_swallowed_error_flags_base_exception():
+    text = """
+        def load(path):
+            try:
+                return open(path).read()
+            except BaseException:
+                return None
+    """
+    found = findings(text, rule="swallowed-error")
+    assert len(found) == 1
+
+
+def test_swallowed_error_allows_reraise():
+    text = """
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                raise
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_allows_taxonomy_translation():
+    text = """
+        from repro.errors import StoreDecodeError
+
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                raise StoreDecodeError(path)
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_allows_bound_name_use():
+    text = """
+        def respond(handler):
+            try:
+                handler()
+            except Exception as error:
+                return {"error": str(error)}
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_allows_recording_call():
+    text = """
+        def tick(journal):
+            try:
+                work()
+            except Exception:
+                journal.append("tick failed")
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_allows_counter_mutation():
+    text = """
+        class Worker:
+            def tick(self):
+                try:
+                    work()
+                except Exception:
+                    self.errors += 1
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_ignores_narrow_handlers():
+    text = """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                return None
+    """
+    assert findings(text, rule="swallowed-error") == []
+
+
+def test_swallowed_error_out_of_scope_in_tests():
+    text = """
+        def probe():
+            try:
+                work()
+            except Exception:
+                pass
+    """
+    assert findings(text, rel=TEST, rule="swallowed-error") == []
+
+
+def test_swallowed_error_suppression():
+    text = """
+        def probe():
+            try:
+                work()
+            except Exception:  # repro: disable=swallowed-error -- best-effort probe
+                pass
+    """
+    result = analyze_source(textwrap.dedent(text), rel=LIB)
+    assert result.findings == []
+    assert result.suppressed == 1

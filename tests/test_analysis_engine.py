@@ -223,7 +223,7 @@ def test_cli_rule_selection_limits_checkers(tmp_path, capsys):
     capsys.readouterr()
 
 
-def test_cli_list_rules_names_all_six(capsys):
+def test_cli_list_rules_names_all_seven(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in (
@@ -233,6 +233,7 @@ def test_cli_list_rules_names_all_six(capsys):
         "error-taxonomy",
         "test-network-isolation",
         "determinism",
+        "swallowed-error",
     ):
         assert rule in out
 
@@ -241,10 +242,10 @@ def test_cli_list_rules_names_all_six(capsys):
 # Registry and wiring
 
 
-def test_registry_has_six_rules_sorted():
+def test_registry_has_seven_rules_sorted():
     rules = [checker.rule for checker in all_checkers()]
     assert rules == sorted(rules)
-    assert len(rules) == 6
+    assert len(rules) == 7
 
 
 def test_checkers_for_rules_rejects_unknown():

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
-from fakes import CountingLLM, FakeLLMServer, http_json, simulated_answer_fn
+from fakes import (
+    CountingLLM,
+    FakeLLMServer,
+    LatencyLLM,
+    http_json,
+    simulated_answer_fn,
+)
 
 from repro import Rage, RageConfig, SimulatedLLM
 from repro.app import RageSession
@@ -395,7 +402,8 @@ def test_metrics_schema_and_counters(tmp_path):
         metrics = json.loads(body.decode("utf-8"))
 
         assert set(metrics) == {
-            "server", "admission", "backend", "cache", "store", "remote"
+            "server", "admission", "backend", "cache", "store", "remote",
+            "router",
         }
         assert metrics["server"]["tenants"] == ["alice", "bob"]
         assert metrics["server"]["requests"] == 2
@@ -417,6 +425,7 @@ def test_metrics_schema_and_counters(tmp_path):
         assert store["writes"] > 0 and store["entries"] > 0
         assert store["bytes"] > 0
         assert metrics["remote"] is None  # simulated model, no transport
+        assert metrics["router"] is None  # single model, no pool
 
 
 def test_metrics_surface_remote_usage_and_transport_stats():
@@ -494,3 +503,190 @@ def test_second_server_answers_warm_from_shared_store(tmp_path):
     merged = PromptStore(store_dir).read_meta()
     assert merged["writes"] == counting_cold.calls
     assert merged["hits"] >= metrics["store"]["hits"]
+
+
+# ---------------------------------------------------------------------------
+# Readiness-aware /healthz, router metrics, graceful drain
+
+
+def _dead_base_url():
+    """A loopback URL nothing listens on (connections refused)."""
+    with FakeLLMServer() as probe:
+        url = probe.base_url
+    return url
+
+
+def _pool_server(providers, tenants=("a",), **config_kwargs):
+    case = load_use_case("big_three")
+    config = RageConfig(
+        k=case.k, providers=providers, retries=0, **config_kwargs
+    )
+    return RageServer.for_use_case(case, list(tenants), config=config)
+
+
+def test_healthz_reports_providers_for_a_router_pool():
+    with _pool_server(("fallback:simulated",)) as server:
+        status, _, body = http_json.get(server.base_url + "/healthz")
+        payload = http_json.body_json(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        providers = payload["providers"]
+        assert len(providers) == 1
+        assert set(providers[0]) == {"name", "state", "available"}
+        assert providers[0]["state"] == "closed"
+        assert providers[0]["available"] is True
+
+
+def test_healthz_degraded_when_a_breaker_is_open():
+    providers = (
+        f"remote:openai:fake-a@{_dead_base_url()}",
+        "fallback:simulated",
+    )
+    with _pool_server(providers, breaker_threshold=1) as server:
+        # The request still answers (fallback serves) ...
+        status, _, body = http_json.post_json(
+            server.base_url + "/ask", {"tenant": "a"}
+        )
+        assert status == 200
+        assert http_json.body_json(body)["answer"] == "Roger Federer"
+        # ... but readiness now says the primary's breaker is open.
+        status, _, body = http_json.get(server.base_url + "/healthz")
+        payload = http_json.body_json(body)
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert "remote:openai/fake-a" in payload["detail"]
+        states = {p["name"]: p["state"] for p in payload["providers"]}
+        assert states["remote:openai/fake-a"] == "open"
+
+
+def test_healthz_unhealthy_when_no_provider_is_available():
+    providers = (f"remote:openai:fake-a@{_dead_base_url()}",)
+    with _pool_server(providers, breaker_threshold=1) as server:
+        status, _, _ = http_json.post_json(
+            server.base_url + "/ask", {"tenant": "a"}
+        )
+        assert status == 500  # the pool was exhausted
+        status, _, body = http_json.get(server.base_url + "/healthz")
+        payload = http_json.body_json(body)
+        assert status == 503
+        assert payload["status"] == "unhealthy"
+        assert payload["detail"] == "no provider available"
+
+
+def test_metrics_surface_router_breaker_state_and_attribution():
+    providers = (
+        f"remote:openai:fake-a@{_dead_base_url()}",
+        "fallback:simulated",
+    )
+    with _pool_server(providers, breaker_threshold=1) as server:
+        http_json.post_json(server.base_url + "/ask", {"tenant": "a"})
+        metrics = json.loads(
+            http_json.get(server.base_url + "/metrics")[2].decode("utf-8")
+        )
+        router = metrics["router"]
+        assert router["requests"] >= 1
+        assert router["failovers"] >= 1
+        assert router["hedges_fired"] == 0
+        by_name = {p["name"]: p for p in router["providers"]}
+        primary = by_name["remote:openai/fake-a"]
+        assert primary["state"] == "open"
+        assert primary["trips"] == 1
+        assert primary["failures"] >= 1
+        fallback = next(
+            p for name, p in by_name.items() if name.startswith("simulated")
+        )
+        assert fallback["state"] == "closed"
+        assert fallback["calls"] >= 1
+        # A router-backed server reports through "router", not "remote".
+        assert metrics["remote"] is None
+
+
+def test_draining_server_rejects_new_posts_but_finishes_inflight():
+    case = load_use_case("big_three")
+    slow = LatencyLLM(SimulatedLLM(knowledge=case.knowledge), latency=0.6)
+    rage = Rage.from_corpus(case.corpus, slow, config=RageConfig(k=case.k))
+    server = RageServer(
+        rage, tenants=["a"], default_query=case.query, drain_window=10.0
+    )
+    server.start()
+    results = {}
+
+    def slow_ask():
+        results["inflight"] = http_json.post_json(
+            server.base_url + "/ask", {"tenant": "a"}
+        )
+
+    worker = threading.Thread(target=slow_ask)
+    worker.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:  # wait until the POST is in flight
+        with server._lock:
+            if server._inflight > 0:
+                break
+        time.sleep(0.01)
+
+    closer = threading.Thread(target=server.close)
+    closer.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:  # wait until the drain has begun
+        with server._lock:
+            if server._draining:
+                break
+        time.sleep(0.01)
+
+    # New work is refused with 503 + Retry-After while draining...
+    status, headers, body = http_json.post_json(
+        server.base_url + "/ask", {"tenant": "a"}
+    )
+    assert status == 503
+    assert "draining" in http_json.body_json(body)["error"]
+    assert int(headers["retry-after"]) >= 1
+    # ...GETs stay readable and report the drain...
+    status, _, body = http_json.get(server.base_url + "/healthz")
+    assert status == 503
+    assert http_json.body_json(body)["status"] == "draining"
+
+    worker.join(timeout=10.0)
+    closer.join(timeout=10.0)
+    assert not closer.is_alive()
+    # ...and the in-flight request finished normally during the drain.
+    status, _, body = results["inflight"]
+    assert status == 200
+    assert http_json.body_json(body)["answer"] == "Roger Federer"
+
+
+def test_drain_window_bounds_a_hung_handler():
+    case = load_use_case("big_three")
+    slow = LatencyLLM(SimulatedLLM(knowledge=case.knowledge), latency=3.0)
+    rage = Rage.from_corpus(case.corpus, slow, config=RageConfig(k=case.k))
+    server = RageServer(
+        rage, tenants=["a"], default_query=case.query, drain_window=0.2
+    )
+    server.start()
+    worker = threading.Thread(
+        target=lambda: http_json.post_json(
+            server.base_url + "/ask", {"tenant": "a"}, timeout=10.0
+        )
+    )
+    worker.start()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        with server._lock:
+            if server._inflight > 0:
+                break
+        time.sleep(0.01)
+    started = time.monotonic()
+    assert server.drain() is False  # the bound expired, not the handler
+    assert time.monotonic() - started < 1.0
+    server.close()  # still shuts down despite the straggler
+    worker.join(timeout=10.0)
+
+
+def test_drain_window_validation():
+    case = load_use_case("big_three")
+    rage = Rage.from_corpus(
+        case.corpus, SimulatedLLM(knowledge=case.knowledge),
+        config=RageConfig(k=case.k),
+    )
+    with pytest.raises(ConfigError):
+        RageServer(rage, tenants=["a"], drain_window=0.0)

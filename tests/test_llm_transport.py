@@ -519,6 +519,39 @@ def test_urllib_truncated_body_is_transport_error():
             )
 
 
+def test_urllib_connection_reset_mid_body_is_transport_error():
+    with FakeLLMServer() as server:
+        server.add_fault(Fault(kind="connection-reset"))
+        transport = UrllibTransport()
+        with pytest.raises(TransportError):
+            transport.request(
+                "POST",
+                server.base_url + "/chat/completions",
+                {},
+                b'{"messages": [{"role": "user", "content": "hi"}]}',
+                5.0,
+            )
+
+
+def test_urllib_slow_drip_body_times_out():
+    """A body that stalls between chunks past the read timeout is the
+    client's problem to bound: TransportTimeoutError in ~timeout
+    seconds, not whenever the server deigns to finish."""
+    with FakeLLMServer() as server:
+        server.add_fault(Fault(kind="slow-drip", delay=1.5))
+        transport = UrllibTransport()
+        started = time.monotonic()
+        with pytest.raises(TransportTimeoutError):
+            transport.request(
+                "POST",
+                server.base_url + "/chat/completions",
+                {},
+                b'{"messages": [{"role": "user", "content": "hi"}]}',
+                0.1,
+            )
+        assert time.monotonic() - started < 1.0
+
+
 def test_urllib_connection_refused_is_transport_error():
     transport = UrllibTransport()
     port = refused_tcp_port()
@@ -529,19 +562,36 @@ def test_urllib_connection_refused_is_transport_error():
 def test_client_recovers_faults_against_real_server(monkeypatch):
     _sleepless(monkeypatch)
     with FakeLLMServer() as server:
-        client = HttpClient(retry=RetryPolicy(jitter=0.0))
+        client = HttpClient(retry=RetryPolicy(max_attempts=6, jitter=0.0))
         server.add_faults(
             Fault(kind="status", status=429, retry_after=0.01),
             Fault(kind="malformed"),
             Fault(kind="truncated"),
+            Fault(kind="connection-reset"),
         )
         payload = {"messages": [{"role": "user", "content": "resilient"}]}
         result = client.post_json(server.base_url + "/chat/completions", payload)
         assert result["choices"][0]["message"]["content"].startswith("echo:")
-        assert server.request_count == 4  # 3 faulted + 1 clean
+        assert server.request_count == 5  # 4 faulted + 1 clean
         assert [e.fault for e in server.journal] == [
-            "status", "malformed", "truncated", None
+            "status", "malformed", "truncated", "connection-reset", None
         ]
+
+
+def test_client_retries_slow_drip_as_timeout():
+    # No _sleepless here: it would also no-op the fake server's drip
+    # stall.  Real (small) backoff sleeps are paid instead.
+    with FakeLLMServer() as server:
+        client = HttpClient(
+            retry=RetryPolicy(jitter=0.0, base_delay=0.01, max_delay=0.02),
+            timeout=0.1,
+        )
+        server.add_fault(Fault(kind="slow-drip", delay=0.6))
+        payload = {"messages": [{"role": "user", "content": "drip"}]}
+        result = client.post_json(server.base_url + "/chat/completions", payload)
+        assert result["choices"][0]["message"]["content"].startswith("echo:")
+        assert [e.fault for e in server.journal] == ["slow-drip", None]
+        assert client.stats.retries >= 1
 
 
 # ---------------------------------------------------------------------------
