@@ -1,0 +1,74 @@
+"""Shared plumbing for the benchmark suite.
+
+Every E-series benchmark does the same three things around its actual
+measurement: wall-clock a callable, print a small aligned table, and —
+when CI sets the matching ``BENCH_E*_OUT`` variable — dump the rows as
+a JSON artifact.  That boilerplate lives here so each benchmark file
+is only its experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+#: Row keys tried, in order, for the table's left-hand label column.
+_LABEL_KEYS = ("label", "mode", "backend")
+
+
+def timed(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Run ``fn(*args, **kwargs)`` once; return (result, seconds)."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def print_rows(title: str, rows: Sequence[Dict[str, Any]]) -> None:
+    """Render rows as the standard aligned wall-clock table.
+
+    The first of ``label`` / ``mode`` / ``backend`` becomes the row
+    label; a ``seconds`` value renders as milliseconds; everything else
+    prints as ``key=value``.
+    """
+    print(f"\n{title}:")
+    for row in rows:
+        label = next((str(row[k]) for k in _LABEL_KEYS if k in row), "?")
+        parts = []
+        for key, value in row.items():
+            if key in _LABEL_KEYS:
+                continue
+            if key == "seconds":
+                parts.append(f"{value * 1000:>8.1f}ms")
+            else:
+                parts.append(f"{key}={value}")
+        print(f"  {label:>16}  " + "  ".join(parts))
+
+
+def write_results(
+    env_var: str, bench: str, rows: Sequence[Dict[str, Any]], **extra: Any
+) -> None:
+    """Write the standard results JSON when ``env_var`` names a path.
+
+    CI sets ``BENCH_E*_OUT`` and uploads the file as an artifact;
+    local runs (no variable) skip the write entirely.
+    """
+    out_path = os.environ.get(env_var)
+    if not out_path:
+        return
+    payload: Dict[str, Any] = {"bench": bench, "rows": list(rows)}
+    payload.update(extra)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def assert_speedup(
+    slow_seconds: float, fast_seconds: float, factor: float
+) -> None:
+    """Assert the fast path is at least ``factor``x faster — readably."""
+    achieved = slow_seconds / max(fast_seconds, 1e-9)
+    assert fast_seconds * factor <= slow_seconds, (
+        f"expected a >= {factor:g}x speedup, measured {achieved:.2f}x "
+        f"({slow_seconds:.3f}s vs {fast_seconds:.3f}s)"
+    )

@@ -19,10 +19,7 @@ Run with ``--benchmark-disable`` for the shape checks only; set
 
 from __future__ import annotations
 
-import json
-import os
-import time
-
+from _harness import print_rows, timed, write_results
 from fakes import CountingLLM, LatencyLLM
 
 from repro import Rage, RageConfig, SimulatedLLM
@@ -76,9 +73,7 @@ def _latency_evaluation(backend, case, orderings):
     )
     context = probe.retrieve(case.query)
     evaluator = ContextEvaluator(llm, context, backend=backend)
-    started = time.perf_counter()
-    evaluations = evaluator.evaluate_many(orderings)
-    elapsed = time.perf_counter() - started
+    evaluations, elapsed = timed(evaluator.evaluate_many, orderings)
     return evaluations, elapsed, llm
 
 
@@ -116,13 +111,11 @@ def test_e16_asyncio_beats_serial_on_latency_model():
                 "max_inflight": llm.max_inflight,
             }
         )
-    print("\nE16 one evaluation round, latency-simulating model "
-          f"({len(orderings)} prompts x {LATENCY * 1000:.0f}ms):")
-    for row in rows:
-        print(
-            f"  {row['backend']:>10}  {row['seconds'] * 1000:>8.1f}ms  "
-            f"max_inflight={row['max_inflight']}"
-        )
+    print_rows(
+        "E16 one evaluation round, latency-simulating model "
+        f"({len(orderings)} prompts x {LATENCY * 1000:.0f}ms)",
+        rows,
+    )
     by_spec = {row["backend"]: row for row in rows}
     # Every backend evaluated the same prompts to the same answers.
     assert answers["serial"] == answers["threaded:8"] == answers["asyncio"]
@@ -134,10 +127,7 @@ def test_e16_asyncio_beats_serial_on_latency_model():
     # The thread pool overlaps up to its width.
     assert by_spec["threaded:8"]["seconds"] < by_spec["serial"]["seconds"]
     assert 1 < by_spec["threaded:8"]["max_inflight"] <= 8
-    out_path = os.environ.get("BENCH_E16_OUT")
-    if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            json.dump({"bench": "e16_exec_backends", "rows": rows}, handle, indent=2)
+    write_results("BENCH_E16_OUT", "e16_exec_backends", rows)
 
 
 def test_e16_asyncio_capacity_bounds_inflight():

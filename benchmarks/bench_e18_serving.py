@@ -29,11 +29,9 @@ CI artifact).
 
 from __future__ import annotations
 
-import json
-import os
 import threading
-import time
 
+from _harness import assert_speedup, print_rows, timed, write_results
 from fakes import CountingLLM, LatencyLLM, http_json
 
 from repro import Rage, RageConfig, SimulatedLLM
@@ -82,10 +80,14 @@ def test_e18_concurrent_tenants_beat_serial():
 
     serial_answers = []
     with _latency_server(case) as server:
-        started = time.perf_counter()
-        for tenant in TENANTS:
-            _drive_tenant(server.base_url, tenant, streams[tenant], serial_answers)
-        serial_seconds = time.perf_counter() - started
+
+        def drive_serially():
+            for tenant in TENANTS:
+                _drive_tenant(
+                    server.base_url, tenant, streams[tenant], serial_answers
+                )
+
+        _, serial_seconds = timed(drive_serially)
         assert server.request_count() == len(TENANTS) * ASKS_PER_TENANT
 
     concurrent_answers = []
@@ -97,12 +99,14 @@ def test_e18_concurrent_tenants_beat_serial():
             )
             for tenant in TENANTS
         ]
-        started = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=120.0)
-        concurrent_seconds = time.perf_counter() - started
+
+        def drive_concurrently():
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+
+        _, concurrent_seconds = timed(drive_concurrently)
         assert server.request_count() == len(TENANTS) * ASKS_PER_TENANT
         assert all(status == 200 for status in server.statuses())
 
@@ -118,20 +122,16 @@ def test_e18_concurrent_tenants_beat_serial():
             "requests": len(concurrent_answers),
         },
     ]
-    print(
-        f"\nE18 {len(TENANTS)} tenants x {ASKS_PER_TENANT} asks at "
-        f"{LATENCY * 1000:.0f}ms/model-call:"
+    print_rows(
+        f"E18 {len(TENANTS)} tenants x {ASKS_PER_TENANT} asks at "
+        f"{LATENCY * 1000:.0f}ms/model-call",
+        rows,
     )
-    for row in rows:
-        print(f"  {row['mode']:>12}  {row['seconds'] * 1000:>8.1f}ms")
     # Identical work, identical answers — order aside.
     assert sorted(serial_answers) == sorted(concurrent_answers)
     # The acceptance ratio: four tenants overlapping their latency.
-    assert concurrent_seconds * 2 <= serial_seconds
-    out_path = os.environ.get("BENCH_E18_OUT")
-    if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            json.dump({"bench": "e18_serving", "rows": rows}, handle, indent=2)
+    assert_speedup(serial_seconds, concurrent_seconds, 2)
+    write_results("BENCH_E18_OUT", "e18_serving", rows)
 
 
 def test_e18_concurrent_explains_byte_identical_to_in_process():

@@ -13,6 +13,21 @@ assignment whose target is rooted at ``self`` must be lexically inside
 (and the other construction dunders) are exempt — the instance is not
 shared yet.  Helpers documented as caller-holds-lock take an inline
 ``# repro: disable=lock-discipline`` with a justification.
+
+PR 8 widened the bug class from counters to *containers*: the
+single-flight registry (``self._flights[key] = latch`` /
+``del self._flights[key]``) and the micro-batch window table are
+exactly the shape of shared state that loses entries when mutated
+bare.  So the rule also flags, outside the lock:
+
+* subscript stores — ``self._registry[key] = value``
+* subscript deletes — ``del self._registry[key]``
+* mutating container calls — ``self._registry.pop(...)``,
+  ``.setdefault``, ``.append``, ``.clear``, ``.update``, ... (see
+  ``_MUTATORS``)
+
+Reads stay unflagged: a racy read is a judgement call, a racy
+read-modify-write is a bug.
 """
 
 from __future__ import annotations
@@ -32,6 +47,27 @@ from .common import (
 #: Methods that run before the instance can be shared across threads.
 _CONSTRUCTION_METHODS = frozenset(
     {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+)
+
+#: Method names that mutate the builtin containers in place.  Calling
+#: one on shared ``self.*`` state outside the lock corrupts the
+#: structure (dict/deque) or silently drops entries (set/list).
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
 )
 
 
@@ -67,8 +103,9 @@ def _with_holds_lock(node: ast.AST, locks: Set[str]) -> bool:
 class LockDisciplineChecker(Checker):
     rule = "lock-discipline"
     description = (
-        "augmented assignment to self.* in a lock-owning class must sit "
-        "inside `with <lock>:` (lost-increment bug class from PR 5)"
+        "augmented assignment to and container mutation of self.* in a "
+        "lock-owning class must sit inside `with <lock>:` (lost-update "
+        "bug class from PR 5, widened to registries in PR 8)"
     )
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
@@ -98,19 +135,81 @@ class LockDisciplineChecker(Checker):
             child_held = held
             if isinstance(child, (ast.With, ast.AsyncWith)):
                 child_held = held or _with_holds_lock(child, locks)
-            if isinstance(child, ast.AugAssign) and not child_held:
-                attr = self_attribute_root(child.target)
+            if not child_held:
+                yield from self._check_statement(source, child, locks)
+            yield from self._walk(source, child, locks, child_held)
+
+    def _check_statement(
+        self, source: SourceFile, child: ast.AST, locks: Set[str]
+    ) -> Iterable[Finding]:
+        shown = sorted(locks)[0]
+        if isinstance(child, ast.AugAssign):
+            attr = self_attribute_root(_subscript_value(child.target))
+            if attr is not None:
+                target = dotted_name(child.target) or f"self.{attr}"
+                yield self.finding(
+                    source,
+                    child.lineno,
+                    f"`{target} {_op(child)}= ...` outside `with "
+                    f"self.{shown}:` in a lock-owning class — "
+                    "read-modify-write races lose updates",
+                )
+        elif isinstance(child, ast.Assign):
+            for target in _flat_targets(child.targets):
+                if not isinstance(target, ast.Subscript):
+                    continue
+                attr = self_attribute_root(target.value)
                 if attr is not None:
-                    target = dotted_name(child.target) or f"self.{attr}"
-                    shown = sorted(locks)[0]
                     yield self.finding(
                         source,
                         child.lineno,
-                        f"`{target} {_op(child)}= ...` outside `with "
+                        f"`self.{attr}[...] = ...` outside `with "
                         f"self.{shown}:` in a lock-owning class — "
-                        "read-modify-write races lose updates",
+                        "racing stores corrupt the shared container",
                     )
-            yield from self._walk(source, child, locks, child_held)
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                attr = self_attribute_root(target.value)
+                if attr is not None:
+                    yield self.finding(
+                        source,
+                        child.lineno,
+                        f"`del self.{attr}[...]` outside `with "
+                        f"self.{shown}:` in a lock-owning class — "
+                        "a racing delete raises or drops a live entry",
+                    )
+        elif isinstance(child, ast.Call):
+            func = child.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Attribute)
+            ):
+                attr = self_attribute_root(func.value)
+                if attr is not None:
+                    yield self.finding(
+                        source,
+                        child.lineno,
+                        f"`self.{attr}.{func.attr}(...)` outside `with "
+                        f"self.{shown}:` in a lock-owning class — "
+                        "in-place container mutation is not atomic",
+                    )
+
+
+def _flat_targets(targets: Iterable[ast.AST]) -> Iterable[ast.AST]:
+    """Assignment targets with tuple/list unpacking flattened out."""
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flat_targets(target.elts)
+        else:
+            yield target
+
+
+def _subscript_value(node: ast.AST) -> ast.AST:
+    """``self._counts[k] += 1`` mutates ``self._counts``: unwrap it."""
+    return node.value if isinstance(node, ast.Subscript) else node
 
 
 def _op(node: ast.AugAssign) -> str:

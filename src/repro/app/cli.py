@@ -161,6 +161,21 @@ def _build_parser() -> argparse.ArgumentParser:
             help="consecutive transport failures before a provider's "
             "circuit breaker opens (default 5; requires --provider)",
         )
+        p.add_argument(
+            "--no-single-flight",
+            action="store_true",
+            help="disable single-flight coalescing of concurrent identical "
+            "cache misses (restores the every-miss-dispatches path)",
+        )
+        p.add_argument(
+            "--batch-window-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="cross-request micro-batch window: hold evaluation batches "
+            "up to MS milliseconds and flush them merged as one native "
+            "batch (default: off)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -316,6 +331,10 @@ def _config_overrides(args: argparse.Namespace, case) -> dict:
         overrides["hedge_delay"] = args.hedge_delay
     if getattr(args, "breaker_threshold", None) is not None:
         overrides["breaker_threshold"] = args.breaker_threshold
+    if getattr(args, "no_single_flight", False):
+        overrides["single_flight"] = False
+    if getattr(args, "batch_window_ms", None) is not None:
+        overrides["batch_window_ms"] = args.batch_window_ms
     return overrides
 
 
@@ -598,6 +617,25 @@ def _session_dispatch(args: argparse.Namespace, session: RageSession) -> int:
                     f"(hit rate {stats.hit_rate:.2f}); "
                     f"{stats.batches} batches covering {stats.batched_prompts} "
                     f"prompts, {stats.batched_misses} reached the model"
+                )
+                if llm.flights is not None:
+                    flights = llm.flights.stats
+                    print(
+                        f"Single-flight: {flights.flights} flights led, "
+                        f"{flights.coalesced} waiters served, "
+                        f"{flights.failures} failures"
+                    )
+            from ..exec.coalesce import CoalescingBackend
+
+            backend = session.rage.backend
+            if isinstance(backend, CoalescingBackend):
+                window = backend.window_stats
+                print(
+                    f"Batch window ({backend.window_ms:g} ms): "
+                    f"{window.windows} windows flushed "
+                    f"({window.merged_windows} merged), "
+                    f"mean flush size {window.mean_flush_size:.1f}, "
+                    f"max {window.max_flush}, {window.refunded} refunded"
                 )
             inner = llm.inner if isinstance(llm, CachingLLM) else llm
             from ..llm.remote import RemoteLLM

@@ -75,6 +75,7 @@ from ..core.insights import CombinationInsights, PermutationInsights
 from ..core.permutation_cf import PermutationSearchResult
 from ..datasets.base import UseCase, load_use_case
 from ..errors import ConfigError, ValidationError
+from ..exec.coalesce import CoalescingBackend
 from ..llm.base import LanguageModel
 from ..llm.cache import CachingLLM
 from ..llm.remote import RemoteLLM
@@ -831,6 +832,33 @@ class RageServer:
                 if cache is not None
                 else None
             ),
+            "coalescing": {
+                "single_flight": (
+                    {
+                        "enabled": True,
+                        "inflight_keys": cache.flights.inflight(),
+                        "flights": cache.flights.stats.flights,
+                        "waiters_served": cache.flights.stats.coalesced,
+                        "failures": cache.flights.stats.failures,
+                    }
+                    if cache is not None and cache.flights is not None
+                    else {"enabled": False}
+                ),
+                "window": (
+                    {
+                        "enabled": True,
+                        "window_ms": backend.window_ms,
+                        "submissions": backend.window_stats.submissions,
+                        "windows_flushed": backend.window_stats.windows,
+                        "merged_windows": backend.window_stats.merged_windows,
+                        "mean_flush_size": backend.window_stats.mean_flush_size,
+                        "max_flush": backend.window_stats.max_flush,
+                        "refunded": backend.window_stats.refunded,
+                    }
+                    if isinstance(backend, CoalescingBackend)
+                    else {"enabled": False}
+                ),
+            },
             "store": None,
             "remote": None,
             "router": None,

@@ -29,6 +29,7 @@ from ..errors import ConfigError
 from ..exec import (
     DEFAULT_THREAD_WORKERS,
     AsyncioBackend,
+    CoalescingBackend,
     ExecutionBackend,
     ThreadedBackend,
     make_backend,
@@ -113,6 +114,22 @@ class RageConfig:
         Requires ``cache=True``.
     cache_max_bytes:
         LRU size cap for the persistent store; ``None`` = unbounded.
+    single_flight:
+        Coalesce concurrent cache misses on the same key onto one real
+        LLM call (default on; see :mod:`repro.llm.coalesce`): the
+        second simultaneous requester of a prompt awaits the first's
+        in-flight result instead of dispatching its own.  The registry
+        lives on the prompt-cache wrapper, so with ``cache=False``
+        there is nothing to coalesce and the flag is inert.  ``False``
+        restores the historical every-miss-dispatches path verbatim.
+    batch_window_ms:
+        Opt-in cross-request micro-batch window (milliseconds): hold
+        the first evaluation batch submitted to the execution backend
+        open for up to this long, merge every batch that arrives in
+        the window — across requests and tenants — and flush them as
+        one native batch (see :mod:`repro.exec.coalesce`).  ``None``
+        (default) disables the window; it is a throughput/latency
+        trade that pays off when the model rewards bigger batches.
     search_batch_size:
         Un-memoized candidates per LLM batch inside the sequential
         counterfactual searches.  1 (default) is the paper's strictly
@@ -214,6 +231,8 @@ class RageConfig:
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
+    single_flight: bool = True
+    batch_window_ms: Optional[float] = None
     search_batch_size: int = 1
     plan_pruning: bool = True
     adaptive_search_batching: bool = False
@@ -245,6 +264,11 @@ class RageConfig:
                               "is a tier of the prompt cache)")
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
             raise ConfigError("cache_max_bytes must be >= 1 (or None)")
+        if self.batch_window_ms is not None and self.batch_window_ms <= 0:
+            raise ConfigError(
+                f"batch_window_ms must be > 0 milliseconds (or None to "
+                f"disable the window), got {self.batch_window_ms}"
+            )
         if self.model is not None and self.providers is not None:
             raise ConfigError(
                 "model and providers are mutually exclusive: the provider "
@@ -573,9 +597,18 @@ class Rage:
                 max_inflight=self.backend.capacity,
                 timeout=dispatch_timeout,
                 store=self.store,
+                single_flight=self.config.single_flight,
             )
         else:
             self.llm = llm
+        if self.config.batch_window_ms is not None:
+            # Wrapped last, after the capacity hand-off above read the
+            # executing backend directly; the window layer reports the
+            # same capacity/timeout and merges concurrent evaluation
+            # batches before they reach it.
+            self.backend = CoalescingBackend(
+                self.backend, self.config.batch_window_ms
+            )
         self.prompt_builder = prompt_builder or DEFAULT_PROMPT_BUILDER
 
     @classmethod

@@ -15,13 +15,16 @@ from .backend import (
     ThreadedBackend,
     make_backend,
 )
+from .coalesce import CoalescingBackend, WindowStats
 
 __all__ = [
     "DEFAULT_THREAD_WORKERS",
     "AsyncioBackend",
     "BackendStats",
+    "CoalescingBackend",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadedBackend",
+    "WindowStats",
     "make_backend",
 ]

@@ -13,6 +13,7 @@ from .base import (
     run_coroutine,
 )
 from .cache import CacheStats, CachingLLM
+from .coalesce import Latch, SingleFlight, SingleFlightStats
 from .remote import RemoteLLM, UsageStats, parse_model_spec
 from .router import (
     BreakerState,
@@ -55,6 +56,9 @@ __all__ = [
     "run_coroutine",
     "CacheStats",
     "CachingLLM",
+    "Latch",
+    "SingleFlight",
+    "SingleFlightStats",
     "RemoteLLM",
     "UsageStats",
     "parse_model_spec",

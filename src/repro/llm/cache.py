@@ -33,6 +33,17 @@ The wrapper is also async-aware: :meth:`CachingLLM.agenerate` /
 await the wrapped model through
 :func:`repro.llm.base.abatched_generate`, so an async execution backend
 never blocks its event loop on the inner model.
+
+Single-flight
+-------------
+The tiers only deduplicate *completed* work.  With ``single_flight``
+(the default) concurrent misses on the same key are also deduplicated:
+the first requester leads the real call, every simultaneous requester
+follows its flight (see :mod:`repro.llm.coalesce`), and the winner
+writes through to memory + disk exactly once.  Followers are counted
+as ``hits`` (they paid no real call) and tallied in
+``flights.stats.coalesced``.  Disable it (``single_flight=False``) to
+restore the historical every-miss-dispatches behavior.
 """
 
 from __future__ import annotations
@@ -49,7 +60,8 @@ from .base import (
     batched_generate,
     sequential_generate,
 )
-from .store import PromptStore
+from .coalesce import Latch, SingleFlight
+from .store import PromptStore, store_key
 
 
 @dataclass
@@ -113,6 +125,11 @@ class CachingLLM:
         (hits are free and never deadlined); ``None`` = no deadline.
     store:
         Optional persistent second tier (see the module docstring).
+    single_flight:
+        Coalesce concurrent misses on the same key onto one real call
+        (default on; see the module docstring).  When enabled,
+        ``flights`` holds the :class:`~repro.llm.coalesce.SingleFlight`
+        registry and its stats.
     """
 
     def __init__(
@@ -123,6 +140,7 @@ class CachingLLM:
         max_inflight: Optional[int] = None,
         timeout: Optional[float] = None,
         store: Optional[PromptStore] = None,
+        single_flight: bool = True,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ConfigError(
@@ -146,6 +164,7 @@ class CachingLLM:
         self.max_inflight = max_inflight
         self.timeout = timeout
         self.store = store
+        self.flights: Optional[SingleFlight] = SingleFlight() if single_flight else None
         self._cache: Dict[str, GenerationResult] = {}
         self.stats = CacheStats()
         # Counter updates and the eviction-then-insert pair happen
@@ -166,22 +185,48 @@ class CachingLLM:
         return self._model
 
     def generate(self, prompt: str) -> GenerationResult:
-        """Serve from memory, then disk, else delegate and remember."""
+        """Serve from memory, disk, or a flight in progress; else delegate."""
         params = self._store_params()
         cached = self._lookup(prompt, params)
         if cached is not None:
             with self._stats_lock:
                 self.stats.hits += 1
             return cached
-        with self._stats_lock:
-            self.stats.misses += 1
-        if self.timeout is not None:
-            result = sequential_generate(
-                self._model, [prompt], timeout=self.timeout
-            )[0]
-        else:
-            result = self._model.generate(prompt)
-        self._store(prompt, result, params=params)
+        if self.flights is None:
+            with self._stats_lock:
+                self.stats.misses += 1
+            result = self._dispatch_one(prompt)
+            self._store(prompt, result, params=params)
+            return result
+        key = store_key(self._model.name, prompt, params)
+        leader, latch = self.flights.join(key)
+        if not leader:
+            result = latch.wait()
+            with self._stats_lock:
+                self.stats.hits += 1
+            return result
+        try:
+            # Between our miss above and winning the flight, a previous
+            # leader may have resolved and written through; re-checking
+            # the memory tier here is what makes the dedup exact (one
+            # real call per key) rather than best-effort.  Memory
+            # suffices: every flight writes memory before it resolves,
+            # so the disk cannot hold anything newer than our first
+            # lookup saw.
+            cached = self._cache.get(prompt)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.hits += 1
+                self.flights.resolve(key, latch, cached)
+                return cached
+            with self._stats_lock:
+                self.stats.misses += 1
+            result = self._dispatch_one(prompt)
+            self._store(prompt, result, params=params)
+        except BaseException as error:
+            self.flights.reject(key, latch, error)
+            raise
+        self.flights.resolve(key, latch, result)
         return result
 
     async def agenerate(self, prompt: str) -> GenerationResult:
@@ -192,8 +237,104 @@ class CachingLLM:
             with self._stats_lock:
                 self.stats.hits += 1
             return cached
-        with self._stats_lock:
-            self.stats.misses += 1
+        if self.flights is None:
+            with self._stats_lock:
+                self.stats.misses += 1
+            result = await self._adispatch_one(prompt)
+            self._store(prompt, result, params=params)
+            return result
+        key = store_key(self._model.name, prompt, params)
+        leader, latch = self.flights.join(key)
+        if not leader:
+            result = await latch.wait_async()
+            with self._stats_lock:
+                self.stats.hits += 1
+            return result
+        try:
+            cached = self._cache.get(prompt)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.hits += 1
+                self.flights.resolve(key, latch, cached)
+                return cached
+            with self._stats_lock:
+                self.stats.misses += 1
+            result = await self._adispatch_one(prompt)
+            self._store(prompt, result, params=params)
+        except BaseException as error:
+            self.flights.reject(key, latch, error)
+            raise
+        self.flights.resolve(key, latch, result)
+        return result
+
+    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Serve hits from the tiers, delegate distinct misses as one batch.
+
+        Duplicate prompts within the batch reach the model once; the
+        repeats are served from the freshly-filled cache and counted as
+        hits, exactly as a second sequential call would be.  Under
+        single-flight, misses another request is already computing are
+        not dispatched either — this batch awaits those flights after
+        dispatching its own leads (leads always dispatch before any
+        follower wait, so two batches following each other's flights
+        can never deadlock).
+        """
+        params = self._store_params()
+        resolved, misses, miss_order = self._partition(prompts, params)
+        leads, followers, miss_order = self._coalesce_misses(
+            resolved, misses, miss_order, params
+        )
+        if miss_order:
+            try:
+                generated = batched_generate(
+                    self._model,
+                    miss_order,
+                    max_workers=self.batch_workers,
+                    max_inflight=self.max_inflight,
+                    timeout=self.timeout,
+                )
+            except BaseException as error:
+                self._reject_leads(leads, error)
+                raise
+            self._absorb(resolved, miss_order, generated, params)
+            self._resolve_leads(leads, resolved)
+        for prompt, latch in followers:
+            resolved[prompt] = latch.wait()
+        return self._assemble(prompts, resolved, misses)
+
+    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
+        """Async :meth:`generate_batch`: same partition, awaited misses."""
+        params = self._store_params()
+        resolved, misses, miss_order = self._partition(prompts, params)
+        leads, followers, miss_order = self._coalesce_misses(
+            resolved, misses, miss_order, params
+        )
+        if miss_order:
+            try:
+                generated = await abatched_generate(
+                    self._model,
+                    miss_order,
+                    max_workers=self.batch_workers,
+                    max_inflight=self.max_inflight,
+                    timeout=self.timeout,
+                )
+            except BaseException as error:
+                self._reject_leads(leads, error)
+                raise
+            self._absorb(resolved, miss_order, generated, params)
+            self._resolve_leads(leads, resolved)
+        for prompt, latch in followers:
+            resolved[prompt] = await latch.wait_async()
+        return self._assemble(prompts, resolved, misses)
+
+    # -- single-prompt miss dispatch ---------------------------------------
+
+    def _dispatch_one(self, prompt: str) -> GenerationResult:
+        if self.timeout is not None:
+            return sequential_generate(self._model, [prompt], timeout=self.timeout)[0]
+        return self._model.generate(prompt)
+
+    async def _adispatch_one(self, prompt: str) -> GenerationResult:
         results = await abatched_generate(
             self._model,
             [prompt],
@@ -201,43 +342,7 @@ class CachingLLM:
             max_inflight=self.max_inflight,
             timeout=self.timeout,
         )
-        self._store(prompt, results[0], params=params)
         return results[0]
-
-    def generate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
-        """Serve hits from the tiers, delegate distinct misses as one batch.
-
-        Duplicate prompts within the batch reach the model once; the
-        repeats are served from the freshly-filled cache and counted as
-        hits, exactly as a second sequential call would be.
-        """
-        params = self._store_params()
-        resolved, misses, miss_order = self._partition(prompts, params)
-        if miss_order:
-            generated = batched_generate(
-                self._model,
-                miss_order,
-                max_workers=self.batch_workers,
-                max_inflight=self.max_inflight,
-                timeout=self.timeout,
-            )
-            self._absorb(resolved, miss_order, generated, params)
-        return self._assemble(prompts, resolved, misses)
-
-    async def agenerate_batch(self, prompts: Sequence[str]) -> List[GenerationResult]:
-        """Async :meth:`generate_batch`: same partition, awaited misses."""
-        params = self._store_params()
-        resolved, misses, miss_order = self._partition(prompts, params)
-        if miss_order:
-            generated = await abatched_generate(
-                self._model,
-                miss_order,
-                max_workers=self.batch_workers,
-                max_inflight=self.max_inflight,
-                timeout=self.timeout,
-            )
-            self._absorb(resolved, miss_order, generated, params)
-        return self._assemble(prompts, resolved, misses)
 
     # -- the batch pipeline, shared by both entry points -------------------
 
@@ -263,6 +368,61 @@ class CachingLLM:
                 misses.add(prompt)
                 miss_order.append(prompt)
         return resolved, misses, miss_order
+
+    def _coalesce_misses(
+        self,
+        resolved: Dict[str, GenerationResult],
+        misses: set,
+        miss_order: List[str],
+        params: Optional[Dict[str, object]],
+    ) -> Tuple[
+        List[Tuple[str, str, Latch]], List[Tuple[str, Latch]], List[str]
+    ]:
+        """Split distinct misses into flights this batch leads vs follows.
+
+        Returns ``(leads, followers, still_missing)``: ``leads`` are the
+        flights this batch owns and must settle after dispatching
+        ``still_missing`` as one native batch; ``followers`` are prompts
+        another request is already computing (removed from ``misses`` so
+        they are charged as hits — no real call was paid here).  A miss
+        whose flight resolved between partition and join is adopted from
+        the freshly-filled cache and charged as a hit too.
+        """
+        if self.flights is None or not miss_order:
+            return [], [], miss_order
+        leads: List[Tuple[str, str, Latch]] = []
+        followers: List[Tuple[str, Latch]] = []
+        still_missing: List[str] = []
+        for prompt in miss_order:
+            key = store_key(self._model.name, prompt, params)
+            leader, latch = self.flights.join(key)
+            if not leader:
+                followers.append((prompt, latch))
+                misses.discard(prompt)
+                continue
+            cached = self._cache.get(prompt)
+            if cached is not None:
+                self.flights.resolve(key, latch, cached)
+                resolved[prompt] = cached
+                misses.discard(prompt)
+                continue
+            leads.append((prompt, key, latch))
+            still_missing.append(prompt)
+        return leads, followers, still_missing
+
+    def _resolve_leads(
+        self,
+        leads: List[Tuple[str, str, Latch]],
+        resolved: Dict[str, GenerationResult],
+    ) -> None:
+        for prompt, key, latch in leads:
+            self.flights.resolve(key, latch, resolved[prompt])
+
+    def _reject_leads(
+        self, leads: List[Tuple[str, str, Latch]], error: BaseException
+    ) -> None:
+        for _prompt, key, latch in leads:
+            self.flights.reject(key, latch, error)
 
     def _absorb(
         self,
@@ -327,10 +487,7 @@ class CachingLLM:
         persisted = self.store.get(self._model.name, prompt, params)
         if persisted is None:
             return None
-        with self._stats_lock:
-            self.stats.disk_hits += 1
-        self._store(prompt, persisted, persist=False)
-        return persisted
+        return self._install(prompt, persisted, promotion=True)
 
     def _store(
         self,
@@ -339,7 +496,27 @@ class CachingLLM:
         persist: bool = True,
         params: Optional[Dict[str, object]] = None,
     ) -> None:
+        self._install(prompt, result, promotion=False)
+        if persist and self.store is not None:
+            self.store.put(self._model.name, prompt, result, params)
+
+    def _install(
+        self, prompt: str, result: GenerationResult, promotion: bool
+    ) -> GenerationResult:
+        """Insert into the memory tier under the lock; return the entry.
+
+        ``promotion`` marks a disk hit being lifted into memory: two
+        concurrent disk hits on one key both decode, but only the first
+        installs and is counted in ``disk_hits`` — the loser adopts the
+        winner's entry and is charged as a plain memory hit, so neither
+        the counter nor the FIFO order records a promotion twice.
+        """
         with self._stats_lock:
+            if promotion:
+                current = self._cache.get(prompt)
+                if current is not None:
+                    return current
+                self.stats.disk_hits += 1
             if (
                 self._max_entries is not None
                 and len(self._cache) >= self._max_entries
@@ -353,12 +530,17 @@ class CachingLLM:
                 oldest = next(iter(self._cache))
                 del self._cache[oldest]
             self._cache[prompt] = result
-        if persist and self.store is not None:
-            self.store.put(self._model.name, prompt, result, params)
+        return result
 
     def clear(self) -> None:
-        """Empty the in-memory tier (stats and the disk tier are kept)."""
-        self._cache.clear()
+        """Empty the in-memory tier (stats and the disk tier are kept).
+
+        Runs under the stats lock: a bare ``dict.clear`` racing a
+        concurrent insert's eviction could delete the same victim twice
+        and raise ``KeyError`` from inside :meth:`_install`.
+        """
+        with self._stats_lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)

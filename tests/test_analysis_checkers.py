@@ -104,6 +104,61 @@ def test_lock_discipline_suppression():
     assert result.suppressed == 1
 
 
+def test_lock_discipline_flags_bare_registry_store():
+    # The PR 8 in-flight registry shape: dict stores need the lock too.
+    text = LOCKED_CLASS.format(body="self._flights[key] = latch")
+    found = findings(text, rule="lock-discipline")
+    assert len(found) == 1
+    assert "self._flights[...]" in found[0].message
+
+
+def test_lock_discipline_flags_bare_registry_delete():
+    text = LOCKED_CLASS.format(body="del self._flights[key]")
+    found = findings(text, rule="lock-discipline")
+    assert len(found) == 1
+    assert "del self._flights[...]" in found[0].message
+
+
+def test_lock_discipline_flags_bare_mutator_calls():
+    for body in (
+        "self._flights.pop(key, None)",
+        "self._pending.setdefault(key, []).append(item)",
+        "self._cache.clear()",
+    ):
+        found = findings(LOCKED_CLASS.format(body=body), rule="lock-discipline")
+        assert found, body
+    # setdefault + append on its result is two mutations of shared state
+    text = LOCKED_CLASS.format(body="self._pending.setdefault(key, []).append(x)")
+    assert len(findings(text, rule="lock-discipline")) == 1  # chained call counts once
+
+
+def test_lock_discipline_flags_subscript_augassign():
+    text = LOCKED_CLASS.format(body="self._counts[key] += 1")
+    assert len(findings(text, rule="lock-discipline")) == 1
+
+
+def test_lock_discipline_registry_mutations_clean_under_lock():
+    for body in (
+        "with self._lock:\n                self._flights[key] = latch",
+        "with self._lock:\n                del self._flights[key]",
+        "with self._lock:\n                self._flights.pop(key, None)",
+        "with self._lock:\n                self._counts[key] += 1",
+    ):
+        assert findings(LOCKED_CLASS.format(body=body), rule="lock-discipline") == []
+
+
+def test_lock_discipline_ignores_non_self_and_method_calls():
+    # Mutating a local, a parameter, or calling a non-mutator method on
+    # self state is out of scope.
+    for body in (
+        "window.submissions.append(item)",
+        "local = {}\n            local[key] = 1",
+        "self.entered.set()",
+        "self.results = list(items)",
+    ):
+        assert findings(LOCKED_CLASS.format(body=body), rule="lock-discipline") == []
+
+
 # ---------------------------------------------------------------------------
 # acquire-release
 

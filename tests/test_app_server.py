@@ -402,8 +402,8 @@ def test_metrics_schema_and_counters(tmp_path):
         metrics = json.loads(body.decode("utf-8"))
 
         assert set(metrics) == {
-            "server", "admission", "backend", "cache", "store", "remote",
-            "router",
+            "server", "admission", "backend", "cache", "coalescing", "store",
+            "remote", "router",
         }
         assert metrics["server"]["tenants"] == ["alice", "bob"]
         assert metrics["server"]["requests"] == 2
@@ -420,6 +420,13 @@ def test_metrics_schema_and_counters(tmp_path):
         assert backend["max_active"] >= 1
         cache = metrics["cache"]
         assert cache["hits"] + cache["misses"] > 0
+        coalescing = metrics["coalescing"]
+        single_flight = coalescing["single_flight"]
+        assert single_flight["enabled"] is True
+        assert single_flight["flights"] == cache["misses"]
+        assert single_flight["inflight_keys"] == 0  # quiescent server
+        assert single_flight["waiters_served"] == 0  # serial requests
+        assert coalescing["window"] == {"enabled": False}
         store = metrics["store"]
         assert store["root"].endswith("store")
         assert store["writes"] > 0 and store["entries"] > 0

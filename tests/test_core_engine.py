@@ -16,6 +16,39 @@ def test_config_validation():
         RageConfig(batch_workers=0)
     with pytest.raises(ConfigError):
         RageConfig(search_batch_size=0)
+    with pytest.raises(ConfigError):
+        RageConfig(batch_window_ms=0)
+    with pytest.raises(ConfigError):
+        RageConfig(batch_window_ms=-5.0)
+
+
+def test_single_flight_defaults_on_and_opt_out(big_three):
+    llm = SimulatedLLM(knowledge=big_three.knowledge)
+    rage = Rage.from_corpus(big_three.corpus, llm)
+    assert rage.llm.flights is not None  # default ON
+    plain = Rage.from_corpus(
+        big_three.corpus, llm, config=RageConfig(single_flight=False)
+    )
+    assert plain.llm.flights is None
+
+
+def test_batch_window_wraps_backend_and_preserves_answers(big_three):
+    from repro.exec import CoalescingBackend
+
+    llm = SimulatedLLM(knowledge=big_three.knowledge)
+    baseline = Rage.from_corpus(big_three.corpus, llm, config=RageConfig(k=4))
+    windowed = Rage.from_corpus(
+        big_three.corpus, llm, config=RageConfig(k=4, batch_window_ms=10.0)
+    )
+    assert isinstance(windowed.backend, CoalescingBackend)
+    assert windowed.backend.name.startswith("coalesce:10ms+")
+    assert windowed.backend.capacity == baseline.backend.capacity
+    expected = baseline.combination_insights(big_three.query, sample_size=8)
+    got = windowed.combination_insights(big_three.query, sample_size=8)
+    assert {k: len(v) for k, v in got.groups.items()} == {
+        k: len(v) for k, v in expected.groups.items()
+    }
+    assert windowed.backend.window_stats.windows >= 1
 
 
 def test_from_corpus_builds_index(big_three):

@@ -219,6 +219,51 @@ def test_disk_tier_write_through_and_promotion(tmp_path):
     assert revived.stats.disk_hits == 1
 
 
+def test_concurrent_disk_hits_promote_once(tmp_path):
+    """Two simultaneous disk hits on one key install one memory entry.
+
+    Regression: both readers used to decode *and* both promote —
+    double-counting ``disk_hits`` and re-inserting over the winner.
+    The rendezvous store forces the historical interleaving: both
+    threads finish decoding before either promotes.
+    """
+    import threading
+
+    from repro.llm import PromptStore
+
+    class RendezvousStore(PromptStore):
+        def __init__(self, root):
+            super().__init__(root)
+            self.rendezvous = threading.Barrier(2, timeout=10.0)
+
+        def get(self, model_name, prompt, params=None):
+            result = super().get(model_name, prompt, params)
+            if result is not None:
+                self.rendezvous.wait()
+            return result
+
+    store = RendezvousStore(tmp_path)
+    seeder = CachingLLM(CountingModel(), store=store)
+    expected = seeder.generate("hot prompt").answer
+
+    cold = CachingLLM(CountingModel(), store=store)
+    results = [None, None]
+
+    def read(i):
+        results[i] = cold.generate("hot prompt")
+
+    threads = [threading.Thread(target=read, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert [r.answer for r in results] == [expected, expected]
+    assert cold.inner.calls == 0
+    assert cold.stats.disk_hits == 1  # one promotion, not two
+    assert cold.stats.hits == 2  # the loser is charged as a memory hit
+    assert len(cold) == 1
+
+
 def test_disk_tier_serves_batches(tmp_path):
     from repro.llm import PromptStore
 
