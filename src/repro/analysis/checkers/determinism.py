@@ -1,11 +1,13 @@
 """``determinism``: no ambient randomness or clocks in exactness zones.
 
-``core/`` and ``combinatorics/`` are asserted *answer-for-answer
-exact*: the lattice-pruned plan must equal the exhaustive plan bit for
-bit, property tests sweep fixed seed ranges, and benchmark baselines
-diff artifacts across runs.  One ``random.sample(...)`` against the
-unseeded module-level generator — or one wall-clock read folded into
-an output — and none of that holds.
+``core/``, ``combinatorics/`` and ``retrieval/`` are asserted
+*answer-for-answer exact*: the lattice-pruned plan must equal the
+exhaustive plan bit for bit, property tests sweep fixed seed ranges,
+benchmark baselines diff artifacts across runs, and a warm-opened
+persistent index must serve byte-identical rankings to the build that
+wrote it.  One ``random.sample(...)`` against the unseeded
+module-level generator — or one wall-clock read folded into an output
+— and none of that holds.
 
 Flagged in those packages:
 
@@ -78,8 +80,8 @@ _CLOCK_CALLS = frozenset(
 class DeterminismChecker(Checker):
     rule = "determinism"
     description = (
-        "core/ and combinatorics/ are answer-exact: no unseeded random, "
-        "no wall-clock or entropy reads"
+        "core/, combinatorics/ and retrieval/ are answer-exact: no "
+        "unseeded random, no wall-clock or entropy reads"
     )
 
     def applies(self, source: SourceFile) -> bool:

@@ -107,7 +107,9 @@ class SourceFile:
         """Modules whose outputs are asserted answer-for-answer exact."""
         lib = self.library_path
         return lib is not None and (
-            lib.startswith("core/") or lib.startswith("combinatorics/")
+            lib.startswith("core/")
+            or lib.startswith("combinatorics/")
+            or lib.startswith("retrieval/")
         )
 
     # -- suppressions ------------------------------------------------------

@@ -176,6 +176,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "up to MS milliseconds and flush them merged as one native "
             "batch (default: off)",
         )
+        p.add_argument(
+            "--index-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent SQLite retrieval index: the corpus is synced "
+            "incrementally (unchanged documents are never re-analyzed) and "
+            "a warm restart serves queries without rebuilding",
+        )
+        p.add_argument(
+            "--retrieval-mode",
+            choices=("bm25", "dense", "hybrid"),
+            default=None,
+            help="context ranking: sparse bm25 (default), dense cosine, or "
+            "hybrid fusion of both (dense/hybrid require --index-dir)",
+        )
+        p.add_argument(
+            "--fusion",
+            choices=("minmax", "rrf"),
+            default=None,
+            help="hybrid fusion strategy: min-max-normalized linear fusion "
+            "or reciprocal-rank fusion (requires --retrieval-mode hybrid)",
+        )
+        p.add_argument(
+            "--hybrid-alpha",
+            type=float,
+            default=None,
+            metavar="A",
+            help="sparse-side weight of the hybrid fusion, in [0, 1] "
+            "(default 0.5; requires --retrieval-mode hybrid)",
+        )
 
     p_ask = sub.add_parser("ask", help="retrieve a context and answer the question")
     add_common(p_ask)
@@ -268,6 +298,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-tenant admission burst (requires --admit-rate)",
     )
 
+    p_index = sub.add_parser(
+        "index", help="administer a persistent retrieval index"
+    )
+    p_index.add_argument(
+        "action",
+        choices=("build", "add", "update", "stats"),
+        help="build: sync a use-case corpus into the index (incremental; "
+        "unchanged documents are skipped); add/update: index one document "
+        "given --doc-id and --text; stats: document/vocabulary counts and "
+        "on-disk size",
+    )
+    p_index.add_argument(
+        "--index-dir",
+        required=True,
+        metavar="DIR",
+        help="the index directory (same value as ask/serve --index-dir)",
+    )
+    p_index.add_argument(
+        "--use-case",
+        default="big_three",
+        choices=available_use_cases(),
+        help="corpus to sync on build",
+    )
+    p_index.add_argument(
+        "--dense",
+        action="store_true",
+        help="equip a newly created index with dense vectors "
+        "(needed later for --retrieval-mode dense/hybrid)",
+    )
+    p_index.add_argument("--doc-id", default=None, help="document id for add/update")
+    p_index.add_argument("--text", default=None, help="document text for add/update")
+    p_index.add_argument("--title", default="", help="document title for add/update")
+
     p_cache = sub.add_parser(
         "cache", help="administer a persistent generation store"
     )
@@ -335,6 +398,14 @@ def _config_overrides(args: argparse.Namespace, case) -> dict:
         overrides["single_flight"] = False
     if getattr(args, "batch_window_ms", None) is not None:
         overrides["batch_window_ms"] = args.batch_window_ms
+    if getattr(args, "index_dir", None) is not None:
+        overrides["index_dir"] = args.index_dir
+    if getattr(args, "retrieval_mode", None) is not None:
+        overrides["retrieval_mode"] = args.retrieval_mode
+    if getattr(args, "fusion", None) is not None:
+        overrides["fusion"] = args.fusion
+    if getattr(args, "hybrid_alpha", None) is not None:
+        overrides["hybrid_alpha"] = args.hybrid_alpha
     return overrides
 
 
@@ -401,6 +472,54 @@ def _serve_command(args: argparse.Namespace) -> int:
         if in_main_thread:
             signal.signal(signal.SIGTERM, previous_handler)
         server.close()
+    return 0
+
+
+def _index_command(args: argparse.Namespace) -> int:
+    """``rage index {build,add,update,stats} --index-dir DIR``."""
+    from pathlib import Path
+
+    from ..datasets.base import load_use_case
+    from ..retrieval import DB_NAME, Document, open_index
+
+    root = Path(args.index_dir).expanduser()
+    if args.action == "stats":
+        # Inspection must not create the index it was asked to inspect
+        # (a typo'd --index-dir should be flagged, not materialized).
+        if not (root / DB_NAME).is_file():
+            print(f"error: no index database at {root / DB_NAME}", file=sys.stderr)
+            return 2
+        with open_index(root) as index:
+            stats = index.stats
+            dense = "yes" if index.embedder is not None else "no"
+            print(f"Index:      {index.path}")
+            print(f"Documents:  {stats.num_documents}")
+            print(f"Vocabulary: {stats.vocabulary_size}")
+            print(f"Terms:      {stats.total_terms}")
+            print(f"Dense:      {dense}")
+            print(f"Bytes:      {index.size_bytes()}")
+        return 0
+    if args.action == "build":
+        case = load_use_case(args.use_case)
+        with open_index(root, dense=args.dense) as index:
+            outcome = index.sync(case.corpus, remove_missing=True)
+        print(
+            f"synced {args.use_case} into {root}: "
+            f"{outcome['added']} added, {outcome['updated']} updated, "
+            f"{outcome['unchanged']} unchanged, {outcome['removed']} removed"
+        )
+        return 0
+    # add / update index one explicit document.
+    if args.doc_id is None or args.text is None:
+        print(
+            f"error: rage index {args.action} requires --doc-id and --text",
+            file=sys.stderr,
+        )
+        return 2
+    doc = Document(doc_id=args.doc_id, text=args.text, title=args.title)
+    with open_index(root) as index:
+        outcome = index.add(doc) if args.action == "add" else index.update(doc)
+    print(f"{doc.doc_id}: {outcome}")
     return 0
 
 
@@ -473,6 +592,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "cache":
         return _cache_command(args)
+
+    if args.command == "index":
+        return _index_command(args)
 
     if args.command == "serve":
         return _serve_command(args)

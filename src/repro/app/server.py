@@ -27,15 +27,21 @@ stack, stdlib-only:
 Endpoints (all JSON)
 --------------------
 ``POST /ask``
-    ``{"tenant": t, "query": q?}`` — retrieve + answer (poses the
-    session); ``query`` defaults to the server's canonical question.
+    ``{"tenant": t, "query": q?, "k": n?}`` — retrieve + answer (poses
+    the session); ``query`` defaults to the server's canonical question
+    and ``k`` overrides the retrieval depth for this request.  The body
+    carries the ranked per-source retrieval scores alongside the
+    answer, so clients see why each source made the context.
 ``POST /explain``
     ``{"tenant": t, "sample_size": n?}`` — the full explanation report
     for the tenant's posed question, byte-identical to what the
     in-process engine produces (see :func:`report_payload`).
 ``GET /metrics``
-    Usage/traffic counters: per-tenant admission, prompt-cache and
-    disk-store stats, execution-backend stats, and — for remote models
+    Usage/traffic counters: per-tenant admission, retrieval-index
+    statistics (backend, mode, collection counts; for the persistent
+    SQLite index also its incremental-indexing counters and on-disk
+    size), prompt-cache and disk-store stats, execution-backend stats,
+    and — for remote models
     — :class:`~repro.llm.remote.RemoteLLM` usage plus
     :class:`~repro.llm.transport.TransportStats`; behind a
     :class:`~repro.llm.router.RouterLLM`, per-provider breaker state,
@@ -118,12 +124,30 @@ def encode_json(payload: Mapping[str, object]) -> bytes:
     ).encode("utf-8")
 
 
+def retrieval_payload(context: Context) -> List[Dict]:
+    """Per-source retrieval scores, in rank order.
+
+    Rides inside the ``/ask`` and ``/explain`` bodies so clients see
+    *why* each source made the context ``Dq`` — the ranked scores the
+    retrieval layer (BM25, dense cosine, or their fusion) assigned.
+    """
+    return [
+        {
+            "doc_id": source.document.doc_id,
+            "rank": rank,
+            "score": source.retrieval_score,
+        }
+        for rank, source in enumerate(context.sources, start=1)
+    ]
+
+
 def ask_payload(tenant: str, query: str, context: Context, answer: str) -> Dict:
     """The ``POST /ask`` response body."""
     return {
         "tenant": tenant,
         "query": query,
         "context": list(context.doc_ids()),
+        "retrieval": retrieval_payload(context),
         "answer": answer,
     }
 
@@ -223,6 +247,7 @@ def report_payload(report: RageReport) -> Dict:
         "query": report.query,
         "answer": report.answer,
         "context": list(report.context.doc_ids()),
+        "retrieval": retrieval_payload(report.context),
         "combination_insights": _combination_insights_payload(
             report.combination_insights
         ),
@@ -721,11 +746,16 @@ class RageServer:
             raise ConfigError(
                 "no query: pass one in the body or configure a default"
             )
+        k = body.get("k")
+        if k is not None and (
+            isinstance(k, bool) or not isinstance(k, int) or k < 1
+        ):
+            raise ConfigError(f"k must be a positive integer, got {k!r}")
         # Answer from *this* pose's committed triple, not a fresh
         # state() read: under concurrent asks on one tenant the session
         # may already hold a later request's state, and this response
         # must describe the question its own client sent.
-        posed_query, context, answer = tenant.session.pose_state(query)
+        posed_query, context, answer = tenant.session.pose_state(query, k=k)
         return ask_payload(tenant.name, posed_query, context, answer)
 
     def handle_explain(self, tenant: Tenant, body: Mapping[str, object]) -> Dict:
@@ -859,6 +889,7 @@ class RageServer:
                     else {"enabled": False}
                 ),
             },
+            "retrieval": self._retrieval_metrics(),
             "store": None,
             "remote": None,
             "router": None,
@@ -904,6 +935,35 @@ class RageServer:
                 "exhausted": inner.stats.exhausted,
                 "cost": inner.usage_cost(),
             }
+        return payload
+
+    def _retrieval_metrics(self) -> Dict:
+        """The ``/metrics`` retrieval block: which index backs the
+        engine, its collection statistics, and — for the persistent
+        index — the incremental-indexing and search counters."""
+        from ..retrieval.sqlindex import SqliteIndex
+
+        index = self.rage.index
+        config = self.rage.config
+        stats = index.stats
+        payload: Dict[str, object] = {
+            "backend": "sqlite" if isinstance(index, SqliteIndex) else "memory",
+            "mode": config.retrieval_mode,
+            "fusion": (
+                (config.fusion or "minmax")
+                if config.retrieval_mode == "hybrid"
+                else None
+            ),
+            "documents": stats.num_documents,
+            "vocabulary": stats.vocabulary_size,
+            "total_terms": stats.total_terms,
+        }
+        if isinstance(index, SqliteIndex):
+            with index._lock:
+                counters = dict(index.counters)
+            payload["path"] = str(index.path)
+            payload["bytes"] = index.size_bytes()
+            payload["counters"] = counters
         return payload
 
     def _store_usage(self, store) -> Tuple[int, int]:

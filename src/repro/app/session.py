@@ -82,15 +82,20 @@ class RageSession:
         """
         return self.pose_state(query)[2]
 
-    def pose_state(self, query: str) -> Tuple[str, Context, str]:
+    def pose_state(
+        self, query: str, k: Optional[int] = None
+    ) -> Tuple[str, Context, str]:
         """:meth:`pose`, returning *this* pose's committed triple.
+
+        ``k`` overrides the configured retrieval depth for this pose
+        only (the HTTP server threads a per-request ``k`` through here).
 
         Under concurrent poses the session's current :meth:`state` may
         already belong to a later writer by the time this call returns;
         callers answering a specific request (the HTTP server) need the
         triple their own pose produced, not whatever is newest.
         """
-        context = self.rage.retrieve(query)
+        context = self.rage.retrieve(query, k=k)
         result = self.rage.ask(query, context=context)
         with self._lock:
             self.query = query

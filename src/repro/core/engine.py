@@ -50,6 +50,14 @@ from ..retrieval.bm25 import Scorer
 from ..retrieval.document import Corpus, Document
 from ..retrieval.index import InvertedIndex
 from ..retrieval.searcher import Searcher
+from ..retrieval.sqlindex import (
+    FUSION_STRATEGIES,
+    RETRIEVAL_MODES,
+    SqliteIndex,
+    SqliteSearcher,
+    make_retrieval_scorer,
+    open_index,
+)
 from .context import Context
 from .counterfactual import (
     CombinationSearchResult,
@@ -217,6 +225,27 @@ class RageConfig:
     hedge_delay:
         Seconds before the backup fires; ``None`` = the primary's
         observed p95 latency.  Requires ``hedge=True``.
+    index_dir:
+        Directory for the persistent SQLite retrieval index
+        (:class:`~repro.retrieval.sqlindex.SqliteIndex`).
+        :meth:`Rage.from_corpus` then opens (or creates) the index
+        there and syncs the corpus incrementally — unchanged documents
+        are never re-analyzed, so a warm restart serves the first query
+        without rebuilding.  ``None`` (default) keeps the historical
+        in-memory :class:`~repro.retrieval.index.InvertedIndex`.
+    retrieval_mode:
+        How the context ``Dq`` is ranked: ``"bm25"`` (sparse,
+        default), ``"dense"`` (hashed-embedding cosine) or ``"hybrid"``
+        (scale-safe fusion of both).  Dense vectors live in the
+        persistent index, so the non-sparse modes require
+        ``index_dir``.
+    fusion:
+        Hybrid fusion strategy: ``"minmax"`` (min-max-normalized
+        linear fusion, the default) or ``"rrf"`` (reciprocal-rank
+        fusion).  Requires ``retrieval_mode="hybrid"``.
+    hybrid_alpha:
+        Sparse-side weight of the hybrid fusion, in ``[0, 1]``
+        (default 0.5).  Requires ``retrieval_mode="hybrid"``.
     """
 
     k: int = 10
@@ -249,6 +278,10 @@ class RageConfig:
     breaker_cooldown: Optional[float] = None
     hedge: bool = False
     hedge_delay: Optional[float] = None
+    index_dir: Optional[str] = None
+    retrieval_mode: str = "bm25"
+    fusion: Optional[str] = None
+    hybrid_alpha: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -355,6 +388,38 @@ class RageConfig:
             raise ConfigError("rate_limit must be > 0 requests/sec (or None)")
         if self.rate_burst is not None and self.rate_burst < 1:
             raise ConfigError("rate_burst must be >= 1 (or None)")
+        if self.retrieval_mode not in RETRIEVAL_MODES:
+            raise ConfigError(
+                f"retrieval_mode must be one of {RETRIEVAL_MODES}, "
+                f"got {self.retrieval_mode!r}"
+            )
+        if self.retrieval_mode != "bm25" and self.index_dir is None:
+            raise ConfigError(
+                f"retrieval_mode={self.retrieval_mode!r} requires index_dir: "
+                "dense vectors live in the persistent index"
+            )
+        if self.fusion is not None and self.fusion not in FUSION_STRATEGIES:
+            raise ConfigError(
+                f"fusion must be one of {FUSION_STRATEGIES}, got {self.fusion!r}"
+            )
+        if self.hybrid_alpha is not None and not 0.0 <= self.hybrid_alpha <= 1.0:
+            raise ConfigError(
+                f"hybrid_alpha must be in [0, 1], got {self.hybrid_alpha}"
+            )
+        if self.retrieval_mode != "hybrid":
+            inert_fusion = [
+                name
+                for name, value in (
+                    ("fusion", self.fusion),
+                    ("hybrid_alpha", self.hybrid_alpha),
+                )
+                if value is not None
+            ]
+            if inert_fusion:
+                raise ConfigError(
+                    f"{', '.join(inert_fusion)} only affect hybrid fusion; "
+                    "set retrieval_mode='hybrid' (or drop them)"
+                )
         if self.retries < 0:
             raise ConfigError(f"retries must be >= 0, got {self.retries}")
         if self.retry_budget < 0:
@@ -534,7 +599,7 @@ class Rage:
 
     def __init__(
         self,
-        index: InvertedIndex,
+        index: InvertedIndex | SqliteIndex,
         llm: Optional[LanguageModel] = None,
         config: Optional[RageConfig] = None,
         retrieval_scorer: Optional[Scorer] = None,
@@ -565,7 +630,32 @@ class Rage:
             llm = build_model_chain(self.config)
             dispatch_timeout = None
         self.index = index
-        self.searcher = Searcher(index, scorer=retrieval_scorer)
+        if retrieval_scorer is None and self.config.retrieval_mode != "bm25":
+            # Dense/hybrid ranking needs the vectors only a persistent
+            # index stores; an in-memory index here means the config and
+            # the construction path disagree.
+            if not isinstance(index, SqliteIndex):
+                raise ConfigError(
+                    f"retrieval_mode={self.config.retrieval_mode!r} needs a "
+                    "persistent SqliteIndex (build the engine with "
+                    "from_corpus and config.index_dir)"
+                )
+            retrieval_scorer = make_retrieval_scorer(
+                index,
+                mode=self.config.retrieval_mode,
+                fusion=self.config.fusion or "minmax",
+                alpha=(
+                    self.config.hybrid_alpha
+                    if self.config.hybrid_alpha is not None
+                    else 0.5
+                ),
+            )
+        if isinstance(index, SqliteIndex):
+            # Snapshot-per-search: rankings never straddle a concurrent
+            # indexer commit.
+            self.searcher: Searcher = SqliteSearcher(index, scorer=retrieval_scorer)
+        else:
+            self.searcher = Searcher(index, scorer=retrieval_scorer)
         self.backend: ExecutionBackend = make_backend(
             self.config.backend,
             batch_workers=self.config.batch_workers,
@@ -623,8 +713,22 @@ class Rage:
 
         ``llm=None`` builds the model from ``config.model`` (remote
         specs only — see :func:`build_remote_llm`).
+
+        With ``config.index_dir`` set, the corpus is mirrored into the
+        persistent SQLite index at that directory instead of an
+        in-memory rebuild: unchanged documents are detected by content
+        hash and skipped (zero re-tokenization on a warm restart),
+        changed ones re-indexed, and documents no longer in the corpus
+        withdrawn.
         """
-        index = InvertedIndex.build(corpus)
+        config = config or RageConfig()
+        if config.index_dir is not None:
+            index: InvertedIndex | SqliteIndex = open_index(
+                config.index_dir, dense=config.retrieval_mode != "bm25"
+            )
+            index.sync(corpus, remove_missing=True)
+        else:
+            index = InvertedIndex.build(corpus)
         return cls(index, llm, config=config, retrieval_scorer=retrieval_scorer)
 
     # -- retrieval and answering ------------------------------------------

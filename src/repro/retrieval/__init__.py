@@ -4,7 +4,13 @@ This package stands in for the paper's Pyserini BM25 + Lucene index.
 """
 
 from .bm25 import BM25Scorer, Scorer, TfIdfScorer, top_k
-from .dense import DenseIndex, DenseScorer, HashedEmbedder, HybridScorer
+from .dense import (
+    DenseIndex,
+    DenseScorer,
+    HashedEmbedder,
+    HybridScorer,
+    ReciprocalRankFusionScorer,
+)
 from .document import Corpus, Document
 from .index import IndexStats, InvertedIndex, Posting
 from .metrics import (
@@ -16,6 +22,15 @@ from .metrics import (
 )
 from .persistence import load_index, save_index
 from .searcher import RetrievalResult, RetrievedSource, Searcher
+from .sqlindex import (
+    DB_NAME,
+    FUSION_STRATEGIES,
+    RETRIEVAL_MODES,
+    SqliteIndex,
+    SqliteSearcher,
+    make_retrieval_scorer,
+    open_index,
+)
 
 __all__ = [
     "BM25Scorer",
@@ -36,6 +51,14 @@ __all__ = [
     "DenseScorer",
     "HashedEmbedder",
     "HybridScorer",
+    "ReciprocalRankFusionScorer",
+    "DB_NAME",
+    "FUSION_STRATEGIES",
+    "RETRIEVAL_MODES",
+    "SqliteIndex",
+    "SqliteSearcher",
+    "make_retrieval_scorer",
+    "open_index",
     "average_precision",
     "ndcg_at_k",
     "precision_at_k",

@@ -144,6 +144,64 @@ class DenseScorer:
         }
 
 
+class ReciprocalRankFusionScorer:
+    """Reciprocal-rank fusion over any number of scorers.
+
+    RRF fuses *ranks* instead of scores — ``sum_i w_i / (k0 + rank_i)``
+    — so it is immune to scale mismatch between fused signals (an
+    unbounded BM25 score and a ``[-1, 1]`` cosine contribute equally by
+    construction).  Ranks are assigned with doc_id tie-breaks, making
+    the fusion fully deterministic.
+
+    Parameters
+    ----------
+    scorers:
+        The signals to fuse (each satisfying the :class:`Scorer`
+        protocol); documents unscored by a signal simply contribute
+        nothing for it.
+    k0:
+        Rank-smoothing constant (literature default 60): larger values
+        flatten the difference between adjacent ranks.
+    weights:
+        Optional per-scorer weights, aligned with ``scorers``; default
+        all 1.0.
+    """
+
+    def __init__(
+        self,
+        scorers: Sequence[Scorer],
+        k0: float = 60.0,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not scorers:
+            raise ConfigError("RRF needs at least one scorer")
+        if k0 <= 0:
+            raise ConfigError(f"k0 must be positive, got {k0}")
+        if weights is not None and len(weights) != len(scorers):
+            raise ConfigError(
+                f"weights must align with scorers "
+                f"({len(weights)} vs {len(scorers)})"
+            )
+        self.scorers = list(scorers)
+        self.k0 = k0
+        self.weights = list(weights) if weights is not None else [1.0] * len(scorers)
+
+    @staticmethod
+    def _ranks(scores: Dict[str, float]) -> Dict[str, int]:
+        """1-based ranks, best first, ties broken by doc_id."""
+        ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return {doc_id: rank for rank, (doc_id, _) in enumerate(ordered, start=1)}
+
+    def score_query(self, index: InvertedIndex, query_terms: Sequence[str]) -> Dict[str, float]:
+        fused: Dict[str, float] = {}
+        for weight, scorer in zip(self.weights, self.scorers):
+            for doc_id, rank in self._ranks(
+                scorer.score_query(index, query_terms)
+            ).items():
+                fused[doc_id] = fused.get(doc_id, 0.0) + weight / (self.k0 + rank)
+        return fused
+
+
 class HybridScorer:
     """Min-max-normalized linear fusion: alpha*sparse + (1-alpha)*dense."""
 

@@ -82,6 +82,46 @@ class InvertedIndex:
             )
             self._postings.setdefault(term, []).append(posting)
 
+    def remove_document(self, doc_id: str) -> Document:
+        """Un-index a document, restoring pre-add statistics exactly.
+
+        Every posting the document contributed is withdrawn (terms whose
+        postings list empties disappear from the vocabulary, so
+        ``document_frequency`` never double-counts a removed document),
+        its length entry is dropped, and the stored document is returned.
+
+        Raises
+        ------
+        UnknownDocumentError
+            When ``doc_id`` was never indexed.
+        """
+        if doc_id not in self._doc_lengths:
+            raise UnknownDocumentError(f"no document with id {doc_id!r}")
+        document = self._corpus.get(doc_id)
+        self._corpus.remove(doc_id)
+        del self._doc_lengths[doc_id]
+        emptied: List[str] = []
+        for term, postings in self._postings.items():
+            kept = [posting for posting in postings if posting.doc_id != doc_id]
+            if len(kept) != len(postings):
+                if kept:
+                    self._postings[term] = kept
+                else:
+                    emptied.append(term)
+        for term in emptied:
+            del self._postings[term]
+        return document
+
+    def update_document(self, doc: Document) -> None:
+        """Replace an indexed document with new content, atomically.
+
+        Equivalent to ``remove_document(doc.doc_id)`` + ``add_document``:
+        stale postings never linger, so an updated document is
+        indistinguishable from one indexed fresh.
+        """
+        self.remove_document(doc.doc_id)
+        self.add_document(doc)
+
     @classmethod
     def build(
         cls,

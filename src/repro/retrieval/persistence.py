@@ -10,6 +10,8 @@ tokenizes queries identically.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List
 
@@ -90,8 +92,29 @@ def index_from_dict(payload: Dict[str, object]) -> InvertedIndex:
 
 
 def save_index(index: InvertedIndex, path: str | Path) -> None:
-    """Write the index to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(index_to_dict(index)), encoding="utf-8")
+    """Write the index to ``path`` as JSON, atomically.
+
+    The payload lands in a temp file in the destination directory and is
+    ``os.replace``-d into place, so a crash mid-write can never leave a
+    truncated, unloadable index — readers observe either the previous
+    complete file or the new one.
+    """
+    path = Path(path)
+    tmp_name: str | None = None
+    try:
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=path.parent
+        )
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(index_to_dict(index)))
+        os.replace(tmp_name, path)
+        tmp_name = None
+    finally:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
 
 
 def load_index(path: str | Path) -> InvertedIndex:

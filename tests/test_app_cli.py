@@ -338,3 +338,92 @@ def test_serve_rejects_bad_admission_config(capsys):
     code = main(["serve", "--port", "0", "--admit-burst", "3"])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_index_build_then_stats_round_trip(tmp_path, capsys):
+    index_dir = str(tmp_path / "ix")
+    assert main(["index", "build", "--index-dir", index_dir,
+                 "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "synced big_three" in out
+    assert "0 unchanged" in out
+
+    # A second build is a pure no-op: nothing re-added, nothing touched.
+    assert main(["index", "build", "--index-dir", index_dir,
+                 "--use-case", "big_three"]) == 0
+    out = capsys.readouterr().out
+    assert "0 added" in out
+    assert "0 updated" in out
+
+    assert main(["index", "stats", "--index-dir", index_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Documents:" in out
+    assert "Dense:      no" in out
+
+
+def test_index_add_update_lifecycle(tmp_path, capsys):
+    index_dir = str(tmp_path / "ix")
+    assert main(["index", "add", "--index-dir", index_dir,
+                 "--doc-id", "note-1", "--text", "grass courts"]) == 0
+    assert "note-1: added" in capsys.readouterr().out
+    assert main(["index", "add", "--index-dir", index_dir,
+                 "--doc-id", "note-1", "--text", "grass courts"]) == 0
+    assert "note-1: unchanged" in capsys.readouterr().out
+    assert main(["index", "update", "--index-dir", index_dir,
+                 "--doc-id", "note-1", "--text", "clay courts"]) == 0
+    assert "note-1: updated" in capsys.readouterr().out
+
+
+def test_index_add_requires_doc_fields(tmp_path, capsys):
+    code = main(["index", "add", "--index-dir", str(tmp_path / "ix")])
+    assert code == 2
+    assert "requires --doc-id and --text" in capsys.readouterr().err
+
+
+def test_index_update_unknown_doc_is_an_error(tmp_path, capsys):
+    code = main(["index", "update", "--index-dir", str(tmp_path / "ix"),
+                 "--doc-id", "ghost", "--text", "boo"])
+    assert code == 2
+    assert "ghost" in capsys.readouterr().err
+
+
+def test_index_stats_on_missing_db_is_an_error(tmp_path, capsys):
+    code = main(["index", "stats", "--index-dir", str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "no index database" in capsys.readouterr().err
+    assert not (tmp_path / "nowhere").exists()
+
+
+def test_ask_with_persistent_index(tmp_path, capsys):
+    index_dir = str(tmp_path / "ix")
+    assert main(["ask", "--use-case", "big_three",
+                 "--index-dir", index_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Roger Federer" in out
+    # The corpus got synced into the persistent index as a side effect.
+    assert main(["index", "stats", "--index-dir", index_dir]) == 0
+    assert "Documents:  4" in capsys.readouterr().out
+
+
+def test_ask_hybrid_retrieval_flags(tmp_path, capsys):
+    code = main(["ask", "--use-case", "big_three",
+                 "--index-dir", str(tmp_path / "ix"),
+                 "--retrieval-mode", "hybrid",
+                 "--fusion", "rrf", "--hybrid-alpha", "0.7"])
+    assert code == 0
+    assert "Answer:" in capsys.readouterr().out
+
+
+def test_retrieval_mode_without_index_dir_rejected(capsys):
+    code = main(["ask", "--use-case", "big_three",
+                 "--retrieval-mode", "dense"])
+    assert code == 2
+    assert "index_dir" in capsys.readouterr().err
+
+
+def test_fusion_flag_inert_without_hybrid_mode(tmp_path, capsys):
+    code = main(["ask", "--use-case", "big_three",
+                 "--index-dir", str(tmp_path / "ix"),
+                 "--fusion", "rrf"])
+    assert code == 2
+    assert "hybrid" in capsys.readouterr().err

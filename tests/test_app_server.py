@@ -402,9 +402,15 @@ def test_metrics_schema_and_counters(tmp_path):
         metrics = json.loads(body.decode("utf-8"))
 
         assert set(metrics) == {
-            "server", "admission", "backend", "cache", "coalescing", "store",
-            "remote", "router",
+            "server", "admission", "backend", "cache", "coalescing",
+            "retrieval", "store", "remote", "router",
         }
+        retrieval = metrics["retrieval"]
+        assert retrieval["backend"] == "memory"
+        assert retrieval["mode"] == "bm25"
+        assert retrieval["fusion"] is None
+        assert retrieval["documents"] > 0
+        assert retrieval["vocabulary"] > 0
         assert metrics["server"]["tenants"] == ["alice", "bob"]
         assert metrics["server"]["requests"] == 2
         admission = metrics["admission"]
@@ -697,3 +703,109 @@ def test_drain_window_validation():
     )
     with pytest.raises(ConfigError):
         RageServer(rage, tenants=["a"], drain_window=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Retrieval: per-source scores in payloads, per-request k, sqlite metrics
+
+
+def test_ask_payload_carries_retrieval_scores(server):
+    status, _, body = http_json.post_json(
+        server.base_url + "/ask", {"tenant": "alice"}
+    )
+    assert status == 200
+    payload = http_json.body_json(body)
+    retrieval = payload["retrieval"]
+    assert retrieval, "ask payload must carry the retrieval ranking"
+    assert [entry["rank"] for entry in retrieval] == list(
+        range(1, len(retrieval) + 1)
+    )
+    # Ranks follow the scores the engine actually assigned.
+    scores = [entry["score"] for entry in retrieval]
+    assert scores == sorted(scores, reverse=True)
+    reference = _reference_session(query=None)
+    context = reference.rage.retrieve(payload["query"])
+    assert [entry["doc_id"] for entry in retrieval] == [
+        source.document.doc_id for source in context.sources
+    ]
+
+
+def test_explain_payload_carries_retrieval_scores(server):
+    http_json.post_json(server.base_url + "/ask", {"tenant": "alice"})
+    status, _, body = http_json.post_json(
+        server.base_url + "/explain", {"tenant": "alice"}
+    )
+    assert status == 200
+    payload = http_json.body_json(body)
+    assert payload["retrieval"]
+    assert {"doc_id", "rank", "score"} == set(payload["retrieval"][0])
+
+
+def test_ask_honors_per_request_k(server):
+    status, _, body = http_json.post_json(
+        server.base_url + "/ask", {"tenant": "alice", "k": 2}
+    )
+    assert status == 200
+    payload = http_json.body_json(body)
+    assert len(payload["retrieval"]) == 2
+    # Byte-identity against the in-process engine at the same depth.
+    reference = _reference_session()
+    query = payload["query"]
+    context = reference.rage.retrieve(query, k=2)
+    answer = reference.rage.ask(query, context=context).answer
+    assert body == encode_json(ask_payload("alice", query, context, answer))
+
+
+@pytest.mark.parametrize("bad_k", [0, -3, True, "2", 1.5])
+def test_ask_rejects_bad_k(server, bad_k):
+    status, _, body = http_json.post_json(
+        server.base_url + "/ask", {"tenant": "alice", "k": bad_k}
+    )
+    assert status == 400
+    assert b"k must be a positive integer" in body
+
+
+def test_metrics_retrieval_block_for_sqlite_backend(tmp_path):
+    case = load_use_case("big_three")
+    config = RageConfig(
+        k=case.k,
+        index_dir=str(tmp_path / "ix"),
+        retrieval_mode="hybrid",
+        fusion="rrf",
+    )
+    rage = Rage.from_corpus(
+        case.corpus, SimulatedLLM(knowledge=case.knowledge), config=config
+    )
+    with RageServer(rage, tenants=["alice"], default_query=case.query) as srv:
+        http_json.post_json(srv.base_url + "/ask", {"tenant": "alice"})
+        status, _, body = http_json.get(srv.base_url + "/metrics")
+    assert status == 200
+    retrieval = http_json.body_json(body)["retrieval"]
+    assert retrieval["backend"] == "sqlite"
+    assert retrieval["mode"] == "hybrid"
+    assert retrieval["fusion"] == "rrf"
+    assert retrieval["documents"] == len(case.corpus)
+    assert retrieval["path"].endswith("ix/index.db")
+    assert retrieval["bytes"] > 0
+    counters = retrieval["counters"]
+    assert counters["added"] == len(case.corpus)
+    assert counters["searches"] >= 1
+
+
+def test_sqlite_server_answers_match_memory_backend(tmp_path):
+    """The persistent index is a storage change, not a ranking change:
+    BM25 answers served from SQLite must be byte-identical to the
+    in-memory engine's."""
+    case = load_use_case("big_three")
+    config = RageConfig(k=case.k, index_dir=str(tmp_path / "ix"))
+    rage = Rage.from_corpus(
+        case.corpus, SimulatedLLM(knowledge=case.knowledge), config=config
+    )
+    with RageServer(rage, tenants=["alice"], default_query=case.query) as srv:
+        status, _, body = http_json.post_json(
+            srv.base_url + "/ask", {"tenant": "alice"}
+        )
+    assert status == 200
+    reference = _reference_session()
+    query, context, answer = reference.state()
+    assert body == encode_json(ask_payload("alice", query, context, answer))

@@ -91,3 +91,39 @@ def test_adding_matching_term_does_not_hurt(corpus):
     after = BM25Scorer().score_query(index_after, query_terms)
     assert not before
     assert set(after) == {doc.doc_id for doc in corpus}
+
+
+@given(corpora(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_remove_document_inverts_add(corpus, data):
+    """Index-then-remove leaves statistics identical to never-adding."""
+    index = InvertedIndex.build(corpus)
+    victim = data.draw(st.sampled_from(corpus.doc_ids()))
+    index.remove_document(victim)
+    rebuilt = InvertedIndex.build(d for d in corpus if d.doc_id != victim)
+    assert index.stats == rebuilt.stats
+    assert index.vocabulary() == rebuilt.vocabulary()
+    for term in rebuilt.vocabulary():
+        assert index.document_frequency(term) == rebuilt.document_frequency(term)
+        assert sorted(index.postings(term), key=lambda p: p.doc_id) == sorted(
+            rebuilt.postings(term), key=lambda p: p.doc_id
+        )
+
+
+@given(corpora(), doc_texts, st.data())
+@settings(max_examples=40, deadline=None)
+def test_update_document_equals_fresh_build(corpus, new_text, data):
+    """Updating in place is indistinguishable from indexing fresh."""
+    index = InvertedIndex.build(corpus)
+    victim = data.draw(st.sampled_from(corpus.doc_ids()))
+    index.update_document(Document(doc_id=victim, text=new_text))
+    fresh = InvertedIndex.build(
+        Document(doc_id=d.doc_id, text=new_text) if d.doc_id == victim else d
+        for d in corpus
+    )
+    assert index.stats == fresh.stats
+    assert index.vocabulary() == fresh.vocabulary()
+    for term in fresh.vocabulary():
+        assert sorted(index.postings(term), key=lambda p: p.doc_id) == sorted(
+            fresh.postings(term), key=lambda p: p.doc_id
+        )

@@ -139,3 +139,108 @@ def test_dense_engine_integration(dense_index):
     )
     context = rage.retrieve("brown fox")
     assert set(context.doc_ids()) == {"fox", "fox2"}
+
+
+# ---------------------------------------------------------------------------
+# Reciprocal-rank fusion
+
+
+class _FixedScorer:
+    """A Scorer returning canned scores, for fusion-shape tests."""
+
+    def __init__(self, scores):
+        self._scores = scores
+
+    def score_query(self, index, query_terms):
+        return dict(self._scores)
+
+
+def test_rrf_is_scale_invariant():
+    """RRF fuses ranks, so rescaling one signal changes nothing.
+
+    This is the property raw score addition lacks: an unbounded BM25
+    value would swamp a [-1, 1] cosine the moment the corpus grows.
+    """
+    from repro.retrieval import ReciprocalRankFusionScorer
+
+    sparse = {"a": 12.0, "b": 7.0, "c": 1.0}
+    dense = {"a": 0.1, "b": 0.9, "c": 0.5}
+    base = ReciprocalRankFusionScorer(
+        [_FixedScorer(sparse), _FixedScorer(dense)]
+    ).score_query(None, ["q"])
+    scaled = ReciprocalRankFusionScorer(
+        [
+            _FixedScorer({d: s * 1000.0 for d, s in sparse.items()}),
+            _FixedScorer(dense),
+        ]
+    ).score_query(None, ["q"])
+    assert base == scaled
+
+
+def test_rrf_deterministic_tie_breaks():
+    from repro.retrieval import ReciprocalRankFusionScorer
+
+    tied = _FixedScorer({"b": 1.0, "a": 1.0, "c": 1.0})
+    ranks = ReciprocalRankFusionScorer._ranks(tied.score_query(None, []))
+    assert ranks == {"a": 1, "b": 2, "c": 3}
+
+
+def test_rrf_weights_and_partial_coverage():
+    from repro.retrieval import ReciprocalRankFusionScorer
+
+    fused = ReciprocalRankFusionScorer(
+        [_FixedScorer({"a": 1.0}), _FixedScorer({"b": 1.0})],
+        k0=1.0,
+        weights=[2.0, 1.0],
+    ).score_query(None, ["q"])
+    # Each doc is rank 1 for its scorer and unscored by the other.
+    assert fused == {"a": 2.0 / 2.0, "b": 1.0 / 2.0}
+
+
+def test_rrf_validation():
+    from repro.retrieval import ReciprocalRankFusionScorer
+
+    with pytest.raises(ConfigError):
+        ReciprocalRankFusionScorer([])
+    with pytest.raises(ConfigError):
+        ReciprocalRankFusionScorer([_FixedScorer({})], k0=0.0)
+    with pytest.raises(ConfigError):
+        ReciprocalRankFusionScorer([_FixedScorer({})], weights=[1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Fusion stability under corpus growth (regression)
+
+
+def _hybrid_ranking(docs, query, fusion):
+    from repro.retrieval import ReciprocalRankFusionScorer, top_k
+
+    sparse_index = InvertedIndex.build(docs)
+    dense = DenseScorer(DenseIndex.build(docs))
+    if fusion == "rrf":
+        scorer = ReciprocalRankFusionScorer([BM25Scorer(), dense])
+    else:
+        scorer = HybridScorer(BM25Scorer(), dense, alpha=0.5)
+    terms = sparse_index.tokenizer.tokenize(query)
+    scores = scorer.score_query(sparse_index, terms)
+    return [doc_id for doc_id, _ in top_k(scores, k=2)]
+
+
+@pytest.mark.parametrize("fusion", ["minmax", "rrf"])
+def test_fusion_rank_stability_under_corpus_growth(fusion):
+    """Growing the corpus with unrelated filler must not flip the
+    relative order of the two fox documents.
+
+    With raw score addition it would: BM25's IDF term grows with the
+    corpus while cosine stays bounded in [-1, 1], so the sparse signal
+    gradually drowns the dense one.  Normalized and rank-based fusion
+    are immune.
+    """
+    query = "quick brown fox"
+    before = _hybrid_ranking(DOCS, query, fusion)
+    filler = [
+        Document(doc_id=f"filler-{i}", text=f"unrelated topic number {i} entirely")
+        for i in range(60)
+    ]
+    after = _hybrid_ranking(DOCS + filler, query, fusion)
+    assert before == after == ["fox", "fox2"]

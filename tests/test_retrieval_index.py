@@ -108,3 +108,58 @@ def test_index_custom_tokenizer(tiny_corpus):
     index = InvertedIndex.build(tiny_corpus, tokenizer=Tokenizer(stem=False))
     assert index.document_frequency("foxes") == 1
     assert index.document_frequency("fox") == 2
+
+
+def test_remove_document_restores_pre_add_state(tiny_corpus):
+    index = InvertedIndex.build(tiny_corpus)
+    removed = index.remove_document("d4")
+    assert removed.doc_id == "d4"
+    rebuilt = InvertedIndex.build(d for d in tiny_corpus if d.doc_id != "d4")
+    assert index.stats == rebuilt.stats
+    assert index.vocabulary() == rebuilt.vocabulary()
+    assert "d4" not in index
+    # The title-only term disappeared with its sole document.
+    assert index.document_frequency("everywher") == 0
+
+
+def test_remove_document_unknown_raises(tiny_index):
+    index = InvertedIndex.build(tiny_index.documents())
+    with pytest.raises(UnknownDocumentError):
+        index.remove_document("missing")
+
+
+def test_remove_then_readd_roundtrips(tiny_corpus):
+    index = InvertedIndex.build(tiny_corpus)
+    baseline = index.stats
+    doc = index.remove_document("d2")
+    index.add_document(doc)
+    assert index.stats == baseline
+    assert index.document("d2") == doc
+
+
+def test_update_document_replaces_content(tiny_corpus):
+    index = InvertedIndex.build(tiny_corpus)
+    from repro.retrieval import Document
+
+    index.update_document(Document(doc_id="d3", text="zebra crossings"))
+    assert index.document_frequency("zebra") == 1
+    # No stale postings from the old content survive.
+    assert all(p.doc_id != "d3" for p in index.postings("cat"))
+    assert index.document("d3").text == "zebra crossings"
+
+
+def test_update_document_unknown_raises(tiny_corpus):
+    from repro.retrieval import Document
+
+    index = InvertedIndex.build(tiny_corpus)
+    with pytest.raises(UnknownDocumentError):
+        index.update_document(Document(doc_id="missing", text="x"))
+
+
+def test_corpus_remove(tiny_corpus):
+    corpus = Corpus(list(tiny_corpus))
+    doc = corpus.remove("d1")
+    assert doc.doc_id == "d1"
+    assert "d1" not in corpus
+    with pytest.raises(UnknownDocumentError):
+        corpus.remove("d1")

@@ -103,3 +103,53 @@ def test_saved_file_is_json(tiny_index, tmp_path):
     parsed = json.loads(path.read_text(encoding="utf-8"))
     assert parsed["format_version"] == FORMAT_VERSION
     assert len(parsed["documents"]) == len(tiny_index)
+
+
+def test_save_is_atomic_under_crash(tiny_index, tmp_path, monkeypatch):
+    """A crash mid-write never leaves a truncated, unloadable index.
+
+    Regression test for the bare ``Path.write_text`` save: the payload
+    now lands in a temp file and is ``os.replace``-d into place, so a
+    failure while serializing leaves the previous complete file intact
+    (and no temp litter behind).
+    """
+    import os
+
+    from repro.retrieval import persistence
+
+    path = tmp_path / "index.json"
+    save_index(tiny_index, path)
+    good = path.read_bytes()
+
+    def crash(payload):
+        raise OSError("disk full mid-serialization")
+
+    monkeypatch.setattr(persistence.json, "dumps", crash)
+    with pytest.raises(OSError):
+        save_index(tiny_index, path)
+    monkeypatch.undo()
+
+    # The previous complete file survived, still loads, and the aborted
+    # attempt cleaned up its temp file.
+    assert path.read_bytes() == good
+    load_index(path)
+    assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+
+    # A crash at the final rename also preserves the original.
+    def crash_replace(src, dst):
+        os.unlink(src)
+        raise OSError("crashed at rename")
+
+    monkeypatch.setattr(persistence.os, "replace", crash_replace)
+    with pytest.raises(OSError):
+        save_index(tiny_index, path)
+    monkeypatch.undo()
+    assert path.read_bytes() == good
+
+
+def test_save_replaces_existing_file_atomically(tiny_index, tmp_path):
+    path = tmp_path / "index.json"
+    path.write_text("stale previous index")
+    save_index(tiny_index, path)
+    reopened = load_index(path)
+    assert len(reopened) == len(tiny_index)
