@@ -2,27 +2,38 @@
 
 A stdlib-``ast`` lint engine encoding the invariants this project
 learned the hard way (see each checker's docstring for the bug that
-motivated it):
+motivated it).  Per-file rules see one module at a time; *project*
+rules reason over the whole-program index built by
+:mod:`repro.analysis.graph` (symbol tables, a conservative call graph,
+and interprocedural lock-set summaries):
 
 ========================  ==================================================
 rule                      invariant
 ========================  ==================================================
 ``lock-discipline``       counter mutation in lock-owning classes happens
                           under the lock
-``acquire-release``       ``reserve()`` refunds via ``cancel()`` on
-                          exception paths; ``open()`` lives in ``with``
+``lock-order``            the global acquired-while-holding graph is
+                          acyclic — every cycle is a latent AB/BA deadlock
+``held-call``             no known-blocking call (generate, transport
+                          I/O, ``time.sleep``) runs while a lock is held
+``leaked-resource``       ``reserve()``/``open()`` reach ``cancel()``/
+                          ``close()`` on exception paths — releases in
+                          cleanup-path *callees* count
 ``async-hygiene``         no blocking primitives inside ``async def``
 ``error-taxonomy``        library failures derive from ``repro.errors``
 ``test-network-isolation``  suites import no socket machinery outside
                           ``tests/fakes/``
 ``determinism``           no ambient randomness/clocks in ``core/`` and
                           ``combinatorics/``
+``swallowed-error``       no silent ``except: pass`` in library code
 ========================  ==================================================
 
-Run it with ``rage lint [paths]`` or ``python -m repro.analysis``;
-suppress a deliberate exception inline with ``# repro: disable=RULE --
-why``; ratchet legacy debt with a baseline file (see
-:mod:`repro.analysis.baseline`).
+Run it with ``rage lint [paths]`` or ``python -m repro.analysis``
+(``--jobs N`` fans file scanning over a process pool); suppress a
+deliberate exception inline with ``# repro: disable=RULE -- why``;
+ratchet legacy debt with a baseline file (see
+:mod:`repro.analysis.baseline`).  The dynamic twin of ``lock-order``
+lives in :mod:`repro.analysis.watchdog` (``RAGE_LOCK_WATCHDOG=1``).
 """
 
 from __future__ import annotations

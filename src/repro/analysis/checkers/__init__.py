@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from . import (  # noqa: F401  (import-for-registration)
-    acquire_release,
     async_hygiene,
     determinism,
     error_taxonomy,
+    held_call,
+    leaked_resource,
     lock_discipline,
+    lock_order,
     network_isolation,
     swallowed_error,
 )

@@ -29,8 +29,7 @@ import ast
 from typing import Dict, Iterable, Optional
 
 from ..model import Checker, Finding, register
-from ..source import SourceFile
-from .common import build_import_map, resolve_call_target
+from ..source import SourceFile, resolve_call_target
 
 #: Exact call targets that block the loop.
 _BLOCKING_CALLS = frozenset({"time.sleep"})
@@ -54,7 +53,7 @@ class AsyncHygieneChecker(Checker):
         return source.in_library
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
-        imports = build_import_map(source.tree)
+        imports = source.import_map
         for node in ast.walk(source.tree):
             if isinstance(node, ast.AsyncFunctionDef):
                 yield from self._walk_async_body(source, node, imports)

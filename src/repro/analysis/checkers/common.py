@@ -1,66 +1,24 @@
-"""Shared AST plumbing for the built-in checkers."""
+"""Shared AST plumbing for the built-in checkers.
+
+Import-alias resolution (``build_import_map`` / ``resolve_call_target``
+/ ``dotted_name``) lives in :mod:`repro.analysis.source` since the
+whole-program layer landed — prefer ``source.import_map`` over
+rebuilding the map per checker; the re-exports below keep old call
+sites working.
+"""
 
 from __future__ import annotations
 
 import ast
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from ..source import (  # noqa: F401  (re-exported shared infrastructure)
+    build_import_map,
+    dotted_name,
+    resolve_call_target,
+)
+
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def build_import_map(tree: ast.Module) -> Dict[str, str]:
-    """Local name -> canonical dotted module/object it binds.
-
-    ``import random as rnd`` maps ``rnd -> random``; ``from urllib
-    import request`` maps ``request -> urllib.request``; ``from random
-    import sample as s`` maps ``s -> random.sample``.  Only module-level
-    (and class/function-nested) imports are walked — good enough for
-    resolving stdlib call sites.
-    """
-    imports: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".", 1)[0]
-                imports[local] = alias.name if alias.asname else local
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                imports[local] = f"{node.module}.{alias.name}"
-    return imports
-
-
-def resolve_call_target(
-    call: ast.Call, imports: Dict[str, str]
-) -> Optional[str]:
-    """Canonical dotted name a call resolves to, through import aliases.
-
-    ``rnd.sample(...)`` with ``import random as rnd`` resolves to
-    ``random.sample``; ``s(...)`` with ``from random import sample as
-    s`` resolves to ``random.sample``.  Attribute chains rooted at
-    non-import names (``self.generate``) resolve with their literal
-    root (``self.generate``).
-    """
-    name = dotted_name(call.func)
-    if name is None:
-        return None
-    root, _, rest = name.partition(".")
-    resolved_root = imports.get(root, root)
-    return f"{resolved_root}.{rest}" if rest else resolved_root
 
 
 def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:

@@ -26,8 +26,7 @@ import ast
 from typing import Dict, Iterable, Optional
 
 from ..model import Checker, Finding, register
-from ..source import SourceFile
-from .common import build_import_map, resolve_call_target
+from ..source import SourceFile, resolve_call_target
 
 #: Module-level `random` functions (the shared, unseeded generator).
 _RANDOM_FUNCTIONS = frozenset(
@@ -88,7 +87,7 @@ class DeterminismChecker(Checker):
         return source.in_exactness_zone
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
-        imports = build_import_map(source.tree)
+        imports = source.import_map
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Call):
                 message = self._violation(node, imports)

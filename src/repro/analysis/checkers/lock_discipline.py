@@ -38,7 +38,6 @@ from typing import Iterable, List, Set
 from ..model import Checker, Finding, register
 from ..source import SourceFile
 from .common import (
-    build_import_map,
     dotted_name,
     is_lock_factory,
     self_attribute_root,
@@ -109,7 +108,7 @@ class LockDisciplineChecker(Checker):
     )
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
-        imports = build_import_map(source.tree)
+        imports = source.import_map
         findings: List[Finding] = []
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef):

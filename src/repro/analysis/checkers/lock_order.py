@@ -1,0 +1,66 @@
+"""``lock-order``: no cycles in the acquired-while-holding graph.
+
+The deadlock class the serving era keeps grazing: thread 1 takes lock
+A then B, thread 2 takes B then A, both park forever.  The hazard is
+invisible per file — each nesting looks locally reasonable — so this
+rule is whole-program: the graph layer registers every lock in the
+tree, propagates per-function locksets over the call graph to a
+fixpoint, builds the global acquisition-order graph, and reports every
+cycle it contains.
+
+One finding is emitted *per edge* of each cycle, anchored where that
+edge arises, carrying the full witness chain (who held what, which
+calls lead to the inner acquisition).  An AB/BA inversion therefore
+reports twice — both acquisition paths — which is what you need to
+decide which side to reorder.  ``PromptStore.clear()`` dodges exactly
+this by taking ``_evict_lock`` and ``_stats_lock`` *sequentially*
+instead of nested; the fixture suite pins that the nested variant is
+caught.
+
+A self-cycle (a non-reentrant ``threading.Lock`` re-acquired while
+already held, possibly through calls) is reported too; re-entrant
+locks and conditions are exempt from the single-node case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph import LockModel, describe_cycle
+from ..model import Finding, ProjectChecker, register
+
+
+@register
+class LockOrderChecker(ProjectChecker):
+    rule = "lock-order"
+    description = (
+        "cycle in the global lock acquisition-order graph — two threads "
+        "taking the locks in opposite order deadlock (whole-program)"
+    )
+
+    def check_project(self, index) -> Iterable[Finding]:
+        model = LockModel(index)
+        graph = model.build_order_graph()
+        for cycle in graph.cycles():
+            if len(cycle) == 1 and model.kind(cycle[0]) != "lock":
+                continue  # re-acquiring an RLock/Condition is legal
+            label = " -> ".join(cycle + (cycle[0],))
+            for outer, inner, witness in describe_cycle(cycle, graph):
+                chain = "; ".join(witness.chain)
+                if len(cycle) == 1:
+                    message = (
+                        f"non-reentrant lock {inner} may be re-acquired "
+                        f"while already held — self-deadlock ({chain})"
+                    )
+                else:
+                    message = (
+                        f"lock-order cycle [{label}]: {inner} is acquired "
+                        f"while {outer} is held ({chain}) — the reversed "
+                        "path exists too, so opposing threads deadlock"
+                    )
+                yield Finding(
+                    path=witness.path,
+                    line=witness.line,
+                    rule=self.rule,
+                    message=message,
+                )

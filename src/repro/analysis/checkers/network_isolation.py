@@ -16,27 +16,11 @@ helper to the fakes package instead of importing ``socket`` locally.
 
 from __future__ import annotations
 
-import ast
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable
 
 from .. import netpolicy
 from ..model import Checker, Finding, register
-from ..source import SourceFile
-
-
-def _imported_modules(tree: ast.Module) -> Iterator[Tuple[int, str]]:
-    """``(line, dotted module)`` for every import in the module."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node.lineno, alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.level or not node.module:
-                continue  # relative imports stay inside the suite
-            yield node.lineno, node.module
-            for alias in node.names:
-                if alias.name != "*":
-                    yield node.lineno, f"{node.module}.{alias.name}"
+from ..source import SourceFile, iter_imported_modules
 
 
 @register
@@ -52,7 +36,7 @@ class NetworkIsolationChecker(Checker):
 
     def check(self, source: SourceFile) -> Iterable[Finding]:
         seen = set()  # one finding per line: `from http.client import X`
-        for line, module in _imported_modules(source.tree):  # matches twice
+        for line, module in iter_imported_modules(source.tree):  # matches twice
             if netpolicy.module_is_network(module) and line not in seen:
                 seen.add(line)
                 yield self.finding(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -69,6 +70,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="run only this rule (repeatable)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the per-file scan (default: all "
+        "CPUs; 1 disables the pool; output is identical either way)",
+    )
+    parser.add_argument(
         "--root",
         default=None,
         metavar="DIR",
@@ -123,16 +132,35 @@ def run_lint(args: argparse.Namespace) -> int:
     checkers = (
         checkers_for_rules(args.rule) if args.rule else None
     )
-    result = analyze_paths(args.paths, root=root, checkers=checkers)
+    jobs = args.jobs if args.jobs and args.jobs > 0 else (os.cpu_count() or 1)
+    result = analyze_paths(args.paths, root=root, checkers=checkers, jobs=jobs)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     )
     if args.write_baseline:
+        # A renamed file resets its (path, rule) count to zero while
+        # the stale entry would silently keep waiving findings at the
+        # old path — call the rot out and drop it.
+        stale: List[str] = []
+        if baseline_path.is_file():
+            stale = sorted(
+                rel
+                for rel in load_baseline(baseline_path)
+                if not (root / rel).exists()
+            )
         write_baseline(baseline_path, result.sorted_findings())
+        for rel in stale:
+            print(
+                f"warning: pruned baseline entry for {rel} — "
+                "the file no longer exists (renamed or deleted)",
+                file=sys.stderr,
+            )
         print(
             f"baseline written to {baseline_path} "
-            f"({len(result.findings)} findings waived)"
+            f"({len(result.findings)} findings waived"
+            + (f", {len(stale)} stale entries pruned" if stale else "")
+            + ")"
         )
         return 0
     if baseline_path.is_file():

@@ -1,0 +1,136 @@
+"""Conservative call-graph construction over the project symbol table.
+
+An edge is added only when the target is *known*: a direct call to a
+module-level function (bare or module-qualified, through import
+aliases), or a ``self.``/``cls.`` method dispatch resolved through the
+project's class hierarchy — the defining class, its project-known
+ancestors, and (because ``self`` may be a subclass instance)
+subclass overrides of the method.  ``self.<attr>.<method>()`` resolves
+when the attribute's type was pinned by an annotation or a visible
+construction.  Everything else — higher-order calls, calls on values
+of unknown type, stdlib calls — contributes **no** edge: downstream
+analyses (locksets, blocking propagation) only ever assert facts along
+edges they are sure of, so an unresolved call can produce a false
+negative but never a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .symbols import CallSite, FunctionSummary, ProjectIndex
+
+
+@dataclass(frozen=True)
+class ResolvedCall:
+    """One resolved call edge: the site plus its target qualnames."""
+
+    site: CallSite
+    targets: Tuple[str, ...]  # function qualnames, deterministic order
+
+
+class CallGraph:
+    """Caller qualname -> resolved call sites, over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.calls: Dict[str, List[ResolvedCall]] = {}
+        self.edges: Dict[str, Set[str]] = {}
+        for qualname in sorted(index.functions):
+            resolved = list(self._resolve_function(index.functions[qualname]))
+            self.calls[qualname] = resolved
+            targets: Set[str] = set()
+            for call in resolved:
+                targets.update(call.targets)
+            self.edges[qualname] = targets
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Every function ``qualname`` may call (resolved edges only)."""
+        return self.edges.get(qualname, set())
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve_function(self, func: FunctionSummary) -> Iterator[ResolvedCall]:
+        for site in func.calls:
+            targets = self.resolve_site(func, site)
+            if targets:
+                yield ResolvedCall(site=site, targets=tuple(sorted(targets)))
+
+    def resolve_site(
+        self, func: FunctionSummary, site: CallSite
+    ) -> Set[str]:
+        """Function qualnames a call site may dispatch to."""
+        if site.form == "self":
+            if func.cls is None:
+                return set()
+            return self._resolve_method(func.cls, site.target)
+        if site.form == "self_attr":
+            if func.cls is None:
+                return set()
+            attr_type = self._attr_type(func.cls, site.attr)
+            if attr_type is None:
+                return set()
+            return self._resolve_method(attr_type, site.target)
+        if site.form == "bare":
+            qualname = f"{func.module}.{site.target}"
+            if qualname in self.index.functions:
+                return {qualname}
+            resolved = self._resolve_dotted(site.target, func.module)
+            return resolved
+        if site.form == "dotted":
+            return self._resolve_dotted(site.target, func.module)
+        return set()
+
+    def _attr_type(self, cls_qualname: str, attr: str) -> Optional[str]:
+        for cls in self.index.mro(cls_qualname):
+            typed = cls.attr_types.get(attr)
+            if typed is not None:
+                if typed in self.index.classes:
+                    return typed
+                # The annotation may use a bare class name local to the
+                # declaring module.
+                local = f"{cls.module}.{typed}"
+                if local in self.index.classes:
+                    return local
+                return None
+        return None
+
+    def _resolve_method(self, cls_qualname: str, method: str) -> Set[str]:
+        """The method in the class/ancestors, plus subclass overrides."""
+        targets: Set[str] = set()
+        defined_in: Optional[str] = None
+        for cls in self.index.mro(cls_qualname):
+            qualname = cls.methods.get(method)
+            if qualname is not None:
+                targets.add(qualname)
+                defined_in = cls.qualname
+                break
+        # `self` may actually be a subclass instance: overrides of the
+        # method anywhere below the *receiver* class participate.
+        for cls in self.index.subclasses(cls_qualname):
+            qualname = cls.methods.get(method)
+            if qualname is not None:
+                targets.add(qualname)
+        if defined_in is None and not targets:
+            return set()
+        return targets
+
+    def _resolve_dotted(self, dotted: str, module: str) -> Set[str]:
+        """A canonical dotted target -> project function, if it is one.
+
+        Handles ``pkg.mod.func`` (module-level function),
+        ``pkg.mod.Class`` (constructor -> ``__init__``), and
+        ``pkg.mod.Class.method``.
+        """
+        if dotted in self.index.functions:
+            return {dotted}
+        if dotted in self.index.classes:
+            init = self.index.classes[dotted].methods.get("__init__")
+            return {init} if init is not None else set()
+        head, _, last = dotted.rpartition(".")
+        if head in self.index.classes:
+            qualname = self.index.classes[head].methods.get(last)
+            if qualname is not None:
+                return {qualname}
+        return set()

@@ -1,0 +1,334 @@
+"""Lock registry, interprocedural locksets, and the acquisition-order graph.
+
+Identity
+--------
+Every ``threading.Lock``/``RLock``/``Condition`` the symbol layer saw
+gets one stable id:
+
+* instance attributes are named by their *defining* class —
+  ``repro.llm.store.PromptStore._evict_lock`` — so subclasses share
+  the id with the base that declared it;
+* module globals are ``<module>.<NAME>``;
+* ``Condition(self._x)`` aliases the lock it wraps: acquiring the
+  condition *is* acquiring ``_x``, so both resolve to ``_x``'s id.
+
+Propagation
+-----------
+``may_acquire[f]`` is the set of lock ids ``f`` can take — its own
+``with`` acquisitions plus, transitively over the call graph, every
+callee's — computed to a fixpoint.  Each entry remembers *how* the
+lock is reached (the call line and next hop), so a finding can print
+the full witness chain instead of a bare pair of lock names.
+
+The order graph then gets an edge ``A -> B`` wherever ``B`` may be
+acquired while ``A`` is lexically held — directly (nested ``with``) or
+through any resolved call.  A cycle in that graph is a potential
+deadlock; the runtime watchdog feeds its dynamically-observed edges
+through the same :func:`find_cycles` / :func:`find_cycle_closing`
+machinery so the static and instrumented views enforce one invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph
+from .symbols import FunctionSummary, ProjectIndex
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One registered lock: stable id, kind, and declaration site."""
+
+    id: str
+    kind: str  # "lock" | "rlock" | "condition"
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Witness:
+    """How one order edge arises: where, and through which calls."""
+
+    function: str  # qualname holding the outer lock
+    path: str
+    line: int  # acquisition / call line closing the edge
+    chain: Tuple[str, ...]  # human-readable steps to the inner acquisition
+
+
+class LockModel:
+    """Lock registry + may-acquire fixpoint over a project call graph."""
+
+    def __init__(self, index: ProjectIndex, graph: Optional[CallGraph] = None) -> None:
+        self.index = index
+        self.graph = graph if graph is not None else CallGraph(index)
+        self.locks: Dict[str, LockInfo] = {}
+        self._aliases: Dict[str, str] = {}  # condition id -> wrapped lock id
+        self._register_locks()
+        #: func qualname -> lock id -> (line, next hop qualname or None)
+        self.may_acquire: Dict[str, Dict[str, Tuple[int, Optional[str]]]] = {}
+        self._fixpoint()
+
+    # -- registry ----------------------------------------------------------
+
+    def _register_locks(self) -> None:
+        for module in sorted(self.index.modules):
+            summary = self.index.modules[module]
+            for name, decl in sorted(summary.module_locks.items()):
+                lock_id = f"{module}.{name}"
+                self.locks[lock_id] = LockInfo(
+                    id=lock_id, kind=decl.kind, path=summary.path, line=decl.line
+                )
+        for qualname in sorted(self.index.classes):
+            cls = self.index.classes[qualname]
+            for attr, decl in sorted(cls.locks.items()):
+                lock_id = f"{qualname}.{attr}"
+                self.locks[lock_id] = LockInfo(
+                    id=lock_id, kind=decl.kind, path=cls.path, line=decl.line
+                )
+                if decl.alias_of is not None:
+                    aliased = self._attr_lock_id(qualname, decl.alias_of)
+                    if aliased is not None:
+                        self._aliases[lock_id] = aliased
+
+    def _attr_lock_id(self, cls_qualname: str, attr: str) -> Optional[str]:
+        """Lock id for ``self.<attr>`` seen from ``cls_qualname``.
+
+        The id names the *defining* class (walking the MRO), so every
+        subclass sharing the attribute resolves to the same lock.
+        """
+        for cls in self.index.mro(cls_qualname):
+            if attr in cls.locks:
+                return f"{cls.qualname}.{attr}"
+        return None
+
+    def canonical(self, lock_id: str) -> str:
+        """Collapse condition-over-lock aliases onto the wrapped lock."""
+        seen: Set[str] = set()
+        while lock_id in self._aliases and lock_id not in seen:
+            seen.add(lock_id)
+            lock_id = self._aliases[lock_id]
+        return lock_id
+
+    def resolve_ref(self, func: FunctionSummary, ref: str) -> Optional[str]:
+        """Canonical lock id for a symbolic ref, or ``None`` if unknown.
+
+        ``self.<attr>`` resolves through the owning class's MRO; a bare
+        name resolves against the function's own module's globals; an
+        already-qualified ref (``other.module.LOCK``, emitted for
+        imported-module attributes) resolves against the registry
+        directly.  Anything that is not a registered lock resolves to
+        nothing — arbitrary context managers never pollute the order
+        graph.
+        """
+        if ref.startswith("self."):
+            if func.cls is None:
+                return None
+            lock_id = self._attr_lock_id(func.cls, ref[len("self."):])
+        else:
+            lock_id = f"{func.module}.{ref}"
+            if lock_id not in self.locks:
+                lock_id = ref if ref in self.locks else None
+            if lock_id is None:
+                return None
+        if lock_id is None:
+            return None
+        return self.canonical(lock_id)
+
+    def kind(self, lock_id: str) -> Optional[str]:
+        info = self.locks.get(lock_id)
+        return info.kind if info is not None else None
+
+    # -- may-acquire fixpoint ----------------------------------------------
+
+    def _fixpoint(self) -> None:
+        for qualname in self.index.functions:
+            self.may_acquire[qualname] = {}
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.index.functions):
+                func = self.index.functions[qualname]
+                table = self.may_acquire[qualname]
+                for acq in func.acquisitions:
+                    lock = self.resolve_ref(func, acq.ref)
+                    if lock is not None and lock not in table:
+                        table[lock] = (acq.line, None)
+                        changed = True
+                for resolved in self.graph.calls.get(qualname, ()):
+                    for target in resolved.targets:
+                        for lock in self.may_acquire.get(target, ()):
+                            if lock not in table:
+                                table[lock] = (resolved.site.line, target)
+                                changed = True
+
+    def witness_chain(self, qualname: str, lock: str) -> Tuple[str, ...]:
+        """Call-by-call steps from ``qualname`` to acquiring ``lock``."""
+        steps: List[str] = []
+        seen: Set[str] = set()
+        current: Optional[str] = qualname
+        while current is not None and current not in seen:
+            seen.add(current)
+            entry = self.may_acquire.get(current, {}).get(lock)
+            if entry is None:
+                break
+            line, callee = entry
+            func = self.index.functions[current]
+            if callee is None:
+                steps.append(f"{current} acquires {lock} ({func.path}:{line})")
+                break
+            steps.append(f"{current} calls {callee} ({func.path}:{line})")
+            current = callee
+        return tuple(steps)
+
+    # -- the order graph ----------------------------------------------------
+
+    def build_order_graph(self) -> "LockOrderGraph":
+        """Every acquired-while-holding edge the project can exhibit."""
+        graph = LockOrderGraph()
+        for qualname in sorted(self.index.functions):
+            func = self.index.functions[qualname]
+            for acq in func.acquisitions:
+                if not acq.held:
+                    continue
+                inner = self.resolve_ref(func, acq.ref)
+                if inner is None:
+                    continue
+                chain = (f"{qualname} acquires {inner} ({func.path}:{acq.line})",)
+                for held_ref in acq.held:
+                    outer = self.resolve_ref(func, held_ref)
+                    if outer is None:
+                        continue
+                    if outer == inner and self.kind(inner) != "lock":
+                        continue  # re-entrant: nested with is legal
+                    graph.add(
+                        outer,
+                        inner,
+                        Witness(
+                            function=qualname,
+                            path=func.path,
+                            line=acq.line,
+                            chain=chain,
+                        ),
+                    )
+            for resolved in self.graph.calls.get(qualname, ()):
+                site = resolved.site
+                if not site.held:
+                    continue
+                outers = [self.resolve_ref(func, ref) for ref in site.held]
+                for target in sorted(resolved.targets):
+                    for inner in sorted(self.may_acquire.get(target, ())):
+                        prefix = f"{qualname} calls {target} ({func.path}:{site.line})"
+                        chain = (prefix,) + self.witness_chain(target, inner)
+                        for outer in outers:
+                            if outer is None:
+                                continue
+                            if outer == inner and self.kind(inner) != "lock":
+                                continue
+                            graph.add(
+                                outer,
+                                inner,
+                                Witness(
+                                    function=qualname,
+                                    path=func.path,
+                                    line=site.line,
+                                    chain=chain,
+                                ),
+                            )
+        return graph
+
+
+class LockOrderGraph:
+    """Directed acquired-while-holding graph with per-edge witnesses."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[str, str], List[Witness]] = {}
+
+    def add(self, outer: str, inner: str, witness: Witness) -> None:
+        witnesses = self.edges.setdefault((outer, inner), [])
+        if witness not in witnesses:
+            witnesses.append(witness)
+
+    def witnesses(self, outer: str, inner: str) -> List[Witness]:
+        return self.edges.get((outer, inner), [])
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Every simple cycle, canonically rotated, deterministic."""
+        return find_cycles(self.edges.keys())
+
+
+# ---------------------------------------------------------------------------
+# cycle machinery (shared with the runtime watchdog)
+
+
+def find_cycles(edges: Iterable[Tuple[str, str]]) -> List[Tuple[str, ...]]:
+    """All simple cycles in a directed graph of lock ids.
+
+    Each cycle is returned once, rotated to start at its smallest node
+    (so ``A->B->A`` and ``B->A->B`` are the same cycle ``(A, B)``).
+    Self-edges come back as one-element cycles — callers decide
+    whether those matter (they do for non-reentrant locks only).
+    """
+    adjacency: Dict[str, Set[str]] = {}
+    for outer, inner in edges:
+        adjacency.setdefault(outer, set()).add(inner)
+    cycles: Set[Tuple[str, ...]] = set()
+    for start in sorted(adjacency):
+        # Only walk nodes >= start: every cycle is found exactly once,
+        # rooted at its smallest member.
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(start, (start,))]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(adjacency.get(node, ()), reverse=True):
+                if succ == start:
+                    cycles.add(path)
+                elif succ > start and succ not in path:
+                    stack.append((succ, path + (succ,)))
+    return sorted(cycles, key=lambda cycle: (len(cycle), cycle))
+
+
+def find_cycle_closing(
+    edges: Iterable[Tuple[str, str]], outer: str, inner: str
+) -> Optional[Tuple[str, ...]]:
+    """Path ``inner -> ... -> outer`` that a new edge would close.
+
+    Used before recording ``outer -> inner``: if ``inner`` already
+    reaches ``outer`` through existing edges, the new edge completes a
+    cycle and the shortest witness path is returned (``None`` when the
+    edge is safe).  ``outer == inner`` is the degenerate self-cycle.
+    """
+    if outer == inner:
+        return (outer,)
+    adjacency: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+    parents: Dict[str, Optional[str]] = {inner: None}
+    queue: List[str] = [inner]
+    while queue:
+        node = queue.pop(0)
+        if node == outer:
+            path: List[str] = []
+            current: Optional[str] = node
+            while current is not None:
+                path.append(current)
+                current = parents[current]
+            return tuple(reversed(path))
+        for succ in sorted(adjacency.get(node, ())):
+            if succ not in parents:
+                parents[succ] = node
+                queue.append(succ)
+    return None
+
+
+def describe_cycle(
+    cycle: Sequence[str], graph: LockOrderGraph
+) -> List[Tuple[str, str, Witness]]:
+    """One ``(outer, inner, witness)`` per edge of a cycle, in order."""
+    described: List[Tuple[str, str, Witness]] = []
+    for position, outer in enumerate(cycle):
+        inner = cycle[(position + 1) % len(cycle)]
+        witnesses = graph.witnesses(outer, inner)
+        if witnesses:
+            described.append((outer, inner, witnesses[0]))
+    return described

@@ -54,6 +54,9 @@ class Checker:
 
     rule: str = ""
     description: str = ""
+    #: Project checkers need the assembled whole-program index; the
+    #: engine runs them once per run instead of once per file.
+    project: bool = False
 
     def applies(self, source) -> bool:
         """Whether this rule runs against ``source`` at all."""
@@ -68,6 +71,28 @@ class Checker:
         return Finding(
             path=source.rel, line=line, rule=self.rule, message=message
         )
+
+
+class ProjectChecker(Checker):
+    """Base class for whole-program rules.
+
+    Where a :class:`Checker` sees one file, a project checker sees the
+    assembled :class:`~repro.analysis.graph.symbols.ProjectIndex` —
+    every scanned module's summary stitched together — and runs
+    exactly once per engine run, after the per-file phase.  Inline
+    suppressions still apply: the engine folds them through the
+    index's recorded suppression tables.
+    """
+
+    project = True
+
+    def check(self, source) -> Iterable[Finding]:
+        """Project rules have no per-file pass."""
+        return ()
+
+    def check_project(self, index) -> Iterable[Finding]:
+        """Yield findings over the whole-program index."""
+        raise NotImplementedError
 
 
 #: All registered checkers, keyed by rule id.

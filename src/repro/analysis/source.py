@@ -24,12 +24,133 @@ import io
 import re
 import tokenize
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 _DIRECTIVE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
 
 #: Rule-set value meaning "every rule".
 ALL_RULES = "all"
+
+
+# -- import-alias resolution (shared by every checker and the graph) -------
+#
+# Promoted out of ``checkers/async_hygiene.py``: any rule that matches
+# calls against canonical dotted names (``random.sample``,
+# ``time.sleep``, ``urllib.request.*``) must see through aliases —
+# ``import random as rnd`` / ``from time import sleep as zzz`` would
+# otherwise evade it.  The whole-program symbol layer
+# (:mod:`repro.analysis.graph.symbols`) resolves *project* imports
+# through the same map, so it also understands relative imports when
+# the importing module's dotted name is known.
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/llm/cache.py`` -> ``repro.llm.cache``;
+    ``tests/test_x.py`` -> ``tests.test_x``; package ``__init__.py``
+    files name the package itself.
+    """
+    normalized = rel.replace("\\", "/")
+    for prefix in ("src/",):
+        if normalized.startswith(prefix):
+            normalized = normalized[len(prefix):]
+    if normalized.endswith(".py"):
+        normalized = normalized[: -len(".py")]
+    parts = [part for part in normalized.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def build_import_map(
+    tree: ast.Module, module: Optional[str] = None
+) -> Dict[str, str]:
+    """Local name -> canonical dotted module/object it binds.
+
+    ``import random as rnd`` maps ``rnd -> random``; ``from urllib
+    import request`` maps ``request -> urllib.request``; ``from random
+    import sample as s`` maps ``s -> random.sample``.  With ``module``
+    (the importing module's dotted name) relative imports resolve too:
+    ``from .coalesce import SingleFlight`` inside ``repro.llm.cache``
+    maps ``SingleFlight -> repro.llm.coalesce.SingleFlight``.
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            base: Optional[str] = None
+            if node.level == 0:
+                base = node.module
+            elif module:
+                # `from .x import y` / `from ..x import y`: climb
+                # ``level`` packages up from the importing module.
+                parts = module.split(".")
+                if len(parts) >= node.level:
+                    package = parts[: len(parts) - node.level]
+                    base = ".".join(package + ([node.module] if node.module else []))
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_target(
+    call: ast.Call, imports: Dict[str, str]
+) -> Optional[str]:
+    """Canonical dotted name a call resolves to, through import aliases.
+
+    ``rnd.sample(...)`` with ``import random as rnd`` resolves to
+    ``random.sample``; ``s(...)`` with ``from random import sample as
+    s`` resolves to ``random.sample``.  Attribute chains rooted at
+    non-import names (``self.generate``) resolve with their literal
+    root (``self.generate``).
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    resolved_root = imports.get(root, root)
+    return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+def iter_imported_modules(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """``(line, dotted module)`` for every absolute import in a module.
+
+    ``from pkg import name`` yields both ``pkg`` and ``pkg.name`` (the
+    name may itself be a submodule); relative imports are skipped —
+    they stay inside the package being analyzed.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            yield node.lineno, node.module
+            for alias in node.names:
+                if alias.name != "*":
+                    yield node.lineno, f"{node.module}.{alias.name}"
 
 
 def _parse_directive(comment: str) -> Optional[Set[str]]:
@@ -55,6 +176,7 @@ class SourceFile:
         self.path = path
         self._tree: Optional[ast.Module] = None
         self._suppressions: Optional[Dict[int, FrozenSet[str]]] = None
+        self._import_map: Optional[Dict[str, str]] = None
 
     @classmethod
     def read(cls, path: Path, rel: str) -> "SourceFile":
@@ -69,6 +191,23 @@ class SourceFile:
         if self._tree is None:
             self._tree = ast.parse(self.text, filename=self.rel)
         return self._tree
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from ``rel`` (layout-aware)."""
+        return module_name_for(self.rel)
+
+    @property
+    def import_map(self) -> Dict[str, str]:
+        """Local name -> canonical dotted target, relative-import aware.
+
+        Built once per file; every checker resolves aliased call sites
+        through this one map so no rule can be evaded by
+        ``import random as rnd``-style renames.
+        """
+        if self._import_map is None:
+            self._import_map = build_import_map(self.tree, self.module_name)
+        return self._import_map
 
     # -- layout scope ------------------------------------------------------
 

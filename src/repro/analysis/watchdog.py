@@ -1,0 +1,299 @@
+"""Runtime lock-order watchdog: the dynamic half of ``lock-order``.
+
+Opt-in instrumentation (``RAGE_LOCK_WATCHDOG=1``, wired through
+``tests/conftest.py``) that patches ``threading.Lock``/``RLock`` with
+proxy factories.  Every lock created *by project code* gets a stable
+creation-site id (``path:line``); each thread tracks the stack of
+instrumented locks it holds; every acquisition while already holding
+another lock records an order edge and asks
+:func:`repro.analysis.graph.locks.find_cycle_closing` — the same cycle
+machinery the static checker uses — whether the new edge closes a
+cycle.  On an inversion the watchdog *raises* instead of letting the
+threads park forever, so the test run fails loudly with both
+acquisition stacks in hand instead of hanging CI.
+
+The static graph reasons over declared locks; this layer observes the
+locks the suite actually exercises.  They share one invariant (the
+acquisition-order graph is acyclic) and one detector, so a topology
+the static pass cannot see (locks reached through dynamic dispatch it
+refused to guess at) still gets checked dynamically.
+
+Design notes
+------------
+* Lock *instances* from the same creation site share an id — a
+  per-request latch built in a loop is one logical lock for ordering
+  purposes.  Same-site edges are therefore skipped (no order exists
+  between siblings); re-acquiring the *same instance* of a
+  non-reentrant ``Lock`` is reported as a self-deadlock instead of
+  blocking forever.
+* Locks created outside the configured roots (stdlib internals,
+  ``concurrent.futures`` plumbing) are returned un-instrumented: they
+  cannot contribute edges, which keeps overhead and noise near zero.
+* The proxies expose only the lock protocol (``acquire`` / ``release``
+  / ``__enter__`` / ``__exit__`` / ``locked``).  ``threading.
+  Condition`` over a proxied lock then falls back to its default
+  ``_release_save``/``_acquire_restore``/``_is_owned`` paths, which
+  route through the proxy — condition waits stay correctly tracked.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .graph.locks import find_cycle_closing
+
+#: Captured before any patching so the watchdog's own mutex — and any
+#: other internal lock — is never instrumented.
+_ORIGINAL_LOCK = threading.Lock
+_ORIGINAL_RLOCK = threading.RLock
+
+
+class LockOrderViolation(RuntimeError):
+    """An acquisition closed a cycle in the runtime order graph."""
+
+
+def _creation_site() -> Tuple[str, int]:
+    """``(path, line)`` of the project frame that created the lock.
+
+    Walks outward past this module and ``threading.py`` (so a
+    ``Condition()``'s internal ``RLock()`` is attributed to whoever
+    built the condition).
+    """
+    here = str(Path(__file__))
+    threading_file = str(Path(threading.__file__))
+    for frame in reversed(traceback.extract_stack()):
+        if frame.filename in (here, threading_file):
+            continue
+        return frame.filename, frame.lineno or 0
+    return "<unknown>", 0
+
+
+class LockWatchdog:
+    """Shared registry: per-thread held stacks, order edges, violations."""
+
+    def __init__(
+        self,
+        roots: Tuple[str, ...] = (),
+        raise_on_cycle: bool = True,
+    ) -> None:
+        if not roots:
+            package_root = Path(__file__).resolve().parents[1]  # src/repro
+            roots = (str(package_root),)
+        self.roots = tuple(str(Path(root).resolve()) for root in roots)
+        self.raise_on_cycle = raise_on_cycle
+        self._mutex = _ORIGINAL_LOCK()
+        self._held = threading.local()  # per-thread [(site, instance id)]
+        #: (outer site, inner site) -> first witness description
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.violations: List[Dict[str, object]] = []
+        self.sites: Dict[str, str] = {}  # site id -> kind
+
+    # -- lock construction --------------------------------------------------
+
+    def tracks(self, path: str) -> bool:
+        """Whether locks created at ``path`` are instrumented."""
+        try:
+            resolved = str(Path(path).resolve())
+        except OSError:
+            return False
+        return any(resolved.startswith(root) for root in self.roots)
+
+    def make_lock(self):
+        """Patched ``threading.Lock`` — proxy when project code calls."""
+        path, line = _creation_site()
+        if not self.tracks(path):
+            return _ORIGINAL_LOCK()
+        return _LockProxy(self, _ORIGINAL_LOCK(), self._site_id(path, line, "lock"))
+
+    def make_rlock(self):
+        """Patched ``threading.RLock`` — proxy when project code calls."""
+        path, line = _creation_site()
+        if not self.tracks(path):
+            return _ORIGINAL_RLOCK()
+        return _LockProxy(
+            self, _ORIGINAL_RLOCK(), self._site_id(path, line, "rlock"), reentrant=True
+        )
+
+    def _site_id(self, path: str, line: int, kind: str) -> str:
+        site = f"{path}:{line}"
+        with self._mutex:
+            self.sites[site] = kind
+        return site
+
+    # -- acquisition protocol -----------------------------------------------
+
+    def _stack(self) -> List[Tuple[str, int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def before_acquire(self, site: str, instance: int, reentrant: bool) -> None:
+        """Record edges and check for a closing cycle *before* blocking."""
+        stack = self._stack()
+        if not stack:
+            return
+        if not reentrant and any(
+            held_instance == instance for _, held_instance in stack
+        ):
+            self._violate(
+                site,
+                (site,),
+                "re-acquiring a non-reentrant Lock already held by this "
+                "thread — guaranteed self-deadlock",
+            )
+            return
+        thread = threading.current_thread().name
+        with self._mutex:
+            for held_site, _ in stack:
+                if held_site == site:
+                    continue  # sibling instances: no order between them
+                # Path site -> ... -> held_site; the acquisition being
+                # attempted is the edge held_site -> site that closes it.
+                cycle = find_cycle_closing(self.edges.keys(), held_site, site)
+                if cycle is not None:
+                    self._record_violation(site, cycle, thread)
+                    if self.raise_on_cycle:
+                        raise LockOrderViolation(self._describe_last())
+                self.edges.setdefault(
+                    (held_site, site),
+                    f"thread {thread!r} acquired {site} while holding {held_site}",
+                )
+
+    def after_acquire(self, site: str, instance: int) -> None:
+        self._stack().append((site, instance))
+
+    def after_release(self, site: str, instance: int) -> None:
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == (site, instance):
+                del stack[position]
+                return
+
+    # -- violations ----------------------------------------------------------
+
+    def _violate(self, site: str, cycle: Tuple[str, ...], detail: str) -> None:
+        with self._mutex:
+            self._record_violation(site, cycle, threading.current_thread().name, detail)
+        if self.raise_on_cycle:
+            raise LockOrderViolation(self._describe_last())
+
+    def _record_violation(
+        self,
+        site: str,
+        cycle: Tuple[str, ...],
+        thread: str,
+        detail: Optional[str] = None,
+    ) -> None:
+        witnesses = [
+            self.edges[(outer, inner)]
+            for outer, inner in zip(cycle, cycle[1:] + cycle[:1])
+            if (outer, inner) in self.edges
+        ]
+        self.violations.append(
+            {
+                "acquiring": site,
+                "thread": thread,
+                "cycle": list(cycle),
+                "witnesses": witnesses,
+                "detail": detail
+                or "acquisition closes a cycle in the lock order graph — "
+                "threads taking these locks in opposite order deadlock",
+            }
+        )
+
+    def _describe_last(self) -> str:
+        violation = self.violations[-1]
+        cycle = " -> ".join(list(violation["cycle"]) + [violation["cycle"][0]])
+        lines = [
+            f"lock-order violation in thread {violation['thread']!r}: "
+            f"acquiring {violation['acquiring']} closes cycle [{cycle}]",
+            str(violation["detail"]),
+        ]
+        lines.extend(f"  witness: {witness}" for witness in violation["witnesses"])
+        return "\n".join(lines)
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready digest: sites, observed edges, violations."""
+        with self._mutex:
+            return {
+                "version": 1,
+                "sites": dict(sorted(self.sites.items())),
+                "edges": [
+                    {"outer": outer, "inner": inner, "witness": witness}
+                    for (outer, inner), witness in sorted(self.edges.items())
+                ],
+                "violations": list(self.violations),
+            }
+
+
+class _LockProxy:
+    """Instrumented lock: the lock protocol plus watchdog bookkeeping."""
+
+    def __init__(self, watchdog, inner, site, reentrant=False):
+        self._watchdog = watchdog
+        self._inner = inner
+        self._site = site
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._watchdog.before_acquire(
+                self._site, id(self), self._reentrant
+            )
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watchdog.after_acquire(self._site, id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watchdog.after_release(self._site, id(self))
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<watchdog {self._inner!r} site={self._site}>"
+
+
+#: The active watchdog while installed, for uninstall() and reports.
+_INSTALLED: Optional[LockWatchdog] = None
+
+
+def install(watchdog: Optional[LockWatchdog] = None) -> LockWatchdog:
+    """Patch ``threading.Lock``/``RLock`` with instrumented factories.
+
+    Idempotent: a second install returns the active watchdog.
+    """
+    global _INSTALLED
+    if _INSTALLED is not None:
+        return _INSTALLED
+    _INSTALLED = watchdog if watchdog is not None else LockWatchdog()
+    threading.Lock = _INSTALLED.make_lock  # type: ignore[assignment]
+    threading.RLock = _INSTALLED.make_rlock  # type: ignore[assignment]
+    return _INSTALLED
+
+
+def uninstall() -> None:
+    """Restore the original lock factories."""
+    global _INSTALLED
+    threading.Lock = _ORIGINAL_LOCK  # type: ignore[assignment]
+    threading.RLock = _ORIGINAL_RLOCK  # type: ignore[assignment]
+    _INSTALLED = None
+
+
+def installed() -> Optional[LockWatchdog]:
+    """The active watchdog, if any."""
+    return _INSTALLED

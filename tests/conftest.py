@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from fakes import network_guard
+
+# Concurrency tripwire (opt-in): RAGE_LOCK_WATCHDOG=1 instruments
+# every lock the repro package creates, records the runtime
+# acquisition-order graph, and raises LockOrderViolation the moment an
+# acquisition would close a cycle — the dynamic twin of the static
+# `lock-order` rule.  Installed before the package import below so no
+# project lock predates the patch.
+_LOCK_WATCHDOG = None
+if os.environ.get("RAGE_LOCK_WATCHDOG") == "1":
+    from repro.analysis import watchdog as _watchdog_mod
+
+    _LOCK_WATCHDOG = _watchdog_mod.install()
 
 from repro import Rage, RageConfig, SimulatedLLM
 
@@ -16,6 +31,20 @@ from repro.core.context import Context
 from repro.core.evaluate import ContextEvaluator
 from repro.datasets import load_use_case
 from repro.retrieval import Corpus, Document, InvertedIndex, Searcher
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the watchdog's observed order graph for CI to upload."""
+    if _LOCK_WATCHDOG is None:
+        return
+    report_path = os.environ.get("RAGE_LOCK_WATCHDOG_REPORT")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(_LOCK_WATCHDOG.report(), handle, indent=2, sort_keys=True)
+    if _LOCK_WATCHDOG.violations and exitstatus == 0:
+        # A violation always raises inside the offending test, but be
+        # belt-and-braces: never let a recorded inversion exit green.
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")

@@ -160,10 +160,11 @@ def test_lock_discipline_ignores_non_self_and_method_calls():
 
 
 # ---------------------------------------------------------------------------
-# acquire-release
+# leaked-resource (the interprocedural successor to acquire-release;
+# cross-function cases live in tests/test_analysis_leaked_resource.py)
 
 
-def test_acquire_release_fires_without_cancel_path():
+def test_leaked_resource_fires_without_cancel_path():
     text = """
         class Client:
             def acquire(self):
@@ -171,13 +172,13 @@ def test_acquire_release_fires_without_cancel_path():
                 self._sleep(wait)
                 return wait
     """
-    found = findings(text, rule="acquire-release")
+    found = findings(text, rule="leaked-resource")
     assert len(found) == 1
     assert found[0].line == 4
     assert "cancel" in found[0].message
 
 
-def test_acquire_release_clean_with_refund_in_except():
+def test_leaked_resource_clean_with_refund_in_except():
     text = """
         class Client:
             def acquire(self):
@@ -189,10 +190,10 @@ def test_acquire_release_clean_with_refund_in_except():
                     raise
                 return wait
     """
-    assert findings(text, rule="acquire-release") == []
+    assert findings(text, rule="leaked-resource") == []
 
 
-def test_acquire_release_clean_with_refund_in_finally():
+def test_leaked_resource_clean_with_refund_in_finally():
     text = """
         class Client:
             def acquire(self):
@@ -202,10 +203,10 @@ def test_acquire_release_clean_with_refund_in_finally():
                 finally:
                     self.bucket.cancel()
     """
-    assert findings(text, rule="acquire-release") == []
+    assert findings(text, rule="leaked-resource") == []
 
 
-def test_acquire_release_allows_claim_and_return():
+def test_leaked_resource_allows_claim_and_return():
     # Nothing after the reserve can raise, so nothing can leak.
     text = """
         class Client:
@@ -213,17 +214,17 @@ def test_acquire_release_allows_claim_and_return():
                 wait = self.bucket.reserve()
                 return wait
     """
-    assert findings(text, rule="acquire-release") == []
+    assert findings(text, rule="leaked-resource") == []
 
 
-def test_acquire_release_out_of_scope_in_tests():
+def test_leaked_resource_out_of_scope_in_tests():
     # Property tests poke reserve() bare on purpose.
     text = """
         def test_refill(bucket):
             wait = bucket.reserve()
             assert wait >= 0
     """
-    assert findings(text, rel=TEST, rule="acquire-release") == []
+    assert findings(text, rel=TEST, rule="leaked-resource") == []
 
 
 def test_open_outside_with_fires():
@@ -232,7 +233,7 @@ def test_open_outside_with_fires():
             handle = open(path)
             return handle.read()
     """
-    found = findings(text, rule="acquire-release")
+    found = findings(text, rule="leaked-resource")
     assert len(found) == 1
     assert "open" in found[0].message
 
@@ -243,7 +244,7 @@ def test_open_inside_with_is_clean():
             with open(path) as handle:
                 return handle.read()
     """
-    assert findings(text, rule="acquire-release") == []
+    assert findings(text, rule="leaked-resource") == []
 
 
 def test_os_open_raw_fd_is_not_flagged():
@@ -255,7 +256,7 @@ def test_os_open_raw_fd_is_not_flagged():
             fd = os.open(path, os.O_CREAT | os.O_EXCL)
             os.close(fd)
     """
-    assert findings(text, rule="acquire-release") == []
+    assert findings(text, rule="leaked-resource") == []
 
 
 def test_fdopen_outside_with_fires():
@@ -265,13 +266,13 @@ def test_fdopen_outside_with_fires():
         def wrap(fd):
             return os.fdopen(fd)
     """
-    assert len(findings(text, rule="acquire-release")) == 1
+    assert len(findings(text, rule="leaked-resource")) == 1
 
 
-def test_acquire_release_suppression():
+def test_leaked_resource_suppression():
     text = """
         def read(path):
-            handle = open(path)  # repro: disable=acquire-release -- closed by caller
+            handle = open(path)  # repro: disable=leaked-resource -- closed by caller
             return handle
     """
     result = analyze_source(textwrap.dedent(text), rel=LIB)

@@ -196,6 +196,28 @@ def test_cli_write_baseline_then_rerun_is_clean(tmp_path, capsys):
     assert "snippet.py:3" not in out
 
 
+def test_write_baseline_prunes_stale_entries_with_warning(tmp_path, capsys):
+    # The rename blind spot: baseline debt attached to a path that no
+    # longer exists would waive findings forever.  Rewriting the
+    # baseline warns about and drops such entries.
+    snippet = _write_pkg(tmp_path)
+    assert lint_main(["--root", str(tmp_path), "src", "--write-baseline"]) == 0
+    capsys.readouterr()
+
+    # Simulate a rename: the old path's debt is now stale.
+    moved = snippet.with_name("renamed.py")
+    snippet.rename(moved)
+    assert lint_main(["--root", str(tmp_path), "src", "--write-baseline"]) == 0
+    captured = capsys.readouterr()
+    assert "pruned baseline entry for src/repro/llm/snippet.py" in captured.err
+    assert "renamed or deleted" in captured.err
+    assert "1 stale entries pruned" in captured.out
+
+    baseline = load_baseline(tmp_path / ".repro-baseline.json")
+    assert "src/repro/llm/snippet.py" not in baseline
+    assert "src/repro/llm/renamed.py" in baseline
+
+
 def test_cli_missing_path_exits_2(tmp_path, capsys):
     assert lint_main(["--root", str(tmp_path), "no-such-dir"]) == 2
     assert "no such path" in capsys.readouterr().err
@@ -223,12 +245,14 @@ def test_cli_rule_selection_limits_checkers(tmp_path, capsys):
     capsys.readouterr()
 
 
-def test_cli_list_rules_names_all_seven(capsys):
+def test_cli_list_rules_names_all_nine(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in (
         "lock-discipline",
-        "acquire-release",
+        "leaked-resource",
+        "lock-order",
+        "held-call",
         "async-hygiene",
         "error-taxonomy",
         "test-network-isolation",
@@ -242,10 +266,10 @@ def test_cli_list_rules_names_all_seven(capsys):
 # Registry and wiring
 
 
-def test_registry_has_seven_rules_sorted():
+def test_registry_has_nine_rules_sorted():
     rules = [checker.rule for checker in all_checkers()]
     assert rules == sorted(rules)
-    assert len(rules) == 7
+    assert len(rules) == 9
 
 
 def test_checkers_for_rules_rejects_unknown():

@@ -1,0 +1,185 @@
+"""``held-call``: known-blocking work performed while a lock is held."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import analyze_sources
+
+
+def findings(*items, rule="held-call"):
+    result = analyze_sources(
+        [(rel, textwrap.dedent(text)) for rel, text in items]
+    )
+    return [f for f in result.findings if f.rule == rule]
+
+
+def test_sleep_under_lock_fires():
+    found = findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        time.sleep(0.5)
+            """,
+        )
+    )
+    assert len(found) == 1
+    assert "time.sleep" in found[0].message
+    assert "Box._lock" in found[0].message
+    assert "outside the `with` block" in found[0].message
+
+
+def test_generate_under_lock_fires():
+    found = findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            import threading
+
+            class Cache:
+                def __init__(self, llm):
+                    self._lock = threading.Lock()
+                    self.llm = llm
+
+                def get_or_generate(self, prompt):
+                    with self._lock:
+                        return self.llm.generate(prompt)
+            """,
+        )
+    )
+    assert len(found) == 1
+    assert "generate" in found[0].message
+
+
+def test_urlopen_under_module_lock_fires():
+    found = findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            import threading
+            import urllib.request
+
+            LOCK = threading.Lock()
+
+            def fetch(url):
+                with LOCK:
+                    return urllib.request.urlopen(url)
+            """,
+        )
+    )
+    assert len(found) == 1
+    assert "urllib.request.urlopen" in found[0].message
+
+
+def test_sleep_outside_lock_is_clean():
+    assert not findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        pending = True
+                    time.sleep(0.5)
+                    return pending
+            """,
+        )
+    )
+
+
+def test_wait_on_condition_wrapping_held_lock_is_blessed():
+    # Condition.wait() releases the wrapped lock while sleeping — the
+    # one blocking call that is *correct* under its own lock.  Modeled
+    # on RageServer._idle = Condition(self._lock).
+    assert not findings(
+        (
+            "src/repro/app/x.py",
+            """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._idle = threading.Condition(self._lock)
+                    self.busy = 0
+
+                def drain(self):
+                    with self._lock:
+                        while self.busy:
+                            self._idle.wait(timeout=1.0)
+            """,
+        )
+    )
+
+
+def test_wait_on_unrelated_object_under_lock_fires():
+    found = findings(
+        (
+            "src/repro/app/x.py",
+            """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def join(self, worker):
+                    with self._lock:
+                        worker.wait()
+            """,
+        )
+    )
+    assert len(found) == 1
+
+
+def test_tests_are_out_of_scope():
+    assert not findings(
+        (
+            "tests/test_x.py",
+            """
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            def test_contention():
+                with LOCK:
+                    time.sleep(0.01)
+            """,
+        )
+    )
+
+
+def test_suppression_silences_held_call():
+    assert not findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        time.sleep(0.5)  # repro: disable=held-call -- startup only
+            """,
+        )
+    )

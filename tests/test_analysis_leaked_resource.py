@@ -1,0 +1,162 @@
+"""``leaked-resource`` interprocedural cases.
+
+Single-function positives/negatives live in test_analysis_checkers.py
+(carried over from the old syntactic ``acquire-release`` rule); this
+suite pins what the call-graph upgrade buys: releases performed by
+*callees* on cleanup paths now count.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import analyze_sources
+
+
+def findings(*items, rule="leaked-resource"):
+    result = analyze_sources(
+        [(rel, textwrap.dedent(text)) for rel, text in items]
+    )
+    return [f for f in result.findings if f.rule == rule]
+
+
+def test_release_in_cleanup_path_callee_is_clean():
+    # The old syntactic rule flagged this: reserve() with no literal
+    # cancel() in the same function.  The call graph sees that
+    # _finish() cancels, and _finish is called from a finally block.
+    assert not findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            class Client:
+                def __init__(self, bucket):
+                    self.bucket = bucket
+                    self.handle = None
+
+                def send(self, payload):
+                    self.handle = self.bucket.reserve()
+                    try:
+                        return self._post(payload)
+                    except Exception:
+                        self._finish()
+                        raise
+
+                def _post(self, payload):
+                    return payload
+
+                def _finish(self):
+                    self.handle.cancel()
+            """,
+        )
+    )
+
+
+def test_release_two_hops_down_is_clean():
+    assert not findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            class Client:
+                def __init__(self, bucket):
+                    self.bucket = bucket
+                    self.handle = None
+
+                def send(self, payload):
+                    self.handle = self.bucket.reserve()
+                    try:
+                        return payload
+                    finally:
+                        self._teardown()
+
+                def _teardown(self):
+                    self._finish()
+
+                def _finish(self):
+                    self.handle.cancel()
+            """,
+        )
+    )
+
+
+def test_release_in_callee_off_cleanup_path_still_fires():
+    # The callee cancels, but it is only called on the straight-line
+    # path — an exception mid-flight never reaches it.
+    found = findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            class Client:
+                def __init__(self, bucket):
+                    self.bucket = bucket
+                    self.handle = None
+
+                def send(self, payload):
+                    self.handle = self.bucket.reserve()
+                    result = self._post(payload)
+                    self._finish()
+                    return result
+
+                def _post(self, payload):
+                    if not payload:
+                        raise ValueError("empty payload")
+                    return payload
+
+                def _finish(self):
+                    self.handle.cancel()
+            """,
+        )
+    )
+    assert len(found) == 1
+    assert "cleanup-path callee" in found[0].message
+
+
+def test_close_in_cleanup_callee_protects_open():
+    assert not findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            class Writer:
+                def __init__(self, path):
+                    self.path = path
+                    self.fh = None
+
+                def dump(self, rows):
+                    self.fh = open(self.path, "w")
+                    try:
+                        for row in rows:
+                            self.fh.write(row)
+                    finally:
+                        self._shutdown()
+
+                def _shutdown(self):
+                    self.fh.close()
+            """,
+        )
+    )
+
+
+def test_bare_open_with_unrelated_cleanup_callee_fires():
+    found = findings(
+        (
+            "src/repro/llm/x.py",
+            """
+            class Writer:
+                def __init__(self, path):
+                    self.path = path
+                    self.fh = None
+
+                def dump(self, rows):
+                    self.fh = open(self.path, "w")
+                    try:
+                        for row in rows:
+                            self.fh.write(row)
+                    finally:
+                        self._log()
+
+                def _log(self):
+                    pass
+            """,
+        )
+    )
+    assert len(found) == 1
+    assert "file descriptor" in found[0].message

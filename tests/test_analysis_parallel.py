@@ -1,0 +1,121 @@
+"""Parallel lint: ``--jobs N`` must not change a byte of output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import MIN_FILES_FOR_POOL
+
+#: One module per template instantiation; half are dirty so ordering
+#: bugs in the merge would actually show.
+CLEAN_TEMPLATE = """\
+def fine_{n}(value):
+    return value + {n}
+"""
+
+DIRTY_TEMPLATE = """\
+def check_{n}(value):
+    if value < 0:
+        raise ValueError("bad value {n}")
+    return value
+"""
+
+
+@pytest.fixture()
+def wide_tree(tmp_path):
+    """A package wide enough to cross the process-pool threshold."""
+    package = tmp_path / "src" / "repro" / "wide"
+    package.mkdir(parents=True)
+    count = MIN_FILES_FOR_POOL + 4
+    for n in range(count):
+        template = DIRTY_TEMPLATE if n % 2 else CLEAN_TEMPLATE
+        (package / f"mod_{n:02d}.py").write_text(
+            template.format(n=n), encoding="utf-8"
+        )
+    return tmp_path, count
+
+
+def test_wide_tree_crosses_pool_threshold(wide_tree):
+    _, count = wide_tree
+    assert count >= MIN_FILES_FOR_POOL
+
+
+def test_jobs_json_output_is_byte_identical(wide_tree, capsys):
+    root, _ = wide_tree
+    outputs = {}
+    for jobs in ("1", "4"):
+        code = lint_main(
+            ["--root", str(root), "src", "--json", "--jobs", jobs]
+        )
+        assert code == 1
+        outputs[jobs] = capsys.readouterr().out
+    assert outputs["1"] == outputs["4"]
+    payload = json.loads(outputs["1"])
+    # Every dirty module reported, in deterministic path order.
+    paths = [finding["path"] for finding in payload["findings"]]
+    assert paths == sorted(paths)
+    assert payload["counts"]["reported"] == 6
+
+
+def test_analyze_paths_jobs_parameter_matches_serial(wide_tree):
+    root, count = wide_tree
+    serial = analyze_paths(["src"], root=root, jobs=1)
+    pooled = analyze_paths(["src"], root=root, jobs=4)
+    assert pooled.files == count
+    assert pooled.files == serial.files
+    assert pooled.findings == serial.findings
+    assert pooled.suppressed == serial.suppressed
+
+
+def test_small_tree_stays_in_process(tmp_path):
+    # Below the threshold the pool is skipped entirely; results are
+    # identical either way.
+    package = tmp_path / "src" / "repro" / "tiny"
+    package.mkdir(parents=True)
+    (package / "one.py").write_text(DIRTY_TEMPLATE.format(n=1), encoding="utf-8")
+    serial = analyze_paths(["src"], root=tmp_path, jobs=1)
+    pooled = analyze_paths(["src"], root=tmp_path, jobs=8)
+    assert pooled.findings == serial.findings
+    assert len(pooled.findings) == 1
+
+
+def test_project_rules_survive_the_pool(tmp_path, capsys):
+    # Whole-program findings (lock-order spans two methods) come out of
+    # the project phase, which runs in the parent — the pool must hand
+    # back summaries good enough to reconstruct them, alongside enough
+    # filler files to actually engage the pool.
+    package = tmp_path / "src" / "repro" / "wide"
+    package.mkdir(parents=True)
+    for n in range(MIN_FILES_FOR_POOL):
+        (package / f"mod_{n:02d}.py").write_text(
+            CLEAN_TEMPLATE.format(n=n), encoding="utf-8"
+        )
+    (package / "store.py").write_text(
+        "import threading\n"
+        "\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "\n"
+        "    def put(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+        "\n"
+        "    def clear(self):\n"
+        "        with self._b:\n"
+        "            with self._a:\n"
+        "                pass\n",
+        encoding="utf-8",
+    )
+    code = lint_main(
+        ["--root", str(tmp_path), "src", "--rule", "lock-order", "--jobs", "4"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert out.count("[lock-order]") == 2

@@ -1,0 +1,189 @@
+"""Runtime lock-order watchdog: the dynamic twin of ``lock-order``."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import watchdog as wd
+from repro.analysis.watchdog import (
+    LockOrderViolation,
+    LockWatchdog,
+    _LockProxy,
+)
+
+
+def proxied_pair(watchdog):
+    """Two instrumented locks at distinct synthetic creation sites."""
+    lock_a = _LockProxy(watchdog, threading.Lock(), "fake.py:1")
+    lock_b = _LockProxy(watchdog, threading.Lock(), "fake.py:2")
+    return lock_a, lock_b
+
+
+# ---------------------------------------------------------------------------
+# cycle detection
+
+
+def test_forced_inversion_raises_before_deadlocking():
+    watchdog = LockWatchdog()
+    lock_a, lock_b = proxied_pair(watchdog)
+    a_then_b_done = threading.Event()
+    caught = []
+
+    def leg_one():
+        with lock_a:
+            with lock_b:
+                pass
+        a_then_b_done.set()
+
+    def leg_two():
+        a_then_b_done.wait(timeout=5)
+        try:
+            with lock_b:
+                with lock_a:  # inversion: closes fake.py:1 -> fake.py:2
+                    pass
+        except LockOrderViolation as exc:
+            caught.append(exc)
+
+    threads = [
+        threading.Thread(target=leg_one),
+        threading.Thread(target=leg_two),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+
+    assert len(caught) == 1
+    message = str(caught[0])
+    assert "closes cycle [fake.py:1 -> fake.py:2 -> fake.py:1]" in message
+    assert "witness" in message
+    assert len(watchdog.violations) == 1
+    assert watchdog.violations[0]["cycle"] == ["fake.py:1", "fake.py:2"]
+
+
+def test_consistent_order_is_clean():
+    watchdog = LockWatchdog()
+    lock_a, lock_b = proxied_pair(watchdog)
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert watchdog.violations == []
+    assert ("fake.py:1", "fake.py:2") in watchdog.edges
+
+
+def test_same_site_sibling_instances_add_no_edges():
+    # Two latches born at the same line (a per-request lock in a loop)
+    # are one logical lock: nesting them must not fabricate an edge
+    # that later "inverts" against itself.
+    watchdog = LockWatchdog()
+    first = _LockProxy(watchdog, threading.Lock(), "fake.py:7")
+    second = _LockProxy(watchdog, threading.Lock(), "fake.py:7")
+    with first:
+        with second:
+            pass
+    with second:
+        with first:
+            pass
+    assert watchdog.edges == {}
+    assert watchdog.violations == []
+
+
+def test_self_reacquire_of_plain_lock_is_a_violation():
+    watchdog = LockWatchdog()
+    lock = _LockProxy(watchdog, threading.Lock(), "fake.py:3")
+    # Hold something else first so the held-stack path is exercised.
+    other = _LockProxy(watchdog, threading.Lock(), "fake.py:4")
+    with pytest.raises(LockOrderViolation, match="self-deadlock"):
+        with other:
+            with lock:
+                lock.acquire()
+    assert watchdog.violations[-1]["cycle"] == ["fake.py:3"]
+
+
+def test_rlock_reacquire_is_fine():
+    watchdog = LockWatchdog()
+    rlock = _LockProxy(watchdog, threading.RLock(), "fake.py:5", reentrant=True)
+    with rlock:
+        with rlock:
+            pass
+    assert watchdog.violations == []
+
+
+def test_condition_over_proxied_lock_routes_through_proxy():
+    watchdog = LockWatchdog()
+    lock = _LockProxy(watchdog, threading.Lock(), "fake.py:6")
+    condition = threading.Condition(lock)
+    with condition:
+        condition.notify_all()
+    assert watchdog.violations == []
+    assert not lock.locked()
+
+
+# ---------------------------------------------------------------------------
+# install / uninstall
+
+
+@pytest.fixture()
+def no_session_watchdog():
+    """Park the conftest-installed watchdog (if any) for one test."""
+    session_watchdog = wd.installed()
+    if session_watchdog is not None:
+        wd.uninstall()
+    try:
+        yield
+    finally:
+        wd.uninstall()
+        if session_watchdog is not None:
+            wd.install(session_watchdog)
+
+
+def test_install_patches_and_uninstall_restores(no_session_watchdog):
+    assert wd.installed() is None
+    watchdog = wd.install(LockWatchdog(roots=("/",)))
+    assert wd.installed() is watchdog
+    assert wd.install() is watchdog  # idempotent
+    lock = threading.Lock()
+    assert isinstance(lock, _LockProxy)
+    with lock:
+        pass
+    rlock = threading.RLock()
+    assert isinstance(rlock, _LockProxy)
+    wd.uninstall()
+    assert wd.installed() is None
+    assert not isinstance(threading.Lock(), _LockProxy)
+
+
+def test_roots_filter_leaves_foreign_locks_uninstrumented(
+    no_session_watchdog, tmp_path
+):
+    watchdog = wd.install(LockWatchdog(roots=(str(tmp_path),)))
+    # This test file is outside the configured root: the factory
+    # hands back a plain, untracked lock.
+    lock = threading.Lock()
+    assert not isinstance(lock, _LockProxy)
+    assert watchdog.sites == {}
+
+
+# ---------------------------------------------------------------------------
+# report schema (uploaded by CI next to analysis-report.json)
+
+
+def test_report_digest_schema():
+    watchdog = LockWatchdog()
+    lock_a, lock_b = proxied_pair(watchdog)
+    watchdog.sites["fake.py:1"] = "lock"
+    watchdog.sites["fake.py:2"] = "lock"
+    with lock_a:
+        with lock_b:
+            pass
+    report = watchdog.report()
+    assert report["version"] == 1
+    assert report["sites"] == {"fake.py:1": "lock", "fake.py:2": "lock"}
+    [edge] = report["edges"]
+    assert edge["outer"] == "fake.py:1"
+    assert edge["inner"] == "fake.py:2"
+    assert "while holding" in edge["witness"]
+    assert report["violations"] == []
